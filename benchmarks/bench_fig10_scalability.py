@@ -1,0 +1,113 @@
+"""Fig. 10 — scalability in #columns, #vectors and dimensionality.
+
+Paper result (LWDC): PEXESO's search time and index size grow roughly
+linearly with the number of columns and vectors while PEXESO-H grows
+superlinearly; both scale linearly in the embedding dimensionality
+(distance computation dominates) with dimension-independent index sizes
+(the index lives in the pivot space).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import ResultTable, lwdc_like, make_dataset, timed
+
+from repro.baselines.pexeso_h import pexeso_h_search
+from repro.core.index import PexesoIndex
+from repro.core.search import pexeso_search
+from repro.core.thresholds import distance_threshold
+
+TAU_FRACTION = 0.06
+T = 0.6
+FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _measure(columns, queries, dim):
+    index = PexesoIndex.build(columns, n_pivots=3, levels=3)
+    tau = distance_threshold(TAU_FRACTION, index.metric, dim)
+    p_seconds, _ = timed(lambda: [pexeso_search(index, q, tau, T) for q in queries])
+    h_seconds, _ = timed(lambda: [pexeso_h_search(index, q, tau, T) for q in queries])
+    return p_seconds, h_seconds, index.memory_bytes()
+
+
+def test_fig10ab_varying_columns(lwdc_dataset, benchmark):
+    dataset = lwdc_dataset
+    table = ResultTable(
+        "Fig. 10a/b: varying % of columns — seconds and index bytes",
+        ["% columns", "PEXESO-H (s)", "PEXESO (s)", "index bytes"],
+    )
+
+    def run():
+        rng = np.random.default_rng(0)
+        out = {}
+        n = len(dataset.vector_columns)
+        for fraction in FRACTIONS:
+            take = max(4, int(n * fraction))
+            picks = rng.choice(n, size=take, replace=False)
+            columns = [dataset.vector_columns[i] for i in picks]
+            p, h, size = _measure(columns, dataset.queries, dataset.dim)
+            out[fraction] = (p, h, size)
+            table.add(f"{int(fraction*100)}%", h, p, size)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    table.print_and_save("fig10ab_columns.md")
+    # Index size must grow monotonically (within noise) with columns.
+    sizes = [out[f][2] for f in FRACTIONS]
+    assert sizes[-1] > sizes[0]
+    # PEXESO must not be slower than PEXESO-H at full scale.
+    assert out[1.0][0] <= out[1.0][1] * 1.1
+
+
+def test_fig10cd_varying_vectors(lwdc_dataset, benchmark):
+    dataset = lwdc_dataset
+    table = ResultTable(
+        "Fig. 10c/d: varying % of vectors per column — seconds and index bytes",
+        ["% vectors", "PEXESO-H (s)", "PEXESO (s)", "index bytes"],
+    )
+
+    def run():
+        rng = np.random.default_rng(1)
+        out = {}
+        for fraction in FRACTIONS:
+            columns = []
+            for column in dataset.vector_columns:
+                take = max(1, int(column.shape[0] * fraction))
+                picks = rng.choice(column.shape[0], size=take, replace=False)
+                columns.append(column[picks])
+            p, h, size = _measure(columns, dataset.queries, dataset.dim)
+            out[fraction] = (p, h, size)
+            table.add(f"{int(fraction*100)}%", h, p, size)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    table.print_and_save("fig10cd_vectors.md")
+    sizes = [out[f][2] for f in FRACTIONS]
+    assert sizes[-1] > sizes[0]
+
+
+def test_fig10e_varying_dimensionality(benchmark):
+    table = ResultTable(
+        "Fig. 10e: varying dimensionality — seconds and index bytes",
+        ["dim", "PEXESO-H (s)", "PEXESO (s)", "index bytes"],
+    )
+
+    def run():
+        out = {}
+        for dim in (16, 32, 64):
+            dataset = make_dataset(
+                f"dim{dim}", n_tables=160, rows_range=(8, 22), dim=dim,
+                n_entities=200, seed=41,
+            )
+            p, h, size = _measure(dataset.vector_columns, dataset.queries, dim)
+            out[dim] = (p, h, size)
+            table.add(dim, h, p, size)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    table.print_and_save("fig10e_dimensionality.md")
+    # Index size lives in the pivot space: dimension-independent within noise.
+    sizes = [out[d][2] for d in (16, 32, 64)]
+    assert max(sizes) < 2.0 * min(sizes)

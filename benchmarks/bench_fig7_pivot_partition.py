@@ -1,0 +1,95 @@
+"""Fig. 7 — pivot selection (7a) and data partitioning (7b).
+
+Paper result: (7a) PCA-selected pivots yield faster searches than random
+pivots, increasingly so as the vector count grows; (7b) JSD clustering
+beats average-k-means, which beats random partitioning, across partition
+counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import ResultTable, lwdc_like, timed
+
+from repro.core.index import PexesoIndex
+from repro.core.out_of_core import PartitionedPexeso
+from repro.core.search import pexeso_search
+from repro.core.thresholds import distance_threshold
+
+TAU_FRACTION = 0.06
+T = 0.6
+
+
+def test_fig7a_pivot_selection(benchmark):
+    """PCA vs random pivots: verification work as the repository grows."""
+    table = ResultTable(
+        "Fig. 7a: pivot selection — distance computations per search",
+        ["# vectors", "PCA-based", "Random"],
+    )
+
+    def run():
+        work = {}
+        for scale, label in ((0.25, "small"), (0.5, "medium"), (1.0, "large")):
+            dataset = lwdc_like(seed=31, scale=scale)
+            tau = distance_threshold(TAU_FRACTION, PexesoIndex().metric, dataset.dim)
+            row = [dataset.n_vectors]
+            for method in ("pca", "random"):
+                index = PexesoIndex.build(
+                    dataset.vector_columns, n_pivots=5, levels=3,
+                    pivot_method=method, seed=7,
+                )
+                total = sum(
+                    pexeso_search(index, q, tau, T).stats.distance_computations
+                    for q in dataset.queries
+                )
+                work[(label, method)] = total
+                row.append(total)
+            table.add(*row)
+        return work
+
+    work = benchmark.pedantic(run, rounds=1, iterations=1)
+    table.print_and_save("fig7a_pivot_selection.md")
+
+    # PCA must not lose to random overall, and must win at the largest scale.
+    pca_total = sum(v for (lbl, m), v in work.items() if m == "pca")
+    rnd_total = sum(v for (lbl, m), v in work.items() if m == "random")
+    assert pca_total <= rnd_total * 1.05
+    assert work[("large", "pca")] <= work[("large", "random")]
+
+
+def test_fig7b_partitioning(lwdc_dataset, benchmark):
+    """JSD vs average-k-means vs random partitioning: search time."""
+    dataset = lwdc_dataset
+    tau = distance_threshold(TAU_FRACTION, PexesoIndex().metric, dataset.dim)
+    table = ResultTable(
+        "Fig. 7b: data partitioning — search seconds per partitioner",
+        ["# partitions", "JSD", "Average k-means", "Random"],
+    )
+
+    def run():
+        totals = {"jsd": 0.0, "average-kmeans": 0.0, "random": 0.0}
+        for k in (2, 4, 8):
+            row = [k]
+            for partitioner in ("jsd", "average-kmeans", "random"):
+                lake = PartitionedPexeso(
+                    n_pivots=4, levels=3, n_partitions=k,
+                    partitioner=partitioner, seed=3,
+                ).fit(dataset.vector_columns)
+                seconds, _ = timed(
+                    lambda: [lake.search(q, tau, T) for q in dataset.queries],
+                    repeats=2,
+                )
+                totals[partitioner] += seconds
+                row.append(seconds)
+            table.add(*row)
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    table.print_and_save("fig7b_partitioning.md")
+
+    # The informed partitioners must not lose to random overall; JSD is
+    # the paper's winner (allow 10% noise at laptop scale).
+    assert totals["jsd"] <= totals["random"] * 1.1
+    assert totals["jsd"] <= totals["average-kmeans"] * 1.15

@@ -1,0 +1,127 @@
+"""Table VI — parameter tuning: |P| (pivots) and m (grid levels).
+
+Paper result: index construction time grows with |P| and m; the total
+search time has an interior optimum (|P|=5, m=6 on OPEN; |P|=3, m=4 on
+SWDC); blocking time is negligible compared to verification. The cost
+model's recommended m lands within one level of the empirical optimum
+(§VI-D "justification of cost analysis").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import ResultTable, timed
+
+from repro.core.cost import choose_optimal_m, sample_workload
+from repro.core.index import PexesoIndex
+from repro.core.search import pexeso_search
+from repro.core.thresholds import distance_threshold
+
+PIVOTS = (1, 3, 5, 7, 9)
+LEVELS = (2, 4, 6, 8)
+TAU_FRACTION = 0.06
+T = 0.6
+
+
+def _sweep(dataset, table: ResultTable):
+    tau = distance_threshold(TAU_FRACTION, PexesoIndex().metric, dataset.dim)
+    timings = {}
+    for n_pivots in PIVOTS:
+        for levels in LEVELS:
+            index_seconds, index = timed(
+                lambda: PexesoIndex.build(
+                    dataset.vector_columns, n_pivots=n_pivots, levels=levels
+                )
+            )
+            block_seconds = []
+            total_seconds = []
+            for query in dataset.queries:
+                result = pexeso_search(index, query, tau, T)
+                block_seconds.append(result.stats.blocking_seconds)
+                total_seconds.append(result.stats.total_seconds)
+            row = (
+                float(np.mean(block_seconds)),
+                float(np.mean(total_seconds)),
+            )
+            timings[(n_pivots, levels)] = (index_seconds, *row)
+            table.add(n_pivots, levels, index_seconds, row[0], row[1])
+    return timings
+
+
+@pytest.mark.parametrize("profile", ["OPEN-like", "SWDC-like"])
+def test_table6_parameter_tuning(profile, open_dataset, swdc_dataset, benchmark):
+    dataset = open_dataset if profile == "OPEN-like" else swdc_dataset
+    table = ResultTable(
+        f"Table VI: parameter tuning on {profile} "
+        "(index / block / block+verify seconds)",
+        ["|P|", "m", "index (s)", "block (s)", "block+verify (s)"],
+    )
+    timings = benchmark.pedantic(lambda: _sweep(dataset, table), rounds=1, iterations=1)
+    table.print_and_save(f"table6_tuning_{profile.lower().replace('-', '_')}.md")
+
+    # At the operating point a user would pick (the config minimising the
+    # total search time), blocking is a minor share of the search — the
+    # paper's justification for estimating cost from verification only.
+    best = min(timings, key=lambda key: timings[key][2])
+    assert timings[best][1] < 0.6 * timings[best][2], (
+        f"blocking dominates even at the optimal config {best}"
+    )
+
+    # The parameter space must show a real trade-off: the worst config is
+    # substantially slower than the best one (Table VI's interior optimum).
+    worst = max(timings, key=lambda key: timings[key][2])
+    assert timings[worst][2] > 2.0 * timings[best][2]
+
+    # Index construction cost must grow with the pivot count (aggregated
+    # over m; individual cells are noisy at millisecond scale).
+    build_p9 = sum(timings[(9, levels)][0] for levels in LEVELS)
+    build_p1 = sum(timings[(1, levels)][0] for levels in LEVELS)
+    assert build_p9 > build_p1 * 0.8
+
+
+def test_table6_cost_model_recommends_reasonable_m(swdc_dataset, benchmark):
+    """§VI-D justification: analytic m within one level of empirical m."""
+    dataset = swdc_dataset
+    tau = distance_threshold(TAU_FRACTION, PexesoIndex().metric, dataset.dim)
+
+    def run():
+        index = PexesoIndex.build(dataset.vector_columns, n_pivots=3, levels=4)
+        mapped_columns = [
+            index.pivot_space.map_vectors(c) for c in dataset.vector_columns[:24]
+        ]
+        workload = sample_workload(
+            mapped_columns, index.pivot_space.extent, n_queries=6,
+            rng=np.random.default_rng(0),
+        )
+        analytic_m, costs = choose_optimal_m(
+            index.mapped, index.pivot_space.extent, workload,
+            m_candidates=range(1, 8),
+        )
+        # empirical optimum over the same range
+        empirical = {}
+        for levels in range(1, 8):
+            idx = PexesoIndex.build(dataset.vector_columns, n_pivots=3, levels=levels)
+            seconds, _ = timed(
+                lambda: [pexeso_search(idx, q, tau, T) for q in dataset.queries]
+            )
+            empirical[levels] = seconds
+        empirical_m = min(empirical, key=empirical.get)
+        return analytic_m, empirical_m, costs, empirical
+
+    analytic_m, empirical_m, costs, empirical = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    table = ResultTable(
+        "Table VI addendum: cost-model m vs empirical m (SWDC-like)",
+        ["m", "estimated cost (Eq.1)", "measured search (s)"],
+    )
+    for m in range(1, 8):
+        table.add(m, costs[m], empirical[m])
+    table.add("analytic optimum", analytic_m, "-")
+    table.add("empirical optimum", "-", empirical_m)
+    table.print_and_save("table6_cost_model.md")
+    assert abs(analytic_m - empirical_m) <= 2, (
+        f"cost model m={analytic_m} too far from empirical m={empirical_m}"
+    )

@@ -1,0 +1,56 @@
+"""Data enrichment for machine learning (the paper's §VI-C scenario).
+
+A local table of entities with a label is enriched by left-joining
+feature tables discovered in a data lake. Semantic (PEXESO-style)
+matching finds far more matches than equi-join, which shows up directly
+in prediction quality.
+
+    python examples/data_enrichment_ml.py
+"""
+
+from repro.core.metric import EuclideanMetric
+from repro.core.thresholds import distance_threshold
+from repro.lake.datagen import DataLakeGenerator
+from repro.lake.discovery import JoinableTableSearch
+from repro.ml.enrichment import (
+    ExactMatcher,
+    SemanticMatcher,
+    enrich_features,
+    evaluate_task,
+)
+
+
+def main() -> None:
+    gen = DataLakeGenerator(seed=5, n_entities=120, n_classes=6, dim=24)
+    task = gen.make_ml_task(
+        "classification", name="company category", n_rows=120,
+        n_lake_tables=24, rows_range=(15, 35),
+    )
+    tau = distance_threshold(0.06, EuclideanMetric(), gen.dim)
+
+    # Discover joinable feature tables with PEXESO.
+    search = JoinableTableSearch(gen.embedder, n_pivots=3, levels=3,
+                                 preprocess=False)
+    search.index_tables(task.lake.tables)
+    hits = search.search(task.query_table, query_column="key",
+                         tau_fraction=0.06, joinability=0.1,
+                         with_mappings=False)
+    table_ids = [int(h.ref.table_name.split("_")[1]) for h in hits]
+    print(f"PEXESO found {len(table_ids)} joinable feature tables")
+
+    for name, matcher, tables in [
+        ("no-join", ExactMatcher(), []),
+        ("equi-join", ExactMatcher(), table_ids),
+        ("PEXESO", SemanticMatcher(gen.embedder, tau), table_ids),
+    ]:
+        enrichment = enrich_features(task, tables, matcher)
+        score, std = evaluate_task(task, enrichment, n_estimators=15)
+        print(
+            f"{name:10s} matched {enrichment.match_fraction * 100:5.2f}% of "
+            f"lake records, features={enrichment.features.shape[1]:2d}, "
+            f"micro-F1 = {score:.3f} ± {std:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Choosing PEXESO's parameters with the cost model (paper §III-E, §V).
+
+Demonstrates:
+
+* ratio-based threshold specification (tau as a % of the maximum
+  distance, T as a % of the query column size);
+* the verification cost model (Eq. 1-2) and the analytic choice of the
+  grid depth m;
+* how the choice compares with measured search times.
+
+    python examples/index_tuning.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.cost import choose_optimal_m, sample_workload
+from repro.core.index import PexesoIndex
+from repro.core.search import pexeso_search
+from repro.core.thresholds import distance_threshold, joinability_count
+from repro.lake.datagen import DataLakeGenerator
+
+
+def main() -> None:
+    gen = DataLakeGenerator(seed=3, n_entities=150, dim=16)
+    lake = gen.generate_lake(n_tables=150, rows_range=(8, 25))
+    columns = lake.vector_columns()
+
+    # Ratio-based thresholds (paper §V).
+    metric = PexesoIndex().metric
+    tau = distance_threshold(0.06, metric, gen.dim)
+    print(f"tau = 6% of max distance -> {tau:.3f}")
+    print(f"T = 60% of a 20-row query -> {joinability_count(0.6, 20)} matches")
+
+    # Analytic m from the cost model: sample repository columns as the
+    # query workload and minimise the Eq. 1 estimate.
+    probe = PexesoIndex.build(columns, n_pivots=3, levels=3)
+    mapped_columns = [probe.pivot_space.map_vectors(c) for c in columns[:30]]
+    workload = sample_workload(
+        mapped_columns, probe.pivot_space.extent, n_queries=8,
+        rng=np.random.default_rng(0),
+    )
+    analytic_m, costs = choose_optimal_m(
+        probe.mapped, probe.pivot_space.extent, workload, m_candidates=range(1, 7)
+    )
+    print("\nestimated verification cost per m:")
+    for m, cost in costs.items():
+        marker = "  <- analytic optimum" if m == analytic_m else ""
+        print(f"  m={m}: {cost:12.1f}{marker}")
+
+    # Compare with measured search times.
+    query_table, _ = gen.generate_query_table(n_rows=20, domain=0)
+    query = gen.embedder.embed_column(query_table.column("key").values)
+    print("\nmeasured search seconds per m:")
+    for m in range(1, 7):
+        index = PexesoIndex.build(columns, n_pivots=3, levels=m)
+        started = time.perf_counter()
+        for _ in range(5):
+            pexeso_search(index, query, tau, 0.6)
+        took = (time.perf_counter() - started) / 5
+        print(f"  m={m}: {took * 1000:7.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Quickstart: index a small data lake and find joinable tables.
+
+Runs in a few seconds::
+
+    python examples/quickstart.py
+"""
+
+from repro.lake.datagen import DataLakeGenerator
+from repro.lake.discovery import JoinableTableSearch
+
+
+def main() -> None:
+    # 1. Generate a synthetic data lake (stand-in for a CSV directory).
+    #    Every entity has canonical, misspelled, abbreviated and synonym
+    #    surface forms, so equi-join would miss most of the matches below.
+    gen = DataLakeGenerator(seed=0, n_entities=120, dim=32)
+    lake = gen.generate_lake(n_tables=50, rows_range=(10, 25))
+
+    # 2. Offline: embed the key column of every table and build the
+    #    PEXESO index (pivot mapping + hierarchical grid + inverted index).
+    search = JoinableTableSearch(gen.embedder, n_pivots=5, levels=4)
+    search.index_tables(lake.tables)
+    print(f"indexed {search.index.n_columns} columns, "
+          f"{search.index.n_vectors} vectors")
+
+    # 3. Online: take a query table and ask for joinable tables using the
+    #    paper's default thresholds (tau = 6% of the maximum distance,
+    #    T = 25% of the query column size).
+    query_table, _ = gen.generate_query_table(n_rows=20, domain=0)
+    hits = search.search(query_table, tau_fraction=0.06, joinability=0.25)
+
+    print(f"\n{len(hits)} joinable tables for {query_table.name!r}:")
+    for hit in hits:
+        print(
+            f"  {hit.ref.table_name}.{hit.ref.column_name}  "
+            f"joinability={hit.joinability:.2f}  "
+            f"({len(hit.record_mapping)} record pairs)"
+        )
+
+    # 4. Present the record-level mapping of the best hit, as the paper's
+    #    online component does for the user.
+    if hits:
+        best = hits[0]
+        print(f"\nsample mapping into {best.ref.table_name}:")
+        query_values = query_table.column("key").values
+        target_values = lake.string_columns[
+            int(best.ref.table_name.split("_")[1])
+        ]
+        for qi, ti in best.record_mapping[:5]:
+            print(f"  {query_values[qi]!r}  ->  {target_values[ti]!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Top-k joinable search and index persistence (library extensions).
+
+Shows the workflow of a long-lived deployment: build the index once, save
+it to disk, reload it in a fresh process, and answer top-k queries —
+"give me the 5 most joinable tables" — without choosing a T threshold.
+
+    python examples/topk_and_persistence.py
+"""
+
+import tempfile
+
+from repro.core.index import PexesoIndex
+from repro.core.persistence import load_index, save_index
+from repro.core.recommend import sample_repository, suggest_tau
+from repro.core.topk import pexeso_topk
+from repro.lake.datagen import DataLakeGenerator
+
+
+def main() -> None:
+    gen = DataLakeGenerator(seed=13, n_entities=150, dim=24)
+    lake = gen.generate_lake(n_tables=80, rows_range=(10, 25))
+    columns = lake.vector_columns()
+
+    index = PexesoIndex.build(columns, n_pivots=4, levels=3)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_index(index, tmp)
+        print(f"index saved to {path} "
+              f"({index.n_columns} columns, {index.n_vectors} vectors)")
+        index = load_index(path)  # fresh object, same answers
+        print("index reloaded")
+
+    query_table, _ = gen.generate_query_table(n_rows=20, domain=2)
+    query = gen.embedder.embed_column(query_table.column("key").values)
+
+    # Recommend tau from data instead of guessing a fraction: pick the
+    # smallest tau at which 80% of query vectors have a nearest match.
+    sample = sample_repository(columns, max_vectors=2000)
+    tau = suggest_tau(query, sample, target_match_rate=0.8)
+    print(f"suggested tau for a 80% per-vector match rate: {tau:.4f}")
+
+    result = pexeso_topk(index, query, tau, k=5)
+    print("\ntop-5 joinable columns:")
+    for column_id, count, joinability in result.hits:
+        print(f"  table_{column_id}: {count} matching records "
+              f"(joinability {joinability:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""PEXESO — joinable table discovery in data lakes with high-dimensional
+similarity (reproduction of Dong et al., ICDE 2021).
+
+Quickstart::
+
+    from repro import PexesoIndex, distance_threshold
+
+    index = PexesoIndex.build(columns, n_pivots=5, levels=4)
+    tau = distance_threshold(0.06, index.metric, index.dim)
+    result = index.search(query_vectors, tau=tau, joinability=0.6)
+    for hit in result.joinable:
+        print(hit.column_id, hit.joinability)
+
+See :mod:`repro.lake` for loading CSV data lakes and :mod:`repro.embedding`
+for turning string columns into vectors.
+"""
+
+from repro.core import (
+    AblationFlags,
+    EuclideanMetric,
+    JoinableColumn,
+    Metric,
+    PartitionedPexeso,
+    PexesoIndex,
+    SearchResult,
+    SearchStats,
+    distance_threshold,
+    get_metric,
+    joinability_count,
+    pexeso_search,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AblationFlags",
+    "EuclideanMetric",
+    "JoinableColumn",
+    "Metric",
+    "PartitionedPexeso",
+    "PexesoIndex",
+    "SearchResult",
+    "SearchStats",
+    "__version__",
+    "distance_threshold",
+    "get_metric",
+    "joinability_count",
+    "pexeso_search",
+]

@@ -1,0 +1,39 @@
+"""Baselines the paper compares against.
+
+Efficiency baselines (Table VII, Figs. 6/8/10): naive exhaustive scan,
+PEXESO-H (grid blocking + naive verification), CTREE (cover tree), EPT
+(extreme pivot table) and PQ (product quantization, approximate).
+
+Effectiveness baselines (Tables IV/V): equi-join, Jaccard-join, edit-join,
+fuzzy-join and TF-IDF-join over the raw strings.
+"""
+
+from repro.baselines.exact_naive import naive_search
+from repro.baselines.pexeso_h import pexeso_h_search
+from repro.baselines.cover_tree import CoverTree, ctree_search
+from repro.baselines.ept import ExtremePivotTable, ept_search
+from repro.baselines.pq import ProductQuantizer, PQRangeIndex, pq_search
+from repro.baselines.string_joins import (
+    edit_join_search,
+    equi_join_search,
+    fuzzy_join_search,
+    jaccard_join_search,
+    tfidf_join_search,
+)
+
+__all__ = [
+    "CoverTree",
+    "ExtremePivotTable",
+    "PQRangeIndex",
+    "ProductQuantizer",
+    "ctree_search",
+    "edit_join_search",
+    "ept_search",
+    "equi_join_search",
+    "fuzzy_join_search",
+    "jaccard_join_search",
+    "naive_search",
+    "pexeso_h_search",
+    "pq_search",
+    "tfidf_join_search",
+]

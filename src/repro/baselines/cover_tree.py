@@ -1,0 +1,196 @@
+"""CTREE baseline: cover-tree range search (paper §VI-A, [14], [31]).
+
+A (simplified) cover tree in the style of Izbicki & Shelton's "Faster
+cover trees": every node carries a point, a level ``l`` (its covering
+radius is ``2^l``), children within that radius, and the exact maximum
+distance to any descendant (``maxdist``) for tight pruning.
+
+The joinable-column workflow follows the paper: one tree over all
+repository vectors; for each query vector a range query with radius τ;
+every returned vector counts toward its column's joinability, with the
+shared early-accept rule.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.metric import EuclideanMetric, Metric
+from repro.core.search import JoinableColumn, SearchResult
+from repro.core.stats import SearchStats
+from repro.core.thresholds import joinability_count
+
+
+class _Node:
+    __slots__ = ("point", "row", "level", "children", "maxdist")
+
+    def __init__(self, point: np.ndarray, row: int, level: int):
+        self.point = point
+        self.row = row
+        self.level = level
+        self.children: list["_Node"] = []
+        self.maxdist = 0.0
+
+    def covdist(self) -> float:
+        return 2.0 ** self.level
+
+
+class CoverTree:
+    """Cover tree over a fixed set of vectors with exact range queries.
+
+    Args:
+        vectors: ``(n, dim)`` points to index.
+        metric: metric satisfying the triangle inequality.
+        stats: optional counters; distance evaluations during construction
+            and queries are tallied into ``distance_computations``.
+    """
+
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        metric: Optional[Metric] = None,
+        stats: Optional[SearchStats] = None,
+    ):
+        self.metric = metric if metric is not None else EuclideanMetric()
+        self.stats = stats if stats is not None else SearchStats()
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        self.vectors = vectors
+        self.root: Optional[_Node] = None
+        for row in range(vectors.shape[0]):
+            self._insert(vectors[row], row)
+
+    # -- construction ------------------------------------------------------------
+
+    def _distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        self.stats.distance_computations += 1
+        return self.metric.distance(a, b)
+
+    def _insert(self, point: np.ndarray, row: int) -> None:
+        if self.root is None:
+            self.root = _Node(point, row, level=0)
+            return
+        d_root = self._distance(point, self.root.point)
+        # Raise the root level until it covers the new point.
+        while d_root > self.root.covdist():
+            self.root.level += 1
+        self._insert_rec(self.root, point, row, d_root)
+
+    def _insert_rec(self, node: _Node, point: np.ndarray, row: int, d_node: float) -> None:
+        node.maxdist = max(node.maxdist, d_node)
+        # Try to hand the point to a child that already covers it.
+        best_child = None
+        best_d = math.inf
+        for child in node.children:
+            d_child = self._distance(point, child.point)
+            if d_child <= child.covdist() and d_child < best_d:
+                best_child = child
+                best_d = d_child
+        if best_child is not None:
+            self._insert_rec(best_child, point, row, best_d)
+            return
+        node.children.append(_Node(point, row, level=node.level - 1))
+
+    # -- queries -----------------------------------------------------------------
+
+    def range_query(self, query: np.ndarray, radius: float) -> list[int]:
+        """Row indices of all points within ``radius`` of ``query`` (exact)."""
+        if self.root is None:
+            return []
+        out: list[int] = []
+        query = np.asarray(query, dtype=np.float64)
+        stack = [(self.root, self._distance(query, self.root.point))]
+        while stack:
+            node, d_node = stack.pop()
+            if d_node <= radius:
+                out.append(node.row)
+            # A descendant can be within radius only if the node is within
+            # radius + maxdist (triangle inequality).
+            if node.children and d_node <= radius + node.maxdist:
+                for child in node.children:
+                    d_child = self._distance(query, child.point)
+                    if d_child <= radius + max(child.maxdist, 0.0) or d_child <= radius:
+                        stack.append((child, d_child))
+        return out
+
+    def memory_bytes(self) -> int:
+        """Rough structure footprint excluding raw vectors (Fig. 6b)."""
+        count = 0
+        if self.root is not None:
+            stack = [self.root]
+            while stack:
+                node = stack.pop()
+                count += 1
+                stack.extend(node.children)
+        return count * 64
+
+
+def ctree_search(
+    columns: Sequence[np.ndarray],
+    query_vectors: np.ndarray,
+    tau: float,
+    joinability: float | int,
+    metric: Optional[Metric] = None,
+    tree: Optional[CoverTree] = None,
+    column_of_row: Optional[np.ndarray] = None,
+    stats: Optional[SearchStats] = None,
+) -> SearchResult:
+    """Joinable-column search via cover-tree range queries (Table VII).
+
+    A prebuilt ``tree`` (and its row->column map) can be supplied so
+    benchmarks exclude construction from the measured search time.
+    """
+    metric = metric if metric is not None else EuclideanMetric()
+    stats = stats if stats is not None else SearchStats()
+    query_vectors = np.atleast_2d(np.asarray(query_vectors, dtype=np.float64))
+    n_q = query_vectors.shape[0]
+    t_count = joinability_count(joinability, n_q)
+
+    if tree is None or column_of_row is None:
+        tree, column_of_row = build_ctree_index(columns, metric, stats)
+
+    started = time.perf_counter()
+    match_counts: dict[int, int] = {}
+    joinable: set[int] = set()
+    tree.stats = stats
+    for q in range(n_q):
+        rows = tree.range_query(query_vectors[q], tau)
+        hit_cols = {int(column_of_row[row]) for row in rows}
+        for col in hit_cols:
+            if col in joinable:
+                continue
+            match_counts[col] = match_counts.get(col, 0) + 1
+            if match_counts[col] >= t_count:
+                joinable.add(col)
+    stats.verification_seconds += time.perf_counter() - started
+
+    hits = [
+        JoinableColumn(
+            column_id=col,
+            match_count=match_counts[col],
+            joinability=match_counts[col] / n_q,
+            exact_count=False,
+        )
+        for col in sorted(joinable)
+    ]
+    return SearchResult(
+        joinable=hits, stats=stats, tau=float(tau), t_count=t_count, query_size=n_q
+    )
+
+
+def build_ctree_index(
+    columns: Sequence[np.ndarray],
+    metric: Optional[Metric] = None,
+    stats: Optional[SearchStats] = None,
+) -> tuple[CoverTree, np.ndarray]:
+    """Build one cover tree over all columns plus the row->column map."""
+    arrays = [np.atleast_2d(np.asarray(c, dtype=np.float64)) for c in columns]
+    all_vectors = np.concatenate(arrays, axis=0)
+    column_of_row = np.concatenate(
+        [np.full(arr.shape[0], cid, dtype=np.intp) for cid, arr in enumerate(arrays)]
+    )
+    tree = CoverTree(all_vectors, metric=metric, stats=stats)
+    return tree, column_of_row

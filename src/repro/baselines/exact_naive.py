@@ -1,0 +1,83 @@
+"""Naive exhaustive joinable-column search (paper §III, first paragraph).
+
+For each query vector the distance to *every* repository vector is
+computed — ``|Q| * sum(|S|)`` distance evaluations. This is the ground
+truth oracle for all exactness tests and the "no blocking at all"
+reference point.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.metric import EuclideanMetric, Metric
+from repro.core.search import JoinableColumn, SearchResult
+from repro.core.stats import SearchStats
+from repro.core.thresholds import joinability_count
+
+
+def naive_search(
+    columns: Sequence[np.ndarray],
+    query_vectors: np.ndarray,
+    tau: float,
+    joinability: float | int,
+    metric: Optional[Metric] = None,
+    early_accept: bool = False,
+    stats: Optional[SearchStats] = None,
+) -> SearchResult:
+    """Exhaustively compute every joinability and return joinable columns.
+
+    Args:
+        columns: repository columns, each ``(n_i, dim)``; column IDs are
+            their positions in this sequence.
+        query_vectors: ``(|Q|, dim)`` query column.
+        tau: distance threshold.
+        joinability: T as a fraction of |Q| or an absolute count.
+        metric: distance; Euclidean by default.
+        early_accept: stop scanning a column's vectors once its match
+            count reaches T (the paper equips all baselines with this).
+        stats: counters to accumulate into.
+    """
+    metric = metric if metric is not None else EuclideanMetric()
+    stats = stats if stats is not None else SearchStats()
+    query_vectors = np.atleast_2d(np.asarray(query_vectors, dtype=np.float64))
+    n_q = query_vectors.shape[0]
+    t_count = joinability_count(joinability, n_q)
+
+    started = time.perf_counter()
+    hits: list[JoinableColumn] = []
+    for column_id, column in enumerate(columns):
+        column = np.atleast_2d(np.asarray(column, dtype=np.float64))
+        if early_accept:
+            count = 0
+            remaining = n_q
+            for q in range(n_q):
+                distances = metric.distances_to(query_vectors[q], column)
+                stats.distance_computations += column.shape[0]
+                if (distances <= tau).any():
+                    count += 1
+                    if count >= t_count:
+                        break
+                remaining -= 1
+                if count + remaining < t_count:
+                    break  # cannot reach T any more
+        else:
+            pairwise = metric.pairwise(query_vectors, column)
+            stats.distance_computations += pairwise.size
+            count = int((pairwise <= tau).any(axis=1).sum())
+        if count >= t_count:
+            hits.append(
+                JoinableColumn(
+                    column_id=column_id,
+                    match_count=count,
+                    joinability=count / n_q,
+                    exact_count=not early_accept,
+                )
+            )
+    stats.verification_seconds += time.perf_counter() - started
+    return SearchResult(
+        joinable=hits, stats=stats, tau=float(tau), t_count=t_count, query_size=n_q
+    )

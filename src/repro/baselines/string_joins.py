@@ -1,0 +1,206 @@
+"""String-similarity join baselines over raw (pre-embedding) columns.
+
+These implement the competitors of Tables IV and V, which match records
+by string predicates instead of embedding distance:
+
+* **equi-join** [37] — exact string equality;
+* **Jaccard-join** — word-token Jaccard >= θ;
+* **edit-join** — normalised edit similarity >= θ;
+* **fuzzy-join** [32] — fuzzy token matching >= θ;
+* **TF-IDF-join** [6] — TF-IDF cosine >= θ.
+
+Each search uses the paper's joinability semantics (count query records
+with at least one matching record in the target column, normalised by
+|Q|) and the shared early-accept rule.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Sequence
+
+from repro.core.search import JoinableColumn, SearchResult
+from repro.core.stats import SearchStats
+from repro.core.thresholds import joinability_count
+from repro.text.similarity import (
+    TfidfVectorizer,
+    cosine_similarity,
+    fuzzy_token_similarity,
+    jaccard_similarity,
+)
+from repro.text.edit_distance import edit_similarity
+
+StringColumns = Sequence[Sequence[str]]
+
+
+def _similarity_join_search(
+    columns: StringColumns,
+    query_strings: Sequence[str],
+    match_fn: Callable[[str, str], bool],
+    joinability: float | int,
+    stats: Optional[SearchStats] = None,
+) -> SearchResult:
+    """Generic thresholded-similarity joinable-column search."""
+    stats = stats if stats is not None else SearchStats()
+    n_q = len(query_strings)
+    t_count = joinability_count(joinability, n_q)
+
+    started = time.perf_counter()
+    hits: list[JoinableColumn] = []
+    for column_id, column in enumerate(columns):
+        count = 0
+        remaining = n_q
+        for q_value in query_strings:
+            if any(match_fn(q_value, value) for value in column):
+                count += 1
+                if count >= t_count:
+                    break
+            remaining -= 1
+            if count + remaining < t_count:
+                break
+        if count >= t_count:
+            hits.append(
+                JoinableColumn(
+                    column_id=column_id,
+                    match_count=count,
+                    joinability=count / n_q,
+                    exact_count=False,
+                )
+            )
+    stats.verification_seconds += time.perf_counter() - started
+    return SearchResult(
+        joinable=hits, stats=stats, tau=0.0, t_count=t_count, query_size=n_q
+    )
+
+
+def equi_join_search(
+    columns: StringColumns,
+    query_strings: Sequence[str],
+    joinability: float | int,
+    stats: Optional[SearchStats] = None,
+) -> SearchResult:
+    """Equi-join: exact string equality, set-accelerated [37]."""
+    stats = stats if stats is not None else SearchStats()
+    n_q = len(query_strings)
+    t_count = joinability_count(joinability, n_q)
+    started = time.perf_counter()
+    hits: list[JoinableColumn] = []
+    for column_id, column in enumerate(columns):
+        values = set(column)
+        count = sum(1 for q_value in query_strings if q_value in values)
+        if count >= t_count:
+            hits.append(
+                JoinableColumn(
+                    column_id=column_id,
+                    match_count=count,
+                    joinability=count / n_q,
+                    exact_count=True,
+                )
+            )
+    stats.verification_seconds += time.perf_counter() - started
+    return SearchResult(
+        joinable=hits, stats=stats, tau=0.0, t_count=t_count, query_size=n_q
+    )
+
+
+def jaccard_join_search(
+    columns: StringColumns,
+    query_strings: Sequence[str],
+    joinability: float | int,
+    theta: float = 0.7,
+    stats: Optional[SearchStats] = None,
+) -> SearchResult:
+    """Jaccard-join: word-token Jaccard similarity >= ``theta``."""
+    return _similarity_join_search(
+        columns,
+        query_strings,
+        lambda a, b: jaccard_similarity(a, b) >= theta,
+        joinability,
+        stats=stats,
+    )
+
+
+def edit_join_search(
+    columns: StringColumns,
+    query_strings: Sequence[str],
+    joinability: float | int,
+    theta: float = 0.8,
+    stats: Optional[SearchStats] = None,
+) -> SearchResult:
+    """Edit-join: normalised edit similarity >= ``theta``."""
+    return _similarity_join_search(
+        columns,
+        query_strings,
+        lambda a, b: edit_similarity(a, b) >= theta,
+        joinability,
+        stats=stats,
+    )
+
+
+def fuzzy_join_search(
+    columns: StringColumns,
+    query_strings: Sequence[str],
+    joinability: float | int,
+    theta: float = 0.6,
+    delta: float = 0.8,
+    stats: Optional[SearchStats] = None,
+) -> SearchResult:
+    """Fuzzy-join: token-and-character fuzzy similarity >= ``theta`` [32]."""
+    return _similarity_join_search(
+        columns,
+        query_strings,
+        lambda a, b: fuzzy_token_similarity(a, b, delta=delta) >= theta,
+        joinability,
+        stats=stats,
+    )
+
+
+def tfidf_join_search(
+    columns: StringColumns,
+    query_strings: Sequence[str],
+    joinability: float | int,
+    theta: float = 0.7,
+    stats: Optional[SearchStats] = None,
+) -> SearchResult:
+    """TF-IDF-join: cosine of TF-IDF vectors >= ``theta`` [6].
+
+    The vectoriser is fitted on the union of the repository and the query
+    strings, then column records are matched by sparse cosine.
+    """
+    stats = stats if stats is not None else SearchStats()
+    corpus = [value for column in columns for value in column]
+    corpus.extend(query_strings)
+    vectorizer = TfidfVectorizer().fit(corpus)
+    query_vectors = [vectorizer.vector(q_value) for q_value in query_strings]
+    n_q = len(query_strings)
+    t_count = joinability_count(joinability, n_q)
+
+    started = time.perf_counter()
+    hits: list[JoinableColumn] = []
+    for column_id, column in enumerate(columns):
+        column_vectors = [vectorizer.vector(value) for value in column]
+        count = 0
+        remaining = n_q
+        for q_vec in query_vectors:
+            if any(
+                cosine_similarity(q_vec, c_vec) >= theta for c_vec in column_vectors
+            ):
+                count += 1
+                if count >= t_count:
+                    break
+            remaining -= 1
+            if count + remaining < t_count:
+                break
+        if count >= t_count:
+            hits.append(
+                JoinableColumn(
+                    column_id=column_id,
+                    match_count=count,
+                    joinability=count / n_q,
+                    exact_count=False,
+                )
+            )
+    stats.verification_seconds += time.perf_counter() - started
+    return SearchResult(
+        joinable=hits, stats=stats, tau=0.0, t_count=t_count, query_size=n_q
+    )

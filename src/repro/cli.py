@@ -1,0 +1,173 @@
+"""Command-line interface for the PEXESO framework.
+
+Three subcommands mirror the offline/online split of Fig. 1::
+
+    python -m repro.cli index  LAKE_DIR INDEX_DIR [--dim 64] [--pivots 5] [--levels 4]
+    python -m repro.cli search INDEX_DIR QUERY_CSV [--column NAME]
+                               [--tau 0.06] [--joinability 0.6] [--topk K]
+    python -m repro.cli stats  LAKE_DIR
+
+``index`` loads every CSV under LAKE_DIR, detects join-key columns,
+normalises and embeds them (hashing n-gram embedder — deterministic given
+``--seed``), builds a PexesoIndex and saves it with its column catalog.
+``search`` embeds the query CSV's column with the same embedder settings
+and prints joinable tables. ``stats`` prints the Table III-style profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.index import PexesoIndex
+from repro.core.persistence import load_index, save_index
+from repro.core.search import pexeso_search
+from repro.core.thresholds import distance_threshold
+from repro.core.topk import pexeso_topk
+from repro.embedding.hashing import HashingNGramEmbedder
+from repro.lake.csv_loader import load_csv
+from repro.lake.key_detection import detect_key_column
+from repro.lake.repository import TableRepository
+from repro.lake.statistics import DatasetStatistics, dataset_statistics
+
+
+def _build_embedder(args: argparse.Namespace) -> HashingNGramEmbedder:
+    return HashingNGramEmbedder(dim=args.dim, seed=args.seed)
+
+
+def cmd_index(args: argparse.Namespace) -> int:
+    repo = TableRepository(preprocess=not args.no_preprocess)
+    n_loaded = repo.load_directory(args.lake_dir)
+    if n_loaded == 0:
+        print(f"no CSV files under {args.lake_dir}", file=sys.stderr)
+        return 1
+    embedder = _build_embedder(args)
+    refs, vector_columns = repo.vectorize(embedder)
+    if not refs:
+        print("no indexable key columns found", file=sys.stderr)
+        return 1
+    index = PexesoIndex.build(
+        vector_columns, n_pivots=args.pivots, levels=args.levels, seed=args.seed
+    )
+    out = save_index(index, args.index_dir)
+    catalog = {
+        "columns": [
+            {"table": ref.table_name, "column": ref.column_name} for ref in refs
+        ],
+        "embedder": {"dim": args.dim, "seed": args.seed},
+        "preprocess": not args.no_preprocess,
+    }
+    (out / "catalog.json").write_text(json.dumps(catalog, indent=2))
+    print(
+        f"indexed {len(refs)} columns / {index.n_vectors} vectors "
+        f"from {n_loaded} tables into {out}"
+    )
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    index_dir = Path(args.index_dir)
+    index = load_index(index_dir)
+    catalog = json.loads((index_dir / "catalog.json").read_text())
+    embedder = HashingNGramEmbedder(
+        dim=catalog["embedder"]["dim"], seed=catalog["embedder"]["seed"]
+    )
+
+    query_table = load_csv(args.query_csv)
+    column = args.column or detect_key_column(query_table)
+    if column is None:
+        print("query table has no usable key column", file=sys.stderr)
+        return 1
+    values = query_table.column(column).values
+    if catalog.get("preprocess", True):
+        from repro.lake.preprocessing import to_full_form
+
+        values = [to_full_form(v) for v in values]
+    query_vectors = embedder.embed_column(values)
+    tau = distance_threshold(args.tau, index.metric, index.dim)
+
+    if args.topk:
+        result = pexeso_topk(index, query_vectors, tau, args.topk)
+        rows = result.hits
+    else:
+        result = pexeso_search(index, query_vectors, tau, args.joinability)
+        rows = [(h.column_id, h.match_count, h.joinability) for h in result.joinable]
+
+    if not rows:
+        print("no joinable tables found")
+        return 0
+    columns = catalog["columns"]
+    for column_id, count, joinability in rows:
+        ref = columns[column_id]
+        print(
+            f"{ref['table']}.{ref['column']}\t"
+            f"matches={count}\tjoinability={joinability:.3f}"
+        )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    repo = TableRepository(preprocess=False)
+    if repo.load_directory(args.lake_dir) == 0:
+        print(f"no CSV files under {args.lake_dir}", file=sys.stderr)
+        return 1
+    refs, string_columns = repo.extract_key_columns()
+    if not refs:
+        print("no key columns detected", file=sys.stderr)
+        return 1
+    sizes = [len(v) for v in string_columns]
+    stats = DatasetStatistics(
+        name=Path(args.lake_dir).name,
+        n_tables=len(repo),
+        n_vectors=sum(sizes),
+        n_columns=len(refs),
+        avg_vectors_per_column=sum(sizes) / len(sizes),
+        model="(not embedded)",
+        dim=0,
+    )
+    for header, value in zip(DatasetStatistics.HEADERS, stats.as_row()):
+        print(f"{header}: {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_index = sub.add_parser("index", help="build an index from a CSV directory")
+    p_index.add_argument("lake_dir")
+    p_index.add_argument("index_dir")
+    p_index.add_argument("--dim", type=int, default=64)
+    p_index.add_argument("--pivots", type=int, default=5)
+    p_index.add_argument("--levels", type=int, default=4)
+    p_index.add_argument("--seed", type=int, default=0)
+    p_index.add_argument("--no-preprocess", action="store_true")
+    p_index.set_defaults(func=cmd_index)
+
+    p_search = sub.add_parser("search", help="search a saved index")
+    p_search.add_argument("index_dir")
+    p_search.add_argument("query_csv")
+    p_search.add_argument("--column")
+    p_search.add_argument("--tau", type=float, default=0.06,
+                          help="fraction of the max distance (paper §V)")
+    p_search.add_argument("--joinability", type=float, default=0.6,
+                          help="fraction of the query column size")
+    p_search.add_argument("--topk", type=int, default=0,
+                          help="return the k best columns instead")
+    p_search.set_defaults(func=cmd_search)
+
+    p_stats = sub.add_parser("stats", help="profile a CSV data lake")
+    p_stats.add_argument("lake_dir")
+    p_stats.set_defaults(func=cmd_stats)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

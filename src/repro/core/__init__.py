@@ -1,0 +1,67 @@
+"""Core PEXESO machinery: pivots, grids, blocking, verification, search.
+
+This package implements the paper's primary contribution — the exact
+block-and-verify joinable-column search — plus the cost model used to pick
+the grid depth and the JSD partitioning used for out-of-core data lakes.
+"""
+
+from repro.core.metric import (
+    ChebyshevMetric,
+    CosineDistance,
+    EuclideanMetric,
+    ManhattanMetric,
+    Metric,
+    get_metric,
+)
+from repro.core.index import PexesoIndex
+from repro.core.search import AblationFlags, JoinableColumn, SearchResult, pexeso_search
+from repro.core.stats import SearchStats
+from repro.core.thresholds import distance_threshold, joinability_count
+from repro.core.cost import choose_optimal_m, estimate_workload_cost
+from repro.core.partition import (
+    average_kmeans_partition,
+    column_histogram,
+    jensen_shannon_divergence,
+    jsd_kmeans_partition,
+    random_partition,
+)
+from repro.core.out_of_core import PartitionedPexeso
+from repro.core.allpairs import JoinabilityGraph, JoinableEdge, discover_joinable_pairs
+from repro.core.topk import TopKResult, pexeso_topk
+from repro.core.persistence import load_index, save_index
+from repro.core.recommend import match_rate_profile, sample_repository, suggest_tau
+
+__all__ = [
+    "JoinabilityGraph",
+    "JoinableEdge",
+    "TopKResult",
+    "discover_joinable_pairs",
+    "load_index",
+    "match_rate_profile",
+    "pexeso_topk",
+    "sample_repository",
+    "save_index",
+    "suggest_tau",
+    "AblationFlags",
+    "ChebyshevMetric",
+    "CosineDistance",
+    "EuclideanMetric",
+    "JoinableColumn",
+    "ManhattanMetric",
+    "Metric",
+    "PartitionedPexeso",
+    "PexesoIndex",
+    "SearchResult",
+    "SearchStats",
+    "average_kmeans_partition",
+    "choose_optimal_m",
+    "column_histogram",
+    "distance_threshold",
+    "estimate_workload_cost",
+    "get_metric",
+    "jensen_shannon_divergence",
+    "jsd_kmeans_partition",
+    "joinability_count",
+    "pexeso_search",
+    "random_partition",
+]

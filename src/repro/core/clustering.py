@@ -1,0 +1,67 @@
+"""Small generic Lloyd k-means used by JSD partitioning and product
+quantization (both need a clusterer and scikit-learn is not available).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+
+def lloyd_kmeans(
+    points: np.ndarray,
+    k: int,
+    n_iter: int = 20,
+    rng: Optional[np.random.Generator] = None,
+    distance: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
+    mean: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster rows of ``points`` into ``k`` groups.
+
+    Args:
+        points: ``(n, d)`` data.
+        k: number of clusters (clamped to ``n``).
+        n_iter: maximum Lloyd iterations (stops early on convergence).
+        distance: ``(points, centers) -> (n, k)`` distance matrix; defaults
+            to squared Euclidean.
+        mean: cluster-mean reducer ``(members) -> center``; defaults to the
+            arithmetic mean. JSD k-means passes a histogram-mean here.
+
+    Returns:
+        ``(labels, centers)`` with ``labels`` of shape ``(n,)``.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    n = points.shape[0]
+    if n == 0:
+        raise ValueError("cannot cluster zero points")
+    k = max(1, min(k, n))
+    rng = rng or np.random.default_rng(0)
+
+    if distance is None:
+        def distance(pts: np.ndarray, centers: np.ndarray) -> np.ndarray:
+            aa = np.einsum("ij,ij->i", pts, pts)[:, None]
+            bb = np.einsum("ij,ij->i", centers, centers)[None, :]
+            return np.maximum(aa + bb - 2.0 * pts @ centers.T, 0.0)
+
+    if mean is None:
+        def mean(members: np.ndarray) -> np.ndarray:
+            return members.mean(axis=0)
+
+    centers = points[rng.choice(n, size=k, replace=False)].copy()
+    labels = np.zeros(n, dtype=np.intp)
+    for _ in range(n_iter):
+        dist = distance(points, centers)
+        new_labels = np.argmin(dist, axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for c in range(k):
+            members = points[labels == c]
+            if members.shape[0]:
+                centers[c] = mean(members)
+            else:
+                # Re-seed empty clusters with the point farthest from its center.
+                worst = int(np.argmax(dist[np.arange(n), labels]))
+                centers[c] = points[worst]
+    return labels, centers

@@ -1,0 +1,210 @@
+"""Sparse hierarchical grids over the pivot space (paper §III-B).
+
+A grid of ``m`` levels divides the pivot space ``[0, extent]^|P|`` into
+``2^(|P| * i)`` hyper-cells at level ``i`` (each dimension is split into
+``2^i`` equal intervals). Only populated cells are materialised — the
+paper notes this explicitly to save memory. Cells form a tree: the root
+covers the whole space; a level-``i`` cell's children are the populated
+level-``i+1`` cells nested inside it.
+
+Two grids are built per search: ``HG_Q`` for the mapped query vectors
+(leaf cells keep their member vector indices) and ``HG_RV`` for the mapped
+repository vectors (leaf occupancy only; vectors are reached through the
+inverted index, mirroring the structural difference described in §III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+Coords = tuple[int, ...]
+
+
+class GridCell:
+    """One populated cell of a hierarchical grid."""
+
+    __slots__ = ("level", "coords", "children", "members")
+
+    def __init__(self, level: int, coords: Coords):
+        self.level = level
+        self.coords = coords
+        #: populated child cells (next finer level)
+        self.children: list["GridCell"] = []
+        #: vector row indices, kept at leaf level only (and only when the
+        #: grid stores members, i.e. for HG_Q)
+        self.members: list[int] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GridCell(level={self.level}, coords={self.coords})"
+
+
+class HierarchicalGrid:
+    """Sparse m-level grid over pivot-space coordinates in ``[0, extent]``.
+
+    Args:
+        n_dims: dimensionality of the pivot space, |P|.
+        levels: number of levels ``m`` (excluding the root).
+        extent: upper bound of every coordinate.
+        store_members: keep member row indices in leaf cells (HG_Q does,
+            HG_RV does not).
+    """
+
+    def __init__(self, n_dims: int, levels: int, extent: float, store_members: bool = True):
+        if levels < 1:
+            raise ValueError("a hierarchical grid needs at least one level")
+        if n_dims < 1:
+            raise ValueError("pivot space must have at least one dimension")
+        if extent <= 0:
+            raise ValueError("extent must be positive")
+        self.n_dims = n_dims
+        self.levels = levels
+        self.extent = float(extent)
+        self.store_members = store_members
+        self.root = GridCell(0, ())
+        #: per-level cell maps; index 0 is the root level (single entry)
+        self.cells: list[dict[Coords, GridCell]] = [dict() for _ in range(levels + 1)]
+        self.cells[0][()] = self.root
+        self.n_vectors = 0
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        mapped: np.ndarray,
+        levels: int,
+        extent: float,
+        store_members: bool = True,
+    ) -> "HierarchicalGrid":
+        """Build a grid from mapped vectors (rows are pivot-space points)."""
+        mapped = np.atleast_2d(np.asarray(mapped, dtype=np.float64))
+        grid = cls(mapped.shape[1], levels, extent, store_members=store_members)
+        grid.insert(mapped)
+        return grid
+
+    def leaf_coords_for(self, mapped: np.ndarray) -> np.ndarray:
+        """Integer leaf-cell coordinates for each mapped row."""
+        mapped = np.atleast_2d(np.asarray(mapped, dtype=np.float64))
+        n_cells = 1 << self.levels
+        cell_size = self.extent / n_cells
+        coords = np.floor(mapped / cell_size).astype(np.int64)
+        np.clip(coords, 0, n_cells - 1, out=coords)
+        return coords
+
+    def insert(self, mapped: np.ndarray) -> list[Coords]:
+        """Insert mapped rows; returns the leaf coordinates of each row.
+
+        Row indices assigned to members continue from the current
+        ``n_vectors`` counter, so repeated inserts (column appends) index a
+        growing external vector store consistently.
+        """
+        mapped = np.atleast_2d(np.asarray(mapped, dtype=np.float64))
+        if mapped.shape[1] != self.n_dims:
+            raise ValueError(
+                f"mapped dim {mapped.shape[1]} != grid dim {self.n_dims}"
+            )
+        leaf = self.leaf_coords_for(mapped)
+        start = self.n_vectors
+        out: list[Coords] = []
+        leaf_rows = leaf.tolist()
+        for offset, row in enumerate(leaf_rows):
+            coords = tuple(row)
+            out.append(coords)
+            cell = self._ensure_leaf(coords)
+            if self.store_members:
+                cell.members.append(start + offset)
+        self.n_vectors += mapped.shape[0]
+        return out
+
+    def _ensure_leaf(self, coords: Coords) -> GridCell:
+        """Create (if absent) the leaf cell and its ancestor chain."""
+        leaf_map = self.cells[self.levels]
+        cell = leaf_map.get(coords)
+        if cell is not None:
+            return cell
+        cell = GridCell(self.levels, coords)
+        leaf_map[coords] = cell
+        child = cell
+        for level in range(self.levels - 1, 0, -1):
+            parent_coords = tuple(c >> 1 for c in child.coords)
+            parent_map = self.cells[level]
+            parent = parent_map.get(parent_coords)
+            if parent is not None:
+                parent.children.append(child)
+                return cell
+            parent = GridCell(level, parent_coords)
+            parent_map[parent_coords] = parent
+            parent.children.append(child)
+            child = parent
+        self.root.children.append(child)
+        return cell
+
+    # -- geometry ----------------------------------------------------------------
+
+    def cell_size(self, level: int) -> float:
+        """Edge length of a level-``level`` cell."""
+        return self.extent / (1 << level)
+
+    def cell_box(self, cell: GridCell) -> tuple[np.ndarray, np.ndarray]:
+        """Axis-aligned bounds ``(lo, hi)`` of a cell.
+
+        The root box spans the whole pivot space.
+        """
+        if cell.level == 0:
+            lo = np.zeros(self.n_dims)
+            hi = np.full(self.n_dims, self.extent)
+            return lo, hi
+        size = self.cell_size(cell.level)
+        coords = np.asarray(cell.coords, dtype=np.float64)
+        lo = coords * size
+        return lo, lo + size
+
+    # -- traversal ---------------------------------------------------------------
+
+    @property
+    def leaf_cells(self) -> dict[Coords, GridCell]:
+        """Populated leaf cells keyed by coordinates."""
+        return self.cells[self.levels]
+
+    def iter_cells(self, level: int) -> Iterator[GridCell]:
+        """Iterate populated cells of one level."""
+        return iter(self.cells[level].values())
+
+    def subtree_leaves(self, cell: GridCell) -> list[GridCell]:
+        """All populated leaf cells nested under ``cell`` (itself if a leaf)."""
+        if cell.level == self.levels:
+            return [cell]
+        out: list[GridCell] = []
+        stack = [cell]
+        while stack:
+            current = stack.pop()
+            if current.level == self.levels:
+                out.append(current)
+            else:
+                stack.extend(current.children)
+        return out
+
+    def subtree_members(self, cell: GridCell) -> list[int]:
+        """Member row indices of all leaves under ``cell`` (HG_Q only)."""
+        if not self.store_members:
+            raise RuntimeError("this grid does not store member indices")
+        out: list[int] = []
+        for leaf in self.subtree_leaves(cell):
+            out.extend(leaf.members)
+        return out
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of populated cells over all levels (excluding root)."""
+        return sum(len(level_map) for level_map in self.cells[1:])
+
+    def memory_bytes(self) -> int:
+        """Rough memory footprint of the grid structure (for Fig. 6b)."""
+        total = 0
+        for level_map in self.cells:
+            for cell in level_map.values():
+                # coords tuple + children list + member ints, 8 bytes a piece
+                total += 8 * (len(cell.coords) + len(cell.children) + len(cell.members)) + 64
+        return total

@@ -1,0 +1,255 @@
+"""The PEXESO index: pivots + hierarchical grid + inverted index (§III).
+
+:class:`PexesoIndex` owns the repository side of the framework: the pivot
+space, the mapped vector store, ``HG_RV`` and the inverted index. It
+supports the incremental maintenance of §III-E (column append and delete)
+and is picklable so that out-of-core partitions can spill it to disk.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.grid import HierarchicalGrid
+from repro.core.inverted_index import InvertedIndex
+from repro.core.metric import EuclideanMetric, Metric
+from repro.core.pivot import PivotSpace, build_pivot_space
+from repro.core.stats import IndexStats
+
+
+class PexesoIndex:
+    """Index over a repository of vector columns.
+
+    Args:
+        metric: original-space metric (must satisfy the triangle
+            inequality; defaults to Euclidean on unit vectors).
+        n_pivots: |P|, the pivot-space dimensionality (paper default 5 on
+            OPEN, 3 on SWDC).
+        levels: m, the hierarchical-grid depth (paper default 6 / 4). Use
+            :func:`repro.core.cost.choose_optimal_m` to pick it from data.
+        pivot_method: ``pca`` (paper §III-D), ``random`` or ``fft``.
+        seed: randomness for pivot selection.
+    """
+
+    def __init__(
+        self,
+        metric: Optional[Metric] = None,
+        n_pivots: int = 5,
+        levels: int = 4,
+        pivot_method: str = "pca",
+        seed: int = 0,
+    ):
+        if n_pivots < 1:
+            raise ValueError("need at least one pivot")
+        if levels < 1:
+            raise ValueError("need at least one grid level")
+        self.metric = metric if metric is not None else EuclideanMetric()
+        if not getattr(self.metric, "is_metric", True):
+            raise ValueError(
+                f"{type(self.metric).__name__} violates the triangle "
+                "inequality; pivot filtering would be unsound. For cosine "
+                "similarity, unit-normalise the vectors and use "
+                "EuclideanMetric (d_e^2 = 2 * d_cos)."
+            )
+        self.n_pivots = n_pivots
+        self.levels = levels
+        self.pivot_method = pivot_method
+        self.seed = seed
+        self.stats = IndexStats()
+
+        self.pivot_space: Optional[PivotSpace] = None
+        self.grid: Optional[HierarchicalGrid] = None
+        self.inverted: InvertedIndex = InvertedIndex()
+        self._vector_blocks: list[np.ndarray] = []
+        self._mapped_blocks: list[np.ndarray] = []
+        self._vectors: Optional[np.ndarray] = None
+        self._mapped: Optional[np.ndarray] = None
+        self.column_rows: dict[int, np.ndarray] = {}
+        self._next_column_id = 0
+        self._n_rows = 0
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        columns: Sequence[np.ndarray],
+        metric: Optional[Metric] = None,
+        n_pivots: int = 5,
+        levels: int = 4,
+        pivot_method: str = "pca",
+        seed: int = 0,
+    ) -> "PexesoIndex":
+        """Build an index from a sequence of ``(n_i, dim)`` vector columns."""
+        index = cls(
+            metric=metric,
+            n_pivots=n_pivots,
+            levels=levels,
+            pivot_method=pivot_method,
+            seed=seed,
+        )
+        index.fit(columns)
+        return index
+
+    def fit(self, columns: Sequence[np.ndarray]) -> "PexesoIndex":
+        """Select pivots from the full repository and index every column."""
+        if not columns:
+            raise ValueError("cannot build an index over zero columns")
+        arrays = [np.atleast_2d(np.asarray(c, dtype=np.float64)) for c in columns]
+        dim = arrays[0].shape[1]
+        for arr in arrays:
+            if arr.shape[1] != dim:
+                raise ValueError("all columns must share one dimensionality")
+        all_vectors = np.concatenate(arrays, axis=0)
+
+        t0 = time.perf_counter()
+        self.pivot_space = build_pivot_space(
+            all_vectors,
+            self.n_pivots,
+            self.metric,
+            method=self.pivot_method,
+            rng=np.random.default_rng(self.seed),
+        )
+        self.stats.pivot_selection_seconds += time.perf_counter() - t0
+
+        self.grid = HierarchicalGrid(
+            self.pivot_space.n_pivots,
+            self.levels,
+            self.pivot_space.extent,
+            store_members=False,
+        )
+        for arr in arrays:
+            self.add_column(arr)
+        return self
+
+    def add_column(self, vectors: np.ndarray) -> int:
+        """Append a column (§III-E) and return its assigned column ID."""
+        if self.pivot_space is None or self.grid is None:
+            raise RuntimeError("index is empty: call fit() before add_column()")
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if vectors.shape[0] == 0:
+            raise ValueError("cannot index an empty column")
+        if not np.isfinite(vectors).all():
+            raise ValueError("column contains NaN or infinite values")
+
+        t0 = time.perf_counter()
+        mapped = self.pivot_space.map_vectors(vectors)
+        self.stats.pivot_mapping_seconds += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        cells = self.grid.insert(mapped)
+        self.stats.grid_build_seconds += time.perf_counter() - t0
+
+        column_id = self._next_column_id
+        self._next_column_id += 1
+        first_row = self._n_rows
+        t0 = time.perf_counter()
+        self.inverted.add_column(column_id, cells, first_row)
+        self.stats.inverted_index_seconds += time.perf_counter() - t0
+
+        self._vector_blocks.append(vectors)
+        self._mapped_blocks.append(mapped)
+        self._vectors = None
+        self._mapped = None
+        self.column_rows[column_id] = np.arange(
+            first_row, first_row + vectors.shape[0], dtype=np.intp
+        )
+        self._n_rows += vectors.shape[0]
+        self.stats.n_vectors = self._n_rows
+        self.stats.n_columns = len(self.column_rows)
+        self.stats.n_leaf_cells = self.inverted.n_cells
+        self.stats.n_postings = self.inverted.n_postings
+        return column_id
+
+    def delete_column(self, column_id: int) -> None:
+        """Remove a column from the inverted index (§III-E lazy deletion).
+
+        Vector storage is retained (tombstoned): the postings are the only
+        path from a search to a column, so removing them removes the
+        column from every future result.
+        """
+        if column_id not in self.column_rows:
+            raise KeyError(f"unknown column id {column_id}")
+        self.inverted.delete_column(column_id)
+        del self.column_rows[column_id]
+        self.stats.n_columns = len(self.column_rows)
+        self.stats.n_postings = self.inverted.n_postings
+
+    # -- vector stores -----------------------------------------------------------
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """Global ``(N, dim)`` vector store (lazily concatenated)."""
+        if self._vectors is None:
+            if not self._vector_blocks:
+                raise RuntimeError("index holds no vectors")
+            self._vectors = (
+                self._vector_blocks[0]
+                if len(self._vector_blocks) == 1
+                else np.concatenate(self._vector_blocks, axis=0)
+            )
+            self._vector_blocks = [self._vectors]
+        return self._vectors
+
+    @property
+    def mapped(self) -> np.ndarray:
+        """Global ``(N, |P|)`` pivot-mapped store."""
+        if self._mapped is None:
+            if not self._mapped_blocks:
+                raise RuntimeError("index holds no vectors")
+            self._mapped = (
+                self._mapped_blocks[0]
+                if len(self._mapped_blocks) == 1
+                else np.concatenate(self._mapped_blocks, axis=0)
+            )
+            self._mapped_blocks = [self._mapped]
+        return self._mapped
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.column_rows)
+
+    @property
+    def n_vectors(self) -> int:
+        return self._n_rows
+
+    @property
+    def dim(self) -> int:
+        if self.pivot_space is None:
+            raise RuntimeError("index is empty")
+        return self.pivot_space.dim
+
+    def column_size(self, column_id: int) -> int:
+        """Number of vectors in a column."""
+        return int(self.column_rows[column_id].size)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Approximate index memory footprint (pivot table + grid + postings).
+
+        Excludes the raw vector store, matching the paper's remark that
+        "most memory consumption is the table repository storage".
+        """
+        total = self.mapped.nbytes if self._n_rows else 0
+        if self.pivot_space is not None:
+            total += self.pivot_space.pivots.nbytes
+        if self.grid is not None:
+            total += self.grid.memory_bytes()
+        total += self.inverted.memory_bytes()
+        return total
+
+    def search(self, query_vectors: np.ndarray, tau: float, joinability: float | int, **kwargs):
+        """Convenience wrapper around :func:`repro.core.search.pexeso_search`."""
+        from repro.core.search import pexeso_search
+
+        return pexeso_search(self, query_vectors, tau, joinability, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PexesoIndex(columns={self.n_columns}, vectors={self.n_vectors}, "
+            f"pivots={self.n_pivots}, levels={self.levels})"
+        )

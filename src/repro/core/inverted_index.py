@@ -1,0 +1,128 @@
+"""Inverted index from grid leaf cells to column postings (paper §III-C).
+
+Keys are leaf-cell coordinates of ``HG_RV``; each key maps to a postings
+list of columns having at least one vector in that cell, in increasing
+column-ID order (the DaaT traversal of Algorithm 2 relies on that order).
+Each posting also carries the global row indices of that column's vectors
+inside the cell, so verification can fetch exactly the vectors it needs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+Coords = tuple[int, ...]
+
+
+class Posting:
+    """One (column, rows-in-cell) entry of a postings list."""
+
+    __slots__ = ("column_id", "rows")
+
+    def __init__(self, column_id: int, rows: list[int]):
+        self.column_id = column_id
+        self.rows = rows
+
+    def __lt__(self, other: "Posting") -> bool:
+        return self.column_id < other.column_id
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Posting(column={self.column_id}, rows={self.rows})"
+
+
+class InvertedIndex:
+    """Leaf cell -> sorted postings list of columns."""
+
+    def __init__(self) -> None:
+        self._lists: dict[Coords, list[Posting]] = {}
+        self.n_postings = 0
+
+    # -- construction ------------------------------------------------------------
+
+    def add_vector(self, cell: Coords, column_id: int, row: int) -> None:
+        """Register a single vector (global row index) of ``column_id``."""
+        postings = self._lists.setdefault(cell, [])
+        pos = bisect_left(postings, Posting(column_id, []))
+        if pos < len(postings) and postings[pos].column_id == column_id:
+            postings[pos].rows.append(row)
+        else:
+            postings.insert(pos, Posting(column_id, [row]))
+            self.n_postings += 1
+
+    def add_column(self, column_id: int, cells: Iterable[Coords], first_row: int) -> None:
+        """Register a whole column whose vectors occupy ``cells`` in order.
+
+        ``cells[i]`` is the leaf cell of the column's i-th vector; global
+        row indices are ``first_row + i``. This is the O(1)-amortised
+        append path of §III-E.
+        """
+        grouped: dict[Coords, list[int]] = {}
+        for offset, cell in enumerate(cells):
+            grouped.setdefault(cell, []).append(first_row + offset)
+        for cell, rows in grouped.items():
+            postings = self._lists.setdefault(cell, [])
+            insort(postings, Posting(column_id, rows))
+            self.n_postings += 1
+
+    def delete_column(self, column_id: int) -> int:
+        """Remove every posting of ``column_id``; returns how many were removed.
+
+        Cells left empty are dropped so blocking stops producing candidates
+        for them.
+        """
+        removed = 0
+        empty: list[Coords] = []
+        for cell, postings in self._lists.items():
+            pos = bisect_left(postings, Posting(column_id, []))
+            if pos < len(postings) and postings[pos].column_id == column_id:
+                postings.pop(pos)
+                removed += 1
+                if not postings:
+                    empty.append(cell)
+        for cell in empty:
+            del self._lists[cell]
+        self.n_postings -= removed
+        return removed
+
+    # -- lookup ------------------------------------------------------------------
+
+    def postings(self, cell: Coords) -> list[Posting]:
+        """Postings list of a cell (empty list when the cell is unknown)."""
+        return self._lists.get(cell, [])
+
+    def __contains__(self, cell: Coords) -> bool:
+        return cell in self._lists
+
+    def cells(self) -> Iterator[Coords]:
+        """Iterate all indexed leaf cells."""
+        return iter(self._lists)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self._lists)
+
+    def columns_in_cells(self, cells: Iterable[Coords]) -> dict[int, list[int]]:
+        """Merge postings of several cells into ``{column_id: [rows...]}``.
+
+        The result's keys iterate in increasing column order, which is the
+        document-at-a-time order of Algorithm 2 (each column plays the role
+        of a document; merging the per-cell pointers up front is equivalent
+        to the paper's priority queue over postings cursors).
+        """
+        merged: dict[int, list[int]] = {}
+        for cell in cells:
+            for posting in self._lists.get(cell, ()):
+                merged.setdefault(posting.column_id, []).extend(posting.rows)
+        return dict(sorted(merged.items()))
+
+    def memory_bytes(self) -> int:
+        """Rough memory footprint (for Fig. 6b)."""
+        total = 0
+        for cell, postings in self._lists.items():
+            total += 8 * len(cell) + 48
+            for posting in postings:
+                total += 8 * len(posting.rows) + 32
+        return total

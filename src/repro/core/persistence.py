@@ -1,0 +1,113 @@
+"""Index persistence: save/load a PexesoIndex to a directory.
+
+The offline component of Fig. 1 builds the index once and serves many
+online queries, so the index must outlive the process. The format is a
+directory with the numeric stores as ``.npz`` (portable, memory-mappable)
+plus a small pickle for the structural parts (grid, postings, metadata).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.index import PexesoIndex
+
+#: bumped when the on-disk layout changes
+FORMAT_VERSION = 1
+
+
+def save_index(index: PexesoIndex, directory: str | Path) -> Path:
+    """Persist a built index; returns the directory written.
+
+    Raises:
+        RuntimeError: when the index has not been built.
+    """
+    if index.pivot_space is None or index.grid is None:
+        raise RuntimeError("cannot save an unbuilt index")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    np.savez_compressed(
+        directory / "vectors.npz",
+        vectors=index.vectors,
+        mapped=index.mapped,
+        pivots=index.pivot_space.pivots,
+    )
+    with open(directory / "structure.pkl", "wb") as fh:
+        pickle.dump(
+            {
+                "grid": index.grid,
+                "inverted": index.inverted,
+                "column_rows": index.column_rows,
+                "next_column_id": index._next_column_id,
+                "n_rows": index._n_rows,
+                "extent": index.pivot_space.extent,
+            },
+            fh,
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "metric": index.metric.name,
+        "n_pivots": index.n_pivots,
+        "levels": index.levels,
+        "pivot_method": index.pivot_method,
+        "seed": index.seed,
+        "n_columns": index.n_columns,
+        "n_vectors": index.n_vectors,
+        "dim": index.dim,
+    }
+    (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+def load_index(directory: str | Path) -> PexesoIndex:
+    """Load an index saved by :func:`save_index`.
+
+    Raises:
+        FileNotFoundError: when the directory lacks the expected files.
+        ValueError: on a format-version mismatch.
+    """
+    from repro.core.metric import get_metric
+    from repro.core.pivot import PivotSpace
+
+    directory = Path(directory)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no index manifest under {directory}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"index format {manifest.get('format_version')} != {FORMAT_VERSION}"
+        )
+
+    arrays = np.load(directory / "vectors.npz")
+    with open(directory / "structure.pkl", "rb") as fh:
+        structure = pickle.load(fh)
+
+    index = PexesoIndex(
+        metric=get_metric(manifest["metric"]),
+        n_pivots=manifest["n_pivots"],
+        levels=manifest["levels"],
+        pivot_method=manifest["pivot_method"],
+        seed=manifest["seed"],
+    )
+    index.pivot_space = PivotSpace(
+        arrays["pivots"], index.metric, extent=structure["extent"]
+    )
+    index.grid = structure["grid"]
+    index.inverted = structure["inverted"]
+    index.column_rows = structure["column_rows"]
+    index._next_column_id = structure["next_column_id"]
+    index._n_rows = structure["n_rows"]
+    index._vector_blocks = [arrays["vectors"]]
+    index._mapped_blocks = [arrays["mapped"]]
+    index._vectors = arrays["vectors"]
+    index._mapped = arrays["mapped"]
+    index.stats.n_vectors = index._n_rows
+    index.stats.n_columns = len(index.column_rows)
+    return index

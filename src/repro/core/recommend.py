@@ -1,0 +1,93 @@
+"""Threshold recommendation (extension of the paper's §V).
+
+§V tells users to express τ as a fraction of the maximum distance, but
+picking the *right* fraction still requires feeling for the embedding
+geometry. These helpers recommend thresholds from data:
+
+* :func:`suggest_tau` — smallest τ at which a target fraction of query
+  vectors has at least one match (estimated on a sample, using nearest-
+  neighbour distances).
+* :func:`match_rate_profile` — the τ -> expected-match-rate curve, useful
+  for plotting/inspection before committing to an index-wide setting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.metric import EuclideanMetric, Metric
+
+
+def _nearest_distances(
+    query_vectors: np.ndarray,
+    repository_sample: np.ndarray,
+    metric: Metric,
+    batch: int = 256,
+) -> np.ndarray:
+    """Distance from each query vector to its nearest sampled neighbour."""
+    out = np.empty(query_vectors.shape[0])
+    for start in range(0, query_vectors.shape[0], batch):
+        chunk = query_vectors[start : start + batch]
+        out[start : start + batch] = metric.pairwise(
+            chunk, repository_sample
+        ).min(axis=1)
+    return out
+
+
+def sample_repository(
+    columns: Sequence[np.ndarray],
+    max_vectors: int = 4096,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Uniform row sample across the repository's vectors."""
+    rng = rng or np.random.default_rng(0)
+    stacked = np.concatenate([np.atleast_2d(c) for c in columns], axis=0)
+    if stacked.shape[0] <= max_vectors:
+        return stacked
+    picks = rng.choice(stacked.shape[0], size=max_vectors, replace=False)
+    return stacked[picks]
+
+
+def suggest_tau(
+    query_vectors: np.ndarray,
+    repository_sample: np.ndarray,
+    target_match_rate: float = 0.6,
+    metric: Optional[Metric] = None,
+) -> float:
+    """Smallest τ giving the target per-vector match rate on the sample.
+
+    The match rate at τ is the fraction of query vectors whose nearest
+    sampled repository vector lies within τ, so the answer is simply the
+    ``target_match_rate`` quantile of the nearest-neighbour distances.
+
+    Args:
+        query_vectors: the (embedded) query column.
+        repository_sample: sampled repository vectors
+            (:func:`sample_repository`).
+        target_match_rate: desired fraction of matching query vectors,
+            in ``(0, 1]``.
+        metric: defaults to Euclidean.
+    """
+    if not 0.0 < target_match_rate <= 1.0:
+        raise ValueError("target match rate must be in (0, 1]")
+    metric = metric if metric is not None else EuclideanMetric()
+    query_vectors = np.atleast_2d(np.asarray(query_vectors, dtype=np.float64))
+    nearest = _nearest_distances(query_vectors, repository_sample, metric)
+    return float(np.quantile(nearest, target_match_rate))
+
+
+def match_rate_profile(
+    query_vectors: np.ndarray,
+    repository_sample: np.ndarray,
+    tau_values: Sequence[float],
+    metric: Optional[Metric] = None,
+) -> dict[float, float]:
+    """Expected per-vector match rate for each τ in ``tau_values``."""
+    metric = metric if metric is not None else EuclideanMetric()
+    query_vectors = np.atleast_2d(np.asarray(query_vectors, dtype=np.float64))
+    nearest = _nearest_distances(query_vectors, repository_sample, metric)
+    return {
+        float(tau): float((nearest <= tau).mean()) for tau in tau_values
+    }

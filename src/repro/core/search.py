@@ -1,0 +1,193 @@
+"""Joinable-column search — Algorithm 3 (paper §III-E).
+
+:func:`pexeso_search` assembles the pipeline: map the query column into
+the pivot space, build ``HG_Q``, quick-browse aligned leaf cells, run
+Algorithm 1 (blocking) and Algorithm 2 (verification), and return the
+joinable columns. The :class:`AblationFlags` switches reproduce the
+paper's Fig. 9 ablation (each lemma group can be disabled without
+affecting exactness — only performance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.core.blocker import block
+from repro.core.grid import HierarchicalGrid
+from repro.core.index import PexesoIndex
+from repro.core.stats import SearchStats
+from repro.core.thresholds import joinability_count
+from repro.core.verifier import verify
+
+
+@dataclass(frozen=True)
+class AblationFlags:
+    """Feature switches for the Fig. 9 ablation study.
+
+    All default to on (full PEXESO). Disabling a lemma never changes the
+    result set — only how much work is needed to compute it.
+    """
+
+    lemma1: bool = True  #: point-level pivot filtering in verification
+    lemma2: bool = True  #: point-level pivot matching in verification
+    lemma34: bool = True  #: vector-cell and cell-cell filtering in blocking
+    lemma56: bool = True  #: vector-cell and cell-cell matching in blocking
+    lemma7: bool = True  #: mismatch-bound early termination
+    quick_browsing: bool = True
+    early_accept: bool = True
+
+    @classmethod
+    def none(cls) -> "AblationFlags":
+        """Everything off — degenerates to a near-exhaustive scan."""
+        return cls(False, False, False, False, False, False, False)
+
+
+#: named ablation configurations matching Fig. 9's series
+ABLATIONS = {
+    "ALL": AblationFlags(),
+    "No-Lem1": AblationFlags(lemma1=False),
+    "No-Lem2": AblationFlags(lemma2=False),
+    "No-Lem3&4": AblationFlags(lemma34=False),
+    "No-Lem5&6": AblationFlags(lemma56=False),
+}
+
+
+@dataclass
+class JoinableColumn:
+    """One search hit.
+
+    ``match_count`` is the joinability numerator; under early termination
+    it is a lower bound that is guaranteed to be >= the threshold count.
+    """
+
+    column_id: int
+    match_count: int
+    joinability: float
+    exact_count: bool
+
+    def __lt__(self, other: "JoinableColumn") -> bool:
+        return self.column_id < other.column_id
+
+
+@dataclass
+class SearchResult:
+    """Joinable columns plus the instrumentation of the run."""
+
+    joinable: list[JoinableColumn]
+    stats: SearchStats
+    tau: float
+    t_count: int
+    query_size: int
+
+    @property
+    def column_ids(self) -> list[int]:
+        return [hit.column_id for hit in self.joinable]
+
+    def __len__(self) -> int:
+        return len(self.joinable)
+
+
+def pexeso_search(
+    index: PexesoIndex,
+    query_vectors: np.ndarray,
+    tau: float,
+    joinability: float | int,
+    flags: Optional[AblationFlags] = None,
+    exact_counts: bool = False,
+    stats: Optional[SearchStats] = None,
+) -> SearchResult:
+    """Find every indexed column joinable to the query column (Alg. 3).
+
+    Args:
+        index: a built :class:`~repro.core.index.PexesoIndex`.
+        query_vectors: ``(|Q|, dim)`` query column embeddings (unit
+            normalised, same embedder as the repository).
+        tau: distance threshold in original-space units (use
+            :func:`repro.core.thresholds.distance_threshold` to convert a
+            ratio).
+        joinability: T as a fraction of |Q| in ``(0, 1]`` or an absolute
+            match count.
+        flags: ablation switches; defaults to full PEXESO.
+        exact_counts: disable early termination so reported match counts
+            are exact (slower; used by tests and the effectiveness study).
+        stats: optional counter object to accumulate into.
+
+    Returns:
+        A :class:`SearchResult` with hits sorted by column ID.
+    """
+    if index.pivot_space is None or index.grid is None:
+        raise RuntimeError("index is not built; call fit() first")
+    flags = flags if flags is not None else AblationFlags()
+    stats = stats if stats is not None else SearchStats()
+
+    query_vectors = np.atleast_2d(np.asarray(query_vectors, dtype=np.float64))
+    if query_vectors.shape[0] == 0:
+        raise ValueError("query column is empty")
+    if query_vectors.shape[1] != index.dim:
+        raise ValueError(
+            f"query dim {query_vectors.shape[1]} != index dim {index.dim}"
+        )
+    if not np.isfinite(query_vectors).all():
+        raise ValueError("query contains NaN or infinite values")
+    if tau < 0:
+        raise ValueError("tau must be non-negative")
+    t_count = joinability_count(joinability, query_vectors.shape[0])
+
+    # Algorithm 3 line 1: pivot-map the query and build HG_Q.
+    query_mapped = index.pivot_space.map_vectors(query_vectors)
+    stats.pivot_mapping_distances += query_mapped.size
+    hg_q = HierarchicalGrid.build(
+        query_mapped,
+        levels=index.levels,
+        extent=index.pivot_space.extent,
+        store_members=True,
+    )
+
+    # Lines 2-4: quick browsing + blocking.
+    block_result = block(
+        hg_q,
+        index.grid,
+        query_mapped,
+        tau,
+        stats=stats,
+        use_lemma34=flags.lemma34,
+        use_lemma56=flags.lemma56,
+        use_quick_browsing=flags.quick_browsing,
+    )
+
+    # Line 5: verification.
+    verdict = verify(
+        block_result,
+        index.inverted,
+        query_vectors,
+        query_mapped,
+        index.vectors,
+        index.mapped,
+        index.metric,
+        tau,
+        t_count,
+        stats=stats,
+        use_lemma1=flags.lemma1,
+        use_lemma2=flags.lemma2,
+        use_lemma7=flags.lemma7,
+        early_accept=flags.early_accept,
+        exact_counts=exact_counts,
+    )
+
+    n_q = query_vectors.shape[0]
+    hits = [
+        JoinableColumn(
+            column_id=col,
+            match_count=verdict.match_counts.get(col, 0),
+            joinability=verdict.match_counts.get(col, 0) / n_q,
+            exact_count=verdict.exact,
+        )
+        for col in sorted(verdict.joinable)
+        if col in index.column_rows  # deleted columns never surface
+    ]
+    return SearchResult(
+        joinable=hits, stats=stats, tau=tau, t_count=t_count, query_size=n_q
+    )

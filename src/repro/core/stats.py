@@ -1,0 +1,114 @@
+"""Instrumentation counters for index construction and search.
+
+The paper's Figure 6a and Figure 9 report the *number of distance
+computations* and the effect of removing individual lemmata. Rather than
+inferring those quantities from wall-clock noise, every search records them
+in a :class:`SearchStats` instance that the benchmarks read directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SearchStats:
+    """Counters collected during one joinable-column search.
+
+    Attributes:
+        distance_computations: exact metric distance evaluations performed
+            during verification (the quantity plotted in Fig. 6a).
+        pivot_mapping_distances: distances computed to map the query column
+            into the pivot space (|Q| x |P|); reported separately because the
+            paper's cost analysis only counts verification distances.
+        candidate_pairs: number of (query vector, leaf cell) candidate pairs
+            produced by blocking.
+        matching_pairs: number of (query vector, leaf cell) pairs proven to
+            match by Lemma 5/6 during blocking.
+        lemma1_filtered: vectors pruned by point-level pivot filtering
+            (Lemma 1) inside verification.
+        lemma2_matched: vectors accepted by point-level pivot matching
+            (Lemma 2) inside verification without distance computation.
+        lemma3_filtered: (query vector, leaf cell) pairs pruned by
+            vector-cell filtering (Lemma 3).
+        lemma4_filtered: cell-cell pairs pruned during the grid descent
+            (Lemma 4).
+        lemma5_matched: (query vector, leaf cell) pairs matched by
+            vector-cell matching (Lemma 5).
+        lemma6_matched: cell-cell pairs matched during the grid descent
+            (Lemma 6).
+        lemma7_skips: columns skipped by the mismatch bound (Lemma 7).
+        early_accepts: columns confirmed joinable before all their
+            candidates were verified.
+        cells_visited: grid cell pairs examined by Algorithm 1.
+        quick_browse_cells: leaf cells handled by quick browsing.
+        columns_verified: distinct (query vector, column) verification
+            episodes.
+        blocking_seconds: wall-clock time spent in Algorithm 1.
+        verification_seconds: wall-clock time spent in Algorithm 2.
+    """
+
+    distance_computations: int = 0
+    pivot_mapping_distances: int = 0
+    candidate_pairs: int = 0
+    matching_pairs: int = 0
+    lemma1_filtered: int = 0
+    lemma2_matched: int = 0
+    lemma3_filtered: int = 0
+    lemma4_filtered: int = 0
+    lemma5_matched: int = 0
+    lemma6_matched: int = 0
+    lemma7_skips: int = 0
+    early_accepts: int = 0
+    cells_visited: int = 0
+    quick_browse_cells: int = 0
+    columns_verified: int = 0
+    blocking_seconds: float = 0.0
+    verification_seconds: float = 0.0
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate counters from ``other`` (used by partitioned search)."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    @property
+    def total_seconds(self) -> float:
+        """Combined blocking + verification time."""
+        return self.blocking_seconds + self.verification_seconds
+
+
+@dataclass
+class IndexStats:
+    """Counters collected while building a :class:`~repro.core.index.PexesoIndex`."""
+
+    pivot_selection_seconds: float = 0.0
+    pivot_mapping_seconds: float = 0.0
+    grid_build_seconds: float = 0.0
+    inverted_index_seconds: float = 0.0
+    n_vectors: int = 0
+    n_columns: int = 0
+    n_leaf_cells: int = 0
+    n_postings: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total index construction time."""
+        return (
+            self.pivot_selection_seconds
+            + self.pivot_mapping_seconds
+            + self.grid_build_seconds
+            + self.inverted_index_seconds
+        )
+
+
+@dataclass
+class CounterBox:
+    """A mutable integer shared between a metric and its instrumentation."""
+
+    count: int = 0
+
+    def add(self, n: int) -> None:
+        self.count += int(n)
+
+    def reset(self) -> None:
+        self.count = 0

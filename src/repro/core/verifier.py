@@ -1,0 +1,200 @@
+"""Verification with the inverted index — Algorithm 2 (paper §III-C).
+
+For every query vector the candidate leaf cells are resolved to columns
+through the inverted index and traversed document-at-a-time (columns in
+increasing ID order). Within a column the surviving vectors are checked
+with point-level pivot filtering (Lemma 1), pivot matching (Lemma 2) and,
+only when both are inconclusive, an exact distance computation.
+
+Two early-termination rules from the paper:
+
+* **early accept** — once a column's match count reaches the joinability
+  count ``T`` it is marked joinable and skipped from then on;
+* **Lemma 7** — once a column has accumulated more than ``|Q| - T``
+  provably non-matching query vectors it can never become joinable and is
+  skipped from then on.
+
+Mismatch accounting: a query vector ``q`` is counted as a mismatch for
+column ``S`` only after *every* candidate vector of ``S`` for ``q`` has
+been refuted — blocking guarantees the vectors of ``S`` outside ``q``'s
+candidate cells cannot match, so this matches Lemma 7's set ``U`` exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.blocker import BlockResult
+from repro.core.filtering import lemma1_filter_mask, lemma2_match_mask
+from repro.core.inverted_index import InvertedIndex
+from repro.core.metric import Metric
+from repro.core.stats import SearchStats
+
+
+@dataclass
+class VerifyResult:
+    """Per-column tallies produced by Algorithm 2.
+
+    ``match_counts[c]`` is the number of query vectors with at least one
+    matching vector in column ``c``. Under early termination the count of
+    a joinable column is a lower bound (it stopped at ``t_count``); with
+    ``exact_counts=True`` all counts are exact.
+    """
+
+    match_counts: dict[int, int] = field(default_factory=dict)
+    mismatch_counts: dict[int, int] = field(default_factory=dict)
+    joinable: set[int] = field(default_factory=set)
+    exact: bool = False
+
+
+def verify(
+    block_result: BlockResult,
+    inverted_index: InvertedIndex,
+    query_vectors: np.ndarray,
+    query_mapped: np.ndarray,
+    target_vectors: np.ndarray,
+    target_mapped: np.ndarray,
+    metric: Metric,
+    tau: float,
+    t_count: int,
+    stats: Optional[SearchStats] = None,
+    use_lemma1: bool = True,
+    use_lemma2: bool = True,
+    use_lemma7: bool = True,
+    early_accept: bool = True,
+    exact_counts: bool = False,
+) -> VerifyResult:
+    """Run Algorithm 2 over the blocking output.
+
+    Args:
+        block_result: matching/candidate pairs from Algorithm 1.
+        inverted_index: leaf cell -> column postings of the repository.
+        query_vectors / query_mapped: original and pivot-mapped query rows.
+        target_vectors / target_mapped: the repository's global vector
+            store and its pivot mapping (rows addressed by postings).
+        metric: original-space metric.
+        tau: distance threshold.
+        t_count: joinability threshold as an absolute match count.
+        stats: counters to update.
+        use_lemma1 / use_lemma2 / use_lemma7: ablation switches (Fig. 9).
+        early_accept: stop verifying a column once it is joinable.
+        exact_counts: disable both early-termination rules so the returned
+            match counts are exact joinability numerators (used by tests
+            and by callers that need exact ``jn`` values).
+    """
+    stats = stats if stats is not None else SearchStats()
+    started = time.perf_counter()
+    result = VerifyResult(exact=exact_counts)
+    if exact_counts:
+        early_accept = False
+        use_lemma7 = False
+
+    n_q = query_vectors.shape[0]
+    max_mismatch = n_q - t_count  # mismatches beyond this kill the column
+    match_counts = result.match_counts
+    mismatch_counts = result.mismatch_counts
+    joinable = result.joinable
+    dead: set[int] = set()
+
+    query_rows = set(block_result.match_pairs) | set(block_result.candidate_pairs)
+    for q in sorted(query_rows):
+        q_vec = query_vectors[q]
+        q_map = query_mapped[q]
+        matched_cols: set[int] = set()
+
+        # -- matching pairs: Lemma 5/6 already proved the match (Alg. 2 l.1–3)
+        match_cells = block_result.match_pairs.get(q)
+        if match_cells:
+            for col in inverted_index.columns_in_cells(match_cells):
+                if col in matched_cols:
+                    continue
+                matched_cols.add(col)
+                if col in dead:
+                    continue
+                if col in joinable and early_accept:
+                    continue
+                count = match_counts.get(col, 0) + 1
+                match_counts[col] = count
+                if count >= t_count:
+                    joinable.add(col)
+
+        # -- candidate pairs: DaaT over columns (Alg. 2 l.4–20).
+        # Columns that can be skipped (already matched by this q, dead by
+        # Lemma 7, or early-accepted) are dropped first; the surviving
+        # columns' candidate vectors are then checked in ONE batched
+        # Lemma 1/2 + distance evaluation and the verdict segmented back
+        # per column. The distances computed are exactly those of the
+        # per-column loop, only evaluated together.
+        cand_cells = block_result.candidate_pairs.get(q)
+        if not cand_cells:
+            continue
+        active_cols: list[int] = []
+        row_blocks: list[list[int]] = []
+        for col, rows in inverted_index.columns_in_cells(cand_cells).items():
+            if col in matched_cols:
+                continue
+            if col in dead:
+                stats.lemma7_skips += 1
+                continue
+            if col in joinable and early_accept:
+                stats.early_accepts += 1
+                continue
+            active_cols.append(col)
+            row_blocks.append(rows)
+        if not active_cols:
+            continue
+        stats.columns_verified += len(active_cols)
+
+        row_idx = np.asarray(
+            [r for rows in row_blocks for r in rows], dtype=np.intp
+        )
+        col_of = np.repeat(
+            np.arange(len(active_cols)),
+            [len(rows) for rows in row_blocks],
+        )
+        mapped_batch = target_mapped[row_idx]
+
+        row_matched = np.zeros(row_idx.size, dtype=bool)
+        if use_lemma2:
+            lemma2_hits = lemma2_match_mask(mapped_batch, q_map, tau)
+            stats.lemma2_matched += int(lemma2_hits.sum())
+            row_matched |= lemma2_hits
+        # A column proven matched by Lemma 2 needs no distance work.
+        col_done = np.zeros(len(active_cols), dtype=bool)
+        np.logical_or.at(col_done, col_of[row_matched], True)
+
+        undecided = ~row_matched & ~col_done[col_of]
+        if use_lemma1 and undecided.any():
+            pruned = np.zeros(row_idx.size, dtype=bool)
+            pruned[undecided] = lemma1_filter_mask(
+                mapped_batch[undecided], q_map, tau
+            )
+            stats.lemma1_filtered += int(pruned.sum())
+            undecided &= ~pruned
+        if undecided.any():
+            survivors = np.nonzero(undecided)[0]
+            distances = metric.distances_to(q_vec, target_vectors[row_idx[survivors]])
+            stats.distance_computations += int(survivors.size)
+            row_matched[survivors[distances <= tau]] = True
+            np.logical_or.at(col_done, col_of[survivors[distances <= tau]], True)
+
+        matched_mask = col_done
+        for local, col in enumerate(active_cols):
+            if matched_mask[local]:
+                matched_cols.add(col)
+                count = match_counts.get(col, 0) + 1
+                match_counts[col] = count
+                if count >= t_count:
+                    joinable.add(col)
+            else:
+                miss = mismatch_counts.get(col, 0) + 1
+                mismatch_counts[col] = miss
+                if use_lemma7 and miss > max_mismatch:
+                    dead.add(col)
+
+    stats.verification_seconds += time.perf_counter() - started
+    return result

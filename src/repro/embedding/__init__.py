@@ -1,0 +1,33 @@
+"""Embedding substrate: turn string records into metric-space vectors.
+
+The paper treats the representation model as a plug-in ("any
+representation learning method can be used here", §II-A). Offline, we
+supply three plug-ins:
+
+* :class:`HashingNGramEmbedder` — fastText stand-in: character n-gram
+  hashing with deterministic bucket vectors; misspellings share n-grams
+  and land close.
+* :class:`VocabularyEmbedder` — GloVe stand-in: per-word vectors (with
+  synonym-group support) averaged over the string, as the paper does for
+  the WDC corpus.
+* :class:`SyntheticSemanticEmbedder` — evaluation oracle used with the
+  synthetic data generator: each entity has a latent unit vector and all
+  of its surface forms embed nearby.
+
+All embedders emit unit-normalised float64 vectors (paper §V) and share
+the :class:`Embedder` interface.
+"""
+
+from repro.embedding.base import Embedder
+from repro.embedding.hashing import HashingNGramEmbedder
+from repro.embedding.vocab import VocabularyEmbedder
+from repro.embedding.semantic import SyntheticSemanticEmbedder
+from repro.embedding.cache import CachingEmbedder
+
+__all__ = [
+    "CachingEmbedder",
+    "Embedder",
+    "HashingNGramEmbedder",
+    "SyntheticSemanticEmbedder",
+    "VocabularyEmbedder",
+]

@@ -1,0 +1,38 @@
+"""The embedder interface shared by all representation plug-ins."""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class Embedder(Protocol):
+    """Anything that maps strings to fixed-width unit vectors.
+
+    Implementations must be deterministic: the same string always embeds
+    to the same vector, so that repository and query columns agree.
+    """
+
+    @property
+    def dim(self) -> int:
+        """Output dimensionality."""
+        ...
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed one string as a unit-normalised ``(dim,)`` vector."""
+        ...
+
+    def embed_column(self, values: Sequence[str]) -> np.ndarray:
+        """Embed a column of strings as a ``(len(values), dim)`` matrix."""
+        ...
+
+
+class ColumnEmbedderMixin:
+    """Default ``embed_column`` built on top of ``embed``."""
+
+    def embed_column(self, values: Sequence[str]) -> np.ndarray:
+        if len(values) == 0:
+            return np.zeros((0, self.dim))
+        return np.vstack([self.embed(value) for value in values])

@@ -1,0 +1,60 @@
+"""Memoising wrapper for any embedder.
+
+Data lakes repeat values heavily (the same entity appears in many tables),
+so caching string -> vector pays for itself during the offline indexing
+pass of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.embedding.base import Embedder
+
+
+class CachingEmbedder:
+    """Wraps an :class:`~repro.embedding.base.Embedder` with an LRU-ish cache.
+
+    Args:
+        inner: the embedder doing the work.
+        max_entries: cache capacity; on overflow the oldest half is
+            dropped (cheap, amortised O(1), good enough for a scan-once
+            workload).
+    """
+
+    def __init__(self, inner: Embedder, max_entries: int = 1 << 16):
+        if max_entries < 2:
+            raise ValueError("cache needs at least two entries")
+        self.inner = inner
+        self.max_entries = max_entries
+        self._cache: dict[str, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def dim(self) -> int:
+        return self.inner.dim
+
+    def embed(self, text: str) -> np.ndarray:
+        vector = self._cache.get(text)
+        if vector is not None:
+            self.hits += 1
+            return vector
+        self.misses += 1
+        vector = self.inner.embed(text)
+        if len(self._cache) >= self.max_entries:
+            # Drop the older half (insertion order) to amortise eviction.
+            for key in list(self._cache)[: self.max_entries // 2]:
+                del self._cache[key]
+        self._cache[text] = vector
+        return vector
+
+    def embed_column(self, values: Sequence[str]) -> np.ndarray:
+        if len(values) == 0:
+            return np.zeros((0, self.dim))
+        return np.vstack([self.embed(value) for value in values])
+
+    def __len__(self) -> int:
+        return len(self._cache)

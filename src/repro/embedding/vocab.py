@@ -1,0 +1,113 @@
+"""GloVe stand-in: explicit per-word vocabulary with word averaging.
+
+The paper embeds WDC strings by splitting them into words, looking each
+word up in GloVe, and averaging (§VI-A). This embedder reproduces that
+pipeline over a synthetic vocabulary. Semantics enter through *synonym
+groups*: all words registered in one group share a latent vector plus a
+small per-word offset, so "pacific islander" ends up near
+"hawaiian guamanian samoan" the way GloVe's distributional training would
+place them.
+
+Out-of-vocabulary words fall back to a nested
+:class:`~repro.embedding.hashing.HashingNGramEmbedder`, mirroring the
+paper's subword-fallback discussion for OOV tokens.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.embedding.base import ColumnEmbedderMixin
+from repro.embedding.hashing import HashingNGramEmbedder
+from repro.text.tokenize import word_tokens
+
+
+class VocabularyEmbedder(ColumnEmbedderMixin):
+    """Word-vector table + averaging, with synonym-group construction.
+
+    Args:
+        dim: vector width (GloVe's 50 in the paper's WDC setting).
+        seed: latent-vector randomness.
+        synonym_noise: scale of the per-word offset inside a synonym
+            group; smaller means synonyms embed closer together.
+        oov_fallback: embedder used for unknown words (defaults to a
+            hashing embedder sharing ``dim`` and ``seed``).
+    """
+
+    def __init__(
+        self,
+        dim: int = 50,
+        seed: int = 0,
+        synonym_noise: float = 0.05,
+        oov_fallback: Optional[HashingNGramEmbedder] = None,
+    ):
+        self._dim = dim
+        self.synonym_noise = synonym_noise
+        self._rng = np.random.default_rng(seed)
+        self._table: dict[str, np.ndarray] = {}
+        self._fallback = (
+            oov_fallback
+            if oov_fallback is not None
+            else HashingNGramEmbedder(dim=dim, seed=seed)
+        )
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def vocabulary(self) -> set[str]:
+        return set(self._table)
+
+    # -- vocabulary construction --------------------------------------------------
+
+    def add_word(self, word: str, vector: Optional[np.ndarray] = None) -> np.ndarray:
+        """Register a word; a random unit vector is drawn when none is given."""
+        word = word.lower()
+        if vector is None:
+            vector = self._rng.standard_normal(self._dim)
+        vector = np.asarray(vector, dtype=np.float64)
+        norm = np.linalg.norm(vector)
+        self._table[word] = vector / norm if norm else vector
+        return self._table[word]
+
+    def add_synonym_group(self, words: Iterable[str]) -> np.ndarray:
+        """Register words that should embed near one another.
+
+        Returns the group's latent vector. Words already present keep
+        their existing vectors (first registration wins), so overlapping
+        groups behave predictably.
+        """
+        latent = self._rng.standard_normal(self._dim)
+        latent /= np.linalg.norm(latent)
+        for word in words:
+            word = word.lower()
+            if word in self._table:
+                continue
+            offset = self._rng.standard_normal(self._dim) * self.synonym_noise
+            self.add_word(word, latent + offset)
+        return latent
+
+    # -- embedding ----------------------------------------------------------------
+
+    def embed(self, text: str) -> np.ndarray:
+        """Mean of the word vectors of ``text``, unit-normalised."""
+        words = word_tokens(text)
+        if not words:
+            vec = np.zeros(self._dim)
+            vec[0] = 1.0
+            return vec
+        total = np.zeros(self._dim)
+        for word in words:
+            vector = self._table.get(word)
+            if vector is None:
+                vector = self._fallback.embed(word)
+            total += vector
+        total /= len(words)
+        norm = np.linalg.norm(total)
+        if norm == 0.0:
+            total[0] = 1.0
+            return total
+        return total / norm

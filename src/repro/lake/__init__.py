@@ -1,0 +1,47 @@
+"""Data-lake substrate: tables, CSV loading, type/key detection, the
+table repository, and the synthetic lake generator with ground truth.
+
+This package corresponds to the offline component of the paper's Fig. 1:
+load raw data, pick join-key columns, normalise dates/abbreviations, and
+hand the string columns to an embedder.
+"""
+
+from repro.lake.table import Column, Table
+from repro.lake.csv_loader import load_csv, dump_csv
+from repro.lake.type_detection import SemanticType, detect_column_type
+from repro.lake.key_detection import candidate_join_columns, detect_key_column
+from repro.lake.preprocessing import expand_abbreviations, normalize_date, to_full_form
+from repro.lake.repository import ColumnRef, TableRepository
+from repro.lake.discovery import JoinableTableSearch, TableHit
+from repro.lake.datagen import DataLakeGenerator, GeneratedLake, MLTask
+from repro.lake.abbrev_learn import learn_abbreviations
+from repro.lake.join import best_match_per_row, join_coverage, left_join
+from repro.lake.statistics import DatasetStatistics, dataset_statistics, lake_statistics
+
+__all__ = [
+    "Column",
+    "DatasetStatistics",
+    "best_match_per_row",
+    "dataset_statistics",
+    "join_coverage",
+    "lake_statistics",
+    "learn_abbreviations",
+    "left_join",
+    "ColumnRef",
+    "DataLakeGenerator",
+    "GeneratedLake",
+    "JoinableTableSearch",
+    "MLTask",
+    "SemanticType",
+    "Table",
+    "TableHit",
+    "TableRepository",
+    "candidate_join_columns",
+    "detect_column_type",
+    "detect_key_column",
+    "dump_csv",
+    "expand_abbreviations",
+    "load_csv",
+    "normalize_date",
+    "to_full_form",
+]

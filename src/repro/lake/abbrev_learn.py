@@ -1,0 +1,101 @@
+"""Learning abbreviation rules from example pairs (§II-A, after [30]).
+
+The paper's preprocessing expands abbreviations with a dictionary and
+notes that for domain-specific tables one can "learn a dictionary of
+abbreviation rules". This module implements a simple, effective learner:
+given aligned (abbreviated, full-form) string pairs, token pairs that
+plausibly abbreviate each other are extracted, scored by frequency, and
+emitted as a dictionary consumable by
+:func:`repro.lake.preprocessing.expand_abbreviations`.
+
+A token pair ``(a, f)`` counts as an abbreviation candidate when ``a`` is
+shorter than ``f`` and one of:
+
+* prefix rule — "St" -> "Street";
+* initialism — "NY" -> "New York" (handled at the pair level by
+  concatenating initials);
+* subsequence rule — "Dr" -> "Drive", "Blvd" -> "Boulevard" (letters of
+  ``a`` appear in ``f`` in order, starting at the first letter).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.text.tokenize import word_tokens
+
+
+def _is_subsequence(short: str, long: str) -> bool:
+    """True when ``short``'s characters appear in ``long`` in order,
+    anchored at the first character."""
+    if not short or not long or short[0] != long[0]:
+        return False
+    position = 0
+    for ch in short:
+        position = long.find(ch, position)
+        if position < 0:
+            return False
+        position += 1
+    return True
+
+
+def candidate_rules(abbreviated: str, full: str) -> list[tuple[str, str]]:
+    """Token-level abbreviation candidates from one aligned string pair."""
+    short_tokens = word_tokens(abbreviated)
+    full_tokens = word_tokens(full)
+    out: list[tuple[str, str]] = []
+
+    # Initialism over the whole pair: "ny" -> "new york".
+    if (
+        len(short_tokens) == 1
+        and len(full_tokens) > 1
+        and short_tokens[0] == "".join(t[0] for t in full_tokens)
+    ):
+        out.append((short_tokens[0], " ".join(full_tokens)))
+        return out
+
+    # Positional token alignment (same token count keeps this precise).
+    if len(short_tokens) == len(full_tokens):
+        for a, f in zip(short_tokens, full_tokens):
+            if a == f or len(a) >= len(f):
+                continue
+            if _is_subsequence(a, f):
+                out.append((a, f))
+    return out
+
+
+def learn_abbreviations(
+    pairs: Iterable[tuple[str, str]],
+    min_support: int = 2,
+) -> dict[str, str]:
+    """Learn an abbreviation dictionary from aligned string pairs.
+
+    Args:
+        pairs: ``(abbreviated, full form)`` examples, e.g. harvested from
+            columns known to refer to the same entities.
+        min_support: minimal number of pair occurrences before a rule is
+            trusted (guards against coincidental subsequences).
+
+    Returns:
+        ``{abbreviation: full form}`` with title-cased full forms, ready
+        to merge into :data:`repro.lake.preprocessing.ABBREVIATIONS` via
+        the ``extra`` argument.
+    """
+    counts: Counter[tuple[str, str]] = Counter()
+    for abbreviated, full in pairs:
+        for rule in candidate_rules(abbreviated, full):
+            counts[rule] += 1
+
+    # Keep the most frequent expansion per abbreviation.
+    best: dict[str, tuple[str, int]] = {}
+    for (abbr, full), support in counts.items():
+        if support < min_support:
+            continue
+        current = best.get(abbr)
+        if current is None or support > current[1]:
+            best[abbr] = (full, support)
+    return {
+        abbr: " ".join(word.capitalize() for word in full.split())
+        for abbr, (full, _) in best.items()
+    }

@@ -1,0 +1,49 @@
+"""CSV loading/dumping for the table repository (Fig. 1, offline path)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional
+
+from repro.lake.table import Table
+
+
+def load_csv(path: str | Path, name: Optional[str] = None, key_column: Optional[str] = None) -> Table:
+    """Load one CSV file (first row = header) into a :class:`Table`.
+
+    Rows shorter than the header are padded with empty strings; longer
+    rows are truncated — data lakes are messy and a loader that crashes on
+    the first ragged row is useless.
+    """
+    path = Path(path)
+    table_name = name if name is not None else path.stem
+    with open(path, newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            return Table(name=table_name, columns=[], key_column=None)
+        width = len(header)
+        rows = []
+        for row in reader:
+            if len(row) < width:
+                row = row + [""] * (width - len(row))
+            elif len(row) > width:
+                row = row[:width]
+            rows.append(row)
+    table = Table.from_rows(table_name, header, rows)
+    if key_column is not None:
+        table.key_column = key_column if key_column in table.column_names else None
+    return table
+
+
+def dump_csv(table: Table, path: str | Path) -> None:
+    """Write a table back to CSV (header + rows)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(table.column_names)
+        for row in table.iter_rows():
+            writer.writerow([row[name] for name in table.column_names])

@@ -1,0 +1,514 @@
+"""Synthetic data-lake generator with exact joinability ground truth.
+
+This replaces the paper's OPEN / WDC corpora and its human relevance
+labelling (§VI-B). The generator builds an *entity universe*; every
+entity has a canonical name plus surface-form variants of four kinds:
+
+* ``exact``      — the canonical string itself (equi-join can match it);
+* ``misspell``   — 1–2 character edits (edit/fuzzy joins and embeddings
+  can match it; equi-join cannot);
+* ``abbrev``     — truncated / initialised words (ditto);
+* ``synonym``    — an entirely different name for the same entity
+  ("Pacific Islander" for "Hawaiian/Guamanian/Samoan"): only a semantic
+  matcher can recover it.
+
+Tables draw their key columns from entity surface forms, so the true
+joinability of any (query, table) pair is known exactly from entity
+identity. A fraction of entities get a *confusable sibling*: a different
+entity with a similar name and a nearby latent vector — these produce the
+realistic false positives that keep every matcher (including PEXESO)
+below 100% precision, as in Table IV.
+
+Entities also carry a class label and a latent feature vector, which the
+ML-task generator (Table V) turns into feature tables whose usefulness
+depends on how many query records a join method can actually match.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.embedding.semantic import SyntheticSemanticEmbedder
+from repro.lake.table import Column, Table
+
+_CONSONANTS = "bcdfghklmnprstvz"
+_VOWELS = "aeiou"
+
+#: default surface-form kind mix used when sampling records
+DEFAULT_KIND_WEIGHTS = {
+    "exact": 0.4,
+    "misspell": 0.25,
+    "abbrev": 0.15,
+    "synonym": 0.2,
+}
+
+
+@dataclass
+class Entity:
+    """One real-world entity and its known surface forms."""
+
+    entity_id: str
+    canonical: str
+    variants: dict[str, list[str]]
+    class_id: int
+    features: np.ndarray
+
+    def all_surfaces(self) -> list[str]:
+        out = [self.canonical]
+        for forms in self.variants.values():
+            out.extend(forms)
+        return out
+
+
+@dataclass
+class GeneratedLake:
+    """A generated repository with its ground truth.
+
+    ``string_columns[i]`` is the key column of ``tables[i]``;
+    ``entity_columns[i]`` gives the true entity of each record (``None``
+    for distractor noise records).
+    """
+
+    tables: list[Table]
+    string_columns: list[list[str]]
+    entity_columns: list[list[Optional[str]]]
+    embedder: SyntheticSemanticEmbedder
+
+    @property
+    def n_tables(self) -> int:
+        return len(self.tables)
+
+    def vector_columns(self) -> list[np.ndarray]:
+        """Embed every key column with the lake's oracle embedder."""
+        return [self.embedder.embed_column(values) for values in self.string_columns]
+
+    def true_joinability(
+        self, query_entities: Sequence[Optional[str]], table_index: int
+    ) -> float:
+        """Exact joinability of a query against one table, by entity identity."""
+        table_entities = {e for e in self.entity_columns[table_index] if e is not None}
+        if not query_entities:
+            return 0.0
+        matched = sum(1 for e in query_entities if e is not None and e in table_entities)
+        return matched / len(query_entities)
+
+    def true_joinable_tables(
+        self, query_entities: Sequence[Optional[str]], joinability: float
+    ) -> set[int]:
+        """Ground-truth joinable table indices at threshold ``joinability``."""
+        return {
+            i
+            for i in range(self.n_tables)
+            if self.true_joinability(query_entities, i) >= joinability - 1e-9
+        }
+
+
+@dataclass
+class MLTask:
+    """One Table V-style prediction task over a generated lake."""
+
+    name: str
+    kind: str  # "classification" | "regression"
+    query_table: Table
+    query_entities: list[Optional[str]]
+    label_column: str
+    key_column: str
+    lake: GeneratedLake
+
+
+class DataLakeGenerator:
+    """Factory for entity universes, lakes, query tables and ML tasks.
+
+    Args:
+        seed: master randomness; every product is deterministic in it.
+        dim: embedding width of the oracle embedder.
+        n_entities: universe size.
+        noise_scale: surface-form embedding noise (controls how tight an
+            entity's cluster is; with the default, variants sit well
+            inside the paper's default τ = 6% of the max distance).
+        confusable_fraction: fraction of entities given a similarly-named,
+            nearby-latent sibling entity.
+        confusable_distance: embedding distance between sibling latents
+            (chosen to straddle the paper's τ sweep of 2–8% -> 0.04–0.16).
+        n_classes / n_features: entity label and latent feature sizes for
+            the ML tasks.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        dim: int = 32,
+        n_entities: int = 300,
+        noise_scale: float = 0.008,
+        n_variants_per_kind: int = 2,
+        confusable_fraction: float = 0.12,
+        confusable_distance: float = 0.15,
+        n_classes: int = 8,
+        n_features: int = 6,
+        n_domains: int = 5,
+        fresh_misspell_prob: float = 0.7,
+    ):
+        self.fresh_misspell_prob = fresh_misspell_prob
+        self.seed = seed
+        self.dim = dim
+        self.noise_scale = noise_scale
+        self.n_variants_per_kind = n_variants_per_kind
+        self.confusable_distance = confusable_distance
+        self.n_classes = n_classes
+        self.n_features = n_features
+        self.n_domains = max(1, n_domains)
+        self.rng = np.random.default_rng(seed)
+        self.embedder = SyntheticSemanticEmbedder(
+            dim=dim, noise_scale=noise_scale, seed=seed
+        )
+        self.entities: list[Entity] = []
+        self._class_centroids = self.rng.standard_normal((n_classes, n_features)) * 2.0
+        self._build_universe(n_entities, confusable_fraction)
+        # Topical domains: overlapping entity groups shared by tables and
+        # queries, so that genuinely joinable (high-overlap) tables exist.
+        n = len(self.entities)
+        span = max(2, int(round(1.5 * n / self.n_domains)))
+        self.domains: list[np.ndarray] = []
+        for d in range(self.n_domains):
+            start = d * n // self.n_domains
+            idx = [(start + j) % n for j in range(span)]
+            self.domains.append(np.asarray(idx, dtype=np.intp))
+
+    # -- name synthesis ----------------------------------------------------------
+
+    def _pseudo_word(self, n_syllables: Optional[int] = None) -> str:
+        n = n_syllables or int(self.rng.integers(2, 4))
+        return "".join(
+            _CONSONANTS[self.rng.integers(len(_CONSONANTS))]
+            + _VOWELS[self.rng.integers(len(_VOWELS))]
+            for _ in range(n)
+        )
+
+    def _canonical_name(self) -> str:
+        return f"{self._pseudo_word()} {self._pseudo_word()}".title()
+
+    def _misspell(self, text: str) -> str:
+        chars = list(text)
+        n_edits = int(self.rng.integers(1, 3))
+        for _ in range(n_edits):
+            positions = [i for i, ch in enumerate(chars) if ch.isalpha()]
+            if not positions:
+                break
+            pos = int(self.rng.choice(positions))
+            op = self.rng.integers(4)
+            letter = string.ascii_lowercase[self.rng.integers(26)]
+            if op == 0:
+                chars[pos] = letter
+            elif op == 1:
+                chars.insert(pos, letter)
+            elif op == 2 and len(chars) > 3:
+                chars.pop(pos)
+            elif pos + 1 < len(chars) and chars[pos + 1].isalpha():
+                chars[pos], chars[pos + 1] = chars[pos + 1], chars[pos]
+        return "".join(chars)
+
+    def _abbreviate(self, text: str) -> str:
+        words = text.split()
+        if len(words) >= 2 and self.rng.random() < 0.5:
+            return f"{words[0][0].upper()}. {' '.join(words[1:])}"
+        return " ".join(w[: max(2, len(w) // 2)] for w in words)
+
+    def _synonym_name(self) -> str:
+        return f"{self._pseudo_word()} {self._pseudo_word()}".title()
+
+    # -- universe ----------------------------------------------------------------
+
+    def _make_entity(
+        self, entity_id: str, class_id: int, latent: Optional[np.ndarray] = None
+    ) -> Entity:
+        canonical = self._canonical_name()
+        variants: dict[str, list[str]] = {"exact": [canonical]}
+        variants["misspell"] = [
+            self._misspell(canonical) for _ in range(self.n_variants_per_kind)
+        ]
+        variants["abbrev"] = [
+            self._abbreviate(canonical) for _ in range(self.n_variants_per_kind)
+        ]
+        variants["synonym"] = [
+            self._synonym_name() for _ in range(self.n_variants_per_kind)
+        ]
+        features = self._class_centroids[class_id] + self.rng.standard_normal(
+            self.n_features
+        )
+        entity = Entity(
+            entity_id=entity_id,
+            canonical=canonical,
+            variants=variants,
+            class_id=class_id,
+            features=features,
+        )
+        if latent is not None:
+            # Pin the entity's latent (used for confusable siblings).
+            self.embedder._entity_latent[entity_id] = latent / np.linalg.norm(latent)
+        self.embedder.register_entity(entity_id)
+        for surface in entity.all_surfaces():
+            self.embedder.register_surface_form(surface, entity_id)
+        return entity
+
+    def _build_universe(self, n_entities: int, confusable_fraction: float) -> None:
+        n_base = max(1, int(round(n_entities * (1.0 - confusable_fraction))))
+        for i in range(n_base):
+            self.entities.append(
+                self._make_entity(f"e{i}", int(self.rng.integers(self.n_classes)))
+            )
+        # Confusable siblings: near-duplicate names + nearby latents.
+        i = n_base
+        while len(self.entities) < n_entities:
+            parent = self.entities[int(self.rng.integers(n_base))]
+            latent_parent = self.embedder.register_entity(parent.entity_id)
+            direction = self.rng.standard_normal(self.dim)
+            direction -= direction @ latent_parent * latent_parent
+            direction /= np.linalg.norm(direction)
+            sibling_latent = latent_parent + direction * self.confusable_distance
+            sibling = self._make_entity(
+                f"e{i}", int(self.rng.integers(self.n_classes)), latent=sibling_latent
+            )
+            # Give the sibling a name that is a small edit of the parent's,
+            # so string matchers confuse them too.
+            confusable_name = self._misspell(parent.canonical)
+            sibling.variants["exact"].append(confusable_name)
+            self.embedder.register_surface_form(confusable_name, sibling.entity_id)
+            self.entities.append(sibling)
+            i += 1
+
+    # -- sampling ----------------------------------------------------------------
+
+    def sample_surface(
+        self, entity: Entity, kind_weights: Optional[dict[str, float]] = None
+    ) -> str:
+        """Draw one surface form of an entity with the given kind mix.
+
+        Misspellings are mostly *fresh* (generated per occurrence and
+        registered with the embedder on the fly): real-world typos are
+        one-off, so two tables rarely share the same misspelled string —
+        this is what defeats equi-join but not edit/semantic matching.
+        """
+        weights = kind_weights or DEFAULT_KIND_WEIGHTS
+        kinds = list(weights)
+        probs = np.asarray([weights[k] for k in kinds], dtype=np.float64)
+        probs /= probs.sum()
+        kind = kinds[int(self.rng.choice(len(kinds), p=probs))]
+        if kind == "misspell" and self.rng.random() < self.fresh_misspell_prob:
+            surface = self._misspell(entity.canonical)
+            self.embedder.register_surface_form(surface, entity.entity_id)
+            return surface
+        forms = entity.variants.get(kind) or [entity.canonical]
+        return forms[int(self.rng.integers(len(forms)))]
+
+    def _noise_string(self) -> str:
+        return f"{self._pseudo_word()} {self._pseudo_word()} {self.rng.integers(1000)}"
+
+    # -- lake generation ----------------------------------------------------------
+
+    def generate_lake(
+        self,
+        n_tables: int = 100,
+        rows_range: tuple[int, int] = (8, 30),
+        entities_per_table: Optional[tuple[int, int]] = None,
+        kind_weights: Optional[dict[str, float]] = None,
+        distractor_fraction: float = 0.15,
+        noise_row_fraction: float = 0.1,
+        n_attribute_columns: int = 2,
+        feature_tables: bool = False,
+    ) -> GeneratedLake:
+        """Generate a repository of tables with known entity content.
+
+        Args:
+            n_tables: repository size.
+            rows_range: per-table row-count range (inclusive/exclusive).
+            entities_per_table: distinct entities per table (defaults to
+                the row count — near-distinct key columns).
+            kind_weights: surface-form mix of the key columns.
+            distractor_fraction: fraction of tables containing only
+                unregistered noise strings (never joinable).
+            noise_row_fraction: per-table fraction of noise rows mixed
+                into entity tables.
+            n_attribute_columns: extra attribute columns per table.
+            feature_tables: make attribute columns carry the entities'
+                latent features (for the ML tasks) instead of noise.
+        """
+        tables: list[Table] = []
+        string_columns: list[list[str]] = []
+        entity_columns: list[list[Optional[str]]] = []
+        n_distractors = int(round(n_tables * distractor_fraction))
+
+        for t in range(n_tables):
+            n_rows = int(self.rng.integers(rows_range[0], rows_range[1]))
+            is_distractor = t < n_distractors
+            keys: list[str] = []
+            entities: list[Optional[str]] = []
+            if is_distractor:
+                keys = [self._noise_string() for _ in range(n_rows)]
+                entities = [None] * n_rows
+            else:
+                if entities_per_table is None:
+                    n_pool = n_rows
+                else:
+                    n_pool = int(
+                        self.rng.integers(entities_per_table[0], entities_per_table[1])
+                    )
+                domain = self.domains[int(self.rng.integers(self.n_domains))]
+                pool = self.rng.choice(
+                    domain, size=min(n_pool, domain.size), replace=False
+                )
+                for _ in range(n_rows):
+                    if self.rng.random() < noise_row_fraction:
+                        keys.append(self._noise_string())
+                        entities.append(None)
+                    else:
+                        entity = self.entities[int(self.rng.choice(pool))]
+                        keys.append(self.sample_surface(entity, kind_weights))
+                        entities.append(entity.entity_id)
+            columns = [Column("key", keys)]
+            for a in range(n_attribute_columns):
+                if feature_tables and not is_distractor:
+                    feature_idx = (t + a) % self.n_features
+                    values = [
+                        (
+                            f"{self.entities_by_id[e].features[feature_idx] + self.rng.normal(scale=0.3):.3f}"
+                            if e is not None
+                            else f"{self.rng.normal():.3f}"
+                        )
+                        for e in entities
+                    ]
+                    columns.append(Column(f"feat_{feature_idx}", values))
+                else:
+                    columns.append(
+                        Column(
+                            f"attr_{a}",
+                            [f"{self.rng.normal():.3f}" for _ in range(n_rows)],
+                        )
+                    )
+            tables.append(Table(name=f"table_{t}", columns=columns, key_column="key"))
+            string_columns.append(keys)
+            entity_columns.append(entities)
+
+        return GeneratedLake(
+            tables=tables,
+            string_columns=string_columns,
+            entity_columns=entity_columns,
+            embedder=self.embedder,
+        )
+
+    @property
+    def entities_by_id(self) -> dict[str, Entity]:
+        return {entity.entity_id: entity for entity in self.entities}
+
+    def generate_query_table(
+        self,
+        n_rows: int = 30,
+        kind_weights: Optional[dict[str, float]] = None,
+        name: str = "query",
+        domain: Optional[int] = None,
+    ) -> tuple[Table, list[Optional[str]]]:
+        """A query table whose key column draws from one topical domain.
+
+        Sampling from a domain (random when ``domain`` is None) guarantees
+        the lake contains tables with high entity overlap — i.e. true
+        joinable tables exist at realistic T thresholds.
+        """
+        pool = self.domains[
+            int(self.rng.integers(self.n_domains)) if domain is None else domain % self.n_domains
+        ]
+        picks = self.rng.choice(pool, size=min(n_rows, pool.size), replace=False)
+        keys: list[str] = []
+        entities: list[Optional[str]] = []
+        for p in picks:
+            entity = self.entities[int(p)]
+            keys.append(self.sample_surface(entity, kind_weights))
+            entities.append(entity.entity_id)
+        table = Table(
+            name=name,
+            columns=[
+                Column("key", keys),
+                Column("payload", [f"{self.rng.normal():.3f}" for _ in keys]),
+            ],
+            key_column="key",
+        )
+        return table, entities
+
+    # -- ML tasks (Table V) --------------------------------------------------------
+
+    def make_ml_task(
+        self,
+        kind: str = "classification",
+        name: Optional[str] = None,
+        n_rows: int = 300,
+        n_lake_tables: int = 60,
+        rows_range: tuple[int, int] = (20, 60),
+        label_noise: float = 0.35,
+    ) -> MLTask:
+        """Build a prediction task whose accuracy benefits from joins.
+
+        The query table has the entity key, two *weak* base features and
+        the label. The lake's feature tables carry the entities' latent
+        features — the signal a model needs — so a join method that
+        matches more query records delivers more usable features
+        (Table V's mechanism).
+        """
+        if kind not in ("classification", "regression"):
+            raise ValueError("kind must be 'classification' or 'regression'")
+        lake = self.generate_lake(
+            n_tables=n_lake_tables,
+            rows_range=rows_range,
+            feature_tables=True,
+            distractor_fraction=0.1,
+        )
+        regression_weights = self.rng.standard_normal(self.n_features)
+
+        # Query tables are topical: their entities come from a couple of
+        # domains, so the lake contains genuinely joinable feature tables.
+        n_query_domains = min(2, self.n_domains)
+        domain_ids = self.rng.choice(self.n_domains, size=n_query_domains, replace=False)
+        entity_pool = np.unique(np.concatenate([self.domains[d] for d in domain_ids]))
+
+        keys: list[str] = []
+        entities: list[Optional[str]] = []
+        base0: list[str] = []
+        base1: list[str] = []
+        labels: list[str] = []
+        for _ in range(n_rows):
+            entity = self.entities[int(self.rng.choice(entity_pool))]
+            keys.append(self.sample_surface(entity))
+            entities.append(entity.entity_id)
+            # Weak base features: mostly noise with a faint signal.
+            signal = float(entity.features[0])
+            base0.append(f"{0.25 * signal + self.rng.normal():.3f}")
+            base1.append(f"{self.rng.normal():.3f}")
+            if kind == "classification":
+                labels.append(str(entity.class_id))
+            else:
+                value = float(
+                    entity.features @ regression_weights
+                    + self.rng.normal(scale=label_noise)
+                )
+                labels.append(f"{value:.4f}")
+
+        query_table = Table(
+            name=name or f"{kind}_task",
+            columns=[
+                Column("key", keys),
+                Column("base_0", base0),
+                Column("base_1", base1),
+                Column("label", labels),
+            ],
+            key_column="key",
+        )
+        return MLTask(
+            name=name or f"{kind}_task",
+            kind=kind,
+            query_table=query_table,
+            query_entities=entities,
+            label_column="label",
+            key_column="key",
+            lake=lake,
+        )

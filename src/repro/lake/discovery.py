@@ -1,0 +1,194 @@
+"""End-to-end joinable table discovery facade (the whole of Fig. 1).
+
+:class:`JoinableTableSearch` ties together the repository, an embedder
+and a PEXESO index, exposing the online operation the paper's user sees:
+give a query table + query column, get back joinable tables *and* the
+record-level mapping between the query column and each hit ("since the
+user might not be familiar with our join predicates", §II-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.index import PexesoIndex
+from repro.core.metric import EuclideanMetric, Metric
+from repro.core.search import AblationFlags, SearchResult, pexeso_search
+from repro.core.thresholds import distance_threshold
+from repro.embedding.base import Embedder
+from repro.lake.key_detection import detect_key_column
+from repro.lake.preprocessing import to_full_form
+from repro.lake.repository import ColumnRef, TableRepository
+from repro.lake.table import Table
+
+
+@dataclass
+class TableHit:
+    """One joinable table with its record mapping."""
+
+    ref: ColumnRef
+    joinability: float
+    match_count: int
+    #: pairs (query row index, target row index) with distance <= tau;
+    #: populated when the search is asked for mappings
+    record_mapping: list[tuple[int, int]]
+
+
+class JoinableTableSearch:
+    """Offline indexing + online search over a table repository.
+
+    Args:
+        embedder: string -> unit-vector plug-in (Fig. 1 "Embed").
+        metric: metric-space distance (Euclidean by default).
+        n_pivots / levels / pivot_method / seed: PEXESO index knobs.
+        preprocess: expand abbreviations / normalise dates before
+            embedding (paper §II-A "Convert").
+    """
+
+    def __init__(
+        self,
+        embedder: Embedder,
+        metric: Optional[Metric] = None,
+        n_pivots: int = 5,
+        levels: int = 4,
+        pivot_method: str = "pca",
+        seed: int = 0,
+        preprocess: bool = True,
+    ):
+        self.embedder = embedder
+        self.metric = metric if metric is not None else EuclideanMetric()
+        self.n_pivots = n_pivots
+        self.levels = levels
+        self.pivot_method = pivot_method
+        self.seed = seed
+        self.repository = TableRepository(preprocess=preprocess)
+        self.refs: list[ColumnRef] = []
+        self.string_columns: list[list[str]] = []
+        self.index: Optional[PexesoIndex] = None
+
+    # -- offline -----------------------------------------------------------------
+
+    def index_tables(self, tables: Sequence[Table]) -> "JoinableTableSearch":
+        """Load tables, extract key columns, embed and index them."""
+        self.repository.add_tables(tables)
+        self.refs, self.string_columns = self.repository.extract_key_columns()
+        if not self.refs:
+            raise ValueError("no indexable key columns found in the given tables")
+        vector_columns = [
+            self.embedder.embed_column(values) for values in self.string_columns
+        ]
+        self.index = PexesoIndex.build(
+            vector_columns,
+            metric=self.metric,
+            n_pivots=self.n_pivots,
+            levels=self.levels,
+            pivot_method=self.pivot_method,
+            seed=self.seed,
+        )
+        return self
+
+    # -- online ------------------------------------------------------------------
+
+    def prepare_query(
+        self, query_table: Table, query_column: Optional[str] = None
+    ) -> tuple[list[str], np.ndarray]:
+        """Resolve, preprocess and embed the query column."""
+        column = query_column or detect_key_column(query_table)
+        if column is None:
+            raise ValueError(
+                f"query table {query_table.name!r} has no usable query column"
+            )
+        values = query_table.column(column).values
+        if self.repository.preprocess:
+            values = [to_full_form(v) for v in values]
+        return values, self.embedder.embed_column(values)
+
+    def search(
+        self,
+        query_table: Table,
+        query_column: Optional[str] = None,
+        tau_fraction: float = 0.06,
+        joinability: float | int = 0.6,
+        flags: Optional[AblationFlags] = None,
+        with_mappings: bool = True,
+    ) -> list[TableHit]:
+        """Find joinable tables for ``query_table`` (paper defaults: τ=6%,
+        T=60%).
+
+        Returns hits sorted by decreasing joinability, each with the
+        record mapping between the query column and the hit column.
+        """
+        if self.index is None:
+            raise RuntimeError("no tables indexed yet; call index_tables() first")
+        query_values, query_vectors = self.prepare_query(query_table, query_column)
+        tau = distance_threshold(tau_fraction, self.metric, self.embedder.dim)
+        result: SearchResult = pexeso_search(
+            self.index, query_vectors, tau, joinability, flags=flags
+        )
+        hits = []
+        for hit in result.joinable:
+            ref = self.refs[hit.column_id]
+            mapping: list[tuple[int, int]] = []
+            if with_mappings:
+                mapping = self._record_mapping(query_vectors, hit.column_id, tau)
+            hits.append(
+                TableHit(
+                    ref=ref,
+                    joinability=hit.joinability,
+                    match_count=hit.match_count,
+                    record_mapping=mapping,
+                )
+            )
+        hits.sort(key=lambda h: (-h.joinability, h.ref.table_name))
+        return hits
+
+    def search_all_columns(
+        self,
+        query_table: Table,
+        tau_fraction: float = 0.06,
+        joinability: float | int = 0.6,
+        flags: Optional[AblationFlags] = None,
+        with_mappings: bool = False,
+    ) -> dict[str, list[TableHit]]:
+        """Option 3 of §II-A: treat *every* candidate column as the query.
+
+        Iterates the query table's join-key candidates (most distinct
+        string/date columns first) and runs one search per column.
+
+        Returns:
+            ``{query column name: hits}`` for every candidate column.
+        """
+        from repro.lake.key_detection import candidate_join_columns
+
+        candidates = candidate_join_columns(query_table)
+        if query_table.key_column and query_table.key_column not in candidates:
+            candidates.insert(0, query_table.key_column)
+        if not candidates:
+            raise ValueError(
+                f"query table {query_table.name!r} has no candidate columns"
+            )
+        return {
+            column: self.search(
+                query_table,
+                query_column=column,
+                tau_fraction=tau_fraction,
+                joinability=joinability,
+                flags=flags,
+                with_mappings=with_mappings,
+            )
+            for column in candidates
+        }
+
+    def _record_mapping(
+        self, query_vectors: np.ndarray, column_id: int, tau: float
+    ) -> list[tuple[int, int]]:
+        """Exact (query row, target row) pairs within τ for one hit column."""
+        assert self.index is not None
+        rows = self.index.column_rows[column_id]
+        target = self.index.vectors[rows]
+        pairwise = self.metric.pairwise(query_vectors, target)
+        pairs = np.argwhere(pairwise <= tau)
+        return [(int(qi), int(ti)) for qi, ti in pairs]

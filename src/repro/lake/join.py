@@ -1,0 +1,79 @@
+"""Join materialisation: turn a discovered record mapping into a table.
+
+Discovery returns ``(query row, target row)`` pairs; users ultimately
+want the joined table (paper §VI-C left-joins the query table to every
+hit). :func:`left_join` builds that table, with the paper's conflict
+conventions: one match per query row (the closest is kept by
+:func:`best_match_per_row`) and suffixing for clashing column names.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.lake.table import Column, Table
+
+
+def best_match_per_row(
+    mapping: Sequence[tuple[int, int]], n_query_rows: int
+) -> list[Optional[int]]:
+    """Reduce a many-to-many record mapping to at most one target per query row.
+
+    Mappings from :class:`~repro.lake.discovery.TableHit` are ordered by
+    ascending distance pair discovery; the first target seen per query row
+    wins. Returns a list indexed by query row.
+    """
+    best: list[Optional[int]] = [None] * n_query_rows
+    for qi, ti in mapping:
+        if 0 <= qi < n_query_rows and best[qi] is None:
+            best[qi] = ti
+    return best
+
+
+def left_join(
+    query_table: Table,
+    target_table: Table,
+    mapping: Sequence[tuple[int, int]],
+    suffix: Optional[str] = None,
+    missing: str = "",
+) -> Table:
+    """Left-join ``target_table`` onto ``query_table`` via a record mapping.
+
+    Args:
+        query_table: the local table (all of its rows are kept).
+        target_table: the discovered joinable table.
+        mapping: ``(query row, target row)`` pairs (e.g. from a
+            :class:`~repro.lake.discovery.TableHit`).
+        suffix: appended to target column names that clash with query
+            column names; defaults to ``_<target table name>``.
+        missing: filler value for unmatched query rows.
+
+    Returns:
+        A new table named ``<query>_x_<target>`` with the query columns
+        followed by the joined target columns.
+    """
+    suffix = suffix if suffix is not None else f"_{target_table.name}"
+    assignment = best_match_per_row(mapping, query_table.n_rows)
+
+    columns = [Column(col.name, list(col.values)) for col in query_table.columns]
+    existing = set(query_table.column_names)
+    for col in target_table.columns:
+        name = col.name if col.name not in existing else f"{col.name}{suffix}"
+        values = [
+            col.values[ti] if ti is not None else missing for ti in assignment
+        ]
+        columns.append(Column(name, values))
+        existing.add(name)
+    return Table(
+        name=f"{query_table.name}_x_{target_table.name}",
+        columns=columns,
+        key_column=query_table.key_column,
+    )
+
+
+def join_coverage(mapping: Sequence[tuple[int, int]], n_query_rows: int) -> float:
+    """Fraction of query rows with at least one join partner."""
+    if n_query_rows <= 0:
+        return 0.0
+    matched = {qi for qi, _ in mapping if 0 <= qi < n_query_rows}
+    return len(matched) / n_query_rows

@@ -1,0 +1,50 @@
+"""Join-key column detection (Fig. 1, "Detect key columns").
+
+A join key should be a string-ish column whose values are near-distinct —
+IDs and numerics are excluded because equi-join already handles them [37]
+and they "do not produce meaningful join results" for semantic joins
+(§VI-A). Date columns remain candidates (the paper normalises them to
+full form and embeds them).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lake.table import Table
+from repro.lake.type_detection import SemanticType, detect_column_type
+
+#: minimal distinct-value ratio for a column to qualify as a key
+_MIN_DISTINCT_RATIO = 0.5
+#: minimal rows, matching the paper's "contain less than five rows" filter
+MIN_TABLE_ROWS = 5
+
+_KEY_TYPES = (SemanticType.STRING, SemanticType.DATE)
+
+
+def candidate_join_columns(table: Table) -> list[str]:
+    """Names of columns that could serve as join keys, best first."""
+    scored: list[tuple[float, str]] = []
+    for column in table.columns:
+        if detect_column_type(column) not in _KEY_TYPES:
+            continue
+        ratio = column.distinct_ratio
+        if ratio >= _MIN_DISTINCT_RATIO:
+            scored.append((ratio, column.name))
+    scored.sort(key=lambda pair: (-pair[0], table.column_names.index(pair[1])))
+    return [name for _, name in scored]
+
+
+def detect_key_column(table: Table) -> Optional[str]:
+    """Best join-key candidate (the paper's option 2: most distinct string
+    column), or ``None`` when the table has no usable key.
+
+    Tables below :data:`MIN_TABLE_ROWS` rows are rejected outright, as in
+    the paper's corpus filtering.
+    """
+    if table.n_rows < MIN_TABLE_ROWS:
+        return None
+    if table.key_column is not None:
+        return table.key_column
+    candidates = candidate_join_columns(table)
+    return candidates[0] if candidates else None

@@ -1,0 +1,114 @@
+"""Date and abbreviation normalisation (paper §II-A).
+
+Before embedding, abbreviations are expanded to full forms ("Mar" ->
+"March", "St" -> "Street") and dates are rewritten into one canonical
+spelled-out layout, so that a pre-trained model sees comparable tokens.
+The built-in dictionary covers calendar and address abbreviations; domain
+dictionaries can be merged in per the paper's suggestion.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping, Optional
+
+from repro.lake.type_detection import is_date_value
+
+MONTHS = [
+    "January", "February", "March", "April", "May", "June",
+    "July", "August", "September", "October", "November", "December",
+]
+
+#: month-name abbreviation -> full form (lower-case keys)
+_MONTH_ABBREVIATIONS = {month[:3].lower(): month for month in MONTHS}
+
+#: general abbreviation dictionary (lower-case keys, no trailing dots)
+ABBREVIATIONS: dict[str, str] = {
+    **_MONTH_ABBREVIATIONS,
+    "st": "Street",
+    "rd": "Road",
+    "ave": "Avenue",
+    "blvd": "Boulevard",
+    "dr": "Drive",
+    "ln": "Lane",
+    "hwy": "Highway",
+    "apt": "Apartment",
+    "n": "North",
+    "s": "South",
+    "e": "East",
+    "w": "West",
+    "mt": "Mount",
+    "ft": "Fort",
+    "co": "Company",
+    "corp": "Corporation",
+    "inc": "Incorporated",
+    "ltd": "Limited",
+    "dept": "Department",
+    "univ": "University",
+    "intl": "International",
+}
+
+_TOKEN_RE = re.compile(r"[A-Za-z]+\.?|\d+|[^\sA-Za-z\d]+")
+
+
+def expand_abbreviations(
+    text: str, extra: Optional[Mapping[str, str]] = None
+) -> str:
+    """Replace known abbreviations with their full forms, token-wise.
+
+    A trailing period is treated as part of the abbreviation ("Mar." ->
+    "March"). ``extra`` merges a domain dictionary over the default one.
+    """
+    table = dict(ABBREVIATIONS)
+    if extra:
+        table.update({k.lower().rstrip("."): v for k, v in extra.items()})
+    out: list[str] = []
+    for token in _TOKEN_RE.findall(text):
+        key = token.rstrip(".").lower()
+        replacement = table.get(key)
+        out.append(replacement if replacement is not None else token)
+    return " ".join(out)
+
+
+def _month_name(number: int) -> Optional[str]:
+    if 1 <= number <= 12:
+        return MONTHS[number - 1]
+    return None
+
+
+def normalize_date(text: str) -> str:
+    """Rewrite a recognised date into ``Month D YYYY`` full form.
+
+    Unrecognised strings are returned unchanged, so the function is safe
+    to apply to whole date columns.
+    """
+    value = text.strip()
+    match = re.match(r"^(\d{4})-(\d{1,2})-(\d{1,2})$", value)
+    if match:
+        year, month, day = int(match[1]), int(match[2]), int(match[3])
+        name = _month_name(month)
+        return f"{name} {day} {year}" if name else text
+    match = re.match(r"^(\d{1,2})/(\d{1,2})/(\d{2,4})$", value)
+    if match:
+        # Lake data is predominantly US-formatted: month/day/year.
+        month, day, year = int(match[1]), int(match[2]), int(match[3])
+        if year < 100:
+            year += 2000 if year < 50 else 1900
+        name = _month_name(month)
+        return f"{name} {day} {year}" if name else text
+    match = re.match(r"^([A-Za-z]{3,9})\.? (\d{1,2}),? (\d{4})$", value)
+    if match:
+        name = expand_abbreviations(match[1])
+        return f"{name} {int(match[2])} {int(match[3])}"
+    match = re.match(r"^(\d{1,2}) ([A-Za-z]{3,9})\.? (\d{4})$", value)
+    if match:
+        name = expand_abbreviations(match[2])
+        return f"{name} {int(match[1])} {int(match[3])}"
+    return text
+
+
+def to_full_form(text: str, extra: Optional[Mapping[str, str]] = None) -> str:
+    """Full preprocessing of one record: dates, then abbreviations."""
+    if is_date_value(text):
+        return normalize_date(text)
+    return expand_abbreviations(text, extra=extra)

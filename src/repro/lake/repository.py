@@ -1,0 +1,95 @@
+"""Table repository: the offline side of the PEXESO framework (Fig. 1).
+
+The repository ingests tables (from CSVs or in-memory), extracts the key
+column of each, applies full-form preprocessing, and — given an embedder
+— produces the vector columns the :class:`~repro.core.index.PexesoIndex`
+consumes. Column IDs are assigned in extraction order and resolvable back
+to ``(table, column)`` via :class:`ColumnRef`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.embedding.base import Embedder
+from repro.lake.csv_loader import load_csv
+from repro.lake.key_detection import detect_key_column
+from repro.lake.preprocessing import to_full_form
+from repro.lake.table import Table
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """Provenance of one indexed column."""
+
+    table_name: str
+    column_name: str
+
+
+class TableRepository:
+    """Holds tables and extracts embeddable key columns."""
+
+    def __init__(self, preprocess: bool = True):
+        self.preprocess = preprocess
+        self.tables: dict[str, Table] = {}
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def add_table(self, table: Table) -> None:
+        """Register a table; name collisions get a numeric suffix."""
+        name = table.name
+        suffix = 1
+        while name in self.tables:
+            suffix += 1
+            name = f"{table.name}_{suffix}"
+        if name != table.name:
+            table = Table(name=name, columns=table.columns, key_column=table.key_column)
+        self.tables[name] = table
+
+    def add_tables(self, tables: Iterable[Table]) -> None:
+        for table in tables:
+            self.add_table(table)
+
+    def load_directory(self, path: str | Path, pattern: str = "*.csv") -> int:
+        """Load every CSV under ``path``; returns how many tables loaded."""
+        count = 0
+        for file in sorted(Path(path).glob(pattern)):
+            self.add_table(load_csv(file))
+            count += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    # -- extraction --------------------------------------------------------------
+
+    def extract_key_columns(self) -> tuple[list[ColumnRef], list[list[str]]]:
+        """Key-column strings of every usable table, preprocessed.
+
+        Tables without a detectable key column are skipped, mirroring the
+        paper's corpus cleaning ("remove tables that ... lack key column
+        information or contain less than five rows").
+        """
+        refs: list[ColumnRef] = []
+        string_columns: list[list[str]] = []
+        for table in self.tables.values():
+            key = detect_key_column(table)
+            if key is None:
+                continue
+            values = table.column(key).values
+            if self.preprocess:
+                values = [to_full_form(v) for v in values]
+            refs.append(ColumnRef(table.name, key))
+            string_columns.append(values)
+        return refs, string_columns
+
+    def vectorize(
+        self, embedder: Embedder
+    ) -> tuple[list[ColumnRef], list[np.ndarray]]:
+        """Embed every extracted key column into a vector column."""
+        refs, string_columns = self.extract_key_columns()
+        return refs, [embedder.embed_column(values) for values in string_columns]

@@ -1,0 +1,82 @@
+"""Dataset statistics (reproduces the paper's Table III).
+
+Table III summarises each corpus: number of tables, vectors, string
+columns, average vectors per column, embedding model and dimensionality.
+:func:`dataset_statistics` computes the same profile for any repository
+of vector columns, and :func:`lake_statistics` for a generated lake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.lake.datagen import GeneratedLake
+
+
+@dataclass
+class DatasetStatistics:
+    """One row of the paper's Table III."""
+
+    name: str
+    n_tables: int
+    n_vectors: int
+    n_columns: int
+    avg_vectors_per_column: float
+    model: str
+    dim: int
+
+    def as_row(self) -> list:
+        return [
+            self.name,
+            self.n_tables,
+            self.n_vectors,
+            self.n_columns,
+            round(self.avg_vectors_per_column, 1),
+            self.model,
+            self.dim,
+        ]
+
+    HEADERS = ["Dataset", "# Tab.", "# Vec.", "# Col.", "Avg. Vec./Col.", "Model", "Dim."]
+
+
+def dataset_statistics(
+    name: str,
+    vector_columns: Sequence[np.ndarray],
+    model: str = "synthetic",
+    n_tables: Optional[int] = None,
+) -> DatasetStatistics:
+    """Profile a repository of vector columns.
+
+    ``n_tables`` defaults to the column count (one key column per table,
+    as in the paper's corpora).
+    """
+    if not vector_columns:
+        raise ValueError("cannot profile an empty repository")
+    sizes = [np.atleast_2d(c).shape[0] for c in vector_columns]
+    dim = np.atleast_2d(vector_columns[0]).shape[1]
+    return DatasetStatistics(
+        name=name,
+        n_tables=n_tables if n_tables is not None else len(vector_columns),
+        n_vectors=int(sum(sizes)),
+        n_columns=len(vector_columns),
+        avg_vectors_per_column=float(np.mean(sizes)),
+        model=model,
+        dim=dim,
+    )
+
+
+def lake_statistics(name: str, lake: GeneratedLake, model: str = "oracle") -> DatasetStatistics:
+    """Profile a generated lake (uses string-column sizes; no embedding pass)."""
+    sizes = [len(values) for values in lake.string_columns]
+    return DatasetStatistics(
+        name=name,
+        n_tables=lake.n_tables,
+        n_vectors=int(sum(sizes)),
+        n_columns=len(lake.string_columns),
+        avg_vectors_per_column=float(np.mean(sizes)) if sizes else 0.0,
+        model=model,
+        dim=lake.embedder.dim,
+    )

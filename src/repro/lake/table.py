@@ -1,0 +1,108 @@
+"""Column-oriented table model.
+
+Values are kept as strings (the lake's native CSV form); numeric parsing
+happens at the type-detection and ML layers. A table optionally knows its
+key column — the WDC corpus ships that information, and the generator
+provides it; otherwise :mod:`repro.lake.key_detection` infers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+
+@dataclass
+class Column:
+    """One named column of string values."""
+
+    name: str
+    values: list[str]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def distinct_count(self) -> int:
+        return len(set(self.values))
+
+    @property
+    def distinct_ratio(self) -> float:
+        """Fraction of distinct values; the key-detection signal."""
+        if not self.values:
+            return 0.0
+        return self.distinct_count / len(self.values)
+
+    def non_missing(self) -> list[str]:
+        """Values that are neither empty nor a common NA marker."""
+        return [v for v in self.values if v and v.lower() not in ("na", "n/a", "null", "none")]
+
+
+@dataclass
+class Table:
+    """A named table with ordered columns and an optional key column."""
+
+    name: str
+    columns: list[Column] = field(default_factory=list)
+    key_column: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        lengths = {len(col) for col in self.columns}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged table {self.name!r}: column lengths {lengths}")
+        if self.key_column is not None and self.key_column not in self.column_names:
+            raise ValueError(
+                f"key column {self.key_column!r} not in table {self.name!r}"
+            )
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [col.name for col in self.columns]
+
+    def column(self, name: str) -> Column:
+        """Fetch a column by name.
+
+        Raises:
+            KeyError: when the column does not exist.
+        """
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise KeyError(f"table {self.name!r} has no column {name!r}")
+
+    def key_values(self) -> list[str]:
+        """Values of the key column (requires ``key_column`` to be set)."""
+        if self.key_column is None:
+            raise ValueError(f"table {self.name!r} has no key column set")
+        return self.column(self.key_column).values
+
+    def row(self, index: int) -> dict[str, str]:
+        """One row as ``{column name: value}``."""
+        return {col.name: col.values[index] for col in self.columns}
+
+    def iter_rows(self) -> Iterator[dict[str, str]]:
+        for i in range(self.n_rows):
+            yield self.row(i)
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        header: Sequence[str],
+        rows: Sequence[Sequence[str]],
+        key_column: Optional[str] = None,
+    ) -> "Table":
+        """Build a table from a header and row tuples (e.g. parsed CSV)."""
+        columns = [
+            Column(col_name, [str(row[i]) for row in rows])
+            for i, col_name in enumerate(header)
+        ]
+        return cls(name=name, columns=columns, key_column=key_column)

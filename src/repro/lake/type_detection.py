@@ -1,0 +1,73 @@
+"""Semantic type detection for columns (SATO [35] stand-in).
+
+The paper uses SATO — a learned contextual type detector — to decide
+which columns can serve as join keys. Offline we replace it with robust
+rule-based detection over the same coarse types the pipeline needs:
+numeric, date, identifier and free string. The downstream contract is
+identical: string-ish columns become join-key candidates, numeric/ID
+columns are left to equi-join machinery ([37], out of scope here).
+"""
+
+from __future__ import annotations
+
+import re
+from enum import Enum
+
+from repro.lake.table import Column
+
+#: proportion of (non-missing) values that must match for a type to win
+_DOMINANCE = 0.8
+
+_NUMERIC_RE = re.compile(r"^[+-]?(\d{1,3}(,\d{3})*|\d+)(\.\d+)?$")
+_DATE_PATTERNS = [
+    re.compile(r"^\d{4}-\d{1,2}-\d{1,2}$"),                      # 2021-03-05
+    re.compile(r"^\d{1,2}/\d{1,2}/\d{2,4}$"),                    # 3/5/2021
+    re.compile(r"^[A-Za-z]{3,9}\.? \d{1,2},? \d{4}$"),           # Mar 5, 2021
+    re.compile(r"^\d{1,2} [A-Za-z]{3,9}\.? \d{4}$"),             # 5 March 2021
+]
+_IDENTIFIER_RE = re.compile(r"^[A-Z0-9][A-Z0-9_\-]{2,}$")
+
+
+class SemanticType(Enum):
+    """Coarse semantic type of a column."""
+
+    STRING = "string"
+    NUMERIC = "numeric"
+    DATE = "date"
+    IDENTIFIER = "identifier"
+    EMPTY = "empty"
+
+
+def is_numeric_value(value: str) -> bool:
+    """True for integers/decimals with optional sign and thousands commas."""
+    return bool(_NUMERIC_RE.match(value.strip()))
+
+
+def is_date_value(value: str) -> bool:
+    """True for the common date layouts the preprocessing step understands."""
+    value = value.strip()
+    return any(pattern.match(value) for pattern in _DATE_PATTERNS)
+
+
+def is_identifier_value(value: str) -> bool:
+    """True for code-like values (upper alphanumerics with digits)."""
+    value = value.strip()
+    return bool(_IDENTIFIER_RE.match(value)) and any(ch.isdigit() for ch in value)
+
+
+def detect_column_type(column: Column, sample_size: int = 200) -> SemanticType:
+    """Classify a column by the dominant value pattern of a sample."""
+    values = column.non_missing()[:sample_size]
+    if not values:
+        return SemanticType.EMPTY
+    n = len(values)
+    numeric = sum(1 for v in values if is_numeric_value(v))
+    if numeric / n >= _DOMINANCE:
+        return SemanticType.NUMERIC
+    dates = sum(1 for v in values if is_date_value(v))
+    if dates / n >= _DOMINANCE:
+        return SemanticType.DATE
+    identifiers = sum(1 for v in values if is_identifier_value(v))
+    if identifiers / n >= _DOMINANCE:
+        return SemanticType.IDENTIFIER
+    return SemanticType.STRING

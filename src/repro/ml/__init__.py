@@ -1,0 +1,42 @@
+"""ML substrate for the Table V data-enrichment experiments.
+
+scikit-learn is not available offline, so the pieces the paper uses are
+implemented from scratch on numpy: CART decision trees, random forests
+(classifier + regressor), micro-F1/MSE metrics, k-fold cross-validation,
+recursive feature elimination, and the left-join enrichment pipeline.
+"""
+
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.metrics import accuracy, confusion_matrix, macro_f1, mean_squared_error, micro_f1
+from repro.ml.model_selection import KFold, cross_val_score
+from repro.ml.feature_selection import recursive_feature_elimination
+from repro.ml.enrichment import (
+    EnrichmentResult,
+    ExactMatcher,
+    SemanticMatcher,
+    SimilarityMatcher,
+    enrich_features,
+    evaluate_task,
+)
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "EnrichmentResult",
+    "ExactMatcher",
+    "KFold",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "SemanticMatcher",
+    "SimilarityMatcher",
+    "accuracy",
+    "confusion_matrix",
+    "cross_val_score",
+    "enrich_features",
+    "evaluate_task",
+    "macro_f1",
+    "mean_squared_error",
+    "micro_f1",
+    "recursive_feature_elimination",
+]

@@ -1,0 +1,49 @@
+"""Recursive feature elimination (paper §VI-C: "Recursive feature
+elimination is applied on the join results to select meaningful features").
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def recursive_feature_elimination(
+    model_factory: Callable[[], object],
+    features: np.ndarray,
+    targets: np.ndarray,
+    n_features_to_select: int,
+    step: float = 0.25,
+) -> np.ndarray:
+    """Select features by repeatedly dropping the least important ones.
+
+    Args:
+        model_factory: zero-arg callable returning a model that exposes
+            ``fit`` and ``feature_importances_`` (any forest/tree here).
+        features / targets: training data.
+        n_features_to_select: stop when this many columns remain.
+        step: fraction of surviving features dropped per round (>= 1
+            feature per round).
+
+    Returns:
+        Sorted indices of the selected feature columns.
+    """
+    features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+    n_features = features.shape[1]
+    if not 1 <= n_features_to_select <= n_features:
+        raise ValueError(
+            f"n_features_to_select must be in [1, {n_features}]"
+        )
+    surviving = np.arange(n_features)
+    while surviving.size > n_features_to_select:
+        model = model_factory()
+        model.fit(features[:, surviving], targets)
+        importances = np.asarray(model.feature_importances_)
+        n_drop = max(1, int(step * surviving.size))
+        n_drop = min(n_drop, surviving.size - n_features_to_select)
+        drop_local = np.argsort(importances)[:n_drop]
+        keep = np.ones(surviving.size, dtype=bool)
+        keep[drop_local] = False
+        surviving = surviving[keep]
+    return np.sort(surviving)

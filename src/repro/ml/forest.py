@@ -1,0 +1,104 @@
+"""Random forests (bagged CART trees with feature subsampling)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class _BaseForest:
+    """Shared bagging machinery."""
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int = 8,
+        min_samples_leaf: int = 1,
+        max_features: str | int = "sqrt",
+        bootstrap: bool = True,
+        seed: int = 0,
+    ):
+        if n_estimators < 1:
+            raise ValueError("need at least one tree")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.seed = seed
+        self.trees_: list = []
+        self.feature_importances_: Optional[np.ndarray] = None
+
+    def _make_tree(self, seed: int):
+        raise NotImplementedError
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "_BaseForest":
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        targets = np.asarray(targets)
+        n = features.shape[0]
+        rng = np.random.default_rng(self.seed)
+        self.trees_ = []
+        importances = np.zeros(features.shape[1])
+        for t in range(self.n_estimators):
+            if self.bootstrap:
+                idx = rng.integers(0, n, size=n)
+            else:
+                idx = np.arange(n)
+            tree = self._make_tree(self.seed + t + 1)
+            tree.fit(features[idx], targets[idx])
+            self.trees_.append(tree)
+            importances += tree.feature_importances_
+        self.feature_importances_ = importances / self.n_estimators
+        return self
+
+
+class RandomForestClassifier(_BaseForest):
+    """Majority-vote ensemble of Gini CART trees."""
+
+    def _make_tree(self, seed: int) -> DecisionTreeClassifier:
+        return DecisionTreeClassifier(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            seed=seed,
+        )
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RandomForestClassifier":
+        self.classes_ = np.unique(np.asarray(targets))
+        super().fit(features, targets)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        class_index = {c: i for i, c in enumerate(self.classes_)}
+        votes = np.zeros((features.shape[0], len(self.classes_)))
+        for tree in self.trees_:
+            predictions = tree.predict(features)
+            for row, label in enumerate(predictions):
+                votes[row, class_index[label]] += 1.0
+        return votes / len(self.trees_)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(features), axis=1)]
+
+
+class RandomForestRegressor(_BaseForest):
+    """Mean ensemble of variance CART trees."""
+
+    def _make_tree(self, seed: int) -> DecisionTreeRegressor:
+        return DecisionTreeRegressor(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            seed=seed,
+        )
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        total = np.zeros(features.shape[0])
+        for tree in self.trees_:
+            total += tree.predict(features)
+        return total / len(self.trees_)

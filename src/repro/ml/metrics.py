@@ -1,0 +1,66 @@
+"""Evaluation metrics used in Table V (micro-F1 and MSE) plus companions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(classes, matrix)`` where ``matrix[i, j]`` counts true=i, pred=j."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    classes = np.unique(np.concatenate([y_true, y_pred]))
+    index = {c: i for i, c in enumerate(classes)}
+    matrix = np.zeros((len(classes), len(classes)), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t], index[p]] += 1
+    return classes, matrix
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape[0] == 0:
+        raise ValueError("cannot score zero samples")
+    return float(np.mean(y_true == y_pred))
+
+
+def micro_f1(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Micro-averaged F1: global TP / FP / FN across classes.
+
+    For single-label multi-class data micro-F1 equals accuracy; it is
+    still computed from the confusion matrix so the identity is verified
+    by tests rather than assumed.
+    """
+    _, matrix = confusion_matrix(y_true, y_pred)
+    tp = np.trace(matrix)
+    fp = matrix.sum() - tp  # every off-diagonal is one FP and one FN
+    fn = fp
+    denominator = 2 * tp + fp + fn
+    if denominator == 0:
+        return 0.0
+    return float(2 * tp / denominator)
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    _, matrix = confusion_matrix(y_true, y_pred)
+    scores = []
+    for i in range(matrix.shape[0]):
+        tp = matrix[i, i]
+        fp = matrix[:, i].sum() - tp
+        fn = matrix[i, :].sum() - tp
+        denominator = 2 * tp + fp + fn
+        scores.append(0.0 if denominator == 0 else 2 * tp / denominator)
+    return float(np.mean(scores))
+
+
+def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Plain MSE."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape[0] == 0:
+        raise ValueError("cannot score zero samples")
+    diff = y_true - y_pred
+    return float(np.mean(diff * diff))

@@ -1,0 +1,55 @@
+"""k-fold cross-validation (Table V reports 4-fold CV averages)."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+
+class KFold:
+    """Shuffled k-fold index splitter."""
+
+    def __init__(self, n_splits: int = 4, seed: int = 0):
+        if n_splits < 2:
+            raise ValueError("need at least 2 folds")
+        self.n_splits = n_splits
+        self.seed = seed
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_idx, test_idx)`` pairs covering all samples."""
+        if n_samples < self.n_splits:
+            raise ValueError("more folds than samples")
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(n_samples)
+        folds = np.array_split(order, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train, test
+
+
+def cross_val_score(
+    model_factory: Callable[[], object],
+    features: np.ndarray,
+    targets: np.ndarray,
+    metric: Callable[[np.ndarray, np.ndarray], float],
+    n_splits: int = 4,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Mean and standard deviation of a metric over k folds.
+
+    Args:
+        model_factory: zero-arg callable returning a fresh model exposing
+            ``fit``/``predict``.
+        metric: ``(y_true, y_pred) -> float``.
+    """
+    features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+    targets = np.asarray(targets)
+    scores = []
+    for train, test in KFold(n_splits=n_splits, seed=seed).split(features.shape[0]):
+        model = model_factory()
+        model.fit(features[train], targets[train])
+        predictions = model.predict(features[test])
+        scores.append(metric(targets[test], predictions))
+    return float(np.mean(scores)), float(np.std(scores))

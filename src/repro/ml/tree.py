@@ -1,0 +1,247 @@
+"""CART decision trees (classification: Gini; regression: variance).
+
+Split search is vectorised: per candidate feature, samples are sorted and
+all split points scored at once with prefix sums, so tree fitting is
+O(features * n log n) per node — fast enough for the experiment scales
+without any compiled code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """Internal (feature, threshold) test or a leaf carrying a value."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    value: Optional[np.ndarray] = None  # class distribution / mean
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class _BaseTree:
+    """Shared CART machinery; subclasses define impurity and leaf values."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[str | int] = None,
+        seed: int = 0,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = max(2, min_samples_split)
+        self.min_samples_leaf = max(1, min_samples_leaf)
+        self.max_features = max_features
+        self.seed = seed
+        self._root: Optional[_Node] = None
+        self.n_features_: int = 0
+        self.feature_importances_: Optional[np.ndarray] = None
+
+    # -- subclass hooks ----------------------------------------------------------
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _impurity(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _best_split_for_feature(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[float, float]:
+        """(impurity decrease, threshold) of the best split on feature x."""
+        raise NotImplementedError
+
+    # -- fitting -----------------------------------------------------------------
+
+    def _n_candidate_features(self) -> int:
+        if self.max_features is None:
+            return self.n_features_
+        if self.max_features == "sqrt":
+            return max(1, int(math.sqrt(self.n_features_)))
+        if self.max_features == "log2":
+            return max(1, int(math.log2(self.n_features_ + 1)))
+        return max(1, min(int(self.max_features), self.n_features_))
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "_BaseTree":
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        targets = np.asarray(targets)
+        if features.shape[0] != targets.shape[0]:
+            raise ValueError("features and targets disagree on sample count")
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit on zero samples")
+        self.n_features_ = features.shape[1]
+        self._prepare_targets(targets)
+        self.feature_importances_ = np.zeros(self.n_features_)
+        rng = np.random.default_rng(self.seed)
+        self._root = self._grow(features, targets, depth=0, rng=rng)
+        total = self.feature_importances_.sum()
+        if total > 0:
+            self.feature_importances_ /= total
+        return self
+
+    def _prepare_targets(self, targets: np.ndarray) -> None:
+        """Subclass hook run once before growing (e.g. class inventory)."""
+
+    def _grow(
+        self, features: np.ndarray, targets: np.ndarray, depth: int, rng: np.random.Generator
+    ) -> _Node:
+        n = features.shape[0]
+        node = _Node(value=self._leaf_value(targets))
+        if (
+            depth >= self.max_depth
+            or n < self.min_samples_split
+            or self._impurity(targets) == 0.0
+        ):
+            return node
+
+        k = self._n_candidate_features()
+        if k < self.n_features_:
+            candidates = rng.choice(self.n_features_, size=k, replace=False)
+        else:
+            candidates = np.arange(self.n_features_)
+
+        best_gain = 0.0
+        best_feature = -1
+        best_threshold = 0.0
+        for feature in candidates:
+            gain, threshold = self._best_split_for_feature(features[:, feature], targets)
+            if gain > best_gain:
+                best_gain, best_feature, best_threshold = gain, int(feature), threshold
+        if best_feature < 0:
+            return node
+
+        mask = features[:, best_feature] <= best_threshold
+        n_left = int(mask.sum())
+        if n_left < self.min_samples_leaf or n - n_left < self.min_samples_leaf:
+            return node
+
+        assert self.feature_importances_ is not None
+        self.feature_importances_[best_feature] += best_gain * n
+        node.feature = best_feature
+        node.threshold = best_threshold
+        node.left = self._grow(features[mask], targets[mask], depth + 1, rng)
+        node.right = self._grow(features[~mask], targets[~mask], depth + 1, rng)
+        return node
+
+    def _leaf_of(self, row: np.ndarray) -> _Node:
+        node = self._root
+        if node is None:
+            raise RuntimeError("tree is not fitted")
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+            assert node is not None
+        return node
+
+
+class DecisionTreeClassifier(_BaseTree):
+    """CART classifier with Gini impurity."""
+
+    def _prepare_targets(self, targets: np.ndarray) -> None:
+        self.classes_ = np.unique(targets)
+        self._class_index = {c: i for i, c in enumerate(self.classes_)}
+
+    def _counts(self, y: np.ndarray) -> np.ndarray:
+        counts = np.zeros(len(self.classes_))
+        for value in y:
+            counts[self._class_index[value]] += 1
+        return counts
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        counts = self._counts(y)
+        return counts / counts.sum()
+
+    def _impurity(self, y: np.ndarray) -> float:
+        p = self._counts(y) / y.shape[0]
+        return float(1.0 - (p * p).sum())
+
+    def _best_split_for_feature(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+        order = np.argsort(x, kind="stable")
+        xs = x[order]
+        ys = y[order]
+        n = xs.shape[0]
+        # one-hot prefix counts per class
+        onehot = np.zeros((n, len(self.classes_)))
+        for i, value in enumerate(ys):
+            onehot[i, self._class_index[value]] = 1.0
+        prefix = np.cumsum(onehot, axis=0)
+        total = prefix[-1]
+        # split after position i (1..n-1), only where the value changes
+        valid = np.nonzero(xs[:-1] < xs[1:])[0]
+        if valid.size == 0:
+            return 0.0, 0.0
+        left = prefix[valid]
+        right = total[None, :] - left
+        n_left = valid + 1.0
+        n_right = n - n_left
+        gini_left = 1.0 - ((left / n_left[:, None]) ** 2).sum(axis=1)
+        gini_right = 1.0 - ((right / n_right[:, None]) ** 2).sum(axis=1)
+        parent = 1.0 - ((total / n) ** 2).sum()
+        gain = parent - (n_left / n) * gini_left - (n_right / n) * gini_right
+        best = int(np.argmax(gain))
+        if gain[best] <= 0.0:
+            return 0.0, 0.0
+        pos = valid[best]
+        return float(gain[best]), float((xs[pos] + xs[pos + 1]) / 2.0)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        return np.vstack([self._leaf_of(row).value for row in features])
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        probabilities = self.predict_proba(features)
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """CART regressor with variance (MSE) impurity."""
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        return np.asarray([float(np.mean(y))])
+
+    def _impurity(self, y: np.ndarray) -> float:
+        return float(np.var(y))
+
+    def _best_split_for_feature(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+        order = np.argsort(x, kind="stable")
+        xs = x[order]
+        ys = np.asarray(y, dtype=np.float64)[order]
+        n = xs.shape[0]
+        prefix_sum = np.cumsum(ys)
+        prefix_sq = np.cumsum(ys * ys)
+        valid = np.nonzero(xs[:-1] < xs[1:])[0]
+        if valid.size == 0:
+            return 0.0, 0.0
+        n_left = valid + 1.0
+        n_right = n - n_left
+        sum_left = prefix_sum[valid]
+        sum_right = prefix_sum[-1] - sum_left
+        sq_left = prefix_sq[valid]
+        sq_right = prefix_sq[-1] - sq_left
+        var_left = sq_left / n_left - (sum_left / n_left) ** 2
+        var_right = sq_right / n_right - (sum_right / n_right) ** 2
+        parent = float(np.var(ys))
+        gain = parent - (n_left / n) * var_left - (n_right / n) * var_right
+        best = int(np.argmax(gain))
+        if gain[best] <= 1e-12:
+            return 0.0, 0.0
+        pos = valid[best]
+        return float(gain[best]), float((xs[pos] + xs[pos + 1]) / 2.0)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        return np.asarray([float(self._leaf_of(row).value[0]) for row in features])

@@ -1,0 +1,28 @@
+"""Raw-text substrate: tokenisation, edit distance, set/TF-IDF similarity.
+
+These power the non-embedding join baselines of Tables IV/V (equi-join,
+Jaccard-join, edit-join, fuzzy-join, TF-IDF-join).
+"""
+
+from repro.text.tokenize import char_ngrams, word_tokens
+from repro.text.edit_distance import (
+    edit_distance,
+    edit_similarity,
+)
+from repro.text.similarity import (
+    TfidfVectorizer,
+    cosine_similarity,
+    fuzzy_token_similarity,
+    jaccard_similarity,
+)
+
+__all__ = [
+    "TfidfVectorizer",
+    "char_ngrams",
+    "cosine_similarity",
+    "edit_distance",
+    "edit_similarity",
+    "fuzzy_token_similarity",
+    "jaccard_similarity",
+    "word_tokens",
+]

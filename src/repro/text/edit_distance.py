@@ -1,0 +1,45 @@
+"""Levenshtein edit distance (the edit-join baseline's matcher)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def edit_distance(a: str, b: str) -> int:
+    """Levenshtein distance with unit insert/delete/substitute costs.
+
+    The inner loop runs over numpy rows, keeping the O(|a|*|b|) DP fast
+    enough for the experiment scales without any C extension.
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    b_codes = np.frombuffer(b.encode("utf-32-le"), dtype=np.uint32)
+    previous = np.arange(len(b) + 1, dtype=np.int64)
+    current = np.empty_like(previous)
+    for i, ch in enumerate(a, start=1):
+        current[0] = i
+        substitution = previous[:-1] + (b_codes != ord(ch))
+        deletion = previous[1:] + 1
+        np.minimum(substitution, deletion, out=current[1:])
+        # insertions need a sequential pass (prefix-min dependency)
+        running = current[0]
+        vals = current[1:]
+        for j in range(vals.shape[0]):
+            running = vals[j] if vals[j] <= running else running + 1
+            vals[j] = running
+        previous, current = current, previous
+    return int(previous[-1])
+
+
+def edit_similarity(a: str, b: str) -> float:
+    """Normalised edit similarity ``1 - ED(a, b) / max(|a|, |b|)`` in [0, 1]."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - edit_distance(a, b) / longest

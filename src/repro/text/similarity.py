@@ -1,0 +1,105 @@
+"""Set, TF-IDF and fuzzy string similarities for the join baselines.
+
+* Jaccard over word tokens — the Jaccard-join matcher.
+* TF-IDF cosine — Cohen's WHIRL-style matcher [6].
+* Fuzzy token similarity — Wang et al.'s fuzzy-join predicate [32]:
+  token-level Jaccard where two tokens are considered equal when their
+  edit similarity reaches an inner threshold δ, evaluated with greedy
+  one-to-one token matching.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.text.edit_distance import edit_similarity
+from repro.text.tokenize import word_tokens
+
+
+def jaccard_similarity(a: str, b: str) -> float:
+    """Jaccard similarity of the word-token sets of two strings."""
+    sa = set(word_tokens(a))
+    sb = set(word_tokens(b))
+    if not sa and not sb:
+        return 1.0
+    if not sa or not sb:
+        return 0.0
+    inter = len(sa & sb)
+    return inter / (len(sa) + len(sb) - inter)
+
+
+def fuzzy_token_similarity(a: str, b: str, delta: float = 0.8) -> float:
+    """Fuzzy-join similarity: Jaccard with edit-tolerant token equality [32].
+
+    Tokens match when exactly equal or when their edit similarity is at
+    least ``delta``; a greedy one-to-one matching approximates the maximum
+    bipartite matching the predicate prescribes (exact for the common case
+    of few near-duplicate tokens).
+    """
+    ta = word_tokens(a)
+    tb = word_tokens(b)
+    if not ta and not tb:
+        return 1.0
+    if not ta or not tb:
+        return 0.0
+    remaining = list(tb)
+    matched = 0
+    for token in ta:
+        best_j = -1
+        best_sim = 0.0
+        for j, other in enumerate(remaining):
+            if token == other:
+                best_j, best_sim = j, 1.0
+                break
+            sim = edit_similarity(token, other)
+            if sim >= delta and sim > best_sim:
+                best_j, best_sim = j, sim
+        if best_j >= 0:
+            matched += 1
+            remaining.pop(best_j)
+    return matched / (len(ta) + len(tb) - matched)
+
+
+class TfidfVectorizer:
+    """Minimal TF-IDF model over word tokens with cosine scoring.
+
+    Fit on the corpus (all repository strings plus the query strings),
+    then :meth:`vector` yields sparse term->weight dicts.
+    """
+
+    def __init__(self) -> None:
+        self.idf: dict[str, float] = {}
+        self.n_docs = 0
+
+    def fit(self, corpus: Iterable[str]) -> "TfidfVectorizer":
+        doc_freq: Counter[str] = Counter()
+        n_docs = 0
+        for doc in corpus:
+            n_docs += 1
+            doc_freq.update(set(word_tokens(doc)))
+        self.n_docs = n_docs
+        self.idf = {
+            term: math.log((1 + n_docs) / (1 + freq)) + 1.0
+            for term, freq in doc_freq.items()
+        }
+        return self
+
+    def vector(self, text: str) -> dict[str, float]:
+        """L2-normalised TF-IDF weights of ``text`` (unknown terms get IDF 1)."""
+        counts = Counter(word_tokens(text))
+        if not counts:
+            return {}
+        weights = {
+            term: tf * self.idf.get(term, 1.0) for term, tf in counts.items()
+        }
+        norm = math.sqrt(sum(w * w for w in weights.values()))
+        return {term: w / norm for term, w in weights.items()}
+
+
+def cosine_similarity(a: dict[str, float], b: dict[str, float]) -> float:
+    """Cosine of two sparse normalised vectors (term -> weight)."""
+    if len(a) > len(b):
+        a, b = b, a
+    return sum(w * b.get(term, 0.0) for term, w in a.items())

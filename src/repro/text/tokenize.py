@@ -1,0 +1,35 @@
+"""String tokenisation helpers shared by embeddings and string baselines."""
+
+from __future__ import annotations
+
+import re
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+
+def word_tokens(text: str) -> list[str]:
+    """Lower-cased alphanumeric word tokens of ``text``.
+
+    Mirrors the paper's WDC preprocessing ("string values are split into
+    English words") in a deterministic, punctuation-robust way.
+    """
+    return _WORD_RE.findall(text.lower())
+
+
+def char_ngrams(text: str, n_min: int = 3, n_max: int = 5, pad: bool = True) -> list[str]:
+    """Character n-grams of ``text`` for n in ``[n_min, n_max]``.
+
+    With ``pad=True`` the token is wrapped in angle brackets the way
+    fastText does (``<word>``), so prefixes/suffixes get dedicated grams.
+    Strings shorter than ``n_min`` yield the whole padded string as a
+    single gram so nothing embeds to zero.
+    """
+    if n_min < 1 or n_max < n_min:
+        raise ValueError("need 1 <= n_min <= n_max")
+    token = f"<{text}>" if pad else text
+    grams = [
+        token[i : i + n]
+        for n in range(n_min, n_max + 1)
+        for i in range(len(token) - n + 1)
+    ]
+    return grams if grams else [token]

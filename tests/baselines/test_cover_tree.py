@@ -1,0 +1,84 @@
+"""Tests for the cover-tree baseline (CTREE)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.cover_tree import CoverTree, build_ctree_index, ctree_search
+from repro.baselines.exact_naive import naive_search
+from repro.core.metric import EuclideanMetric, normalize_rows
+
+
+@pytest.fixture(scope="module")
+def points():
+    return normalize_rows(np.random.default_rng(0).normal(size=(150, 5)))
+
+
+class TestRangeQuery:
+    @pytest.mark.parametrize("radius", [0.05, 0.3, 0.8, 1.5, 2.0])
+    def test_matches_brute_force(self, points, radius):
+        tree = CoverTree(points)
+        metric = EuclideanMetric()
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            q = normalize_rows(rng.normal(size=(1, 5)))[0]
+            got = sorted(tree.range_query(q, radius))
+            want = sorted(np.nonzero(metric.distances_to(q, points) <= radius)[0].tolist())
+            assert got == want
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), radius=st.floats(0.01, 2.0))
+    def test_property_matches_brute_force(self, points, seed, radius):
+        tree = CoverTree(points)
+        q = normalize_rows(np.random.default_rng(seed).normal(size=(1, 5)))[0]
+        got = sorted(tree.range_query(q, radius))
+        want = sorted(
+            np.nonzero(EuclideanMetric().distances_to(q, points) <= radius)[0].tolist()
+        )
+        assert got == want
+
+    def test_query_point_in_tree(self, points):
+        tree = CoverTree(points)
+        hits = tree.range_query(points[42], 1e-9)
+        assert 42 in hits
+
+    def test_duplicate_points_all_returned(self):
+        dup = np.tile([[1.0, 0.0]], (5, 1))
+        tree = CoverTree(dup)
+        assert sorted(tree.range_query(np.array([1.0, 0.0]), 0.1)) == [0, 1, 2, 3, 4]
+
+    def test_empty_tree(self):
+        tree = CoverTree(np.zeros((0, 3)))
+        assert tree.range_query(np.zeros(3), 1.0) == []
+
+    def test_single_point(self):
+        tree = CoverTree(np.array([[0.5, 0.5]]))
+        assert tree.range_query(np.array([0.5, 0.5]), 0.1) == [0]
+        assert tree.range_query(np.array([5.0, 5.0]), 0.1) == []
+
+    def test_memory_bytes(self, points):
+        assert CoverTree(points).memory_bytes() > 0
+
+    def test_counts_distances(self, points):
+        tree = CoverTree(points)
+        before = tree.stats.distance_computations
+        tree.range_query(points[0], 0.5)
+        assert tree.stats.distance_computations > before
+
+
+class TestCtreeSearch:
+    def test_matches_naive(self, small_columns, small_query):
+        for tau in (0.3, 0.8):
+            for T in (0.2, 0.5):
+                got = ctree_search(small_columns, small_query, tau, T).column_ids
+                want = naive_search(small_columns, small_query, tau, T).column_ids
+                assert got == want
+
+    def test_prebuilt_index_reused(self, small_columns, small_query):
+        tree, col_of_row = build_ctree_index(small_columns)
+        got = ctree_search(
+            small_columns, small_query, 0.7, 0.3, tree=tree, column_of_row=col_of_row
+        ).column_ids
+        want = naive_search(small_columns, small_query, 0.7, 0.3).column_ids
+        assert got == want

@@ -1,0 +1,81 @@
+"""Tests for the extreme-pivot-table baseline (EPT)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ept import ExtremePivotTable, build_ept_index, ept_search
+from repro.baselines.exact_naive import naive_search
+from repro.core.metric import EuclideanMetric, normalize_rows
+
+
+@pytest.fixture(scope="module")
+def points():
+    return normalize_rows(np.random.default_rng(0).normal(size=(120, 6)))
+
+
+class TestRangeQuery:
+    @pytest.mark.parametrize("radius", [0.05, 0.4, 1.0, 1.9])
+    def test_matches_brute_force(self, points, radius):
+        table = ExtremePivotTable(points, n_pivots=4)
+        metric = EuclideanMetric()
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            q = normalize_rows(rng.normal(size=(1, 6)))[0]
+            got = sorted(table.range_query(q, radius).tolist())
+            want = sorted(np.nonzero(metric.distances_to(q, points) <= radius)[0].tolist())
+            assert got == want
+
+    def test_single_pivot_still_exact(self, points):
+        table = ExtremePivotTable(points, n_pivots=1)
+        q = points[3]
+        got = sorted(table.range_query(q, 0.5).tolist())
+        want = sorted(
+            np.nonzero(EuclideanMetric().distances_to(q, points) <= 0.5)[0].tolist()
+        )
+        assert got == want
+
+    def test_more_pivots_than_points(self):
+        small = normalize_rows(np.random.default_rng(3).normal(size=(3, 4)))
+        table = ExtremePivotTable(small, n_pivots=10)
+        assert table.pivots.shape[0] <= 3
+
+    def test_table_shape(self, points):
+        table = ExtremePivotTable(points, n_pivots=5)
+        assert table.table.shape == (120, 5)
+
+    def test_table_entries_are_distances(self, points):
+        table = ExtremePivotTable(points, n_pivots=3)
+        metric = EuclideanMetric()
+        for j, pivot in enumerate(table.pivots):
+            np.testing.assert_allclose(
+                table.table[:, j], metric.distances_to(pivot, points), atol=1e-6
+            )
+
+    def test_memory_bytes(self, points):
+        assert ExtremePivotTable(points, n_pivots=3).memory_bytes() > 0
+
+    def test_filter_reduces_verifications(self, points):
+        """With a small radius most points must be pruned before exact check."""
+        table = ExtremePivotTable(points, n_pivots=5)
+        stats_before = table.stats.distance_computations
+        table.range_query(points[0], 0.1)
+        used = table.stats.distance_computations - stats_before
+        # pivots + survivors; must be far fewer than checking all 120
+        assert used < 60
+
+
+class TestEptSearch:
+    def test_matches_naive(self, small_columns, small_query):
+        for tau in (0.3, 0.8):
+            for T in (0.2, 0.5):
+                got = ept_search(small_columns, small_query, tau, T).column_ids
+                want = naive_search(small_columns, small_query, tau, T).column_ids
+                assert got == want
+
+    def test_prebuilt_index_reused(self, small_columns, small_query):
+        table, col_of_row = build_ept_index(small_columns, n_pivots=4)
+        got = ept_search(
+            small_columns, small_query, 0.7, 0.3, table=table, column_of_row=col_of_row
+        ).column_ids
+        want = naive_search(small_columns, small_query, 0.7, 0.3).column_ids
+        assert got == want

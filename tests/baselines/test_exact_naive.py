@@ -1,0 +1,63 @@
+"""Tests for the naive exhaustive oracle itself."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact_naive import naive_search
+from repro.core.metric import EuclideanMetric, normalize_rows
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(0)
+    columns = [normalize_rows(rng.normal(size=(10, 5))) for _ in range(8)]
+    query = normalize_rows(rng.normal(size=(6, 5)))
+    return columns, query
+
+
+class TestNaive:
+    def test_counts_by_definition(self, setup):
+        """Hand-rolled joinability definition must agree."""
+        columns, query = setup
+        metric = EuclideanMetric()
+        tau = 0.9
+        result = naive_search(columns, query, tau, 0.2)
+        for hit in result.joinable:
+            count = 0
+            for q in query:
+                if any(metric.distance(q, x) <= tau for x in columns[hit.column_id]):
+                    count += 1
+            assert hit.match_count == count
+            assert hit.joinability == pytest.approx(count / len(query))
+
+    def test_self_column_is_joinable(self, setup):
+        columns, _ = setup
+        result = naive_search(columns, columns[2], 1e-6, 1.0)
+        assert 2 in result.column_ids
+
+    def test_impossible_threshold_empty(self, setup):
+        columns, query = setup
+        assert naive_search(columns, query, 1e-9, 1.0).column_ids == []
+
+    def test_early_accept_same_answer(self, setup):
+        columns, query = setup
+        eager = naive_search(columns, query, 0.8, 0.3, early_accept=True)
+        lazy = naive_search(columns, query, 0.8, 0.3, early_accept=False)
+        assert eager.column_ids == lazy.column_ids
+
+    def test_early_accept_computes_fewer_distances(self, setup):
+        columns, query = setup
+        eager = naive_search(columns, query, 1.8, 0.2, early_accept=True)
+        lazy = naive_search(columns, query, 1.8, 0.2, early_accept=False)
+        assert eager.stats.distance_computations <= lazy.stats.distance_computations
+
+    def test_distance_count_without_early_accept(self, setup):
+        columns, query = setup
+        result = naive_search(columns, query, 0.5, 0.5)
+        expected = len(query) * sum(c.shape[0] for c in columns)
+        assert result.stats.distance_computations == expected
+
+    def test_t_count_conversion(self, setup):
+        columns, query = setup
+        result = naive_search(columns, query, 0.5, 0.5)
+        assert result.t_count == 3  # ceil(0.5 * 6)

@@ -1,0 +1,53 @@
+"""Tests for the PEXESO-H baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact_naive import naive_search
+from repro.baselines.pexeso_h import pexeso_h_search
+from repro.core.index import PexesoIndex
+from repro.core.search import pexeso_search
+
+
+@pytest.fixture(scope="module")
+def index(small_columns):
+    return PexesoIndex.build(small_columns, n_pivots=3, levels=3)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("tau", [0.2, 0.6, 1.1])
+    @pytest.mark.parametrize("T", [0.2, 0.5, 0.9])
+    def test_matches_naive(self, index, small_columns, small_query, tau, T):
+        got = pexeso_h_search(index, small_query, tau, T).column_ids
+        want = naive_search(small_columns, small_query, tau, T).column_ids
+        assert got == want
+
+    def test_matches_pexeso(self, index, small_query):
+        for tau in (0.3, 0.9):
+            assert (
+                pexeso_h_search(index, small_query, tau, 0.3).column_ids
+                == pexeso_search(index, small_query, tau, 0.3).column_ids
+            )
+
+
+class TestWorkComparison:
+    def test_h_does_more_distance_work_than_pexeso(self, clustered_columns):
+        """Fig. 6a: PEXESO-H's naive verification computes more distances."""
+        index = PexesoIndex.build(clustered_columns, n_pivots=4, levels=4)
+        query = clustered_columns[0]
+        h_stats = pexeso_h_search(index, query, 0.12, 0.5).stats
+        p_stats = pexeso_search(index, query, 0.12, 0.5).stats
+        assert h_stats.distance_computations >= p_stats.distance_computations
+
+    def test_h_beats_naive(self, clustered_columns):
+        index = PexesoIndex.build(clustered_columns, n_pivots=4, levels=4)
+        query = clustered_columns[0]
+        h_stats = pexeso_h_search(index, query, 0.12, 0.5).stats
+        n_stats = naive_search(clustered_columns, query, 0.12, 0.5).stats
+        assert h_stats.distance_computations < n_stats.distance_computations
+
+
+class TestValidation:
+    def test_unbuilt_index_raises(self, small_query):
+        with pytest.raises(RuntimeError):
+            pexeso_h_search(PexesoIndex(), small_query, 0.5, 0.5)

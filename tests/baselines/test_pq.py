@@ -1,0 +1,129 @@
+"""Tests for the product-quantization baseline (PQ)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pq import (
+    PQRangeIndex,
+    ProductQuantizer,
+    build_pq_index,
+    calibrate_radius_scale,
+    pq_search,
+)
+from repro.core.metric import EuclideanMetric, normalize_rows
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(0)
+    centers = normalize_rows(rng.normal(size=(10, 8)))
+    data = centers[rng.choice(10, size=300)] + rng.normal(scale=0.05, size=(300, 8))
+    return normalize_rows(data)
+
+
+class TestProductQuantizer:
+    def test_codes_shape_and_range(self, points):
+        pq = ProductQuantizer(n_subspaces=4, n_centroids=16).fit(points)
+        codes = pq.encode(points)
+        assert codes.shape == (300, 4)
+        assert codes.max() < 16
+
+    def test_reconstruction_error_reasonable(self, points):
+        """ADC distance of a vector to itself must be small on clusterable data."""
+        pq = ProductQuantizer(n_subspaces=4, n_centroids=32).fit(points)
+        codes = pq.encode(points)
+        self_distances = [
+            pq.approximate_distances(points[i], codes[i : i + 1])[0] for i in range(20)
+        ]
+        assert float(np.mean(self_distances)) < 0.3
+
+    def test_adc_approximates_true_distance(self, points):
+        pq = ProductQuantizer(n_subspaces=4, n_centroids=32).fit(points)
+        codes = pq.encode(points)
+        metric = EuclideanMetric()
+        q = points[0]
+        approx = pq.approximate_distances(q, codes)
+        exact = metric.distances_to(q, points)
+        # mean absolute error well below the data scale
+        assert float(np.mean(np.abs(approx - exact))) < 0.25
+
+    def test_more_centroids_reduce_error(self, points):
+        q = points[1]
+        errors = []
+        for ks in (4, 64):
+            pq = ProductQuantizer(n_subspaces=4, n_centroids=ks).fit(points)
+            codes = pq.encode(points)
+            approx = pq.approximate_distances(q, codes)
+            exact = EuclideanMetric().distances_to(q, points)
+            errors.append(float(np.mean(np.abs(approx - exact))))
+        assert errors[1] <= errors[0]
+
+    @pytest.mark.parametrize("bad", [dict(n_subspaces=0), dict(n_centroids=0), dict(n_centroids=300)])
+    def test_invalid_params(self, bad):
+        with pytest.raises(ValueError):
+            ProductQuantizer(**bad)
+
+    def test_more_subspaces_than_dims(self, points):
+        with pytest.raises(ValueError):
+            ProductQuantizer(n_subspaces=16).fit(points[:, :4])
+
+
+class TestRangeIndex:
+    def test_range_query_is_approximate_but_nonempty(self, points):
+        index = PQRangeIndex(points, ProductQuantizer(4, 32).fit(points))
+        hits = index.range_query(points[0], 0.3)
+        assert len(hits) > 0
+
+    def test_radius_scale_grows_results(self, points):
+        pq = ProductQuantizer(4, 32).fit(points)
+        narrow = PQRangeIndex(points, pq, radius_scale=0.5)
+        wide = PQRangeIndex(points, pq, radius_scale=2.0)
+        q = points[5]
+        assert len(wide.range_query(q, 0.3)) >= len(narrow.range_query(q, 0.3))
+
+    def test_memory_smaller_than_raw(self, points):
+        index = PQRangeIndex(points, ProductQuantizer(4, 16).fit(points))
+        assert index.memory_bytes() < points.nbytes
+
+
+class TestCalibration:
+    def test_reaches_target_recall(self, points):
+        index = PQRangeIndex(points, ProductQuantizer(4, 16).fit(points))
+        queries = points[:15]
+        tau = 0.3
+        scale = calibrate_radius_scale(index, queries, tau, target_recall=0.85)
+        index.radius_scale = scale
+        metric = EuclideanMetric()
+        found = total = 0
+        for q in queries:
+            truth = set(np.nonzero(metric.distances_to(q, points) <= tau)[0].tolist())
+            hits = set(index.range_query(q, tau).tolist())
+            found += len(hits & truth)
+            total += len(truth)
+        assert found / total >= 0.80  # binary-search resolution slack
+
+    def test_higher_target_needs_no_smaller_scale(self, points):
+        index = PQRangeIndex(points, ProductQuantizer(4, 16).fit(points))
+        queries = points[:10]
+        s75 = calibrate_radius_scale(index, queries, 0.3, 0.75)
+        s95 = calibrate_radius_scale(index, queries, 0.3, 0.95)
+        assert s95 >= s75
+
+    def test_invalid_target(self, points):
+        index = PQRangeIndex(points, ProductQuantizer(4, 16).fit(points))
+        with pytest.raises(ValueError):
+            calibrate_radius_scale(index, points[:3], 0.3, 0.0)
+
+
+class TestPqSearch:
+    def test_search_runs_and_returns_result(self, small_columns, small_query):
+        result = pq_search(small_columns, small_query, 0.8, 0.3)
+        assert result.t_count >= 1
+        assert all(hit.column_id < len(small_columns) for hit in result.joinable)
+
+    def test_prebuilt_index(self, small_columns, small_query):
+        index, col_of_row = build_pq_index(small_columns, n_subspaces=4, n_centroids=16)
+        result = pq_search(
+            small_columns, small_query, 0.8, 0.3, index=index, column_of_row=col_of_row
+        )
+        assert isinstance(result.column_ids, list)

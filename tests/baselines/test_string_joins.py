@@ -1,0 +1,98 @@
+"""Tests for the string-similarity join baselines (Tables IV/V)."""
+
+import pytest
+
+from repro.baselines.string_joins import (
+    edit_join_search,
+    equi_join_search,
+    fuzzy_join_search,
+    jaccard_join_search,
+    tfidf_join_search,
+)
+
+QUERY = ["mario party", "zelda quest", "metroid fusion", "pokemon red"]
+
+COLUMNS = [
+    # 0: exact matches for 3/4 query values
+    ["mario party", "zelda quest", "metroid fusion", "tetris"],
+    # 1: misspelled variants (no exact matches)
+    ["mario partu", "zelda qest", "metroid fusoin", "tetris"],
+    # 2: unrelated
+    ["halo", "doom", "quake", "myst"],
+    # 3: token-overlapping variants
+    ["party mario", "quest zelda", "fusion metroid", "red pokemon"],
+]
+
+
+class TestEquiJoin:
+    def test_exact_matches_only(self):
+        result = equi_join_search(COLUMNS, QUERY, joinability=0.5)
+        assert result.column_ids == [0]
+
+    def test_match_count(self):
+        result = equi_join_search(COLUMNS, QUERY, joinability=0.5)
+        assert result.joinable[0].match_count == 3
+
+    def test_high_threshold_excludes(self):
+        assert equi_join_search(COLUMNS, QUERY, joinability=1.0).column_ids == []
+
+    def test_duplicates_in_query_counted_independently(self):
+        result = equi_join_search([["a", "b"]], ["a", "a", "z"], joinability=0.5)
+        assert result.joinable[0].match_count == 2
+
+
+class TestEditJoin:
+    def test_recovers_misspellings(self):
+        result = edit_join_search(COLUMNS, QUERY, joinability=0.5, theta=0.8)
+        assert 0 in result.column_ids
+        assert 1 in result.column_ids
+        assert 2 not in result.column_ids
+
+    def test_strict_theta_reduces_matches(self):
+        loose = edit_join_search(COLUMNS, QUERY, 0.5, theta=0.7)
+        strict = edit_join_search(COLUMNS, QUERY, 0.5, theta=0.99)
+        assert set(strict.column_ids) <= set(loose.column_ids)
+
+
+class TestJaccardJoin:
+    def test_token_reorder_matches(self):
+        result = jaccard_join_search(COLUMNS, QUERY, joinability=0.5, theta=0.9)
+        assert 3 in result.column_ids  # same tokens, different order
+        assert 1 not in result.column_ids  # different tokens entirely
+
+    def test_exact_also_matches(self):
+        result = jaccard_join_search(COLUMNS, QUERY, joinability=0.5, theta=0.9)
+        assert 0 in result.column_ids
+
+
+class TestFuzzyJoin:
+    def test_recovers_token_level_typos(self):
+        result = fuzzy_join_search(COLUMNS, QUERY, joinability=0.5, theta=0.6, delta=0.75)
+        assert 0 in result.column_ids
+        assert 1 in result.column_ids
+        assert 3 in result.column_ids
+        assert 2 not in result.column_ids
+
+
+class TestTfidfJoin:
+    def test_matches_exact_and_reordered(self):
+        result = tfidf_join_search(COLUMNS, QUERY, joinability=0.5, theta=0.8)
+        assert 0 in result.column_ids
+        assert 3 in result.column_ids
+        assert 2 not in result.column_ids
+
+
+class TestRecallOrdering:
+    def test_semantic_blindspot_of_all_string_methods(self):
+        """Synonyms defeat every string matcher — the paper's motivation."""
+        synonym_column = [["pacific islander", "mainland indigenous"]]
+        query = ["hawaiian guamanian samoan", "american indian alaska native"]
+        for search, kwargs in [
+            (equi_join_search, {}),
+            (jaccard_join_search, dict(theta=0.5)),
+            (edit_join_search, dict(theta=0.7)),
+            (fuzzy_join_search, dict(theta=0.4)),
+            (tfidf_join_search, dict(theta=0.5)),
+        ]:
+            result = search(synonym_column, query, joinability=0.5, **kwargs)
+            assert result.column_ids == [], search.__name__

@@ -1,0 +1,139 @@
+"""Tests for all-pairs joinable discovery."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact_naive import naive_search
+from repro.core.allpairs import discover_joinable_pairs
+from repro.core.index import PexesoIndex
+from repro.core.metric import normalize_rows
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(3)
+    centers = normalize_rows(rng.normal(size=(8, 6)))
+    columns = []
+    for _ in range(15):
+        picks = rng.choice(8, size=int(rng.integers(4, 12)))
+        columns.append(
+            normalize_rows(centers[picks] + rng.normal(scale=0.04, size=(len(picks), 6)))
+        )
+    index = PexesoIndex.build(columns, n_pivots=3, levels=3)
+    return columns, index
+
+
+TAU = 0.2
+T = 0.5
+
+
+def _naive_graph(columns, include_self=False):
+    edges = set()
+    for qid, query in enumerate(columns):
+        for hit in naive_search(columns, query, TAU, T).joinable:
+            if hit.column_id == qid and not include_self:
+                continue
+            edges.add((qid, hit.column_id))
+    return edges
+
+
+class TestGraph:
+    def test_matches_naive_all_pairs(self, setup):
+        columns, index = setup
+        graph = discover_joinable_pairs(index, TAU, T)
+        got = {(e.query_column, e.target_column) for e in graph.edges}
+        assert got == _naive_graph(columns)
+
+    def test_self_edges_controlled(self, setup):
+        columns, index = setup
+        without = discover_joinable_pairs(index, TAU, T)
+        with_self = discover_joinable_pairs(index, TAU, T, include_self=True)
+        self_edges = {
+            (e.query_column, e.target_column)
+            for e in with_self.edges
+            if e.query_column == e.target_column
+        }
+        assert self_edges == {(c, c) for c in range(len(columns))}
+        assert not any(e.query_column == e.target_column for e in without.edges)
+
+    def test_direction_matters(self, setup):
+        """jn is asymmetric: a small column inside a big one joins fully
+        one way but not necessarily the other."""
+        columns, index = setup
+        graph = discover_joinable_pairs(index, TAU, T)
+        directed = {(e.query_column, e.target_column) for e in graph.edges}
+        asymmetric = [(a, b) for a, b in directed if (b, a) not in directed]
+        # with heterogeneous column sizes some asymmetry is expected
+        assert isinstance(asymmetric, list)
+
+    def test_neighbours(self, setup):
+        columns, index = setup
+        graph = discover_joinable_pairs(index, TAU, T)
+        for edge in graph.neighbours(0):
+            assert edge.query_column == 0
+
+    def test_mutual_subset_of_undirected(self, setup):
+        columns, index = setup
+        graph = discover_joinable_pairs(index, TAU, T)
+        assert graph.mutual_pairs() <= graph.undirected_pairs()
+
+    def test_restricted_query_side(self, setup):
+        columns, index = setup
+        graph = discover_joinable_pairs(index, TAU, T, column_ids=[2, 5])
+        assert {e.query_column for e in graph.edges} <= {2, 5}
+
+    def test_unknown_column_id(self, setup):
+        _, index = setup
+        with pytest.raises(KeyError):
+            discover_joinable_pairs(index, TAU, T, column_ids=[999])
+
+    def test_stats_accumulated(self, setup):
+        _, index = setup
+        graph = discover_joinable_pairs(index, TAU, T)
+        assert graph.stats.pivot_mapping_distances > 0
+
+    def test_unbuilt_index(self):
+        with pytest.raises(RuntimeError):
+            discover_joinable_pairs(PexesoIndex(), TAU, T)
+
+    def test_deleted_column_not_queried(self, setup):
+        columns, _ = setup
+        index = PexesoIndex.build(columns, n_pivots=3, levels=3)
+        index.delete_column(4)
+        graph = discover_joinable_pairs(index, TAU, T)
+        assert all(e.query_column != 4 for e in graph.edges)
+        assert all(e.target_column != 4 for e in graph.edges)
+
+
+class TestNetworkxExport:
+    def test_directed_graph_edges(self, setup):
+        columns, index = setup
+        graph = discover_joinable_pairs(index, TAU, T)
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_edges() == len(graph.edges)
+        for edge in graph.edges:
+            data = nx_graph.edges[edge.query_column, edge.target_column]
+            assert data["joinability"] == pytest.approx(edge.joinability)
+            assert data["match_count"] == edge.match_count
+
+    def test_undirected_collapses_mutual_edges(self, setup):
+        columns, index = setup
+        graph = discover_joinable_pairs(index, TAU, T)
+        undirected = graph.to_networkx(directed=False)
+        assert undirected.number_of_edges() == len(graph.undirected_pairs())
+
+    def test_table_clusters_partition_connected_columns(self, setup):
+        columns, index = setup
+        graph = discover_joinable_pairs(index, TAU, T)
+        clusters = graph.table_clusters()
+        seen = set()
+        for cluster in clusters:
+            assert not (cluster & seen)  # disjoint
+            seen |= cluster
+        edge_columns = {e.query_column for e in graph.edges} | {
+            e.target_column for e in graph.edges
+        }
+        assert seen == edge_columns
+        # sorted by size, largest first
+        sizes = [len(c) for c in clusters]
+        assert sizes == sorted(sizes, reverse=True)

@@ -1,0 +1,70 @@
+"""Tests for the shared Lloyd k-means."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import lloyd_kmeans
+
+
+class TestLloydKmeans:
+    def test_separable_blobs_recovered(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(loc=0.0, scale=0.1, size=(30, 2))
+        b = rng.normal(loc=5.0, scale=0.1, size=(30, 2))
+        points = np.vstack([a, b])
+        labels, centers = lloyd_kmeans(points, 2, rng=rng)
+        assert len(set(labels[:30])) == 1
+        assert len(set(labels[30:])) == 1
+        assert labels[0] != labels[30]
+
+    def test_labels_shape_and_range(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(50, 3))
+        labels, centers = lloyd_kmeans(points, 4, rng=rng)
+        assert labels.shape == (50,)
+        assert centers.shape == (4, 3)
+        assert set(labels) <= set(range(4))
+
+    def test_k_clamped_to_n(self):
+        points = np.eye(3)
+        labels, centers = lloyd_kmeans(points, 10)
+        assert centers.shape[0] == 3
+
+    def test_k_one(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(20, 2))
+        labels, centers = lloyd_kmeans(points, 1, rng=rng)
+        assert (labels == 0).all()
+        np.testing.assert_allclose(centers[0], points.mean(axis=0), atol=1e-9)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            lloyd_kmeans(np.zeros((0, 2)), 2)
+
+    def test_deterministic_given_rng(self):
+        points = np.random.default_rng(3).normal(size=(40, 2))
+        l1, _ = lloyd_kmeans(points, 3, rng=np.random.default_rng(9))
+        l2, _ = lloyd_kmeans(points, 3, rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(l1, l2)
+
+    def test_custom_distance_and_mean(self):
+        """Manhattan k-means via custom callbacks still converges."""
+        rng = np.random.default_rng(4)
+        points = np.vstack([
+            rng.normal(loc=0, scale=0.05, size=(20, 2)),
+            rng.normal(loc=3, scale=0.05, size=(20, 2)),
+        ])
+
+        def l1(pts, centers):
+            return np.abs(pts[:, None, :] - centers[None, :, :]).sum(axis=2)
+
+        def median(members):
+            return np.median(members, axis=0)
+
+        labels, _ = lloyd_kmeans(points, 2, rng=rng, distance=l1, mean=median)
+        assert labels[0] != labels[-1]
+
+    def test_no_empty_clusters_on_duplicates(self):
+        points = np.tile([[1.0, 1.0]], (10, 1))
+        labels, centers = lloyd_kmeans(points, 3)
+        assert labels.shape == (10,)

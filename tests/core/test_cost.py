@@ -1,0 +1,119 @@
+"""Tests for the cost model and optimal-m selection (§III-E)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import (
+    MappedDensityModel,
+    choose_optimal_m,
+    estimate_workload_cost,
+    sample_workload,
+)
+from repro.core.metric import EuclideanMetric, normalize_rows
+from repro.core.pivot import PivotSpace
+
+
+@pytest.fixture(scope="module")
+def mapped_setup():
+    rng = np.random.default_rng(0)
+    data = normalize_rows(rng.normal(size=(400, 8)))
+    space = PivotSpace(data[:3], EuclideanMetric())
+    mapped = space.map_vectors(data)
+    mapped_columns = [
+        space.map_vectors(normalize_rows(rng.normal(size=(12, 8)))) for _ in range(10)
+    ]
+    return mapped, space.extent, mapped_columns
+
+
+class TestDensityModel:
+    def test_interval_counts_sum_to_n(self, mapped_setup):
+        mapped, extent, _ = mapped_setup
+        model = MappedDensityModel(mapped, extent)
+        for dim in range(mapped.shape[1]):
+            assert model._interval_count(dim, 0.0, extent) == pytest.approx(400)
+
+    def test_interval_monotone_in_width(self, mapped_setup):
+        mapped, extent, _ = mapped_setup
+        model = MappedDensityModel(mapped, extent)
+        center = float(mapped[:, 0].mean())
+        narrow = model._interval_count(0, center - 0.1, center + 0.1)
+        wide = model._interval_count(0, center - 0.4, center + 0.4)
+        assert wide >= narrow
+
+    def test_empty_interval(self, mapped_setup):
+        mapped, extent, _ = mapped_setup
+        model = MappedDensityModel(mapped, extent)
+        assert model._interval_count(0, 1.0, 1.0) == 0.0
+        assert model._interval_count(0, 1.5, 1.0) == 0.0
+
+    def test_nmax_upper_bounds_true_count(self, mapped_setup):
+        """Eq. 2 must over-approximate the vectors inside the SQR."""
+        mapped, extent, _ = mapped_setup
+        model = MappedDensityModel(mapped, extent, n_bins=256)
+        levels = 4
+        half_cell = extent / (1 << levels) / 2
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            q = mapped[rng.integers(400)]
+            tau = float(rng.uniform(0.05, 0.5))
+            inside = (np.abs(mapped - q) <= tau).all(axis=1).sum()
+            bound = model.nmax_sqr(q, tau, levels)
+            # allow 1-bin interpolation slack around the boundary
+            assert bound >= inside - model.n_vectors / model.n_bins - 1
+
+    def test_nmax_decreases_with_levels(self, mapped_setup):
+        mapped, extent, _ = mapped_setup
+        model = MappedDensityModel(mapped, extent)
+        q = mapped[0]
+        coarse = model.nmax_sqr(q, 0.1, levels=1)
+        fine = model.nmax_sqr(q, 0.1, levels=6)
+        assert fine <= coarse
+
+    def test_empty_model_raises(self):
+        with pytest.raises(ValueError):
+            MappedDensityModel(np.zeros((0, 2)), 2.0)
+
+
+class TestWorkloadCost:
+    def test_cost_nonnegative(self, mapped_setup):
+        mapped, extent, mapped_columns = mapped_setup
+        workload = [(mapped_columns[0], 0.2), (mapped_columns[1], 0.4)]
+        cost = estimate_workload_cost(mapped, extent, workload, levels=3)
+        assert cost >= 0.0
+
+    def test_cost_grows_with_tau(self, mapped_setup):
+        mapped, extent, mapped_columns = mapped_setup
+        small = estimate_workload_cost(mapped, extent, [(mapped_columns[0], 0.05)], 3)
+        large = estimate_workload_cost(mapped, extent, [(mapped_columns[0], 0.8)], 3)
+        assert large >= small
+
+
+class TestSampleWorkload:
+    def test_sizes_and_tau_range(self, mapped_setup):
+        mapped, extent, mapped_columns = mapped_setup
+        workload = sample_workload(mapped_columns, extent, n_queries=5,
+                                   rng=np.random.default_rng(2))
+        assert len(workload) == 5
+        for q_mapped, tau in workload:
+            assert 0.02 * extent <= tau <= 0.10 * extent
+            assert q_mapped.ndim == 2
+
+    def test_fewer_columns_than_queries(self, mapped_setup):
+        mapped, extent, mapped_columns = mapped_setup
+        workload = sample_workload(mapped_columns[:2], extent, n_queries=10)
+        assert len(workload) == 2
+
+
+class TestChooseOptimalM:
+    def test_returns_candidate(self, mapped_setup):
+        mapped, extent, mapped_columns = mapped_setup
+        workload = sample_workload(mapped_columns, extent, n_queries=4)
+        best, costs = choose_optimal_m(mapped, extent, workload, m_candidates=range(1, 6))
+        assert best in range(1, 6)
+        assert set(costs) == set(range(1, 6))
+
+    def test_best_minimises_profile(self, mapped_setup):
+        mapped, extent, mapped_columns = mapped_setup
+        workload = sample_workload(mapped_columns, extent, n_queries=4)
+        best, costs = choose_optimal_m(mapped, extent, workload, m_candidates=range(1, 6))
+        assert costs[best] == min(costs.values())

@@ -1,0 +1,147 @@
+"""Tests for the sparse hierarchical grid."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import HierarchicalGrid
+
+
+@pytest.fixture()
+def mapped():
+    rng = np.random.default_rng(0)
+    return rng.uniform(0.0, 2.0, size=(100, 3))
+
+
+class TestConstruction:
+    def test_every_vector_lands_in_one_leaf(self, mapped):
+        grid = HierarchicalGrid.build(mapped, levels=3, extent=2.0)
+        members = [m for cell in grid.leaf_cells.values() for m in cell.members]
+        assert sorted(members) == list(range(100))
+
+    def test_leaf_count_bounded_by_vectors(self, mapped):
+        grid = HierarchicalGrid.build(mapped, levels=4, extent=2.0)
+        assert len(grid.leaf_cells) <= 100
+
+    def test_level_cell_counts_are_monotone(self, mapped):
+        grid = HierarchicalGrid.build(mapped, levels=4, extent=2.0)
+        sizes = [len(grid.cells[level]) for level in range(1, 5)]
+        assert sizes == sorted(sizes)
+
+    def test_root_children_cover_level1(self, mapped):
+        grid = HierarchicalGrid.build(mapped, levels=3, extent=2.0)
+        assert {c.coords for c in grid.root.children} == set(grid.cells[1])
+
+    def test_parent_child_nesting(self, mapped):
+        grid = HierarchicalGrid.build(mapped, levels=3, extent=2.0)
+        for level in range(1, 3):
+            for cell in grid.iter_cells(level):
+                for child in cell.children:
+                    assert child.level == level + 1
+                    assert tuple(c >> 1 for c in child.coords) == cell.coords
+
+    def test_vectors_inside_their_leaf_box(self, mapped):
+        grid = HierarchicalGrid.build(mapped, levels=3, extent=2.0)
+        for cell in grid.leaf_cells.values():
+            lo, hi = grid.cell_box(cell)
+            for m in cell.members:
+                # boundary values may be clipped into the last cell
+                assert (mapped[m] >= lo - 1e-9).all()
+                assert (mapped[m] <= hi + 1e-9).all() or np.isclose(
+                    mapped[m], 2.0
+                ).any()
+
+    def test_boundary_value_clipped_to_last_cell(self):
+        grid = HierarchicalGrid.build(np.array([[2.0, 2.0]]), levels=2, extent=2.0)
+        assert list(grid.leaf_cells) == [(3, 3)]
+
+    def test_store_members_false(self, mapped):
+        grid = HierarchicalGrid.build(mapped, levels=2, extent=2.0, store_members=False)
+        assert all(not cell.members for cell in grid.leaf_cells.values())
+        with pytest.raises(RuntimeError):
+            grid.subtree_members(grid.root)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_invalid_levels(self, bad):
+        with pytest.raises(ValueError):
+            HierarchicalGrid(2, bad, 2.0)
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            HierarchicalGrid(2, 2, 0.0)
+
+    def test_dim_mismatch_on_insert(self, mapped):
+        grid = HierarchicalGrid.build(mapped, levels=2, extent=2.0)
+        with pytest.raises(ValueError):
+            grid.insert(np.zeros((2, 5)))
+
+
+class TestGeometry:
+    def test_cell_size_halves_per_level(self):
+        grid = HierarchicalGrid(2, 3, extent=2.0)
+        assert grid.cell_size(1) == 1.0
+        assert grid.cell_size(2) == 0.5
+        assert grid.cell_size(3) == 0.25
+
+    def test_cell_box(self):
+        grid = HierarchicalGrid.build(np.array([[0.6, 1.4]]), levels=2, extent=2.0)
+        cell = next(iter(grid.leaf_cells.values()))
+        lo, hi = grid.cell_box(cell)
+        np.testing.assert_allclose(hi - lo, 0.5)
+        assert (np.array([0.6, 1.4]) >= lo).all()
+        assert (np.array([0.6, 1.4]) <= hi).all()
+
+    def test_root_box_is_whole_space(self):
+        grid = HierarchicalGrid(3, 2, extent=2.0)
+        lo, hi = grid.cell_box(grid.root)
+        np.testing.assert_allclose(lo, 0.0)
+        np.testing.assert_allclose(hi, 2.0)
+
+    def test_leaf_coords_match_manual_formula(self, mapped):
+        grid = HierarchicalGrid.build(mapped, levels=3, extent=2.0)
+        coords = grid.leaf_coords_for(mapped)
+        manual = np.clip((mapped / (2.0 / 8)).astype(int), 0, 7)
+        np.testing.assert_array_equal(coords, manual)
+
+
+class TestTraversal:
+    def test_subtree_leaves_of_root_is_all(self, mapped):
+        grid = HierarchicalGrid.build(mapped, levels=3, extent=2.0)
+        leaves = grid.subtree_leaves(grid.root)
+        assert {leaf.coords for leaf in leaves} == set(grid.leaf_cells)
+
+    def test_subtree_members_of_root_is_all(self, mapped):
+        grid = HierarchicalGrid.build(mapped, levels=3, extent=2.0)
+        assert sorted(grid.subtree_members(grid.root)) == list(range(100))
+
+    def test_subtree_of_leaf_is_itself(self, mapped):
+        grid = HierarchicalGrid.build(mapped, levels=3, extent=2.0)
+        leaf = next(iter(grid.leaf_cells.values()))
+        assert grid.subtree_leaves(leaf) == [leaf]
+
+    def test_n_cells(self, mapped):
+        grid = HierarchicalGrid.build(mapped, levels=3, extent=2.0)
+        assert grid.n_cells == sum(len(grid.cells[level]) for level in (1, 2, 3))
+
+
+class TestIncrementalInsert:
+    def test_insert_returns_leaf_coords(self):
+        grid = HierarchicalGrid(2, 2, extent=2.0)
+        coords = grid.insert(np.array([[0.1, 0.1], [1.9, 1.9]]))
+        assert coords == [(0, 0), (3, 3)]
+
+    def test_row_indices_continue_across_inserts(self):
+        grid = HierarchicalGrid(2, 2, extent=2.0)
+        grid.insert(np.array([[0.1, 0.1]]))
+        grid.insert(np.array([[0.1, 0.1]]))
+        cell = grid.leaf_cells[(0, 0)]
+        assert cell.members == [0, 1]
+
+    def test_insert_creates_ancestors_once(self):
+        grid = HierarchicalGrid(2, 3, extent=2.0)
+        grid.insert(np.array([[0.1, 0.1], [0.11, 0.11]]))
+        assert len(grid.cells[1]) == 1
+        assert len(grid.root.children) == 1
+
+    def test_memory_bytes_positive(self, mapped):
+        grid = HierarchicalGrid.build(mapped, levels=2, extent=2.0)
+        assert grid.memory_bytes() > 0

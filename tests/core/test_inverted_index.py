@@ -1,0 +1,103 @@
+"""Tests for the cell -> column inverted index."""
+
+import pytest
+
+from repro.core.inverted_index import InvertedIndex, Posting
+
+
+class TestAddColumn:
+    def test_basic_postings(self):
+        index = InvertedIndex()
+        index.add_column(0, [(0, 0), (0, 0), (1, 1)], first_row=0)
+        postings = index.postings((0, 0))
+        assert len(postings) == 1
+        assert postings[0].column_id == 0
+        assert postings[0].rows == [0, 1]
+        assert index.postings((1, 1))[0].rows == [2]
+
+    def test_postings_sorted_by_column(self):
+        index = InvertedIndex()
+        index.add_column(2, [(0, 0)], first_row=10)
+        index.add_column(0, [(0, 0)], first_row=0)
+        index.add_column(1, [(0, 0)], first_row=5)
+        assert [p.column_id for p in index.postings((0, 0))] == [0, 1, 2]
+
+    def test_unknown_cell_empty(self):
+        assert InvertedIndex().postings((9, 9)) == []
+
+    def test_contains(self):
+        index = InvertedIndex()
+        index.add_column(0, [(1, 2)], first_row=0)
+        assert (1, 2) in index
+        assert (0, 0) not in index
+
+    def test_n_cells_and_postings(self):
+        index = InvertedIndex()
+        index.add_column(0, [(0, 0), (1, 1)], first_row=0)
+        index.add_column(1, [(0, 0)], first_row=2)
+        assert index.n_cells == 2
+        assert index.n_postings == 3
+
+    def test_add_vector_merges_into_existing_posting(self):
+        index = InvertedIndex()
+        index.add_vector((0, 0), 3, 7)
+        index.add_vector((0, 0), 3, 8)
+        assert index.postings((0, 0))[0].rows == [7, 8]
+        assert index.n_postings == 1
+
+
+class TestDeleteColumn:
+    def test_delete_removes_postings(self):
+        index = InvertedIndex()
+        index.add_column(0, [(0, 0), (1, 1)], first_row=0)
+        index.add_column(1, [(0, 0)], first_row=2)
+        removed = index.delete_column(0)
+        assert removed == 2
+        assert [p.column_id for p in index.postings((0, 0))] == [1]
+
+    def test_delete_drops_empty_cells(self):
+        index = InvertedIndex()
+        index.add_column(0, [(5, 5)], first_row=0)
+        index.delete_column(0)
+        assert (5, 5) not in index
+        assert index.n_cells == 0
+
+    def test_delete_unknown_column_is_noop(self):
+        index = InvertedIndex()
+        index.add_column(0, [(0, 0)], first_row=0)
+        assert index.delete_column(42) == 0
+        assert index.n_postings == 1
+
+
+class TestColumnsInCells:
+    def test_merge_multiple_cells(self):
+        index = InvertedIndex()
+        index.add_column(1, [(0, 0), (1, 1)], first_row=0)
+        index.add_column(0, [(1, 1)], first_row=2)
+        merged = index.columns_in_cells([(0, 0), (1, 1)])
+        assert list(merged) == [0, 1]  # DaaT order
+        assert merged[1] == [0, 1]
+        assert merged[0] == [2]
+
+    def test_daat_order_increasing(self):
+        index = InvertedIndex()
+        for col in (5, 3, 9, 1):
+            index.add_column(col, [(0, 0)], first_row=col * 10)
+        merged = index.columns_in_cells([(0, 0)])
+        assert list(merged) == sorted(merged)
+
+    def test_empty_cells_ignored(self):
+        index = InvertedIndex()
+        index.add_column(0, [(0, 0)], first_row=0)
+        assert index.columns_in_cells([(7, 7)]) == {}
+
+    def test_memory_bytes_positive(self):
+        index = InvertedIndex()
+        index.add_column(0, [(0, 0)], first_row=0)
+        assert index.memory_bytes() > 0
+
+
+class TestPostingOrdering:
+    def test_lt_by_column(self):
+        assert Posting(1, []) < Posting(2, [])
+        assert not Posting(2, []) < Posting(1, [])

@@ -1,0 +1,100 @@
+"""Tests for the partitioned / out-of-core search (§IV)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact_naive import naive_search
+from repro.core.metric import normalize_rows
+from repro.core.out_of_core import PartitionedPexeso
+
+
+@pytest.fixture(scope="module")
+def columns():
+    rng = np.random.default_rng(0)
+    return [normalize_rows(rng.normal(size=(rng.integers(4, 16), 6))) for _ in range(30)]
+
+
+@pytest.fixture(scope="module")
+def query():
+    return normalize_rows(np.random.default_rng(1).normal(size=(10, 6)))
+
+
+class TestInMemoryPartitions:
+    @pytest.mark.parametrize("partitioner", ["jsd", "average-kmeans", "random"])
+    def test_partitioned_search_is_exact(self, columns, query, partitioner):
+        lake = PartitionedPexeso(
+            n_pivots=3, levels=3, n_partitions=4, partitioner=partitioner
+        ).fit(columns)
+        got = lake.search(query, 0.8, 0.3).column_ids
+        want = naive_search(columns, query, 0.8, 0.3).column_ids
+        assert got == want
+
+    @pytest.mark.parametrize("n_partitions", [1, 2, 5, 30])
+    def test_any_partition_count_is_exact(self, columns, query, n_partitions):
+        lake = PartitionedPexeso(n_pivots=2, levels=2, n_partitions=n_partitions).fit(columns)
+        got = lake.search(query, 0.7, 0.2).column_ids
+        want = naive_search(columns, query, 0.7, 0.2).column_ids
+        assert got == want
+
+    def test_global_column_ids_preserved(self, columns, query):
+        lake = PartitionedPexeso(n_pivots=3, levels=3, n_partitions=3).fit(columns)
+        result = lake.search(columns[17][:4], tau=1e-6, joinability=1.0)
+        assert 17 in result.column_ids
+
+    def test_results_sorted(self, columns, query):
+        lake = PartitionedPexeso(n_pivots=3, levels=3, n_partitions=3).fit(columns)
+        ids = lake.search(query, 1.2, 0.2).column_ids
+        assert ids == sorted(ids)
+
+    def test_stats_merged(self, columns, query):
+        lake = PartitionedPexeso(n_pivots=3, levels=3, n_partitions=3).fit(columns)
+        result = lake.search(query, 0.8, 0.3)
+        assert result.stats.pivot_mapping_distances > 0
+
+    def test_labels_cover_all_columns(self, columns):
+        lake = PartitionedPexeso(n_partitions=4).fit(columns)
+        assert lake.labels.shape == (30,)
+        assert lake.n_columns == 30
+        assigned = [cid for part in lake.partition_columns for cid in part]
+        assert sorted(assigned) == list(range(30))
+
+
+class TestSpilledPartitions:
+    def test_spill_and_search(self, columns, query, tmp_path):
+        lake = PartitionedPexeso(
+            n_pivots=3, levels=3, n_partitions=3, spill_dir=tmp_path
+        ).fit(columns)
+        # every partition should be on disk, none resident
+        assert len(list(tmp_path.glob("partition_*.pkl"))) >= 1
+        assert lake.memory_bytes() == 0
+        got = lake.search(query, 0.8, 0.3).column_ids
+        want = naive_search(columns, query, 0.8, 0.3).column_ids
+        assert got == want
+
+    def test_spilled_matches_resident(self, columns, query, tmp_path):
+        resident = PartitionedPexeso(n_pivots=3, levels=3, n_partitions=3, seed=5).fit(columns)
+        spilled = PartitionedPexeso(
+            n_pivots=3, levels=3, n_partitions=3, seed=5, spill_dir=tmp_path
+        ).fit(columns)
+        assert (
+            resident.search(query, 0.6, 0.3).column_ids
+            == spilled.search(query, 0.6, 0.3).column_ids
+        )
+
+
+class TestValidation:
+    def test_unknown_partitioner(self):
+        with pytest.raises(KeyError):
+            PartitionedPexeso(partitioner="magic")
+
+    def test_zero_partitions(self):
+        with pytest.raises(ValueError):
+            PartitionedPexeso(n_partitions=0)
+
+    def test_search_before_fit(self, query):
+        with pytest.raises(RuntimeError):
+            PartitionedPexeso().search(query, 0.5, 0.5)
+
+    def test_fit_empty(self):
+        with pytest.raises(ValueError):
+            PartitionedPexeso().fit([])

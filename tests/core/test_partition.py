@@ -1,0 +1,130 @@
+"""Tests for JSD partitioning (§IV)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metric import normalize_rows
+from repro.core.partition import (
+    HistogramSpace,
+    average_kmeans_partition,
+    column_histogram,
+    jensen_shannon_divergence,
+    jsd_kmeans_partition,
+    kl_divergence,
+    random_partition,
+)
+
+
+def _two_population_columns(seed=0, per_group=10):
+    """Columns drawn from two clearly different distributions."""
+    rng = np.random.default_rng(seed)
+    center_a = np.zeros(6)
+    center_a[0] = 1.0
+    center_b = np.zeros(6)
+    center_b[1] = -1.0
+    group_a = [
+        normalize_rows(center_a + rng.normal(scale=0.05, size=(12, 6)))
+        for _ in range(per_group)
+    ]
+    group_b = [
+        normalize_rows(center_b + rng.normal(scale=0.05, size=(12, 6)))
+        for _ in range(per_group)
+    ]
+    return group_a, group_b
+
+
+class TestDivergences:
+    def test_kl_zero_on_identical(self):
+        p = np.array([0.25, 0.25, 0.5])
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_kl_nonnegative(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            p = rng.dirichlet(np.ones(8))
+            q = rng.dirichlet(np.ones(8))
+            assert kl_divergence(p, q) >= -1e-12
+
+    def test_kl_asymmetric(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.5, 0.5])
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_jsd_symmetric(self):
+        rng = np.random.default_rng(1)
+        p = rng.dirichlet(np.ones(8))
+        q = rng.dirichlet(np.ones(8))
+        assert jensen_shannon_divergence(p, q) == pytest.approx(
+            jensen_shannon_divergence(q, p)
+        )
+
+    def test_jsd_zero_iff_equal(self):
+        p = np.array([0.3, 0.7])
+        assert jensen_shannon_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+        assert jensen_shannon_divergence(p, np.array([0.7, 0.3])) > 0.01
+
+    def test_smoothing_handles_zeros(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert np.isfinite(jensen_shannon_divergence(p, q))
+
+
+class TestHistogramSpace:
+    def test_histogram_normalised(self):
+        rng = np.random.default_rng(2)
+        sample = rng.normal(size=(100, 5))
+        space = HistogramSpace(sample)
+        hist = space.histogram(sample[:30])
+        assert hist.sum() == pytest.approx(1.0)
+        assert (hist >= 0).all()
+
+    def test_bins_count(self):
+        space = HistogramSpace(np.random.default_rng(3).normal(size=(50, 4)),
+                               n_dims=2, bins_per_dim=8)
+        assert space.n_bins == 64
+
+    def test_same_distribution_similar_histograms(self):
+        group_a, group_b = _two_population_columns()
+        sample = np.concatenate(group_a + group_b)
+        space = HistogramSpace(sample)
+        h_a1 = column_histogram(group_a[0], space)
+        h_a2 = column_histogram(group_a[1], space)
+        h_b = column_histogram(group_b[0], space)
+        assert jensen_shannon_divergence(h_a1, h_a2) < jensen_shannon_divergence(h_a1, h_b)
+
+    def test_out_of_range_vectors_clipped(self):
+        space = HistogramSpace(np.zeros((10, 3)) + 0.5)
+        hist = space.histogram(np.full((5, 3), 100.0))
+        assert hist.sum() == pytest.approx(1.0)
+
+
+class TestJsdKmeans:
+    def test_separates_two_populations(self):
+        group_a, group_b = _two_population_columns()
+        columns = group_a + group_b
+        labels = jsd_kmeans_partition(columns, 2, rng=np.random.default_rng(4))
+        assert len(set(labels[:10])) == 1
+        assert len(set(labels[10:])) == 1
+        assert labels[0] != labels[10]
+
+    def test_label_shape(self):
+        group_a, group_b = _two_population_columns(per_group=5)
+        labels = jsd_kmeans_partition(group_a + group_b, 3)
+        assert labels.shape == (10,)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            jsd_kmeans_partition([], 2)
+
+
+class TestBaselinePartitioners:
+    def test_random_partition_range(self):
+        labels = random_partition(100, 7, rng=np.random.default_rng(5))
+        assert labels.shape == (100,)
+        assert set(labels) <= set(range(7))
+
+    def test_average_kmeans_separates(self):
+        group_a, group_b = _two_population_columns()
+        labels = average_kmeans_partition(group_a + group_b, 2,
+                                          rng=np.random.default_rng(6))
+        assert labels[0] != labels[10]

@@ -1,0 +1,78 @@
+"""Tests for index save/load."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.index import PexesoIndex
+from repro.core.metric import ManhattanMetric, normalize_rows
+from repro.core.persistence import FORMAT_VERSION, load_index, save_index
+from repro.core.search import pexeso_search
+
+
+@pytest.fixture()
+def built(small_columns):
+    return PexesoIndex.build(small_columns, n_pivots=3, levels=3)
+
+
+class TestRoundtrip:
+    def test_identical_search_results(self, built, small_columns, small_query, tmp_path):
+        save_index(built, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx")
+        for tau in (0.3, 0.9):
+            assert (
+                pexeso_search(loaded, small_query, tau, 0.3).column_ids
+                == pexeso_search(built, small_query, tau, 0.3).column_ids
+            )
+
+    def test_vectors_preserved(self, built, tmp_path):
+        save_index(built, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx")
+        np.testing.assert_allclose(loaded.vectors, built.vectors)
+        np.testing.assert_allclose(loaded.mapped, built.mapped)
+
+    def test_metadata_preserved(self, built, tmp_path):
+        save_index(built, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx")
+        assert loaded.n_pivots == built.n_pivots
+        assert loaded.levels == built.levels
+        assert loaded.n_columns == built.n_columns
+        assert loaded.metric.name == built.metric.name
+
+    def test_loaded_index_supports_append(self, built, small_columns, tmp_path):
+        save_index(built, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx")
+        new_id = loaded.add_column(small_columns[0][:4].copy())
+        result = pexeso_search(loaded, small_columns[0][:4], 1e-6, 1.0)
+        assert new_id in result.column_ids
+
+    def test_non_default_metric(self, small_columns, small_query, tmp_path):
+        index = PexesoIndex.build(
+            small_columns, metric=ManhattanMetric(), n_pivots=2, levels=2
+        )
+        save_index(index, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx")
+        assert isinstance(loaded.metric, ManhattanMetric)
+        assert (
+            pexeso_search(loaded, small_query, 0.5, 0.3).column_ids
+            == pexeso_search(index, small_query, 0.5, 0.3).column_ids
+        )
+
+
+class TestValidation:
+    def test_unbuilt_index_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            save_index(PexesoIndex(), tmp_path / "idx")
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_index(tmp_path / "nope")
+
+    def test_version_mismatch(self, built, tmp_path):
+        save_index(built, tmp_path / "idx")
+        manifest = json.loads((tmp_path / "idx" / "manifest.json").read_text())
+        manifest["format_version"] = FORMAT_VERSION + 1
+        (tmp_path / "idx" / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="format"):
+            load_index(tmp_path / "idx")

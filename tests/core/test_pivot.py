@@ -1,0 +1,141 @@
+"""Tests for repro.core.pivot."""
+
+import numpy as np
+import pytest
+
+from repro.core.metric import EuclideanMetric, normalize_rows
+from repro.core.pivot import (
+    PivotSpace,
+    build_pivot_space,
+    select_pivots_fft,
+    select_pivots_pca,
+    select_pivots_random,
+)
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    return normalize_rows(np.random.default_rng(0).normal(size=(200, 8)))
+
+
+class TestSelectors:
+    @pytest.mark.parametrize(
+        "selector", [select_pivots_pca, select_pivots_random, select_pivots_fft]
+    )
+    def test_shape(self, selector, vectors):
+        pivots = selector(vectors, 4)
+        assert pivots.shape == (4, 8)
+
+    @pytest.mark.parametrize(
+        "selector", [select_pivots_pca, select_pivots_random, select_pivots_fft]
+    )
+    def test_pivots_distinct(self, selector, vectors):
+        pivots = selector(vectors, 5)
+        assert len({row.tobytes() for row in pivots}) == 5
+
+    def test_pca_deterministic(self, vectors):
+        rng1 = np.random.default_rng(7)
+        rng2 = np.random.default_rng(7)
+        np.testing.assert_array_equal(
+            select_pivots_pca(vectors, 3, rng=rng1),
+            select_pivots_pca(vectors, 3, rng=rng2),
+        )
+
+    def test_pca_picks_outliers(self):
+        # A dense blob plus two extreme points: the extremes must be chosen.
+        rng = np.random.default_rng(1)
+        blob = rng.normal(scale=0.01, size=(100, 2))
+        extremes = np.array([[10.0, 0.0], [-10.0, 0.0]])
+        data = np.vstack([blob, extremes])
+        pivots = select_pivots_pca(data, 2)
+        for extreme in extremes:
+            assert any(np.allclose(extreme, p) for p in pivots)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            select_pivots_pca(np.zeros((0, 3)), 2)
+        with pytest.raises(ValueError):
+            select_pivots_fft(np.zeros((0, 3)), 2)
+
+    def test_fewer_points_than_pivots(self):
+        data = np.eye(3)
+        pivots = select_pivots_pca(data, 5)
+        assert pivots.shape[0] <= 5
+
+    def test_fft_spreads(self, vectors):
+        """FFT pivots are pairwise farther apart than random ones on average."""
+        metric = EuclideanMetric()
+        fft = select_pivots_fft(vectors, 4, rng=np.random.default_rng(3))
+        rnd = select_pivots_random(vectors, 4, rng=np.random.default_rng(3))
+
+        def min_gap(pivots):
+            d = metric.pairwise(pivots, pivots)
+            return d[~np.eye(len(pivots), dtype=bool)].min()
+
+        assert min_gap(fft) >= min_gap(rnd)
+
+    def test_degenerate_duplicates(self):
+        data = np.tile(np.array([[1.0, 2.0]]), (10, 1))
+        pivots = select_pivots_fft(data, 3)
+        assert pivots.shape == (3, 2)
+
+
+class TestPivotSpace:
+    def test_mapping_values_are_distances(self, vectors):
+        metric = EuclideanMetric()
+        space = PivotSpace(vectors[:3], metric)
+        mapped = space.map_vectors(vectors[:10])
+        for i in range(10):
+            for j in range(3):
+                assert mapped[i, j] == pytest.approx(
+                    metric.distance(vectors[i], vectors[j]), abs=1e-9
+                )
+
+    def test_mapping_within_extent(self, vectors):
+        space = PivotSpace(vectors[:4], EuclideanMetric())
+        mapped = space.map_vectors(vectors)
+        assert mapped.min() >= 0.0
+        assert mapped.max() <= space.extent
+
+    def test_pivot_maps_to_zero_coordinate(self, vectors):
+        space = PivotSpace(vectors[:2], EuclideanMetric())
+        mapped = space.map_vectors(vectors[:2])
+        assert mapped[0, 0] == pytest.approx(0.0, abs=1e-9)
+        assert mapped[1, 1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_dimension_mismatch_raises(self, vectors):
+        space = PivotSpace(vectors[:2], EuclideanMetric())
+        with pytest.raises(ValueError, match="dim"):
+            space.map_vectors(np.zeros((3, 5)))
+
+    def test_empty_pivots_raise(self):
+        with pytest.raises(ValueError):
+            PivotSpace(np.zeros((0, 4)), EuclideanMetric())
+
+    def test_extent_default_is_metric_bound(self, vectors):
+        space = PivotSpace(vectors[:2], EuclideanMetric())
+        assert space.extent == 2.0
+
+    def test_explicit_extent(self, vectors):
+        space = PivotSpace(vectors[:2], EuclideanMetric(), extent=3.5)
+        assert space.extent == 3.5
+
+    def test_invalid_extent(self, vectors):
+        with pytest.raises(ValueError):
+            PivotSpace(vectors[:2], EuclideanMetric(), extent=0.0)
+
+    def test_properties(self, vectors):
+        space = PivotSpace(vectors[:3], EuclideanMetric())
+        assert space.n_pivots == 3
+        assert space.dim == 8
+
+
+class TestBuildPivotSpace:
+    def test_methods(self, vectors):
+        for method in ("pca", "random", "fft"):
+            space = build_pivot_space(vectors, 3, EuclideanMetric(), method=method)
+            assert space.n_pivots == 3
+
+    def test_unknown_method(self, vectors):
+        with pytest.raises(KeyError, match="unknown pivot selector"):
+            build_pivot_space(vectors, 3, EuclideanMetric(), method="magic")

@@ -1,0 +1,70 @@
+"""Tests for threshold recommendation."""
+
+import numpy as np
+import pytest
+
+from repro.core.metric import normalize_rows
+from repro.core.recommend import match_rate_profile, sample_repository, suggest_tau
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    centers = normalize_rows(rng.normal(size=(10, 8)))
+    repo = normalize_rows(
+        centers[rng.choice(10, size=400)] + rng.normal(scale=0.03, size=(400, 8))
+    )
+    queries = normalize_rows(
+        centers[rng.choice(10, size=40)] + rng.normal(scale=0.03, size=(40, 8))
+    )
+    return repo, queries
+
+
+class TestSuggestTau:
+    def test_achieves_target_rate(self, data):
+        repo, queries = data
+        for target in (0.3, 0.6, 0.9):
+            tau = suggest_tau(queries, repo, target_match_rate=target)
+            nearest = np.min(
+                np.linalg.norm(queries[:, None, :] - repo[None, :, :], axis=2), axis=1
+            )
+            achieved = (nearest <= tau).mean()
+            assert achieved >= target - 1e-9
+
+    def test_monotone_in_target(self, data):
+        repo, queries = data
+        taus = [suggest_tau(queries, repo, t) for t in (0.2, 0.5, 0.8)]
+        assert taus == sorted(taus)
+
+    def test_invalid_target(self, data):
+        repo, queries = data
+        with pytest.raises(ValueError):
+            suggest_tau(queries, repo, 0.0)
+        with pytest.raises(ValueError):
+            suggest_tau(queries, repo, 1.5)
+
+
+class TestProfile:
+    def test_profile_monotone(self, data):
+        repo, queries = data
+        profile = match_rate_profile(queries, repo, [0.01, 0.1, 0.5, 2.0])
+        values = list(profile.values())
+        assert values == sorted(values)
+        assert profile[2.0] == 1.0
+
+    def test_profile_keys(self, data):
+        repo, queries = data
+        profile = match_rate_profile(queries, repo, [0.1, 0.2])
+        assert set(profile) == {0.1, 0.2}
+
+
+class TestSampleRepository:
+    def test_cap_respected(self, data):
+        repo, _ = data
+        sample = sample_repository([repo], max_vectors=50)
+        assert sample.shape == (50, 8)
+
+    def test_small_repo_returned_whole(self):
+        columns = [np.ones((3, 4)), np.zeros((2, 4))]
+        sample = sample_repository(columns, max_vectors=100)
+        assert sample.shape == (5, 4)

@@ -1,0 +1,58 @@
+"""Tests for the instrumentation containers."""
+
+from repro.core.stats import CounterBox, IndexStats, SearchStats
+
+
+class TestSearchStats:
+    def test_defaults_zero(self):
+        stats = SearchStats()
+        assert stats.distance_computations == 0
+        assert stats.total_seconds == 0.0
+
+    def test_merge_accumulates_every_field(self):
+        a = SearchStats(distance_computations=3, lemma1_filtered=2,
+                        blocking_seconds=0.5)
+        b = SearchStats(distance_computations=4, lemma1_filtered=1,
+                        verification_seconds=0.25)
+        a.merge(b)
+        assert a.distance_computations == 7
+        assert a.lemma1_filtered == 3
+        assert a.blocking_seconds == 0.5
+        assert a.verification_seconds == 0.25
+        assert a.total_seconds == 0.75
+
+    def test_merge_covers_all_declared_fields(self):
+        a = SearchStats()
+        b = SearchStats()
+        for name in SearchStats.__dataclass_fields__:
+            setattr(b, name, 1)
+        a.merge(b)
+        for name in SearchStats.__dataclass_fields__:
+            assert getattr(a, name) == 1, name
+
+
+class TestIndexStats:
+    def test_total_seconds(self):
+        stats = IndexStats(
+            pivot_selection_seconds=1.0,
+            pivot_mapping_seconds=2.0,
+            grid_build_seconds=3.0,
+            inverted_index_seconds=4.0,
+        )
+        assert stats.total_seconds == 10.0
+
+
+class TestCounterBox:
+    def test_add_and_reset(self):
+        box = CounterBox()
+        box.add(5)
+        box.add(2)
+        assert box.count == 7
+        box.reset()
+        assert box.count == 0
+
+    def test_add_coerces_to_int(self):
+        box = CounterBox()
+        box.add(3.0)
+        assert box.count == 3
+        assert isinstance(box.count, int)

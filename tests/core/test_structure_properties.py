@@ -1,0 +1,135 @@
+"""Property-based tests on the core data structures (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid import HierarchicalGrid
+from repro.core.inverted_index import InvertedIndex
+from repro.core.partition import HistogramSpace, jensen_shannon_divergence
+
+
+@st.composite
+def mapped_points(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    n = draw(st.integers(1, 80))
+    dims = draw(st.integers(1, 5))
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 2.0, size=(n, dims))
+
+
+class TestGridProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(points=mapped_points(), levels=st.integers(1, 6))
+    def test_members_partition_rows(self, points, levels):
+        grid = HierarchicalGrid.build(points, levels=levels, extent=2.0)
+        members = sorted(
+            m for cell in grid.leaf_cells.values() for m in cell.members
+        )
+        assert members == list(range(points.shape[0]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(points=mapped_points(), levels=st.integers(1, 6))
+    def test_every_leaf_reachable_from_root(self, points, levels):
+        grid = HierarchicalGrid.build(points, levels=levels, extent=2.0)
+        reachable = {leaf.coords for leaf in grid.subtree_leaves(grid.root)}
+        assert reachable == set(grid.leaf_cells)
+
+    @settings(max_examples=40, deadline=None)
+    @given(points=mapped_points(), levels=st.integers(1, 5))
+    def test_child_boxes_nest_inside_parents(self, points, levels):
+        grid = HierarchicalGrid.build(points, levels=levels, extent=2.0)
+        for level in range(1, levels):
+            for cell in grid.iter_cells(level):
+                lo, hi = grid.cell_box(cell)
+                for child in cell.children:
+                    c_lo, c_hi = grid.cell_box(child)
+                    assert (c_lo >= lo - 1e-12).all()
+                    assert (c_hi <= hi + 1e-12).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(points=mapped_points(), levels=st.integers(1, 5),
+           split=st.integers(1, 79))
+    def test_incremental_equals_batch(self, points, levels, split):
+        split = min(split, points.shape[0])
+        batch = HierarchicalGrid.build(points, levels=levels, extent=2.0)
+        incremental = HierarchicalGrid(points.shape[1], levels, 2.0)
+        incremental.insert(points[:split])
+        if split < points.shape[0]:
+            incremental.insert(points[split:])
+        assert set(batch.leaf_cells) == set(incremental.leaf_cells)
+        for coords, cell in batch.leaf_cells.items():
+            assert sorted(cell.members) == sorted(
+                incremental.leaf_cells[coords].members
+            )
+
+
+class TestInvertedIndexProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), n_columns=st.integers(1, 15))
+    def test_postings_track_insertions(self, seed, n_columns):
+        rng = np.random.default_rng(seed)
+        index = InvertedIndex()
+        truth: dict[tuple, dict[int, list[int]]] = {}
+        row = 0
+        for col in range(n_columns):
+            n_vec = int(rng.integers(1, 10))
+            cells = [
+                (int(rng.integers(0, 4)), int(rng.integers(0, 4)))
+                for _ in range(n_vec)
+            ]
+            index.add_column(col, cells, first_row=row)
+            for offset, cell in enumerate(cells):
+                truth.setdefault(cell, {}).setdefault(col, []).append(row + offset)
+            row += n_vec
+        for cell, expected in truth.items():
+            got = {p.column_id: p.rows for p in index.postings(cell)}
+            assert got == expected
+            assert list(got) == sorted(got)  # DaaT order
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_delete_inverse_of_add(self, seed):
+        rng = np.random.default_rng(seed)
+        index = InvertedIndex()
+        index.add_column(0, [(0, 0), (1, 1)], first_row=0)
+        snapshot = {
+            cell: [(p.column_id, list(p.rows)) for p in index.postings(cell)]
+            for cell in list(index.cells())
+        }
+        cells = [
+            (int(rng.integers(0, 3)), int(rng.integers(0, 3)))
+            for _ in range(int(rng.integers(1, 8)))
+        ]
+        index.add_column(1, cells, first_row=100)
+        index.delete_column(1)
+        restored = {
+            cell: [(p.column_id, list(p.rows)) for p in index.postings(cell)]
+            for cell in list(index.cells())
+        }
+        assert restored == snapshot
+
+
+class TestHistogramProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(2, 60))
+    def test_histograms_are_distributions(self, seed, n):
+        rng = np.random.default_rng(seed)
+        sample = rng.normal(size=(max(n, 4), 6))
+        space = HistogramSpace(sample)
+        hist = space.histogram(sample[:n])
+        assert hist.min() >= 0.0
+        assert hist.sum() == pytest.approx(1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_jsd_axioms(self, seed):
+        rng = np.random.default_rng(seed)
+        p = rng.dirichlet(np.ones(12))
+        q = rng.dirichlet(np.ones(12))
+        assert jensen_shannon_divergence(p, q) >= -1e-12
+        assert jensen_shannon_divergence(p, q) == pytest.approx(
+            jensen_shannon_divergence(q, p)
+        )
+        assert jensen_shannon_divergence(p, p) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,64 @@
+"""Tests for ratio-based threshold specification (§V)."""
+
+import pytest
+
+from repro.core.metric import EuclideanMetric, ManhattanMetric
+from repro.core.thresholds import distance_threshold, joinability_count
+
+
+class TestDistanceThreshold:
+    def test_paper_default(self):
+        # 6% of the maximum Euclidean distance (2) = 0.12
+        assert distance_threshold(0.06, EuclideanMetric(), 300) == pytest.approx(0.12)
+
+    def test_scales_with_metric(self):
+        tau = distance_threshold(0.1, ManhattanMetric(), 16)
+        assert tau == pytest.approx(0.1 * ManhattanMetric().max_distance(16))
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_out_of_range_fraction(self, bad):
+        with pytest.raises(ValueError):
+            distance_threshold(bad, EuclideanMetric(), 8)
+
+    def test_full_fraction_allowed(self):
+        assert distance_threshold(1.0, EuclideanMetric(), 8) == 2.0
+
+
+class TestJoinabilityCount:
+    @pytest.mark.parametrize(
+        "fraction,size,expected",
+        [
+            (0.2, 10, 2),
+            (0.6, 10, 6),
+            (0.5, 15, 8),   # ceil(7.5)
+            (1.0, 7, 7),
+            (0.01, 10, 1),  # floors at one match
+        ],
+    )
+    def test_fraction_to_count(self, fraction, size, expected):
+        assert joinability_count(fraction, size) == expected
+
+    def test_float_boundary_robust(self):
+        # 0.6 * 5 = 3.0000000000000004 in floats; must not bump to 4
+        assert joinability_count(0.6, 5) == 3
+
+    def test_absolute_count_passthrough(self):
+        assert joinability_count(4, 10) == 4
+
+    @pytest.mark.parametrize("bad", [0, 11, -3])
+    def test_count_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            joinability_count(bad, 10)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.2, -0.5])
+    def test_fraction_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            joinability_count(bad, 10)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            joinability_count(True, 10)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            joinability_count(0.5, 0)

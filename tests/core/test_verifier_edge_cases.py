@@ -1,0 +1,107 @@
+"""Edge-case tests for the batched verifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocker import BlockResult
+from repro.core.index import PexesoIndex
+from repro.core.metric import EuclideanMetric, normalize_rows
+from repro.core.stats import SearchStats
+from repro.core.verifier import verify
+
+
+@pytest.fixture()
+def tight_cluster_index():
+    """Columns so tight that Lemma 5/6 produce pure matching pairs."""
+    rng = np.random.default_rng(0)
+    center = normalize_rows(rng.normal(size=(1, 6)))[0]
+    columns = [
+        normalize_rows(center + rng.normal(scale=1e-4, size=(5, 6)))
+        for _ in range(4)
+    ]
+    return columns, PexesoIndex.build(columns, n_pivots=2, levels=2)
+
+
+class TestMatchPairsOnly:
+    def test_columns_credited_without_distances(self, tight_cluster_index):
+        columns, index = tight_cluster_index
+        queries = columns[0][:3]
+        q_mapped = index.pivot_space.map_vectors(queries)
+        pairs = BlockResult()
+        # hand-build pure matching pairs covering every occupied cell
+        for q in range(3):
+            for cell in index.inverted.cells():
+                pairs.add_match(q, cell)
+        stats = SearchStats()
+        verdict = verify(
+            pairs, index.inverted, queries, q_mapped,
+            index.vectors, index.mapped, index.metric,
+            tau=2.0, t_count=3, stats=stats,
+        )
+        assert verdict.joinable == {0, 1, 2, 3}
+        assert stats.distance_computations == 0  # match pairs need no work
+
+    def test_duplicate_match_cells_count_once(self, tight_cluster_index):
+        columns, index = tight_cluster_index
+        queries = columns[0][:2]
+        q_mapped = index.pivot_space.map_vectors(queries)
+        pairs = BlockResult()
+        cell = next(iter(index.inverted.cells()))
+        pairs.add_match(0, cell)
+        pairs.add_match(0, cell)  # duplicate
+        verdict = verify(
+            pairs, index.inverted, queries, q_mapped,
+            index.vectors, index.mapped, index.metric,
+            tau=2.0, t_count=1, exact_counts=True, stats=SearchStats(),
+        )
+        for col, count in verdict.match_counts.items():
+            assert count <= 1
+
+
+class TestEmptyInputs:
+    def test_empty_block_result(self, tight_cluster_index):
+        columns, index = tight_cluster_index
+        queries = columns[0][:2]
+        q_mapped = index.pivot_space.map_vectors(queries)
+        verdict = verify(
+            BlockResult(), index.inverted, queries, q_mapped,
+            index.vectors, index.mapped, index.metric,
+            tau=0.5, t_count=1, stats=SearchStats(),
+        )
+        assert verdict.joinable == set()
+        assert verdict.match_counts == {}
+
+    def test_candidate_cells_with_no_postings(self, tight_cluster_index):
+        columns, index = tight_cluster_index
+        queries = columns[0][:1]
+        q_mapped = index.pivot_space.map_vectors(queries)
+        pairs = BlockResult()
+        pairs.add_candidate(0, (99, 99))  # unoccupied cell
+        verdict = verify(
+            pairs, index.inverted, queries, q_mapped,
+            index.vectors, index.mapped, index.metric,
+            tau=0.5, t_count=1, stats=SearchStats(),
+        )
+        assert verdict.joinable == set()
+
+
+class TestExactCountsForcesFullWork:
+    def test_exact_counts_disables_lemma7_and_early_accept(self, tight_cluster_index):
+        columns, index = tight_cluster_index
+        queries = np.vstack([columns[0][:2], columns[1][:2]])
+        q_mapped = index.pivot_space.map_vectors(queries)
+        pairs = BlockResult()
+        for q in range(queries.shape[0]):
+            for cell in index.inverted.cells():
+                pairs.add_candidate(q, cell)
+        verdict = verify(
+            pairs, index.inverted, queries, q_mapped,
+            index.vectors, index.mapped, index.metric,
+            tau=2.0, t_count=1,
+            exact_counts=True, early_accept=True, use_lemma7=True,
+            stats=SearchStats(),
+        )
+        assert verdict.exact
+        # with tau=2 everything matches: counts must be the full |Q|
+        for col in range(4):
+            assert verdict.match_counts[col] == queries.shape[0]

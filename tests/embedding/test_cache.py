@@ -1,0 +1,53 @@
+"""Tests for the caching embedder wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.cache import CachingEmbedder
+from repro.embedding.hashing import HashingNGramEmbedder
+
+
+class TestCache:
+    def test_hit_returns_same_vector(self):
+        cache = CachingEmbedder(HashingNGramEmbedder(dim=16))
+        v1 = cache.embed("mario")
+        v2 = cache.embed("mario")
+        np.testing.assert_array_equal(v1, v2)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_results_match_inner(self):
+        inner = HashingNGramEmbedder(dim=16)
+        cache = CachingEmbedder(HashingNGramEmbedder(dim=16))
+        np.testing.assert_array_equal(cache.embed("zelda"), inner.embed("zelda"))
+
+    def test_eviction_keeps_capacity_bounded(self):
+        cache = CachingEmbedder(HashingNGramEmbedder(dim=8), max_entries=10)
+        for i in range(50):
+            cache.embed(f"word{i}")
+        assert len(cache) <= 10
+
+    def test_eviction_preserves_correctness(self):
+        inner = HashingNGramEmbedder(dim=8)
+        cache = CachingEmbedder(HashingNGramEmbedder(dim=8), max_entries=4)
+        for i in range(20):
+            cache.embed(f"w{i}")
+        np.testing.assert_array_equal(cache.embed("w0"), inner.embed("w0"))
+
+    def test_embed_column_uses_cache(self):
+        cache = CachingEmbedder(HashingNGramEmbedder(dim=8))
+        cache.embed_column(["a", "a", "b"])
+        assert cache.hits == 1
+        assert cache.misses == 2
+
+    def test_dim_delegates(self):
+        cache = CachingEmbedder(HashingNGramEmbedder(dim=24))
+        assert cache.dim == 24
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CachingEmbedder(HashingNGramEmbedder(dim=8), max_entries=1)
+
+    def test_empty_column(self):
+        cache = CachingEmbedder(HashingNGramEmbedder(dim=8))
+        assert cache.embed_column([]).shape == (0, 8)

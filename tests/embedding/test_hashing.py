@@ -1,0 +1,85 @@
+"""Tests for the fastText-style hashing n-gram embedder."""
+
+import numpy as np
+import pytest
+
+from repro.core.metric import EuclideanMetric
+from repro.embedding.hashing import HashingNGramEmbedder
+
+
+@pytest.fixture(scope="module")
+def embedder():
+    return HashingNGramEmbedder(dim=32, seed=0)
+
+
+class TestBasics:
+    def test_unit_norm(self, embedder):
+        for text in ("hello", "hello world", "a", ""):
+            assert np.linalg.norm(embedder.embed(text)) == pytest.approx(1.0)
+
+    def test_deterministic(self, embedder):
+        np.testing.assert_array_equal(embedder.embed("mario"), embedder.embed("mario"))
+
+    def test_same_seed_same_function(self):
+        a = HashingNGramEmbedder(dim=16, seed=7)
+        b = HashingNGramEmbedder(dim=16, seed=7)
+        np.testing.assert_array_equal(a.embed("zelda"), b.embed("zelda"))
+
+    def test_different_seed_different_function(self):
+        a = HashingNGramEmbedder(dim=16, seed=7)
+        b = HashingNGramEmbedder(dim=16, seed=8)
+        assert not np.allclose(a.embed("zelda"), b.embed("zelda"))
+
+    def test_dim_property(self, embedder):
+        assert embedder.dim == 32
+        assert embedder.embed("x").shape == (32,)
+
+    def test_embed_column_shape(self, embedder):
+        out = embedder.embed_column(["a", "b", "c"])
+        assert out.shape == (3, 32)
+
+    def test_embed_empty_column(self, embedder):
+        assert embedder.embed_column([]).shape == (0, 32)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            HashingNGramEmbedder(dim=0)
+
+    def test_case_insensitive_tokens(self, embedder):
+        np.testing.assert_allclose(
+            embedder.embed("Mario Party"), embedder.embed("mario party")
+        )
+
+
+class TestSubwordGeometry:
+    """The property PEXESO relies on: shared n-grams -> small distance."""
+
+    def test_misspelling_closer_than_unrelated(self, embedder):
+        metric = EuclideanMetric()
+        base = embedder.embed("mississippi")
+        typo = embedder.embed("missisippi")
+        other = embedder.embed("constantinople")
+        assert metric.distance(base, typo) < metric.distance(base, other)
+
+    def test_shared_word_closer_than_disjoint(self, embedder):
+        metric = EuclideanMetric()
+        a = embedder.embed("mario party")
+        b = embedder.embed("mario kart")
+        c = embedder.embed("quantum chromodynamics")
+        assert metric.distance(a, b) < metric.distance(a, c)
+
+    def test_oov_words_embed_consistently(self, embedder):
+        """Unseen pseudo-words still embed deterministically (subword power)."""
+        v1 = embedder.embed("flurbendorf")
+        v2 = embedder.embed("flurbendorf")
+        np.testing.assert_array_equal(v1, v2)
+
+    @pytest.mark.parametrize("pair,far", [
+        (("street", "stret"), "motorway"),
+        (("johnson", "jonson"), "tanaka"),
+    ])
+    def test_more_typo_pairs(self, embedder, pair, far):
+        metric = EuclideanMetric()
+        a, b = (embedder.embed(t) for t in pair)
+        c = embedder.embed(far)
+        assert metric.distance(a, b) < metric.distance(a, c)

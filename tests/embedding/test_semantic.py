@@ -1,0 +1,79 @@
+"""Tests for the synthetic-semantic oracle embedder."""
+
+import numpy as np
+import pytest
+
+from repro.core.metric import EuclideanMetric
+from repro.embedding.semantic import SyntheticSemanticEmbedder
+
+
+@pytest.fixture()
+def embedder():
+    emb = SyntheticSemanticEmbedder(dim=32, noise_scale=0.01, seed=0)
+    emb.register_surface_form("White", "race:white")
+    emb.register_surface_form("white people", "race:white")
+    emb.register_surface_form("Pacific Islander", "race:pi")
+    emb.register_surface_form("Hawaiian/Guamanian/Samoan", "race:pi")
+    return emb
+
+
+class TestRegistration:
+    def test_latent_is_unit(self, embedder):
+        latent = embedder.register_entity("race:white")
+        assert np.linalg.norm(latent) == pytest.approx(1.0)
+
+    def test_register_idempotent(self, embedder):
+        a = embedder.register_entity("race:white")
+        b = embedder.register_entity("race:white")
+        np.testing.assert_array_equal(a, b)
+
+    def test_entity_of(self, embedder):
+        assert embedder.entity_of("White") == "race:white"
+        assert embedder.entity_of("unknown string") is None
+
+    def test_n_entities(self, embedder):
+        assert embedder.n_entities == 2
+
+
+class TestGeometry:
+    def test_same_entity_surfaces_close(self, embedder):
+        metric = EuclideanMetric()
+        d_same = metric.distance(
+            embedder.embed("Pacific Islander"),
+            embedder.embed("Hawaiian/Guamanian/Samoan"),
+        )
+        d_diff = metric.distance(
+            embedder.embed("Pacific Islander"), embedder.embed("White")
+        )
+        assert d_same < 0.1
+        assert d_diff > 0.5
+
+    def test_noise_scale_controls_spread(self):
+        tight = SyntheticSemanticEmbedder(dim=32, noise_scale=0.001, seed=1)
+        loose = SyntheticSemanticEmbedder(dim=32, noise_scale=0.1, seed=1)
+        for emb in (tight, loose):
+            emb.register_surface_form("a", "e")
+            emb.register_surface_form("b", "e")
+        metric = EuclideanMetric()
+        assert metric.distance(tight.embed("a"), tight.embed("b")) < metric.distance(
+            loose.embed("a"), loose.embed("b")
+        )
+
+    def test_unregistered_string_far_from_entities(self, embedder):
+        metric = EuclideanMetric()
+        noise = embedder.embed("complete gibberish xyzzy")
+        for surface in ("White", "Pacific Islander"):
+            assert metric.distance(noise, embedder.embed(surface)) > 0.5
+
+    def test_deterministic(self, embedder):
+        np.testing.assert_array_equal(
+            embedder.embed("White"), embedder.embed("White")
+        )
+
+    def test_unit_norm(self, embedder):
+        for s in ("White", "no such surface"):
+            assert np.linalg.norm(embedder.embed(s)) == pytest.approx(1.0)
+
+    def test_embed_column(self, embedder):
+        out = embedder.embed_column(["White", "Pacific Islander"])
+        assert out.shape == (2, 32)

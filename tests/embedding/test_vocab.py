@@ -1,0 +1,66 @@
+"""Tests for the GloVe-style vocabulary embedder."""
+
+import numpy as np
+import pytest
+
+from repro.core.metric import EuclideanMetric
+from repro.embedding.vocab import VocabularyEmbedder
+
+
+class TestVocabulary:
+    def test_add_word_normalised(self):
+        emb = VocabularyEmbedder(dim=16)
+        vec = emb.add_word("mario")
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_known_word_used(self):
+        emb = VocabularyEmbedder(dim=16)
+        vec = emb.add_word("mario")
+        np.testing.assert_allclose(emb.embed("mario"), vec / np.linalg.norm(vec))
+
+    def test_vocabulary_property(self):
+        emb = VocabularyEmbedder(dim=8)
+        emb.add_word("alpha")
+        emb.add_word("beta")
+        assert emb.vocabulary == {"alpha", "beta"}
+
+    def test_synonym_group_members_close(self):
+        emb = VocabularyEmbedder(dim=32, synonym_noise=0.05)
+        emb.add_synonym_group(["street", "road", "avenue"])
+        emb.add_word("banana")
+        metric = EuclideanMetric()
+        street = emb.embed("street")
+        road = emb.embed("road")
+        banana = emb.embed("banana")
+        assert metric.distance(street, road) < metric.distance(street, banana)
+
+    def test_synonym_group_first_registration_wins(self):
+        emb = VocabularyEmbedder(dim=8)
+        original = emb.add_word("street").copy()
+        emb.add_synonym_group(["street", "road"])
+        np.testing.assert_array_equal(emb._table["street"], original)
+
+    def test_word_average(self):
+        emb = VocabularyEmbedder(dim=8, seed=1)
+        va = emb.add_word("hot")
+        vb = emb.add_word("dog")
+        combined = emb.embed("hot dog")
+        manual = (va + vb) / 2
+        manual /= np.linalg.norm(manual)
+        np.testing.assert_allclose(combined, manual, atol=1e-12)
+
+    def test_oov_falls_back_to_hashing(self):
+        emb = VocabularyEmbedder(dim=16, seed=2)
+        vec = emb.embed("zzyzx")
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+        np.testing.assert_array_equal(vec, emb.embed("zzyzx"))
+
+    def test_empty_string(self):
+        emb = VocabularyEmbedder(dim=8)
+        vec = emb.embed("")
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_embed_column(self):
+        emb = VocabularyEmbedder(dim=8)
+        out = emb.embed_column(["a b", "c"])
+        assert out.shape == (2, 8)

@@ -1,0 +1,91 @@
+"""End-to-end integration: CSV lake on disk -> discovery -> enrichment."""
+
+import numpy as np
+import pytest
+
+from repro.core.metric import EuclideanMetric
+from repro.core.thresholds import distance_threshold
+from repro.embedding.hashing import HashingNGramEmbedder
+from repro.lake.csv_loader import dump_csv, load_csv
+from repro.lake.datagen import DataLakeGenerator
+from repro.lake.discovery import JoinableTableSearch
+from repro.lake.repository import TableRepository
+from repro.ml.enrichment import SemanticMatcher, enrich_features, evaluate_task
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return DataLakeGenerator(seed=42, n_entities=80, dim=24)
+
+
+@pytest.fixture(scope="module")
+def lake(gen):
+    return gen.generate_lake(n_tables=25, rows_range=(10, 20))
+
+
+class TestCsvRoundtripDiscovery:
+    def test_lake_via_disk(self, gen, lake, tmp_path_factory):
+        """Dump the lake to CSVs, reload through the repository, search."""
+        tmp = tmp_path_factory.mktemp("lake")
+        for table in lake.tables:
+            dump_csv(table, tmp / f"{table.name}.csv")
+        repo = TableRepository(preprocess=False)
+        assert repo.load_directory(tmp) == 25
+
+        search = JoinableTableSearch(gen.embedder, n_pivots=3, levels=3, preprocess=False)
+        search.index_tables([load_csv(tmp / f"{t.name}.csv", key_column="key")
+                             for t in lake.tables])
+        query, q_entities = gen.generate_query_table(n_rows=15, domain=0)
+        hits = search.search(query, tau_fraction=0.06, joinability=0.4)
+        got = {h.ref.table_name for h in hits}
+        truth = {f"table_{i}" for i in lake.true_joinable_tables(q_entities, 0.4)}
+        assert got == truth
+
+
+class TestHashingEmbedderEndToEnd:
+    def test_misspelling_robust_discovery(self):
+        """With the fastText-style embedder (no oracle), a lake keyed by
+        misspelled variants is still discoverable at a loose tau."""
+        embedder = HashingNGramEmbedder(dim=48, seed=3)
+        gen = DataLakeGenerator(seed=9, n_entities=40, dim=24)
+        lake = gen.generate_lake(
+            n_tables=12,
+            rows_range=(8, 14),
+            kind_weights={"exact": 0.5, "misspell": 0.5, "abbrev": 0.0, "synonym": 0.0},
+            distractor_fraction=0.0,
+            noise_row_fraction=0.0,
+        )
+        search = JoinableTableSearch(embedder, n_pivots=3, levels=3, preprocess=False)
+        search.index_tables(lake.tables)
+        query, q_entities = gen.generate_query_table(
+            n_rows=12, domain=0, kind_weights={"exact": 1.0}
+        )
+        strict_hits = search.search(query, tau_fraction=0.02, joinability=0.3,
+                                    with_mappings=False)
+        loose_hits = search.search(query, tau_fraction=0.25, joinability=0.3,
+                                   with_mappings=False)
+        # loosening tau lets the subword embedder absorb misspellings
+        assert len(loose_hits) >= len(strict_hits)
+
+
+class TestFullMlPipeline:
+    def test_task_end_to_end(self, gen):
+        task = gen.make_ml_task("classification", n_rows=60, n_lake_tables=12,
+                                rows_range=(15, 30))
+        tau = distance_threshold(0.06, EuclideanMetric(), gen.dim)
+        matcher = SemanticMatcher(gen.embedder, tau)
+
+        # discover joinable tables with PEXESO over the lake's key columns
+        search = JoinableTableSearch(gen.embedder, n_pivots=3, levels=3,
+                                     preprocess=False)
+        search.index_tables(task.lake.tables)
+        hits = search.search(task.query_table, query_column="key",
+                             tau_fraction=0.06, joinability=0.1,
+                             with_mappings=False)
+        table_ids = [int(h.ref.table_name.split("_")[1]) for h in hits]
+
+        enriched = enrich_features(task, table_ids, matcher)
+        base = enrich_features(task, [], matcher)
+        enriched_score, _ = evaluate_task(task, enriched, n_estimators=8)
+        base_score, _ = evaluate_task(task, base, n_estimators=8)
+        assert enriched_score > base_score

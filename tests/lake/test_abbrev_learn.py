@@ -1,0 +1,72 @@
+"""Tests for the abbreviation-rule learner."""
+
+import pytest
+
+from repro.lake.abbrev_learn import candidate_rules, learn_abbreviations
+from repro.lake.preprocessing import expand_abbreviations
+
+
+class TestCandidateRules:
+    def test_prefix_rule(self):
+        assert ("st", "street") in candidate_rules("Main St", "Main Street")
+
+    def test_subsequence_rule(self):
+        assert ("blvd", "boulevard") in candidate_rules(
+            "Sunset Blvd", "Sunset Boulevard"
+        )
+
+    def test_initialism(self):
+        assert candidate_rules("NY", "New York") == [("ny", "new york")]
+
+    def test_no_rule_for_unrelated_tokens(self):
+        assert candidate_rules("Oak Rd", "Elm Street") == []
+
+    def test_anchor_at_first_letter_required(self):
+        # "treet" is a subsequence of "street" but not anchored
+        assert ("treet", "street") not in candidate_rules(
+            "Main treet", "Main street"
+        )
+
+    def test_equal_tokens_skipped(self):
+        assert candidate_rules("Main Street", "Main Street") == []
+
+
+class TestLearnAbbreviations:
+    def test_learns_from_repeated_evidence(self):
+        pairs = [
+            ("Main St", "Main Street"),
+            ("Oak St", "Oak Street"),
+            ("Elm St", "Elm Street"),
+            ("Pine Ave", "Pine Avenue"),
+            ("Lake Ave", "Lake Avenue"),
+        ]
+        rules = learn_abbreviations(pairs, min_support=2)
+        assert rules["st"] == "Street"
+        assert rules["ave"] == "Avenue"
+
+    def test_min_support_filters_noise(self):
+        pairs = [
+            ("Main St", "Main Street"),
+            ("X Qz", "X Quartz"),  # appears once -> dropped
+            ("Oak St", "Oak Street"),
+        ]
+        rules = learn_abbreviations(pairs, min_support=2)
+        assert "qz" not in rules
+        assert "st" in rules
+
+    def test_most_frequent_expansion_wins(self):
+        pairs = [("A St", "A Street")] * 3 + [("B St", "B Stadium")] * 2
+        rules = learn_abbreviations(pairs, min_support=1)
+        assert rules["st"] == "Street"
+
+    def test_empty_input(self):
+        assert learn_abbreviations([]) == {}
+
+    def test_learned_rules_feed_preprocessing(self):
+        pairs = [
+            ("Acme Mfg", "Acme Manufacturing"),
+            ("Zorro Mfg", "Zorro Manufacturing"),
+        ]
+        rules = learn_abbreviations(pairs, min_support=2)
+        out = expand_abbreviations("Bolt Mfg", extra=rules)
+        assert out == "Bolt Manufacturing"

@@ -1,0 +1,66 @@
+"""Tests for CSV loading and dumping."""
+
+import pytest
+
+from repro.lake.csv_loader import dump_csv, load_csv
+from repro.lake.table import Column, Table
+
+
+class TestLoadCsv:
+    def test_basic_roundtrip(self, tmp_path):
+        path = tmp_path / "games.csv"
+        path.write_text("name,year\nMario,1998\nZelda,1986\n")
+        table = load_csv(path)
+        assert table.name == "games"
+        assert table.column_names == ["name", "year"]
+        assert table.column("name").values == ["Mario", "Zelda"]
+
+    def test_quoted_fields(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text('name,desc\n"Mario, the game","fun"\n')
+        table = load_csv(path)
+        assert table.column("name").values == ["Mario, the game"]
+
+    def test_short_rows_padded(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b,c\n1,2\n")
+        table = load_csv(path)
+        assert table.column("c").values == [""]
+
+    def test_long_rows_truncated(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,2,3,4\n")
+        table = load_csv(path)
+        assert table.n_columns == 2
+        assert table.column("b").values == ["2"]
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("")
+        table = load_csv(path)
+        assert table.n_columns == 0
+
+    def test_explicit_name_and_key(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,2\n")
+        table = load_csv(path, name="custom", key_column="a")
+        assert table.name == "custom"
+        assert table.key_column == "a"
+
+    def test_bogus_key_column_ignored(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,2\n")
+        table = load_csv(path, key_column="nope")
+        assert table.key_column is None
+
+
+class TestDumpCsv:
+    def test_dump_then_load(self, tmp_path):
+        table = Table(
+            "t", [Column("x", ["1", "hello, world"]), Column("y", ["2", "3"])]
+        )
+        path = tmp_path / "out" / "t.csv"
+        dump_csv(table, path)
+        loaded = load_csv(path)
+        assert loaded.column("x").values == table.column("x").values
+        assert loaded.column("y").values == table.column("y").values

@@ -1,0 +1,149 @@
+"""Tests for the synthetic data-lake generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.metric import EuclideanMetric
+from repro.lake.datagen import DEFAULT_KIND_WEIGHTS, DataLakeGenerator
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return DataLakeGenerator(seed=0, n_entities=80, dim=24)
+
+
+@pytest.fixture(scope="module")
+def lake(gen):
+    return gen.generate_lake(n_tables=30, rows_range=(8, 20))
+
+
+class TestUniverse:
+    def test_entity_count(self, gen):
+        assert len(gen.entities) == 80
+
+    def test_variant_kinds_present(self, gen):
+        entity = gen.entities[0]
+        assert set(entity.variants) == {"exact", "misspell", "abbrev", "synonym"}
+        assert entity.canonical in entity.variants["exact"]
+
+    def test_all_surfaces_registered(self, gen):
+        for entity in gen.entities[:10]:
+            for surface in entity.all_surfaces():
+                assert gen.embedder.entity_of(surface) == entity.entity_id
+
+    def test_surface_geometry(self, gen):
+        """Same-entity variants within the paper's default tau; strangers far."""
+        metric = EuclideanMetric()
+        tau_default = 0.06 * 2  # 6% of max distance
+        entity = gen.entities[0]
+        vectors = gen.embedder.embed_column(entity.all_surfaces())
+        assert metric.pairwise(vectors, vectors).max() < tau_default
+
+    def test_confusable_siblings_are_near_but_not_within_tau(self, gen):
+        metric = EuclideanMetric()
+        # siblings are appended after the base entities
+        n_base = int(round(80 * (1 - 0.12)))
+        sibling = gen.entities[n_base]
+        distances = []
+        for other in gen.entities[:n_base]:
+            a = gen.embedder.embed(sibling.canonical)
+            b = gen.embedder.embed(other.canonical)
+            distances.append(metric.distance(a, b))
+        nearest = min(distances)
+        assert 0.05 < nearest < 0.4  # near one parent, not inside default tau
+
+    def test_misspell_differs_from_canonical(self, gen):
+        entity = gen.entities[1]
+        assert entity.variants["misspell"][0] != entity.canonical
+
+    def test_deterministic(self):
+        a = DataLakeGenerator(seed=5, n_entities=10)
+        b = DataLakeGenerator(seed=5, n_entities=10)
+        assert [e.canonical for e in a.entities] == [e.canonical for e in b.entities]
+
+    def test_sample_surface_kinds(self, gen):
+        """Fresh misspellings are generated per occurrence, but every
+        sampled surface is registered to the right entity."""
+        entity = gen.entities[2]
+        surfaces = {gen.sample_surface(entity) for _ in range(50)}
+        for surface in surfaces:
+            assert gen.embedder.entity_of(surface) == entity.entity_id
+        assert len(surfaces) > 1
+        # fresh misspellings exist beyond the fixed variant pool
+        assert surfaces - set(entity.all_surfaces())
+
+
+class TestLake:
+    def test_shapes(self, lake):
+        assert lake.n_tables == 30
+        assert len(lake.string_columns) == 30
+        assert len(lake.entity_columns) == 30
+        for table, keys, ents in zip(lake.tables, lake.string_columns, lake.entity_columns):
+            assert table.n_rows == len(keys) == len(ents)
+            assert table.key_column == "key"
+
+    def test_distractor_tables_have_no_entities(self, lake):
+        n_distractors = int(round(30 * 0.15))
+        for i in range(n_distractors):
+            assert all(e is None for e in lake.entity_columns[i])
+
+    def test_entity_tables_have_entities(self, lake):
+        assert any(
+            any(e is not None for e in ents) for ents in lake.entity_columns[5:]
+        )
+
+    def test_vector_columns_match_strings(self, lake):
+        vectors = lake.vector_columns()
+        assert len(vectors) == 30
+        for vec, keys in zip(vectors, lake.string_columns):
+            assert vec.shape == (len(keys), 24)
+
+    def test_true_joinability_range(self, lake, gen):
+        _, q_entities = gen.generate_query_table(n_rows=15, domain=0)
+        for i in range(lake.n_tables):
+            assert 0.0 <= lake.true_joinability(q_entities, i) <= 1.0
+
+    def test_true_joinable_monotone_in_threshold(self, lake, gen):
+        _, q_entities = gen.generate_query_table(n_rows=15, domain=1)
+        loose = lake.true_joinable_tables(q_entities, 0.1)
+        strict = lake.true_joinable_tables(q_entities, 0.5)
+        assert strict <= loose
+
+    def test_query_domain_gives_joinable_tables(self, gen, lake):
+        _, q_entities = gen.generate_query_table(n_rows=15, domain=0)
+        assert len(lake.true_joinable_tables(q_entities, 0.2)) > 0
+
+
+class TestMLTask:
+    @pytest.mark.parametrize("kind", ["classification", "regression"])
+    def test_task_shapes(self, kind):
+        gen = DataLakeGenerator(seed=2, n_entities=60)
+        task = gen.make_ml_task(kind, n_rows=50, n_lake_tables=10)
+        assert task.kind == kind
+        assert task.query_table.n_rows == 50
+        assert len(task.query_entities) == 50
+        assert task.label_column in task.query_table.column_names
+
+    def test_regression_labels_parse(self):
+        gen = DataLakeGenerator(seed=3, n_entities=60)
+        task = gen.make_ml_task("regression", n_rows=30, n_lake_tables=8)
+        values = [float(v) for v in task.query_table.column("label").values]
+        assert np.std(values) > 0
+
+    def test_classification_labels_are_classes(self):
+        gen = DataLakeGenerator(seed=4, n_entities=60, n_classes=5)
+        task = gen.make_ml_task("classification", n_rows=30, n_lake_tables=8)
+        labels = set(task.query_table.column("label").values)
+        assert labels <= {str(i) for i in range(5)}
+
+    def test_invalid_kind(self, gen):
+        with pytest.raises(ValueError):
+            gen.make_ml_task("ranking")
+
+    def test_feature_tables_carry_signal(self):
+        gen = DataLakeGenerator(seed=5, n_entities=60)
+        task = gen.make_ml_task("classification", n_rows=30, n_lake_tables=8)
+        feature_names = {
+            col.name for table in task.lake.tables for col in table.columns
+        }
+        assert any(name.startswith("feat_") for name in feature_names)

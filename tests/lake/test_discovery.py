@@ -1,0 +1,89 @@
+"""Tests for the end-to-end discovery facade."""
+
+import pytest
+
+from repro.lake.datagen import DataLakeGenerator
+from repro.lake.discovery import JoinableTableSearch
+from repro.lake.table import Column, Table
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return DataLakeGenerator(seed=1, n_entities=80, dim=24)
+
+
+@pytest.fixture(scope="module")
+def lake(gen):
+    return gen.generate_lake(n_tables=30, rows_range=(10, 22))
+
+
+@pytest.fixture(scope="module")
+def search(gen, lake):
+    s = JoinableTableSearch(gen.embedder, n_pivots=3, levels=3, preprocess=False)
+    return s.index_tables(lake.tables)
+
+
+class TestIndexing:
+    def test_refs_cover_lake(self, search, lake):
+        assert len(search.refs) == lake.n_tables
+        assert search.index.n_columns == lake.n_tables
+
+    def test_index_before_search_required(self, gen):
+        s = JoinableTableSearch(gen.embedder)
+        table = Table("q", [Column("key", ["a"] * 5)], key_column="key")
+        with pytest.raises(RuntimeError):
+            s.search(table)
+
+    def test_no_usable_tables_raises(self, gen):
+        s = JoinableTableSearch(gen.embedder)
+        tiny = Table("tiny", [Column("a", ["x"])])
+        with pytest.raises(ValueError):
+            s.index_tables([tiny])
+
+
+class TestSearch:
+    def test_finds_ground_truth_tables(self, gen, lake, search):
+        query, q_entities = gen.generate_query_table(n_rows=15, domain=0)
+        hits = search.search(query, tau_fraction=0.06, joinability=0.4)
+        got = {h.ref.table_name for h in hits}
+        truth = {f"table_{i}" for i in lake.true_joinable_tables(q_entities, 0.4)}
+        assert got == truth
+
+    def test_hits_sorted_by_joinability(self, gen, search):
+        query, _ = gen.generate_query_table(n_rows=15, domain=2)
+        hits = search.search(query, tau_fraction=0.06, joinability=0.2)
+        scores = [h.joinability for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_record_mapping_points_to_matching_rows(self, gen, lake, search):
+        query, _ = gen.generate_query_table(n_rows=15, domain=0)
+        hits = search.search(query, tau_fraction=0.06, joinability=0.3)
+        if not hits:
+            pytest.skip("no hits at this threshold")
+        hit = hits[0]
+        table_index = int(hit.ref.table_name.split("_")[1])
+        q_values = query.column("key").values
+        t_entities = lake.entity_columns[table_index]
+        embedder = lake.embedder
+        for qi, ti in hit.record_mapping:
+            q_entity = embedder.entity_of(q_values[qi])
+            assert q_entity is not None
+            assert t_entities[ti] == q_entity
+
+    def test_mappings_can_be_skipped(self, gen, search):
+        query, _ = gen.generate_query_table(n_rows=15, domain=1)
+        hits = search.search(query, joinability=0.3, with_mappings=False)
+        assert all(h.record_mapping == [] for h in hits)
+
+    def test_explicit_query_column(self, gen, search):
+        query, _ = gen.generate_query_table(n_rows=15, domain=0)
+        hits_auto = search.search(query, joinability=0.3, with_mappings=False)
+        hits_explicit = search.search(
+            query, query_column="key", joinability=0.3, with_mappings=False
+        )
+        assert {h.ref for h in hits_auto} == {h.ref for h in hits_explicit}
+
+    def test_query_without_key_raises(self, search):
+        bad = Table("q", [Column("n", ["1", "2", "3", "4", "5"])])
+        with pytest.raises(ValueError, match="query column"):
+            search.search(bad)

@@ -1,0 +1,65 @@
+"""Tests for the all-columns query mode (§II-A option 3)."""
+
+import pytest
+
+from repro.lake.datagen import DataLakeGenerator
+from repro.lake.discovery import JoinableTableSearch
+from repro.lake.join import left_join
+from repro.lake.table import Column, Table
+
+
+@pytest.fixture(scope="module")
+def setup():
+    gen = DataLakeGenerator(seed=17, n_entities=60, dim=24)
+    lake = gen.generate_lake(n_tables=20, rows_range=(10, 20))
+    search = JoinableTableSearch(gen.embedder, n_pivots=3, levels=3,
+                                 preprocess=False)
+    search.index_tables(lake.tables)
+    return gen, lake, search
+
+
+class TestSearchAllColumns:
+    def test_every_candidate_searched(self, setup):
+        gen, lake, search = setup
+        query, _ = gen.generate_query_table(n_rows=15, domain=0)
+        per_column = search.search_all_columns(query, joinability=0.3)
+        assert "key" in per_column
+        # 'payload' is numeric -> not a candidate
+        assert "payload" not in per_column
+
+    def test_key_column_results_match_single_search(self, setup):
+        gen, lake, search = setup
+        query, _ = gen.generate_query_table(n_rows=15, domain=1)
+        per_column = search.search_all_columns(query, joinability=0.3)
+        single = search.search(query, query_column="key", joinability=0.3,
+                               with_mappings=False)
+        assert {h.ref for h in per_column["key"]} == {h.ref for h in single}
+
+    def test_no_candidates_raises(self, setup):
+        _, _, search = setup
+        numbers_only = Table(
+            "nums", [Column("n", ["1", "2", "3", "4", "5"])]
+        )
+        with pytest.raises(ValueError, match="candidate"):
+            search.search_all_columns(numbers_only)
+
+
+class TestDiscoveryToJoin:
+    def test_end_to_end_materialised_join(self, setup):
+        """Discovery hit -> record mapping -> left_join -> enriched table."""
+        gen, lake, search = setup
+        query, _ = gen.generate_query_table(n_rows=15, domain=0)
+        hits = search.search(query, joinability=0.25)
+        if not hits:
+            pytest.skip("no joinable tables at this threshold")
+        hit = hits[0]
+        target = next(
+            t for t in lake.tables if t.name == hit.ref.table_name
+        )
+        joined = left_join(query, target, hit.record_mapping)
+        assert joined.n_rows == query.n_rows
+        # at least the matched rows carry target attributes
+        attr = next(c for c in joined.columns if c.name.startswith("attr"))
+        matched_rows = {qi for qi, _ in hit.record_mapping}
+        for qi in matched_rows:
+            assert attr.values[qi] != ""

@@ -1,0 +1,93 @@
+"""Tests for join materialisation."""
+
+import pytest
+
+from repro.lake.join import best_match_per_row, join_coverage, left_join
+from repro.lake.table import Column, Table
+
+
+@pytest.fixture()
+def tables():
+    query = Table(
+        "games",
+        [
+            Column("name", ["Mario", "Zelda", "Metroid"]),
+            Column("year", ["1998", "1986", "1994"]),
+        ],
+        key_column="name",
+    )
+    target = Table(
+        "sales",
+        [
+            Column("title", ["Zelda", "Mario", "Kirby"]),
+            Column("sold", ["7.6", "9.0", "3.3"]),
+            Column("year", ["1986", "1998", "1992"]),
+        ],
+    )
+    return query, target
+
+
+class TestBestMatch:
+    def test_first_pair_wins(self):
+        assert best_match_per_row([(0, 5), (0, 9), (2, 1)], 3) == [5, None, 1]
+
+    def test_out_of_range_ignored(self):
+        assert best_match_per_row([(7, 0), (-1, 0)], 2) == [None, None]
+
+    def test_empty_mapping(self):
+        assert best_match_per_row([], 2) == [None, None]
+
+
+class TestLeftJoin:
+    def test_basic_join(self, tables):
+        query, target = tables
+        joined = left_join(query, target, [(0, 1), (1, 0)])
+        assert joined.n_rows == 3
+        assert joined.column("sold").values == ["9.0", "7.6", ""]
+        assert joined.column("title").values == ["Mario", "Zelda", ""]
+
+    def test_name_clash_suffixed(self, tables):
+        query, target = tables
+        joined = left_join(query, target, [(0, 1)])
+        assert "year" in joined.column_names           # query's year
+        assert "year_sales" in joined.column_names     # target's year
+        assert joined.column("year").values == ["1998", "1986", "1994"]
+        assert joined.column("year_sales").values == ["1998", "", ""]
+
+    def test_custom_suffix_and_missing(self, tables):
+        query, target = tables
+        joined = left_join(query, target, [(2, 2)], suffix="_t", missing="NA")
+        assert joined.column("year_t").values == ["NA", "NA", "1992"]
+
+    def test_all_query_rows_kept(self, tables):
+        query, target = tables
+        joined = left_join(query, target, [])
+        assert joined.n_rows == query.n_rows
+        assert joined.column("sold").values == ["", "", ""]
+
+    def test_key_column_preserved(self, tables):
+        query, target = tables
+        joined = left_join(query, target, [(0, 1)])
+        assert joined.key_column == "name"
+
+    def test_join_name(self, tables):
+        query, target = tables
+        assert left_join(query, target, []).name == "games_x_sales"
+
+    def test_does_not_mutate_inputs(self, tables):
+        query, target = tables
+        left_join(query, target, [(0, 1)])
+        assert query.n_columns == 2
+        assert target.n_columns == 3
+
+
+class TestCoverage:
+    def test_coverage_fraction(self):
+        assert join_coverage([(0, 1), (2, 0)], 4) == pytest.approx(0.5)
+
+    def test_duplicates_counted_once(self):
+        assert join_coverage([(0, 1), (0, 2)], 2) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert join_coverage([], 3) == 0.0
+        assert join_coverage([(0, 0)], 0) == 0.0

@@ -1,0 +1,75 @@
+"""Tests for join-key column detection."""
+
+import pytest
+
+from repro.lake.key_detection import candidate_join_columns, detect_key_column
+from repro.lake.table import Column, Table
+
+
+def _table(**cols):
+    columns = [Column(name, values) for name, values in cols.items()]
+    return Table("t", columns)
+
+
+class TestDetectKeyColumn:
+    def test_prefers_distinct_string_column(self):
+        table = _table(
+            category=["toy", "toy", "toy", "game", "game"],
+            name=["Mario", "Zelda", "Metroid", "Kirby", "Pikmin"],
+        )
+        assert detect_key_column(table) == "name"
+
+    def test_numeric_columns_excluded(self):
+        table = _table(
+            amount=["1", "2", "3", "4", "5"],
+            name=["a b", "c d", "e f", "g h", "i j"],
+        )
+        assert detect_key_column(table) == "name"
+
+    def test_identifier_columns_excluded(self):
+        table = _table(
+            sku=["SKU-1", "SKU-2", "SKU-3", "SKU-4", "SKU-5"],
+            name=["alpha x", "beta y", "gamma z", "delta w", "epsilon v"],
+        )
+        assert detect_key_column(table) == "name"
+
+    def test_date_columns_allowed(self):
+        table = _table(
+            when=["2020-01-01", "2020-01-02", "2020-01-03", "2020-01-04", "2020-01-05"],
+        )
+        assert detect_key_column(table) == "when"
+
+    def test_explicit_key_wins(self):
+        table = Table(
+            "t",
+            [
+                Column("a", ["x", "y", "z", "w", "v"]),
+                Column("b", ["1a", "2b", "3c", "4d", "5e"]),
+            ],
+            key_column="b",
+        )
+        assert detect_key_column(table) == "b"
+
+    def test_small_tables_rejected(self):
+        table = _table(name=["a", "b", "c"])  # < 5 rows
+        assert detect_key_column(table) is None
+
+    def test_low_distinctness_rejected(self):
+        table = _table(kind=["a", "a", "a", "a", "b"])
+        assert detect_key_column(table) is None
+
+    def test_no_columns(self):
+        assert detect_key_column(Table("t")) is None
+
+
+class TestCandidates:
+    def test_ordered_by_distinctness(self):
+        table = _table(
+            half=["a", "a", "b", "b", "c"],
+            full=["p q", "r s", "t u", "v w", "x y"],
+        )
+        assert candidate_join_columns(table) == ["full", "half"]
+
+    def test_empty_when_no_strings(self):
+        table = _table(n=["1", "2", "3", "4", "5"])
+        assert candidate_join_columns(table) == []

@@ -1,0 +1,72 @@
+"""Property-based tests for the lake substrate (hypothesis)."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lake.csv_loader import dump_csv, load_csv
+from repro.lake.preprocessing import expand_abbreviations, normalize_date, to_full_form
+from repro.lake.table import Column, Table
+
+# printable cell content including the CSV-hostile characters
+cell_text = st.text(
+    alphabet=string.ascii_letters + string.digits + ' ,"\'-_/.',
+    max_size=20,
+)
+
+
+class TestCsvRoundtripProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(cell_text, cell_text), min_size=1, max_size=15
+        )
+    )
+    def test_dump_load_identity(self, rows, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("csv")
+        table = Table(
+            "t",
+            [
+                Column("a", [r[0] for r in rows]),
+                Column("b", [r[1] for r in rows]),
+            ],
+        )
+        path = tmp / "t.csv"
+        dump_csv(table, path)
+        loaded = load_csv(path)
+        assert loaded.column("a").values == table.column("a").values
+        assert loaded.column("b").values == table.column("b").values
+
+
+class TestPreprocessingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(text=cell_text)
+    def test_expand_abbreviations_idempotent(self, text):
+        once = expand_abbreviations(text)
+        assert expand_abbreviations(once) == once
+
+    @settings(max_examples=60, deadline=None)
+    @given(text=cell_text)
+    def test_normalize_date_idempotent(self, text):
+        once = normalize_date(text)
+        assert normalize_date(once) == once
+
+    @settings(max_examples=60, deadline=None)
+    @given(text=cell_text)
+    def test_to_full_form_total(self, text):
+        """Preprocessing never crashes and always returns a string."""
+        out = to_full_form(text)
+        assert isinstance(out, str)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        year=st.integers(1900, 2099),
+        month=st.integers(1, 12),
+        day=st.integers(1, 28),
+    )
+    def test_iso_and_us_dates_agree(self, year, month, day):
+        iso = normalize_date(f"{year}-{month:02d}-{day:02d}")
+        us = normalize_date(f"{month}/{day}/{year}")
+        assert iso == us

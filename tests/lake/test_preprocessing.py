@@ -1,0 +1,68 @@
+"""Tests for date/abbreviation normalisation (§II-A)."""
+
+import pytest
+
+from repro.lake.preprocessing import expand_abbreviations, normalize_date, to_full_form
+
+
+class TestAbbreviations:
+    def test_paper_examples(self):
+        assert expand_abbreviations("Mar") == "March"
+        assert expand_abbreviations("Main St") == "Main Street"
+
+    def test_trailing_period(self):
+        assert expand_abbreviations("Mar.") == "March"
+
+    def test_case_insensitive_keys(self):
+        assert expand_abbreviations("MAR") == "March"
+
+    def test_unknown_tokens_untouched(self):
+        assert expand_abbreviations("Zanzibar") == "Zanzibar"
+
+    def test_multiple_tokens(self):
+        out = expand_abbreviations("123 N Main St Apt 4")
+        assert out == "123 North Main Street Apartment 4"
+
+    def test_extra_dictionary(self):
+        out = expand_abbreviations("acme hq", extra={"hq": "Headquarters"})
+        assert out == "acme Headquarters"
+
+    def test_extra_overrides_default(self):
+        out = expand_abbreviations("st", extra={"st": "Saint"})
+        assert out == "Saint"
+
+
+class TestNormalizeDate:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("2021-03-05", "March 5 2021"),
+            ("3/5/2021", "March 5 2021"),
+            ("Mar 5, 2021", "March 5 2021"),
+            ("Mar. 5 2021", "March 5 2021"),
+            ("5 Mar 2021", "March 5 2021"),
+            ("5 March 2021", "March 5 2021"),
+            ("12/25/99", "December 25 1999"),
+            ("1/1/20", "January 1 2020"),
+        ],
+    )
+    def test_formats(self, raw, expected):
+        assert normalize_date(raw) == expected
+
+    def test_invalid_month_untouched(self):
+        assert normalize_date("2021-13-05") == "2021-13-05"
+
+    def test_non_date_untouched(self):
+        assert normalize_date("hello world") == "hello world"
+
+
+class TestToFullForm:
+    def test_dates_routed_to_date_path(self):
+        assert to_full_form("2020-06-01") == "June 1 2020"
+
+    def test_strings_routed_to_abbreviation_path(self):
+        assert to_full_form("N Main St") == "North Main Street"
+
+    def test_idempotent_on_full_forms(self):
+        full = "March 5 2021"
+        assert to_full_form(full) == full

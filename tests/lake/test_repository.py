@@ -1,0 +1,90 @@
+"""Tests for the table repository (offline component)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.hashing import HashingNGramEmbedder
+from repro.lake.repository import ColumnRef, TableRepository
+from repro.lake.table import Column, Table
+
+
+def _games_table(name="games"):
+    return Table(
+        name,
+        [
+            Column("title", ["Mario Party", "Zelda Quest", "Metroid Saga",
+                             "Kirby Land", "Pikmin World"]),
+            Column("year", ["1998", "1986", "1994", "1992", "2001"]),
+        ],
+        key_column="title",
+    )
+
+
+class TestIngestion:
+    def test_add_and_len(self):
+        repo = TableRepository()
+        repo.add_table(_games_table())
+        assert len(repo) == 1
+
+    def test_name_collision_suffix(self):
+        repo = TableRepository()
+        repo.add_table(_games_table())
+        repo.add_table(_games_table())
+        assert set(repo.tables) == {"games", "games_2"}
+
+    def test_load_directory(self, tmp_path):
+        (tmp_path / "a.csv").write_text("name,v\naa bb,1\ncc dd,2\nee ff,3\ngg hh,4\nii jj,5\n")
+        (tmp_path / "b.csv").write_text("x\n1\n")
+        repo = TableRepository()
+        assert repo.load_directory(tmp_path) == 2
+        assert "a" in repo.tables
+
+
+class TestExtraction:
+    def test_extract_key_columns(self):
+        repo = TableRepository()
+        repo.add_table(_games_table())
+        refs, columns = repo.extract_key_columns()
+        assert refs == [ColumnRef("games", "title")]
+        assert columns[0][0] == "Mario Party"
+
+    def test_unusable_tables_skipped(self):
+        repo = TableRepository()
+        repo.add_table(Table("tiny", [Column("a", ["x", "y"])]))
+        repo.add_table(_games_table())
+        refs, _ = repo.extract_key_columns()
+        assert [r.table_name for r in refs] == ["games"]
+
+    def test_preprocessing_applied(self):
+        repo = TableRepository(preprocess=True)
+        repo.add_table(
+            Table(
+                "addresses",
+                [Column("addr", ["1 N Main St", "2 S Oak Rd", "3 E Pine Ave",
+                                 "4 W Elm Blvd", "5 N Lake Dr"])],
+                key_column="addr",
+            )
+        )
+        _, columns = repo.extract_key_columns()
+        assert columns[0][0] == "1 North Main Street"
+
+    def test_preprocessing_disabled(self):
+        repo = TableRepository(preprocess=False)
+        repo.add_table(
+            Table(
+                "addresses",
+                [Column("addr", ["1 N Main St", "2 S Oak Rd", "3 E Pine Ave",
+                                 "4 W Elm Blvd", "5 N Lake Dr"])],
+                key_column="addr",
+            )
+        )
+        _, columns = repo.extract_key_columns()
+        assert columns[0][0] == "1 N Main St"
+
+    def test_vectorize(self):
+        repo = TableRepository()
+        repo.add_table(_games_table())
+        refs, vectors = repo.vectorize(HashingNGramEmbedder(dim=16))
+        assert len(refs) == len(vectors) == 1
+        assert vectors[0].shape == (5, 16)
+        np.testing.assert_allclose(np.linalg.norm(vectors[0], axis=1), 1.0)

@@ -1,0 +1,43 @@
+"""Tests for dataset statistics (Table III machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.lake.datagen import DataLakeGenerator
+from repro.lake.statistics import DatasetStatistics, dataset_statistics, lake_statistics
+
+
+class TestDatasetStatistics:
+    def test_basic_profile(self):
+        columns = [np.zeros((5, 8)), np.zeros((15, 8))]
+        stats = dataset_statistics("toy", columns, model="hashing")
+        assert stats.n_tables == 2
+        assert stats.n_vectors == 20
+        assert stats.n_columns == 2
+        assert stats.avg_vectors_per_column == pytest.approx(10.0)
+        assert stats.dim == 8
+        assert stats.model == "hashing"
+
+    def test_explicit_table_count(self):
+        columns = [np.zeros((5, 4))]
+        stats = dataset_statistics("t", columns, n_tables=42)
+        assert stats.n_tables == 42
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dataset_statistics("e", [])
+
+    def test_as_row_matches_headers(self):
+        stats = dataset_statistics("toy", [np.zeros((5, 8))])
+        assert len(stats.as_row()) == len(DatasetStatistics.HEADERS)
+
+
+class TestLakeStatistics:
+    def test_profile_from_lake(self):
+        gen = DataLakeGenerator(seed=0, n_entities=30, dim=16)
+        lake = gen.generate_lake(n_tables=10, rows_range=(5, 10))
+        stats = lake_statistics("synthetic", lake)
+        assert stats.n_tables == 10
+        assert stats.n_columns == 10
+        assert stats.n_vectors == sum(len(v) for v in lake.string_columns)
+        assert stats.dim == 16

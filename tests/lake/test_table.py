@@ -1,0 +1,76 @@
+"""Tests for the table model."""
+
+import pytest
+
+from repro.lake.table import Column, Table
+
+
+@pytest.fixture()
+def table():
+    return Table(
+        name="games",
+        columns=[
+            Column("name", ["Mario Party", "Zelda", "Metroid"]),
+            Column("year", ["1998", "1986", "1994"]),
+        ],
+        key_column="name",
+    )
+
+
+class TestColumn:
+    def test_len(self):
+        assert len(Column("c", ["a", "b"])) == 2
+
+    def test_distinct_ratio(self):
+        assert Column("c", ["a", "a", "b", "c"]).distinct_ratio == pytest.approx(0.75)
+
+    def test_distinct_ratio_empty(self):
+        assert Column("c", []).distinct_ratio == 0.0
+
+    def test_non_missing_filters_na(self):
+        col = Column("c", ["x", "", "NA", "null", "None", "y", "n/a"])
+        assert col.non_missing() == ["x", "y"]
+
+
+class TestTable:
+    def test_shape(self, table):
+        assert table.n_rows == 3
+        assert table.n_columns == 2
+        assert table.column_names == ["name", "year"]
+
+    def test_column_lookup(self, table):
+        assert table.column("year").values[0] == "1998"
+
+    def test_column_missing_raises(self, table):
+        with pytest.raises(KeyError):
+            table.column("publisher")
+
+    def test_key_values(self, table):
+        assert table.key_values() == ["Mario Party", "Zelda", "Metroid"]
+
+    def test_key_values_without_key_raises(self):
+        t = Table("t", [Column("a", ["1"])])
+        with pytest.raises(ValueError):
+            t.key_values()
+
+    def test_row_and_iter(self, table):
+        assert table.row(1) == {"name": "Zelda", "year": "1986"}
+        assert len(list(table.iter_rows())) == 3
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            Table("bad", [Column("a", ["1"]), Column("b", ["1", "2"])])
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="key column"):
+            Table("bad", [Column("a", ["1"])], key_column="nope")
+
+    def test_from_rows(self):
+        t = Table.from_rows("t", ["x", "y"], [["1", "2"], ["3", "4"]])
+        assert t.column("x").values == ["1", "3"]
+        assert t.column("y").values == ["2", "4"]
+
+    def test_empty_table(self):
+        t = Table("empty")
+        assert t.n_rows == 0
+        assert t.n_columns == 0

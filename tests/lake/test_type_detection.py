@@ -1,0 +1,70 @@
+"""Tests for the SATO-stand-in type detection."""
+
+import pytest
+
+from repro.lake.table import Column
+from repro.lake.type_detection import (
+    SemanticType,
+    detect_column_type,
+    is_date_value,
+    is_identifier_value,
+    is_numeric_value,
+)
+
+
+class TestValuePredicates:
+    @pytest.mark.parametrize("v", ["42", "-3.14", "+7", "1,234,567", "0.5"])
+    def test_numeric_accepts(self, v):
+        assert is_numeric_value(v)
+
+    @pytest.mark.parametrize("v", ["abc", "12a", "", "1 2", "1.2.3"])
+    def test_numeric_rejects(self, v):
+        assert not is_numeric_value(v)
+
+    @pytest.mark.parametrize(
+        "v", ["2021-03-05", "3/5/2021", "Mar 5, 2021", "March 5 2021", "5 March 2021"]
+    )
+    def test_date_accepts(self, v):
+        assert is_date_value(v)
+
+    @pytest.mark.parametrize("v", ["hello", "2021", "13-05", "May"])
+    def test_date_rejects(self, v):
+        assert not is_date_value(v)
+
+    @pytest.mark.parametrize("v", ["AB-1234", "SKU99", "X_9Y"])
+    def test_identifier_accepts(self, v):
+        assert is_identifier_value(v)
+
+    @pytest.mark.parametrize("v", ["hello", "ABCD", "ab-12"])
+    def test_identifier_rejects(self, v):
+        assert not is_identifier_value(v)
+
+
+class TestColumnDetection:
+    def test_numeric_column(self):
+        col = Column("pop", ["123", "456", "789", "1,000", "42"])
+        assert detect_column_type(col) == SemanticType.NUMERIC
+
+    def test_date_column(self):
+        col = Column("d", ["2020-01-02", "3/4/2021", "Mar 5, 2019", "2018-12-31", "1/1/11"])
+        assert detect_column_type(col) == SemanticType.DATE
+
+    def test_identifier_column(self):
+        col = Column("id", ["SKU-001", "SKU-002", "SKU-003", "SKU-004", "SKU-005"])
+        assert detect_column_type(col) == SemanticType.IDENTIFIER
+
+    def test_string_column(self):
+        col = Column("name", ["Mario", "Zelda", "Metroid", "Pokemon", "Kirby"])
+        assert detect_column_type(col) == SemanticType.STRING
+
+    def test_empty_column(self):
+        assert detect_column_type(Column("e", ["", "NA", "null"])) == SemanticType.EMPTY
+
+    def test_dominance_threshold(self):
+        # 3/5 numeric is below the 80% dominance bar -> STRING
+        col = Column("mixed", ["1", "2", "3", "abc", "def"])
+        assert detect_column_type(col) == SemanticType.STRING
+
+    def test_missing_values_ignored(self):
+        col = Column("pop", ["", "NA", "1", "2", "3", "4", "5"])
+        assert detect_column_type(col) == SemanticType.NUMERIC

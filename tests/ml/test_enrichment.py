@@ -1,0 +1,124 @@
+"""Tests for the data-enrichment pipeline (Table V machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metric import EuclideanMetric
+from repro.core.thresholds import distance_threshold
+from repro.lake.datagen import DataLakeGenerator
+from repro.ml.enrichment import (
+    ExactMatcher,
+    SemanticMatcher,
+    SimilarityMatcher,
+    enrich_features,
+    evaluate_task,
+)
+from repro.text.edit_distance import edit_similarity
+
+
+@pytest.fixture(scope="module")
+def task():
+    gen = DataLakeGenerator(seed=7, n_entities=80, n_classes=4)
+    return gen, gen.make_ml_task("classification", n_rows=80, n_lake_tables=16,
+                                 rows_range=(15, 30))
+
+
+class TestMatchers:
+    def test_exact_matcher(self):
+        matcher = ExactMatcher()
+        out = matcher.match_column(["a", "b", "z"], ["b", "a", "a"])
+        assert out == [1, 0, None]
+
+    def test_similarity_matcher_threshold(self):
+        matcher = SimilarityMatcher(edit_similarity, theta=0.8)
+        out = matcher.match_column(["mario"], ["maria", "zzzzz"])
+        assert out == [0]
+        strict = SimilarityMatcher(edit_similarity, theta=0.99)
+        assert strict.match_column(["mario"], ["maria", "zzzzz"]) == [None]
+
+    def test_semantic_matcher_uses_entities(self, task):
+        gen, _ = task
+        entity = gen.entities[0]
+        tau = distance_threshold(0.06, EuclideanMetric(), gen.dim)
+        matcher = SemanticMatcher(gen.embedder, tau)
+        synonym = entity.variants["synonym"][0]
+        out = matcher.match_column([entity.canonical], [synonym, "unrelated junk"])
+        assert out == [0]
+
+    def test_semantic_matcher_empty_target(self, task):
+        gen, _ = task
+        matcher = SemanticMatcher(gen.embedder, 0.1)
+        assert matcher.match_column(["x", "y"], []) == [None, None]
+
+
+class TestEnrichFeatures:
+    def test_no_tables_gives_base_features(self, task):
+        _, ml_task = task
+        result = enrich_features(ml_task, [], ExactMatcher())
+        assert result.features.shape == (80, 2)  # base_0, base_1
+        assert result.match_fraction == 0.0
+        assert result.n_joined_tables == 0
+
+    def test_joining_adds_features(self, task):
+        gen, ml_task = task
+        tables = sorted(ml_task.lake.true_joinable_tables(ml_task.query_entities, 0.1))
+        tau = distance_threshold(0.06, EuclideanMetric(), gen.dim)
+        result = enrich_features(ml_task, tables, SemanticMatcher(gen.embedder, tau))
+        assert result.features.shape[1] > 2
+        assert result.match_fraction > 0.0
+        assert result.n_joined_tables > 0
+
+    def test_no_nans_after_imputation(self, task):
+        gen, ml_task = task
+        tables = list(range(ml_task.lake.n_tables))
+        tau = distance_threshold(0.06, EuclideanMetric(), gen.dim)
+        result = enrich_features(ml_task, tables, SemanticMatcher(gen.embedder, tau))
+        assert not np.isnan(result.features).any()
+
+    def test_semantic_matches_more_than_exact(self, task):
+        gen, ml_task = task
+        tables = list(range(ml_task.lake.n_tables))
+        tau = distance_threshold(0.06, EuclideanMetric(), gen.dim)
+        semantic = enrich_features(ml_task, tables, SemanticMatcher(gen.embedder, tau))
+        exact = enrich_features(ml_task, tables, ExactMatcher())
+        assert semantic.match_fraction > exact.match_fraction
+
+    def test_min_column_size_filters(self, task):
+        gen, ml_task = task
+        tables = list(range(ml_task.lake.n_tables))
+        result = enrich_features(
+            ml_task, tables, ExactMatcher(), min_column_size=10_000
+        )
+        assert result.n_joined_tables == 0
+
+
+class TestEvaluateTask:
+    def test_enrichment_improves_classification(self, task):
+        gen, ml_task = task
+        tau = distance_threshold(0.06, EuclideanMetric(), gen.dim)
+        tables = sorted(ml_task.lake.true_joinable_tables(ml_task.query_entities, 0.1))
+
+        base = enrich_features(ml_task, [], ExactMatcher())
+        base_score, _ = evaluate_task(ml_task, base, n_estimators=8)
+
+        enriched = enrich_features(ml_task, tables, SemanticMatcher(gen.embedder, tau))
+        enriched_score, _ = evaluate_task(ml_task, enriched, n_estimators=8)
+        assert enriched_score > base_score
+
+    def test_regression_task_runs(self):
+        gen = DataLakeGenerator(seed=8, n_entities=60)
+        ml_task = gen.make_ml_task("regression", n_rows=60, n_lake_tables=10,
+                                   rows_range=(15, 30))
+        tau = distance_threshold(0.06, EuclideanMetric(), gen.dim)
+        tables = sorted(ml_task.lake.true_joinable_tables(ml_task.query_entities, 0.1))
+        enriched = enrich_features(ml_task, tables, SemanticMatcher(gen.embedder, tau))
+        mse, std = evaluate_task(ml_task, enriched, n_estimators=8)
+        assert mse >= 0.0
+
+    def test_rfe_path(self, task):
+        gen, ml_task = task
+        tau = distance_threshold(0.06, EuclideanMetric(), gen.dim)
+        tables = sorted(ml_task.lake.true_joinable_tables(ml_task.query_entities, 0.1))
+        enriched = enrich_features(ml_task, tables, SemanticMatcher(gen.embedder, tau))
+        score, _ = evaluate_task(ml_task, enriched, n_estimators=8, rfe_target=3)
+        assert 0.0 <= score <= 1.0

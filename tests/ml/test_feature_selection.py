@@ -1,0 +1,63 @@
+"""Tests for recursive feature elimination."""
+
+import numpy as np
+import pytest
+
+from repro.ml.feature_selection import recursive_feature_elimination
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def _signal_plus_noise(seed=0, n=120, n_noise=6):
+    rng = np.random.default_rng(seed)
+    signal = rng.normal(size=(n, 2))
+    labels = ((signal[:, 0] + signal[:, 1]) > 0).astype(int)
+    noise = rng.normal(size=(n, n_noise))
+    return np.hstack([signal, noise]), labels
+
+
+class TestRfe:
+    def test_keeps_signal_features(self):
+        features, labels = _signal_plus_noise()
+        selected = recursive_feature_elimination(
+            lambda: RandomForestClassifier(n_estimators=10, max_depth=4),
+            features,
+            labels,
+            n_features_to_select=2,
+        )
+        assert set(selected.tolist()) == {0, 1}
+
+    def test_selected_count(self):
+        features, labels = _signal_plus_noise()
+        selected = recursive_feature_elimination(
+            lambda: DecisionTreeClassifier(max_depth=4),
+            features,
+            labels,
+            n_features_to_select=3,
+        )
+        assert selected.shape == (3,)
+
+    def test_sorted_indices(self):
+        features, labels = _signal_plus_noise()
+        selected = recursive_feature_elimination(
+            lambda: DecisionTreeClassifier(max_depth=4), features, labels, 4
+        )
+        assert selected.tolist() == sorted(selected.tolist())
+
+    def test_select_all_is_identity(self):
+        features, labels = _signal_plus_noise()
+        selected = recursive_feature_elimination(
+            lambda: DecisionTreeClassifier(max_depth=3),
+            features,
+            labels,
+            features.shape[1],
+        )
+        assert selected.tolist() == list(range(features.shape[1]))
+
+    @pytest.mark.parametrize("bad", [0, 99])
+    def test_invalid_target(self, bad):
+        features, labels = _signal_plus_noise()
+        with pytest.raises(ValueError):
+            recursive_feature_elimination(
+                lambda: DecisionTreeClassifier(), features, labels, bad
+            )

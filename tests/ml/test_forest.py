@@ -1,0 +1,84 @@
+"""Tests for random forests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+
+
+def _blobs(seed=0, n=50):
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(loc=-2, size=(n, 3))
+    x1 = rng.normal(loc=+2, size=(n, 3))
+    return np.vstack([x0, x1]), np.array([0] * n + [1] * n)
+
+
+class TestClassifier:
+    def test_separable_accuracy(self):
+        features, labels = _blobs()
+        forest = RandomForestClassifier(n_estimators=10, seed=1).fit(features, labels)
+        assert (forest.predict(features) == labels).mean() > 0.95
+
+    def test_proba_shape_and_sum(self):
+        features, labels = _blobs()
+        forest = RandomForestClassifier(n_estimators=5).fit(features, labels)
+        proba = forest.predict_proba(features[:7])
+        assert proba.shape == (7, 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_deterministic_given_seed(self):
+        features, labels = _blobs()
+        a = RandomForestClassifier(n_estimators=5, seed=3).fit(features, labels)
+        b = RandomForestClassifier(n_estimators=5, seed=3).fit(features, labels)
+        np.testing.assert_array_equal(a.predict(features), b.predict(features))
+
+    def test_importances_averaged(self):
+        features, labels = _blobs()
+        forest = RandomForestClassifier(n_estimators=5).fit(features, labels)
+        assert forest.feature_importances_.shape == (3,)
+        assert forest.feature_importances_.sum() == pytest.approx(1.0, abs=0.2)
+
+    def test_invalid_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_no_bootstrap(self):
+        features, labels = _blobs()
+        forest = RandomForestClassifier(n_estimators=3, bootstrap=False).fit(
+            features, labels
+        )
+        assert (forest.predict(features) == labels).mean() > 0.9
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(7)
+        features = np.vstack([
+            rng.normal(loc=c * 3, size=(30, 2)) for c in range(3)
+        ])
+        labels = np.repeat(np.arange(3), 30)
+        forest = RandomForestClassifier(n_estimators=10).fit(features, labels)
+        assert (forest.predict(features) == labels).mean() > 0.9
+
+
+class TestRegressor:
+    def test_step_function(self):
+        rng = np.random.default_rng(8)
+        x = rng.uniform(-1, 1, size=(200, 1))
+        y = np.where(x[:, 0] > 0, 5.0, -5.0)
+        forest = RandomForestRegressor(n_estimators=10).fit(x, y)
+        assert np.abs(forest.predict(x) - y).mean() < 1.0
+
+    def test_prediction_shape(self):
+        x, y = _blobs()
+        forest = RandomForestRegressor(n_estimators=3).fit(x, y.astype(float))
+        assert forest.predict(x[:9]).shape == (9,)
+
+    def test_averaging_smooths_variance(self):
+        """A forest's training error should not exceed a single deep tree's
+        test-style variance blow-up — predictions stay within label range."""
+        rng = np.random.default_rng(9)
+        x = rng.uniform(0, 1, size=(100, 1))
+        y = np.sin(x[:, 0] * 6)
+        forest = RandomForestRegressor(n_estimators=15).fit(x, y)
+        predictions = forest.predict(x)
+        assert predictions.min() >= y.min() - 0.2
+        assert predictions.max() <= y.max() + 0.2

@@ -1,0 +1,68 @@
+"""Tests for ML metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy,
+    confusion_matrix,
+    macro_f1,
+    mean_squared_error,
+    micro_f1,
+)
+
+
+class TestConfusionMatrix:
+    def test_perfect(self):
+        classes, matrix = confusion_matrix([0, 1, 1], [0, 1, 1])
+        assert matrix.tolist() == [[1, 0], [0, 2]]
+
+    def test_off_diagonal(self):
+        _, matrix = confusion_matrix([0, 0, 1], [1, 0, 1])
+        assert matrix[0, 1] == 1
+
+    def test_unseen_predicted_class(self):
+        classes, matrix = confusion_matrix([0, 0], [0, 2])
+        assert list(classes) == [0, 2]
+        assert matrix.shape == (2, 2)
+
+
+class TestAccuracyAndF1:
+    def test_accuracy(self):
+        assert accuracy([1, 2, 3, 4], [1, 2, 0, 4]) == pytest.approx(0.75)
+
+    def test_micro_f1_equals_accuracy_single_label(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 4, size=100)
+        y_pred = rng.integers(0, 4, size=100)
+        assert micro_f1(y_true, y_pred) == pytest.approx(accuracy(y_true, y_pred))
+
+    def test_micro_f1_perfect(self):
+        assert micro_f1([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_micro_f1_all_wrong(self):
+        assert micro_f1([0, 0], [1, 1]) == 0.0
+
+    def test_macro_f1_penalises_minority_errors(self):
+        y_true = [0] * 90 + [1] * 10
+        y_pred = [0] * 100  # never predicts the minority class
+        assert macro_f1(y_true, y_pred) < micro_f1(y_true, y_pred)
+
+    def test_macro_f1_perfect(self):
+        assert macro_f1([0, 1, 0, 1], [0, 1, 0, 1]) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+
+class TestMse:
+    def test_known_value(self):
+        assert mean_squared_error([1.0, 2.0], [2.0, 4.0]) == pytest.approx(2.5)
+
+    def test_zero_on_perfect(self):
+        assert mean_squared_error([1.5, 2.5], [1.5, 2.5]) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([], [])

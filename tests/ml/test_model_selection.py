@@ -1,0 +1,69 @@
+"""Tests for k-fold cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import accuracy
+from repro.ml.model_selection import KFold, cross_val_score
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class TestKFold:
+    def test_folds_partition_samples(self):
+        folds = list(KFold(n_splits=4, seed=0).split(22))
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(22))
+
+    def test_train_test_disjoint(self):
+        for train, test in KFold(n_splits=3, seed=1).split(20):
+            assert not set(train) & set(test)
+            assert len(train) + len(test) == 20
+
+    def test_shuffling_depends_on_seed(self):
+        a = [test.tolist() for _, test in KFold(4, seed=0).split(20)]
+        b = [test.tolist() for _, test in KFold(4, seed=1).split(20)]
+        assert a != b
+
+    def test_deterministic_per_seed(self):
+        a = [test.tolist() for _, test in KFold(4, seed=2).split(20)]
+        b = [test.tolist() for _, test in KFold(4, seed=2).split(20)]
+        assert a == b
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(5).split(3))
+
+    def test_invalid_splits(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+
+
+class TestCrossValScore:
+    def test_separable_data_high_score(self):
+        rng = np.random.default_rng(0)
+        features = np.vstack([
+            rng.normal(loc=-3, size=(40, 2)), rng.normal(loc=3, size=(40, 2))
+        ])
+        labels = np.array([0] * 40 + [1] * 40)
+        mean, std = cross_val_score(
+            lambda: DecisionTreeClassifier(max_depth=3),
+            features,
+            labels,
+            accuracy,
+            n_splits=4,
+        )
+        assert mean > 0.9
+        assert std >= 0.0
+
+    def test_random_labels_near_chance(self):
+        rng = np.random.default_rng(1)
+        features = rng.normal(size=(80, 3))
+        labels = rng.integers(0, 2, size=80)
+        mean, _ = cross_val_score(
+            lambda: DecisionTreeClassifier(max_depth=2),
+            features,
+            labels,
+            accuracy,
+            n_splits=4,
+        )
+        assert 0.2 < mean < 0.8

@@ -1,0 +1,115 @@
+"""Tests for CART decision trees."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+def _blobs(seed=0, n=60):
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(loc=-2, size=(n, 2))
+    x1 = rng.normal(loc=+2, size=(n, 2))
+    features = np.vstack([x0, x1])
+    labels = np.array([0] * n + [1] * n)
+    return features, labels
+
+
+class TestClassifier:
+    def test_separable_data_perfect(self):
+        features, labels = _blobs()
+        tree = DecisionTreeClassifier(max_depth=4).fit(features, labels)
+        assert (tree.predict(features) == labels).mean() > 0.95
+
+    def test_predict_proba_sums_to_one(self):
+        features, labels = _blobs()
+        tree = DecisionTreeClassifier(max_depth=3).fit(features, labels)
+        proba = tree.predict_proba(features[:10])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_single_class(self):
+        features = np.random.default_rng(1).normal(size=(20, 3))
+        labels = np.zeros(20, dtype=int)
+        tree = DecisionTreeClassifier().fit(features, labels)
+        assert (tree.predict(features) == 0).all()
+
+    def test_string_labels(self):
+        features, labels = _blobs()
+        names = np.array(["cat", "dog"])[labels]
+        tree = DecisionTreeClassifier(max_depth=4).fit(features, names)
+        assert set(tree.predict(features)) <= {"cat", "dog"}
+
+    def test_max_depth_one_is_stump(self):
+        features, labels = _blobs()
+        tree = DecisionTreeClassifier(max_depth=1).fit(features, labels)
+        # a stump has at most 2 distinct predictions
+        assert len(set(tree.predict(features).tolist())) <= 2
+
+    def test_feature_importances_normalised(self):
+        features, labels = _blobs()
+        tree = DecisionTreeClassifier(max_depth=4).fit(features, labels)
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_informative_feature_ranked_higher(self):
+        rng = np.random.default_rng(2)
+        signal = rng.normal(size=100)
+        noise = rng.normal(size=100)
+        features = np.column_stack([signal, noise])
+        labels = (signal > 0).astype(int)
+        tree = DecisionTreeClassifier(max_depth=3).fit(features, labels)
+        assert tree.feature_importances_[0] > tree.feature_importances_[1]
+
+    def test_zero_samples_raise(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+
+    def test_constant_features_fall_back_to_leaf(self):
+        features = np.ones((10, 2))
+        labels = np.array([0, 1] * 5)
+        tree = DecisionTreeClassifier().fit(features, labels)
+        assert tree.predict(features).shape == (10,)
+
+
+class TestRegressor:
+    def test_step_function_learned(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, size=(200, 1))
+        y = np.where(x[:, 0] > 0, 5.0, -5.0)
+        tree = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        predictions = tree.predict(x)
+        assert np.abs(predictions - y).mean() < 0.5
+
+    def test_linear_trend_approximated(self):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(0, 1, size=(300, 1))
+        y = 3.0 * x[:, 0]
+        tree = DecisionTreeRegressor(max_depth=6).fit(x, y)
+        mse = float(np.mean((tree.predict(x) - y) ** 2))
+        assert mse < 0.05
+
+    def test_constant_target(self):
+        x = np.random.default_rng(5).normal(size=(20, 2))
+        y = np.full(20, 7.0)
+        tree = DecisionTreeRegressor().fit(x, y)
+        np.testing.assert_allclose(tree.predict(x), 7.0)
+
+    def test_min_samples_leaf_respected(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(20, 1))
+        y = rng.normal(size=20)
+        tree = DecisionTreeRegressor(max_depth=10, min_samples_leaf=10).fit(x, y)
+        # at most 2 leaves possible with 20 samples and min leaf 10
+        assert len(set(tree.predict(x).tolist())) <= 2
+
+    def test_importances_exist(self):
+        x, y = _blobs()
+        tree = DecisionTreeRegressor(max_depth=4).fit(x, y.astype(float))
+        assert tree.feature_importances_.shape == (2,)

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface (index / search / stats)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.lake.csv_loader import dump_csv
+from repro.lake.datagen import DataLakeGenerator
+from repro.lake.table import Column, Table
+
+
+@pytest.fixture(scope="module")
+def lake_dir(tmp_path_factory):
+    """A small CSV lake on disk built from the generator (misspellings etc.)."""
+    directory = tmp_path_factory.mktemp("lake")
+    gen = DataLakeGenerator(seed=4, n_entities=40, dim=16)
+    lake = gen.generate_lake(n_tables=12, rows_range=(8, 14),
+                             distractor_fraction=0.0, noise_row_fraction=0.0)
+    for table in lake.tables:
+        dump_csv(table, directory / f"{table.name}.csv")
+    query_table, _ = gen.generate_query_table(
+        n_rows=10, domain=0, kind_weights={"exact": 1.0}
+    )
+    dump_csv(query_table, directory / "_query.csv")
+    (directory / "_query.csv").rename(directory.parent / "query.csv")
+    return directory
+
+
+class TestIndexCommand:
+    def test_index_builds_artifacts(self, lake_dir, tmp_path):
+        index_dir = tmp_path / "idx"
+        code = main(["index", str(lake_dir), str(index_dir), "--dim", "32"])
+        assert code == 0
+        assert (index_dir / "manifest.json").exists()
+        assert (index_dir / "catalog.json").exists()
+        assert (index_dir / "vectors.npz").exists()
+
+    def test_missing_lake_fails(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["index", str(empty), str(tmp_path / "idx")]) == 1
+
+
+class TestSearchCommand:
+    @pytest.fixture()
+    def index_dir(self, lake_dir, tmp_path):
+        out = tmp_path / "idx"
+        assert main(["index", str(lake_dir), str(out), "--dim", "32"]) == 0
+        return out
+
+    def test_search_runs(self, index_dir, lake_dir, capsys):
+        query_csv = lake_dir.parent / "query.csv"
+        code = main([
+            "search", str(index_dir), str(query_csv),
+            "--tau", "0.2", "--joinability", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "joinability=" in out or "no joinable tables" in out
+
+    def test_topk_mode(self, index_dir, lake_dir, capsys):
+        query_csv = lake_dir.parent / "query.csv"
+        code = main([
+            "search", str(index_dir), str(query_csv),
+            "--tau", "0.2", "--topk", "3",
+        ])
+        assert code == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if "\t" in l]
+        assert 0 < len(lines) <= 3
+
+    def test_explicit_column(self, index_dir, lake_dir, capsys):
+        query_csv = lake_dir.parent / "query.csv"
+        code = main([
+            "search", str(index_dir), str(query_csv),
+            "--column", "key", "--tau", "0.2", "--joinability", "0.2",
+        ])
+        assert code == 0
+
+
+class TestStatsCommand:
+    def test_stats_output(self, lake_dir, capsys):
+        assert main(["stats", str(lake_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "# Tab.:" in out
+        assert "# Vec.:" in out
+
+    def test_stats_empty_dir(self, tmp_path, capsys):
+        empty = tmp_path / "none"
+        empty.mkdir()
+        assert main(["stats", str(empty)]) == 1

@@ -1,0 +1,38 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Each example's ``main()`` is executed in-process (fast ones only; the ML
+enrichment example trains forests and is exercised by the Table V
+benchmark instead).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "csv_data_lake.py",
+    "out_of_core_partitioning.py",
+    "lake_curation.py",
+    "topk_and_persistence.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    path = EXAMPLES / script
+    assert path.exists(), f"example {script} missing"
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {script} produced no output"
+
+
+def test_examples_directory_complete():
+    """Every example advertised in the README exists."""
+    readme = (EXAMPLES.parent / "README.md").read_text()
+    for script in EXAMPLES.glob("*.py"):
+        assert script.name in readme, f"{script.name} not documented in README"

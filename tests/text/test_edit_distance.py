@@ -1,0 +1,73 @@
+"""Tests for Levenshtein edit distance."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.edit_distance import edit_distance, edit_similarity
+
+words = st.text(alphabet="abcdef", max_size=12)
+
+
+class TestKnownValues:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("", "", 0),
+            ("", "abc", 3),
+            ("abc", "", 3),
+            ("same", "same", 0),
+            ("a", "b", 1),
+            ("abc", "acb", 2),  # plain Levenshtein (no transposition op)
+            ("saturday", "sunday", 3),
+        ],
+    )
+    def test_pairs(self, a, b, expected):
+        assert edit_distance(a, b) == expected
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(a=words, b=words)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=words, b=words, c=words)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=words)
+    def test_identity(self, a):
+        assert edit_distance(a, a) == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=words, b=words)
+    def test_bounds(self, a, b):
+        d = edit_distance(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=words, ch=st.sampled_from("abcdef"))
+    def test_single_insertion_costs_one(self, a, ch):
+        assert edit_distance(a, a + ch) == 1
+
+
+class TestEditSimilarity:
+    def test_identical(self):
+        assert edit_similarity("abc", "abc") == 1.0
+
+    def test_empty_pair(self):
+        assert edit_similarity("", "") == 1.0
+
+    def test_disjoint(self):
+        assert edit_similarity("aaa", "bbb") == 0.0
+
+    def test_range(self):
+        assert 0.0 <= edit_similarity("mario", "maria") <= 1.0
+
+    def test_typo_scores_high(self):
+        assert edit_similarity("mississippi", "missisippi") > 0.9

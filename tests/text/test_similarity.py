@@ -1,0 +1,100 @@
+"""Tests for set/TF-IDF/fuzzy similarities."""
+
+import pytest
+
+from repro.text.similarity import (
+    TfidfVectorizer,
+    cosine_similarity,
+    fuzzy_token_similarity,
+    jaccard_similarity,
+)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_similarity("mario party", "mario party") == 1.0
+
+    def test_token_order_invariant(self):
+        assert jaccard_similarity("mario party", "party mario") == 1.0
+
+    def test_half_overlap(self):
+        assert jaccard_similarity("a b", "b c") == pytest.approx(1 / 3)
+
+    def test_disjoint(self):
+        assert jaccard_similarity("aa bb", "cc dd") == 0.0
+
+    def test_both_empty(self):
+        assert jaccard_similarity("", "") == 1.0
+
+    def test_one_empty(self):
+        assert jaccard_similarity("abc", "") == 0.0
+
+    def test_symmetry(self):
+        assert jaccard_similarity("x y z", "y z w") == jaccard_similarity(
+            "y z w", "x y z"
+        )
+
+
+class TestFuzzy:
+    def test_exact_tokens(self):
+        assert fuzzy_token_similarity("mario party", "mario party") == 1.0
+
+    def test_typo_tolerated(self):
+        assert fuzzy_token_similarity("mario party", "mario partu", delta=0.75) == 1.0
+
+    def test_typo_rejected_with_strict_delta(self):
+        sim = fuzzy_token_similarity("mario party", "mario partu", delta=0.99)
+        assert sim == pytest.approx(1 / 3)
+
+    def test_greedy_one_to_one(self):
+        # one 'aa' in the query cannot match both 'aa' tokens in the target
+        sim = fuzzy_token_similarity("aa", "aa aa")
+        assert sim == pytest.approx(0.5)
+
+    def test_empty_cases(self):
+        assert fuzzy_token_similarity("", "") == 1.0
+        assert fuzzy_token_similarity("a", "") == 0.0
+
+    def test_range(self):
+        assert 0.0 <= fuzzy_token_similarity("abc def", "abd xyz") <= 1.0
+
+
+class TestTfidf:
+    @pytest.fixture()
+    def vectorizer(self):
+        corpus = [
+            "mario party nintendo",
+            "zelda quest nintendo",
+            "halo combat xbox",
+            "mario kart nintendo",
+        ]
+        return TfidfVectorizer().fit(corpus)
+
+    def test_vector_normalised(self, vectorizer):
+        vec = vectorizer.vector("mario party")
+        assert sum(w * w for w in vec.values()) == pytest.approx(1.0)
+
+    def test_rare_terms_weigh_more(self, vectorizer):
+        vec = vectorizer.vector("party nintendo")
+        assert vec["party"] > vec["nintendo"]  # 'nintendo' is common
+
+    def test_empty_vector(self, vectorizer):
+        assert vectorizer.vector("") == {}
+
+    def test_cosine_identical(self, vectorizer):
+        v = vectorizer.vector("mario party")
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_cosine_disjoint(self, vectorizer):
+        a = vectorizer.vector("mario")
+        b = vectorizer.vector("halo")
+        assert cosine_similarity(a, b) == 0.0
+
+    def test_cosine_symmetry(self, vectorizer):
+        a = vectorizer.vector("mario party")
+        b = vectorizer.vector("mario kart")
+        assert cosine_similarity(a, b) == pytest.approx(cosine_similarity(b, a))
+
+    def test_unknown_terms_get_default_idf(self, vectorizer):
+        vec = vectorizer.vector("qwertyuiop")
+        assert set(vec) == {"qwertyuiop"}

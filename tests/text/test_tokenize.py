@@ -1,0 +1,58 @@
+"""Tests for tokenisation helpers."""
+
+import pytest
+
+from repro.text.tokenize import char_ngrams, word_tokens
+
+
+class TestWordTokens:
+    def test_basic(self):
+        assert word_tokens("Mario Party") == ["mario", "party"]
+
+    def test_punctuation_split(self):
+        assert word_tokens("American Indian/Alaska Native") == [
+            "american", "indian", "alaska", "native",
+        ]
+
+    def test_numbers_kept(self):
+        assert word_tokens("Route 66") == ["route", "66"]
+
+    def test_empty(self):
+        assert word_tokens("") == []
+        assert word_tokens("!!!") == []
+
+    def test_mixed_alphanumerics(self):
+        assert word_tokens("ab12cd") == ["ab12cd"]
+
+
+class TestCharNgrams:
+    def test_padding_brackets(self):
+        grams = char_ngrams("ab", 3, 3)
+        assert grams == ["<ab", "ab>"]
+
+    def test_range(self):
+        grams = char_ngrams("abc", 3, 4)
+        assert "<ab" in grams
+        assert "<abc" in grams
+        assert all(3 <= len(g) <= 4 for g in grams)
+
+    def test_short_string_whole_token(self):
+        assert char_ngrams("a", 5, 6) == ["<a>"]
+
+    def test_no_padding(self):
+        assert char_ngrams("abcd", 3, 3, pad=False) == ["abc", "bcd"]
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            char_ngrams("abc", 0, 2)
+        with pytest.raises(ValueError):
+            char_ngrams("abc", 4, 2)
+
+    def test_overlap_property(self):
+        """Near-identical words share most n-grams (the fastText property)."""
+        a = set(char_ngrams("mississippi", 3, 4))
+        b = set(char_ngrams("missisippi", 3, 4))
+        c = set(char_ngrams("constantinople", 3, 4))
+        jac_ab = len(a & b) / len(a | b)
+        jac_ac = len(a & c) / len(a | c)
+        assert jac_ab > jac_ac
