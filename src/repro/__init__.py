@@ -17,6 +17,8 @@ for turning string columns into vectors.
 
 from repro.core import (
     AblationFlags,
+    BatchResult,
+    BatchSearch,
     EuclideanMetric,
     JoinableColumn,
     Metric,
@@ -24,16 +26,20 @@ from repro.core import (
     PexesoIndex,
     SearchResult,
     SearchStats,
+    batch_search,
     distance_threshold,
     get_metric,
     joinability_count,
     pexeso_search,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AblationFlags",
+    "BatchResult",
+    "BatchSearch",
+    "batch_search",
     "EuclideanMetric",
     "JoinableColumn",
     "Metric",

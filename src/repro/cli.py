@@ -5,13 +5,17 @@ Three subcommands mirror the offline/online split of Fig. 1::
     python -m repro.cli index  LAKE_DIR INDEX_DIR [--dim 64] [--pivots 5] [--levels 4]
     python -m repro.cli search INDEX_DIR QUERY_CSV [--column NAME]
                                [--tau 0.06] [--joinability 0.6] [--topk K]
+                               [--all-columns] [--workers N]
     python -m repro.cli stats  LAKE_DIR
 
 ``index`` loads every CSV under LAKE_DIR, detects join-key columns,
 normalises and embeds them (hashing n-gram embedder — deterministic given
 ``--seed``), builds a PexesoIndex and saves it with its column catalog.
 ``search`` embeds the query CSV's column with the same embedder settings
-and prints joinable tables. ``stats`` prints the Table III-style profile.
+and prints joinable tables; with ``--all-columns`` every candidate join
+column of the query table is answered in one batch-engine pass (results
+per column are identical to running each search on its own). ``stats``
+prints the Table III-style profile.
 """
 
 from __future__ import annotations
@@ -67,6 +71,27 @@ def cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _hit_rows(result) -> list[tuple[int, int, float]]:
+    return [(h.column_id, h.match_count, h.joinability) for h in result.joinable]
+
+
+def _print_hits(rows, columns) -> None:
+    for column_id, count, joinability in rows:
+        ref = columns[column_id]
+        print(
+            f"{ref['table']}.{ref['column']}\t"
+            f"matches={count}\tjoinability={joinability:.3f}"
+        )
+
+
+def _embed_query_values(values, catalog, embedder):
+    if catalog.get("preprocess", True):
+        from repro.lake.preprocessing import to_full_form
+
+        values = [to_full_form(v) for v in values]
+    return embedder.embed_column(values)
+
+
 def cmd_search(args: argparse.Namespace) -> int:
     index_dir = Path(args.index_dir)
     index = load_index(index_dir)
@@ -76,35 +101,62 @@ def cmd_search(args: argparse.Namespace) -> int:
     )
 
     query_table = load_csv(args.query_csv)
+    tau = distance_threshold(args.tau, index.metric, index.dim)
+
+    if args.all_columns:
+        from repro.core.engine import BatchSearch
+        from repro.lake.key_detection import candidate_join_columns
+
+        if args.topk:
+            print("--topk is ignored in --all-columns mode", file=sys.stderr)
+        candidates = candidate_join_columns(query_table)
+        if args.column and args.column not in candidates:
+            candidates.insert(0, args.column)
+        if not candidates:
+            print("query table has no candidate join columns", file=sys.stderr)
+            return 1
+        vectors = [
+            _embed_query_values(query_table.column(name).values, catalog, embedder)
+            for name in candidates
+        ]
+        engine = BatchSearch(index, max_workers=args.workers)
+        batch = engine.search_many(vectors, tau, args.joinability)
+        columns = catalog["columns"]
+        total = 0
+        for name, result in zip(candidates, batch.results):
+            print(f"[{name}]")
+            rows = _hit_rows(result)
+            if rows:
+                _print_hits(rows, columns)
+                total += len(rows)
+            else:
+                print("no joinable tables found")
+        print(
+            f"# {total} hits over {len(candidates)} query columns "
+            f"in {batch.wall_seconds:.3f}s "
+            f"({batch.stats.distance_computations} distance computations)"
+        )
+        return 0
+
     column = args.column or detect_key_column(query_table)
     if column is None:
         print("query table has no usable key column", file=sys.stderr)
         return 1
-    values = query_table.column(column).values
-    if catalog.get("preprocess", True):
-        from repro.lake.preprocessing import to_full_form
-
-        values = [to_full_form(v) for v in values]
-    query_vectors = embedder.embed_column(values)
-    tau = distance_threshold(args.tau, index.metric, index.dim)
+    query_vectors = _embed_query_values(
+        query_table.column(column).values, catalog, embedder
+    )
 
     if args.topk:
         result = pexeso_topk(index, query_vectors, tau, args.topk)
         rows = result.hits
     else:
         result = pexeso_search(index, query_vectors, tau, args.joinability)
-        rows = [(h.column_id, h.match_count, h.joinability) for h in result.joinable]
+        rows = _hit_rows(result)
 
     if not rows:
         print("no joinable tables found")
         return 0
-    columns = catalog["columns"]
-    for column_id, count, joinability in rows:
-        ref = columns[column_id]
-        print(
-            f"{ref['table']}.{ref['column']}\t"
-            f"matches={count}\tjoinability={joinability:.3f}"
-        )
+    _print_hits(rows, catalog["columns"])
     return 0
 
 
@@ -156,6 +208,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="fraction of the query column size")
     p_search.add_argument("--topk", type=int, default=0,
                           help="return the k best columns instead")
+    p_search.add_argument("--all-columns", action="store_true",
+                          help="batch-search every candidate join column "
+                               "of the query table via the batch engine")
+    p_search.add_argument("--workers", type=int, default=None,
+                          help="thread-pool width for batch mode")
     p_search.set_defaults(func=cmd_search)
 
     p_stats = sub.add_parser("stats", help="profile a CSV data lake")

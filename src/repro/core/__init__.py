@@ -15,6 +15,7 @@ from repro.core.metric import (
 )
 from repro.core.index import PexesoIndex
 from repro.core.search import AblationFlags, JoinableColumn, SearchResult, pexeso_search
+from repro.core.engine import BatchResult, BatchSearch, batch_search
 from repro.core.stats import SearchStats
 from repro.core.thresholds import distance_threshold, joinability_count
 from repro.core.cost import choose_optimal_m, estimate_workload_cost
@@ -43,6 +44,9 @@ __all__ = [
     "save_index",
     "suggest_tau",
     "AblationFlags",
+    "BatchResult",
+    "BatchSearch",
+    "batch_search",
     "ChebyshevMetric",
     "CosineDistance",
     "EuclideanMetric",

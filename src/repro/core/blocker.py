@@ -45,6 +45,14 @@ class BlockResult:
     def add_match(self, q: int, cell: Coords) -> None:
         self.match_pairs.setdefault(q, []).append(cell)
 
+    def add_matches(self, q: int, cells: list[Coords]) -> None:
+        """Bulk form of :meth:`add_match` (one list op per query row)."""
+        existing = self.match_pairs.get(q)
+        if existing is None:
+            self.match_pairs[q] = list(cells)
+        else:
+            existing.extend(cells)
+
     def add_candidate(self, q: int, cell: Coords) -> None:
         self.candidate_pairs.setdefault(q, []).append(cell)
 
@@ -200,12 +208,15 @@ class _Blocker:
 
     def _emit_subtree_matches(self, cell_q: GridCell, cell_r: GridCell) -> None:
         """Lemma 6 fired: every query vector under ``cell_q`` matches every
-        target leaf cell under ``cell_r`` (Alg. 1 l.11–12)."""
+        target leaf cell under ``cell_r`` (Alg. 1 l.11–12).
+
+        Emitted with one bulk list op per member instead of a per-(member,
+        leaf) Python loop — with batched queries a single Lemma 6 hit can
+        cover hundreds of member rows."""
         members = self.hg_q.subtree_members(cell_q)
         leaves = [leaf.coords for leaf in self.hg_rv.subtree_leaves(cell_r)]
         for q in members:
-            for coords in leaves:
-                self.result.add_match(q, coords)
+            self.result.add_matches(q, leaves)
 
 
 def quick_browse(

@@ -1,0 +1,338 @@
+"""Batch query engine: vectorised multi-query joinable-column search.
+
+:func:`~repro.core.search.pexeso_search` answers one query column at a
+time; real workloads (the all-columns discovery mode of
+:mod:`repro.lake.discovery`, the Table 5 ML-enrichment pipeline, CLI
+batch mode) issue one search per candidate column and pay the full
+pipeline setup for each. :class:`BatchSearch` amortises that work across
+a whole batch:
+
+* all query columns are pivot-mapped in **one** vectorised pass over the
+  stacked ``(ΣQ_i, dim)`` matrix;
+* queries sharing a distance threshold τ share **one** ``HG_Q`` build and
+  **one** blocking descent: every blocking predicate (Lemmas 3–6, quick
+  browsing) is geometric per query *row*, so a combined grid over all
+  rows yields, for each row, exactly the match/candidate cell pairs its
+  own per-query descent would — while descending the repository grid
+  once instead of once per query;
+* verification runs over NumPy row-blocks spanning the whole batch
+  (:func:`~repro.core.verifier.verify_row_blocks`) with per-(query,
+  column) state arrays instead of per-row Python loops;
+* batches mixing several τ values are split into per-τ groups that run
+  concurrently on a thread pool.
+
+**Exactness guarantee.** For every query ``i`` in the batch,
+``BatchSearch.search_many(queries, tau, joinability).results[i]``
+contains the same joinable column IDs, the same match counts (including
+the lower-bound clamping produced by early termination) and the same
+joinability values as ``pexeso_search(index, queries[i], tau,
+joinability)`` — under any metric, thresholds and
+:class:`~repro.core.search.AblationFlags` configuration. The only things
+allowed to differ are work/time counters: shared blocking work is
+counted once for the batch, and a column firing an early-termination
+rule mid row-block may have a few more distances computed than the
+sequential run (see :func:`~repro.core.verifier.verify_row_blocks`).
+This invariant is enforced by ``tests/core/test_engine.py`` and the
+randomised property suite ``tests/integration/test_batch_exactness.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.blocker import block
+from repro.core.grid import HierarchicalGrid
+from repro.core.index import PexesoIndex
+from repro.core.search import AblationFlags, JoinableColumn, SearchResult
+from repro.core.stats import SearchStats
+from repro.core.thresholds import joinability_count
+from repro.core.verifier import verify_row_blocks
+
+
+@dataclass
+class BatchResult:
+    """Results of one batch search.
+
+    ``results[i]`` is the :class:`~repro.core.search.SearchResult` of the
+    i-th query, exactly as the sequential search would have produced it.
+    Its ``stats`` hold that query's own verification counters plus its
+    share of blocking output (matching/candidate pairs, pivot-mapping
+    distances); ``stats`` on the batch aggregates everything, counting
+    work shared across queries (grid descent, HG_Q build) once.
+    """
+
+    results: list[SearchResult]
+    stats: SearchStats = field(default_factory=SearchStats)
+    wall_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, i: int) -> SearchResult:
+        return self.results[i]
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def column_ids(self) -> list[list[int]]:
+        """Joinable column IDs per query."""
+        return [r.column_ids for r in self.results]
+
+    @property
+    def n_joinable(self) -> int:
+        """Total hits over the whole batch."""
+        return sum(len(r) for r in self.results)
+
+
+class BatchSearch:
+    """Vectorised multi-query search over one :class:`PexesoIndex`.
+
+    Args:
+        index: a built index (shared, read-only across the batch).
+        flags: ablation switches applied to every query in the batch.
+        exact_counts: disable early termination so all match counts are
+            exact (mirrors the ``pexeso_search`` parameter).
+        max_workers: thread-pool width for independent work units. A
+            value > 1 additionally splits each per-τ group into about
+            ``max_workers`` subgroups so even a single-τ batch runs
+            concurrently (trading a little shared-blocking reuse for
+            parallelism); ``None`` keeps whole τ groups as the units and
+            pools only across them; ``1`` forces serial execution.
+        row_block_size: query rows per vectorised verification block.
+    """
+
+    def __init__(
+        self,
+        index: PexesoIndex,
+        flags: Optional[AblationFlags] = None,
+        exact_counts: bool = False,
+        max_workers: Optional[int] = None,
+        row_block_size: int = 8,
+    ):
+        if index.pivot_space is None or index.grid is None:
+            raise RuntimeError("index is not built; call fit() first")
+        if row_block_size < 1:
+            raise ValueError("row_block_size must be >= 1")
+        self.index = index
+        self.flags = flags if flags is not None else AblationFlags()
+        self.exact_counts = exact_counts
+        self.max_workers = max_workers
+        self.row_block_size = row_block_size
+
+    # -- public API ---------------------------------------------------------------
+
+    def search_many(
+        self,
+        queries: Sequence[np.ndarray],
+        tau: Union[float, Sequence[float]],
+        joinability: Union[float, int, Sequence[Union[float, int]]],
+    ) -> BatchResult:
+        """Search every query column and return per-query results.
+
+        Args:
+            queries: query columns, each ``(|Q_i|, dim)`` (same embedder
+                as the repository).
+            tau: one distance threshold for the whole batch, or one per
+                query (queries sharing a τ share one blocking pass).
+            joinability: T as a fraction of |Q_i| in ``(0, 1]`` or an
+                absolute count; scalar or one per query.
+
+        Returns:
+            A :class:`BatchResult`; ``results`` aligns with ``queries``.
+        """
+        started = time.perf_counter()
+        n = len(queries)
+        batch_stats = SearchStats()
+        if n == 0:
+            return BatchResult(results=[], stats=batch_stats, wall_seconds=0.0)
+
+        arrays = [self._validated(q, position) for position, q in enumerate(queries)]
+        taus = self._per_query(tau, n, "tau")
+        joins = self._per_query(joinability, n, "joinability")
+        for t in taus:
+            if t < 0:
+                raise ValueError("tau must be non-negative")
+
+        # Group queries by τ: one shared blocking pass per group. With an
+        # explicit max_workers > 1 each group is further split into about
+        # that many subgroups so single-τ batches parallelise too.
+        groups: dict[float, list[int]] = {}
+        for i, t in enumerate(taus):
+            groups.setdefault(float(t), []).append(i)
+        group_items: list[tuple[float, list[int]]] = []
+        if self.max_workers is not None and self.max_workers > 1:
+            per_group = max(1, self.max_workers // len(groups))
+            for t, indices in groups.items():
+                n_units = min(len(indices), per_group)
+                unit_size = -(-len(indices) // n_units)  # ceil division
+                for at in range(0, len(indices), unit_size):
+                    group_items.append((t, indices[at : at + unit_size]))
+        else:
+            group_items = list(groups.items())
+
+        results: list[Optional[SearchResult]] = [None] * n
+        if len(group_items) == 1 or self.max_workers == 1:
+            outputs = [
+                self._search_group(arrays, indices, t, joins)
+                for t, indices in group_items
+            ]
+        else:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                outputs = list(
+                    pool.map(
+                        lambda item: self._search_group(arrays, item[1], item[0], joins),
+                        group_items,
+                    )
+                )
+        for (_, indices), (group_results, group_stats) in zip(group_items, outputs):
+            batch_stats.merge(group_stats)
+            for position, result in zip(indices, group_results):
+                results[position] = result
+        return BatchResult(
+            results=list(results),  # type: ignore[arg-type]
+            stats=batch_stats,
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    __call__ = search_many
+
+    # -- internals ----------------------------------------------------------------
+
+    def _validated(self, query: np.ndarray, position: int) -> np.ndarray:
+        query = np.atleast_2d(np.asarray(query, dtype=np.float64))
+        if query.shape[0] == 0:
+            raise ValueError(f"query column {position} is empty")
+        if query.shape[1] != self.index.dim:
+            raise ValueError(
+                f"query column {position} dim {query.shape[1]} != index dim "
+                f"{self.index.dim}"
+            )
+        if not np.isfinite(query).all():
+            raise ValueError(f"query column {position} contains NaN or infinite values")
+        return query
+
+    @staticmethod
+    def _per_query(value, n: int, name: str) -> list:
+        if np.isscalar(value):
+            return [value] * n
+        values = list(value)
+        if len(values) != n:
+            raise ValueError(f"{name} must be a scalar or have one entry per query")
+        return values
+
+    def _search_group(
+        self,
+        arrays: list[np.ndarray],
+        indices: list[int],
+        tau: float,
+        joins: list,
+    ) -> tuple[list[SearchResult], SearchStats]:
+        """One shared pivot-map + HG_Q + blocking pass + batched verify."""
+        index = self.index
+        flags = self.flags
+        group_stats = SearchStats()
+        columns = [arrays[i] for i in indices]
+        sizes = [c.shape[0] for c in columns]
+        t_counts = [joinability_count(joins[i], size) for i, size in zip(indices, sizes)]
+        query_of_row = np.repeat(np.arange(len(columns), dtype=np.intp), sizes)
+
+        stacked = columns[0] if len(columns) == 1 else np.concatenate(columns, axis=0)
+        mapped = index.pivot_space.map_vectors(stacked)
+        group_stats.pivot_mapping_distances += mapped.size
+        hg_q = HierarchicalGrid.build(
+            mapped,
+            levels=index.levels,
+            extent=index.pivot_space.extent,
+            store_members=True,
+        )
+        block_result = block(
+            hg_q,
+            index.grid,
+            mapped,
+            tau,
+            stats=group_stats,
+            use_lemma34=flags.lemma34,
+            use_lemma56=flags.lemma56,
+            use_quick_browsing=flags.quick_browsing,
+        )
+
+        per_stats = [SearchStats() for _ in columns]
+        for r, cells in block_result.match_pairs.items():
+            per_stats[query_of_row[r]].matching_pairs += len(cells)
+        for r, cells in block_result.candidate_pairs.items():
+            per_stats[query_of_row[r]].candidate_pairs += len(cells)
+        for local, size in enumerate(sizes):
+            per_stats[local].pivot_mapping_distances += size * index.n_pivots
+
+        verdicts = verify_row_blocks(
+            block_result,
+            index.inverted,
+            stacked,
+            mapped,
+            index.vectors,
+            index.mapped,
+            index.metric,
+            tau,
+            t_counts,
+            sizes,
+            query_of_row,
+            stats=group_stats,
+            per_query_stats=per_stats,
+            use_lemma1=flags.lemma1,
+            use_lemma2=flags.lemma2,
+            use_lemma7=flags.lemma7,
+            early_accept=flags.early_accept,
+            exact_counts=self.exact_counts,
+            row_block_size=self.row_block_size,
+        )
+
+        results = []
+        for local, verdict in enumerate(verdicts):
+            n_q = sizes[local]
+            hits = [
+                JoinableColumn(
+                    column_id=col,
+                    match_count=verdict.match_counts.get(col, 0),
+                    joinability=verdict.match_counts.get(col, 0) / n_q,
+                    exact_count=verdict.exact,
+                )
+                for col in sorted(verdict.joinable)
+                if col in index.column_rows  # deleted columns never surface
+            ]
+            results.append(
+                SearchResult(
+                    joinable=hits,
+                    stats=per_stats[local],
+                    tau=tau,
+                    t_count=t_counts[local],
+                    query_size=n_q,
+                )
+            )
+        return results, group_stats
+
+
+def batch_search(
+    index: PexesoIndex,
+    queries: Sequence[np.ndarray],
+    tau: Union[float, Sequence[float]],
+    joinability: Union[float, int, Sequence[Union[float, int]]],
+    flags: Optional[AblationFlags] = None,
+    exact_counts: bool = False,
+    max_workers: Optional[int] = None,
+    row_block_size: int = 8,
+) -> BatchResult:
+    """One-shot convenience wrapper around :class:`BatchSearch`."""
+    engine = BatchSearch(
+        index,
+        flags=flags,
+        exact_counts=exact_counts,
+        max_workers=max_workers,
+        row_block_size=row_block_size,
+    )
+    return engine.search_many(queries, tau, joinability)

@@ -38,10 +38,15 @@ def lemma1_filter_mask(
     """Boolean mask over rows of ``x_mapped`` that Lemma 1 *prunes*.
 
     A target vector is pruned when any pivot coordinate lies outside
-    ``[q'_i - τ, q'_i + τ]``.
+    ``[q'_i - τ, q'_i + τ]``. ``q_mapped`` is one mapped query vector, or
+    a row-aligned batch of them (one query row per target row — the batch
+    engine's pair form).
     """
     x_mapped = np.atleast_2d(x_mapped)
-    return (np.abs(x_mapped - q_mapped[None, :]) > tau).any(axis=1)
+    q_mapped = np.asarray(q_mapped)
+    if q_mapped.ndim == 1:
+        q_mapped = q_mapped[None, :]
+    return (np.abs(x_mapped - q_mapped) > tau).any(axis=1)
 
 
 def lemma2_match_mask(
@@ -50,10 +55,14 @@ def lemma2_match_mask(
     """Boolean mask over rows of ``x_mapped`` that Lemma 2 *accepts*.
 
     A target vector surely matches when some pivot i satisfies
-    ``d(x, p_i) + d(q, p_i) <= τ``.
+    ``d(x, p_i) + d(q, p_i) <= τ``. ``q_mapped`` is one mapped query
+    vector or a row-aligned batch (see :func:`lemma1_filter_mask`).
     """
     x_mapped = np.atleast_2d(x_mapped)
-    return ((x_mapped + q_mapped[None, :]) <= tau).any(axis=1)
+    q_mapped = np.asarray(q_mapped)
+    if q_mapped.ndim == 1:
+        q_mapped = q_mapped[None, :]
+    return ((x_mapped + q_mapped) <= tau).any(axis=1)
 
 
 # --------------------------------------------------------------------------

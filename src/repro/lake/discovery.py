@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.engine import BatchSearch
 from repro.core.index import PexesoIndex
 from repro.core.metric import EuclideanMetric, Metric
 from repro.core.search import AblationFlags, SearchResult, pexeso_search
@@ -128,6 +129,79 @@ class JoinableTableSearch:
         result: SearchResult = pexeso_search(
             self.index, query_vectors, tau, joinability, flags=flags
         )
+        return self._hits_from_result(result, query_vectors, tau, with_mappings)
+
+    def search_all_columns(
+        self,
+        query_table: Table,
+        tau_fraction: float = 0.06,
+        joinability: float | int = 0.6,
+        flags: Optional[AblationFlags] = None,
+        with_mappings: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> dict[str, list[TableHit]]:
+        """Option 3 of §II-A: treat *every* candidate column as the query.
+
+        The query table's join-key candidates (most distinct string/date
+        columns first) are embedded together and answered in **one**
+        :class:`~repro.core.engine.BatchSearch` pass — one shared pivot
+        mapping, grid build and blocking descent instead of one full
+        pipeline per column. Results are identical to calling
+        :meth:`search` once per candidate (the engine's exactness
+        guarantee); record mappings for independent hits are computed on
+        a thread pool.
+
+        Args:
+            max_workers: thread-pool width for the per-column record
+                mappings (and per-τ engine groups); ``None`` picks a
+                default, ``1`` disables threading.
+
+        Returns:
+            ``{query column name: hits}`` for every candidate column.
+        """
+        from repro.lake.key_detection import candidate_join_columns
+
+        if self.index is None:
+            raise RuntimeError("no tables indexed yet; call index_tables() first")
+        candidates = candidate_join_columns(query_table)
+        if query_table.key_column and query_table.key_column not in candidates:
+            candidates.insert(0, query_table.key_column)
+        if not candidates:
+            raise ValueError(
+                f"query table {query_table.name!r} has no candidate columns"
+            )
+        tau = distance_threshold(tau_fraction, self.metric, self.embedder.dim)
+        vectors = [
+            self.prepare_query(query_table, column)[1] for column in candidates
+        ]
+        engine = BatchSearch(self.index, flags=flags, max_workers=max_workers)
+        batch = engine.search_many(vectors, tau, joinability)
+        # Without mappings, _hits_from_result is a trivial loop — only the
+        # pairwise record mappings are worth farming out to a pool.
+        if not with_mappings or max_workers == 1 or len(candidates) <= 1:
+            return {
+                column: self._hits_from_result(result, qv, tau, with_mappings)
+                for column, qv, result in zip(candidates, vectors, batch.results)
+            }
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            hit_lists = list(
+                pool.map(
+                    lambda args: self._hits_from_result(args[1], args[0], tau, with_mappings),
+                    zip(vectors, batch.results),
+                )
+            )
+        return dict(zip(candidates, hit_lists))
+
+    def _hits_from_result(
+        self,
+        result: SearchResult,
+        query_vectors: np.ndarray,
+        tau: float,
+        with_mappings: bool,
+    ) -> list[TableHit]:
+        """Convert one query's :class:`SearchResult` into sorted table hits."""
         hits = []
         for hit in result.joinable:
             ref = self.refs[hit.column_id]
@@ -144,43 +218,6 @@ class JoinableTableSearch:
             )
         hits.sort(key=lambda h: (-h.joinability, h.ref.table_name))
         return hits
-
-    def search_all_columns(
-        self,
-        query_table: Table,
-        tau_fraction: float = 0.06,
-        joinability: float | int = 0.6,
-        flags: Optional[AblationFlags] = None,
-        with_mappings: bool = False,
-    ) -> dict[str, list[TableHit]]:
-        """Option 3 of §II-A: treat *every* candidate column as the query.
-
-        Iterates the query table's join-key candidates (most distinct
-        string/date columns first) and runs one search per column.
-
-        Returns:
-            ``{query column name: hits}`` for every candidate column.
-        """
-        from repro.lake.key_detection import candidate_join_columns
-
-        candidates = candidate_join_columns(query_table)
-        if query_table.key_column and query_table.key_column not in candidates:
-            candidates.insert(0, query_table.key_column)
-        if not candidates:
-            raise ValueError(
-                f"query table {query_table.name!r} has no candidate columns"
-            )
-        return {
-            column: self.search(
-                query_table,
-                query_column=column,
-                tau_fraction=tau_fraction,
-                joinability=joinability,
-                flags=flags,
-                with_mappings=with_mappings,
-            )
-            for column in candidates
-        }
 
     def _record_mapping(
         self, query_vectors: np.ndarray, column_id: int, tau: float

@@ -5,6 +5,12 @@ left-join the query table to each hit, resolve conflicts (shared column
 names are aggregated), select features with RFE, and cross-validate a
 random forest. Each join method plugs in as a *matcher* deciding which
 target record (if any) a query record joins to.
+
+For the PEXESO method, :func:`pexeso_joinable_tables` performs the
+joinable-table selection step with the batch query engine: the lake is
+indexed once and every task's query column is answered in one
+:class:`~repro.core.engine.BatchSearch` pass instead of an exhaustive
+per-(query, table) distance scan.
 """
 
 from __future__ import annotations
@@ -87,6 +93,57 @@ class SemanticMatcher:
             row = int(best[q])
             out.append(row if distances[q, row] <= self.tau else None)
         return out
+
+
+def pexeso_joinable_tables(
+    vector_columns: Sequence[np.ndarray],
+    query_columns: Sequence[np.ndarray],
+    tau: float,
+    joinability: float | int,
+    metric: Optional[Metric] = None,
+    n_pivots: int = 3,
+    levels: int = 3,
+    pivot_method: str = "pca",
+    seed: int = 0,
+    max_workers: Optional[int] = None,
+) -> list[list[int]]:
+    """Select joinable lake tables for many query columns in one batch.
+
+    Builds a :class:`~repro.core.index.PexesoIndex` over the lake's
+    embedded key columns once and answers every query column through the
+    batch engine. The returned table-index lists are exactly what a
+    per-query :func:`~repro.core.search.pexeso_search` (or an exhaustive
+    scan) would select — this is PEXESO's joinable-table search step of
+    the paper's §VI-C enrichment pipeline, amortised across tasks.
+
+    Args:
+        vector_columns: the lake's embedded key columns, each ``(n_i, dim)``;
+            list positions become the returned table indices.
+        query_columns: one embedded query column per task.
+        tau: distance threshold (original-space units).
+        joinability: T as a fraction of |Q| or an absolute count.
+        max_workers: thread-pool width for per-τ engine groups.
+
+    Returns:
+        ``joinable[i]`` = sorted lake table indices joinable to
+        ``query_columns[i]``.
+    """
+    from repro.core.engine import BatchSearch
+    from repro.core.index import PexesoIndex
+
+    if not query_columns:
+        return []
+    index = PexesoIndex.build(
+        vector_columns,
+        metric=metric,
+        n_pivots=n_pivots,
+        levels=levels,
+        pivot_method=pivot_method,
+        seed=seed,
+    )
+    engine = BatchSearch(index, max_workers=max_workers)
+    batch = engine.search_many(query_columns, tau, joinability)
+    return [result.column_ids for result in batch.results]
 
 
 @dataclass

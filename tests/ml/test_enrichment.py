@@ -12,6 +12,7 @@ from repro.ml.enrichment import (
     SimilarityMatcher,
     enrich_features,
     evaluate_task,
+    pexeso_joinable_tables,
 )
 from repro.text.edit_distance import edit_similarity
 
@@ -90,6 +91,53 @@ class TestEnrichFeatures:
             ml_task, tables, ExactMatcher(), min_column_size=10_000
         )
         assert result.n_joined_tables == 0
+
+
+class TestPexesoJoinableTables:
+    """Batch-engine joinable-table selection for the enrichment pipeline."""
+
+    def test_matches_naive_selection(self, task):
+        from repro.baselines.exact_naive import naive_search
+
+        gen, ml_task = task
+        tau = distance_threshold(0.06, EuclideanMetric(), gen.dim)
+        vector_columns = ml_task.lake.vector_columns()
+        query = gen.embedder.embed_column(
+            ml_task.query_table.column(ml_task.key_column).values
+        )
+        got = pexeso_joinable_tables(vector_columns, [query], tau, 0.1)
+        want = naive_search(vector_columns, query, tau, 0.1).column_ids
+        assert got == [want]
+
+    def test_batches_several_tasks_at_once(self, task):
+        gen, ml_task = task
+        tau = distance_threshold(0.06, EuclideanMetric(), gen.dim)
+        vector_columns = ml_task.lake.vector_columns()
+        query = gen.embedder.embed_column(
+            ml_task.query_table.column(ml_task.key_column).values
+        )
+        got = pexeso_joinable_tables(
+            vector_columns, [query, query, query], tau, 0.1, max_workers=2
+        )
+        assert got[0] == got[1] == got[2]
+
+    def test_selected_tables_feed_enrichment(self, task):
+        gen, ml_task = task
+        tau = distance_threshold(0.06, EuclideanMetric(), gen.dim)
+        vector_columns = ml_task.lake.vector_columns()
+        query = gen.embedder.embed_column(
+            ml_task.query_table.column(ml_task.key_column).values
+        )
+        tables = pexeso_joinable_tables(vector_columns, [query], tau, 0.1)[0]
+        result = enrich_features(
+            ml_task, tables, SemanticMatcher(gen.embedder, tau)
+        )
+        assert result.n_joined_tables > 0
+        assert result.features.shape[0] == ml_task.query_table.n_rows
+
+    def test_empty_query_batch(self, task):
+        gen, ml_task = task
+        assert pexeso_joinable_tables(ml_task.lake.vector_columns(), [], 0.1, 0.1) == []
 
 
 class TestEvaluateTask:

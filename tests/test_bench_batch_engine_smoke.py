@@ -1,0 +1,50 @@
+"""CI-size smoke test for the batch-engine benchmark.
+
+Runs ``benchmarks/bench_batch_engine.py``'s comparison harness on a tiny
+dataset (seconds, not minutes) to keep the benchmark importable and its
+equality checks exercised in every test run. The ≥2x speedup claim is
+asserted only at full benchmark scale (`pytest benchmarks/`), where
+timings are meaningful.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS = Path(__file__).parent.parent / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    sys.path.insert(0, str(BENCHMARKS))
+    try:
+        import bench_batch_engine
+
+        yield bench_batch_engine
+    finally:
+        sys.path.remove(str(BENCHMARKS))
+
+
+def test_batch_comparison_runs_at_ci_size(bench_module):
+    from common import make_dataset
+
+    dataset = make_dataset(
+        "smoke",
+        n_tables=12,
+        rows_range=(6, 14),
+        dim=12,
+        n_entities=40,
+        n_queries=1,
+        query_rows=8,
+        seed=3,
+    )
+    out = bench_module.run_batch_comparison(
+        dataset, n_queries=6, query_rows=8, n_pivots=2, levels=2
+    )
+    # run_batch_comparison asserts batch == sequential internally; here we
+    # check the report shape the benchmark table consumes.
+    assert out["n_queries"] == 6
+    assert out["seq_seconds"] > 0 and out["batch_seconds"] > 0
+    assert out["seq_distances"] >= 0 and out["batch_distances"] >= 0
+    assert out["speedup"] > 0

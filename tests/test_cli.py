@@ -76,6 +76,40 @@ class TestSearchCommand:
         ])
         assert code == 0
 
+    def test_all_columns_batch_mode(self, index_dir, lake_dir, capsys):
+        query_csv = lake_dir.parent / "query.csv"
+        code = main([
+            "search", str(index_dir), str(query_csv),
+            "--all-columns", "--tau", "0.2", "--joinability", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[key]" in out  # per-column section header
+        assert "query columns" in out  # batch summary line
+
+    def test_all_columns_matches_single_column(self, index_dir, lake_dir, capsys):
+        """Batch mode's key-column section equals the single search output."""
+        query_csv = lake_dir.parent / "query.csv"
+        assert main([
+            "search", str(index_dir), str(query_csv),
+            "--column", "key", "--tau", "0.2", "--joinability", "0.2",
+        ]) == 0
+        single = capsys.readouterr().out.strip().splitlines()
+        assert main([
+            "search", str(index_dir), str(query_csv),
+            "--all-columns", "--workers", "2",
+            "--tau", "0.2", "--joinability", "0.2",
+        ]) == 0
+        batch_out = capsys.readouterr().out.splitlines()
+        key_section = batch_out[batch_out.index("[key]") + 1:]
+        # the full section up to the next column header / summary line —
+        # a superset of the single-search hits must fail, not pass
+        end = next(
+            i for i, line in enumerate(key_section)
+            if line.startswith("[") or line.startswith("# ")
+        )
+        assert key_section[:end] == single
+
 
 class TestStatsCommand:
     def test_stats_output(self, lake_dir, capsys):
