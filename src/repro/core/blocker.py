@@ -7,20 +7,25 @@ with their whole subtrees; cell pairs proven matching by Lemma 6 emit
 matching pairs for every (query vector, target leaf) underneath. At the
 leaf level Lemmas 3 and 5 decide per query vector.
 
-Implementation note: the descent follows Algorithm 1's structure but the
+Implementation notes: the descent follows Algorithm 1's structure but the
 per-level predicates are evaluated *batched* — one numpy evaluation per
 (query cell, all sibling target cells) instead of one per cell pair, and
-one (query members x target cells) evaluation at the leaf level. This
-keeps the measured quantity (which pairs survive) identical while making
-blocking time negligible next to verification, as the paper reports.
+one (query members x target cells) evaluation at the leaf level. Cells
+are the linearized int64 codes of :mod:`repro.core.cellcodes`, so a
+cell's children, subtree leaves and subtree members are contiguous
+``np.searchsorted`` ranges of the grids' sorted code arrays, and cell
+boxes come from vectorised code decoding. This keeps the measured
+quantity (which pairs survive) identical to the tuple-coordinate
+implementation while making blocking time negligible next to
+verification, as the paper reports.
 
 The output pairs the paper's ``⟨mapped query vector, leaf cells⟩`` form:
-``match_pairs[q]`` / ``candidate_pairs[q]`` are the target leaf-cell lists
-for query row ``q``.
+``match_pairs[q]`` / ``candidate_pairs[q]`` are the target leaf-cell-code
+lists for query row ``q``.
 
 Quick browsing: a query leaf cell and a target leaf cell with identical
-coordinates can never be separated by Lemma 3/4 (they overlap), so such
-pairs are emitted as candidates up front and skipped during the descent.
+codes can never be separated by Lemma 3/4 (they overlap), so such pairs
+are emitted as candidates up front and skipped during the descent.
 """
 
 from __future__ import annotations
@@ -31,21 +36,25 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.grid import Coords, GridCell, HierarchicalGrid
+from repro.core.cellcodes import decode_cells
+from repro.core.grid import CellCode, HierarchicalGrid
 from repro.core.stats import SearchStats
 
 
 @dataclass
 class BlockResult:
-    """Pairs produced by blocking, keyed by query vector row index."""
+    """Pairs produced by blocking, keyed by query vector row index.
 
-    match_pairs: dict[int, list[Coords]] = field(default_factory=dict)
-    candidate_pairs: dict[int, list[Coords]] = field(default_factory=dict)
+    Cell values are int64 leaf cell codes of ``HG_RV``.
+    """
 
-    def add_match(self, q: int, cell: Coords) -> None:
+    match_pairs: dict[int, list[CellCode]] = field(default_factory=dict)
+    candidate_pairs: dict[int, list[CellCode]] = field(default_factory=dict)
+
+    def add_match(self, q: int, cell: CellCode) -> None:
         self.match_pairs.setdefault(q, []).append(cell)
 
-    def add_matches(self, q: int, cells: list[Coords]) -> None:
+    def add_matches(self, q: int, cells: list[CellCode]) -> None:
         """Bulk form of :meth:`add_match` (one list op per query row)."""
         existing = self.match_pairs.get(q)
         if existing is None:
@@ -53,7 +62,7 @@ class BlockResult:
         else:
             existing.extend(cells)
 
-    def add_candidate(self, q: int, cell: Coords) -> None:
+    def add_candidate(self, q: int, cell: CellCode) -> None:
         self.candidate_pairs.setdefault(q, []).append(cell)
 
     @property
@@ -77,10 +86,12 @@ class _Blocker:
         stats: SearchStats,
         use_lemma34: bool,
         use_lemma56: bool,
-        skip_aligned: Optional[set[Coords]],
+        skip_aligned: Optional[set[CellCode]],
     ):
         if hg_q.levels != hg_rv.levels:
             raise ValueError("HG_Q and HG_RV must have the same number of levels")
+        if hg_q.n_dims != hg_rv.n_dims:
+            raise ValueError("HG_Q and HG_RV must share one pivot space")
         self.hg_q = hg_q
         self.hg_rv = hg_rv
         self.q_mapped = q_mapped
@@ -90,47 +101,51 @@ class _Blocker:
         self.use_lemma56 = use_lemma56
         self.skip_aligned = skip_aligned or set()
         self.result = BlockResult()
-        #: cached stacked child boxes per parent cell (id -> (lo, hi))
-        self._box_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        #: cached (child codes, lo, hi) per (grid tag, level, parent code)
+        self._child_cache: dict[
+            tuple[str, int, int], tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
 
     def run(self) -> BlockResult:
-        self._block(self.hg_q.root, self.hg_rv.root)
+        self._block(0, 0, 0)
         return self.result
 
     # -- geometry helpers ----------------------------------------------------------
 
-    def _child_boxes(
-        self, grid: HierarchicalGrid, parent: GridCell
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Stacked (lo, hi) boxes of a parent's children, cached per search."""
-        cached = self._box_cache.get(id(parent))
+    def _children(
+        self, tag: str, grid: HierarchicalGrid, level: int, code: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Child codes and stacked (lo, hi) boxes of a cell, cached per search."""
+        key = (tag, level, code)
+        cached = self._child_cache.get(key)
         if cached is not None:
             return cached
-        level = parent.level + 1
-        size = grid.cell_size(level)
-        coords = np.asarray([child.coords for child in parent.children], dtype=np.float64)
+        child_level = level + 1
+        codes = grid.children_codes(level, code)
+        size = grid.cell_size(child_level)
+        coords = decode_cells(codes, grid.n_dims, child_level).astype(np.float64)
         lo = coords * size
-        boxes = (lo, lo + size)
-        self._box_cache[id(parent)] = boxes
-        return boxes
+        entry = (codes, lo, lo + size)
+        self._child_cache[key] = entry
+        return entry
 
     # -- descent ---------------------------------------------------------------------
 
-    def _block(self, parent_q: GridCell, parent_r: GridCell) -> None:
-        if not parent_q.children or not parent_r.children:
+    def _block(self, level: int, code_q: int, code_r: int) -> None:
+        q_codes, q_lo_all, q_hi_all = self._children("q", self.hg_q, level, code_q)
+        r_codes, r_lo, r_hi = self._children("r", self.hg_rv, level, code_r)
+        if q_codes.size == 0 or r_codes.size == 0:
             return
         leaf_level = self.hg_q.levels
-        child_level = parent_q.level + 1
-        r_children = parent_r.children
-        r_lo, r_hi = self._child_boxes(self.hg_rv, parent_r)
-        q_lo_all, q_hi_all = self._child_boxes(self.hg_q, parent_q)
+        child_level = level + 1
+        n_r = int(r_codes.size)
 
-        for qi, cell_q in enumerate(parent_q.children):
-            self.stats.cells_visited += len(r_children)
+        for qi, q_code in enumerate(q_codes.tolist()):
+            self.stats.cells_visited += n_r
             q_lo = q_lo_all[qi]
             q_hi = q_hi_all[qi]
             if child_level == leaf_level:
-                self._block_leaves(cell_q, r_children, r_lo, r_hi)
+                self._block_leaves(q_code, r_codes, r_lo, r_hi)
                 continue
 
             # Lemma 6 (cell-cell matching), batched over sibling target cells:
@@ -138,7 +153,7 @@ class _Blocker:
             if self.use_lemma56:
                 matched = ((r_hi + q_hi[None, :]) <= self.tau).any(axis=1)
             else:
-                matched = np.zeros(len(r_children), dtype=bool)
+                matched = np.zeros(n_r, dtype=bool)
             # Lemma 4 (cell-cell filtering), batched: boxes farther than tau
             # apart in some dimension.
             if self.use_lemma34:
@@ -148,38 +163,41 @@ class _Blocker:
                 ).any(axis=1)
                 filtered &= ~matched
             else:
-                filtered = np.zeros(len(r_children), dtype=bool)
+                filtered = np.zeros(n_r, dtype=bool)
 
             n_matched = int(matched.sum())
             if n_matched:
                 self.stats.lemma6_matched += n_matched
                 for ri in np.nonzero(matched)[0]:
-                    self._emit_subtree_matches(cell_q, r_children[ri])
+                    self._emit_subtree_matches(
+                        child_level, q_code, int(r_codes[ri])
+                    )
             self.stats.lemma4_filtered += int(filtered.sum())
             for ri in np.nonzero(~matched & ~filtered)[0]:
-                self._block(cell_q, r_children[ri])
+                self._block(child_level, q_code, int(r_codes[ri]))
 
     def _block_leaves(
         self,
-        cell_q: GridCell,
-        r_children: list[GridCell],
+        q_code: int,
+        r_codes: np.ndarray,
         r_lo: np.ndarray,
         r_hi: np.ndarray,
     ) -> None:
         """Leaf stage: Lemmas 5 and 3 per (query vector, target leaf)
         (Alg. 1 l.3–9), batched over both axes."""
-        members = np.asarray(cell_q.members)
+        members = self.hg_q.leaf_members(q_code)
         batch = self.q_mapped[members]  # (mq, d)
         tau = self.tau
 
-        keep = np.ones(len(r_children), dtype=bool)
-        if self.skip_aligned and cell_q.coords in self.skip_aligned:
-            for ri, cell_r in enumerate(r_children):
-                if cell_r.coords == cell_q.coords:
-                    keep[ri] = False  # handled by quick browsing
-        t_lo = r_lo[keep]
-        t_hi = r_hi[keep]
-        kept_cells = [c for c, k in zip(r_children, keep) if k]
+        if self.skip_aligned and q_code in self.skip_aligned:
+            keep = r_codes != q_code  # handled by quick browsing
+            t_lo = r_lo[keep]
+            t_hi = r_hi[keep]
+            kept_cells = r_codes[keep].tolist()
+        else:
+            t_lo = r_lo
+            t_hi = r_hi
+            kept_cells = r_codes.tolist()
         if not kept_cells:
             return
 
@@ -187,7 +205,7 @@ class _Blocker:
         if self.use_lemma56:
             matched = ((batch[:, None, :] + t_hi[None, :, :]) <= tau).any(axis=2)
         else:
-            matched = np.zeros((len(members), len(kept_cells)), dtype=bool)
+            matched = np.zeros((members.size, len(kept_cells)), dtype=bool)
         # Lemma 3: SQR(q', tau) misses the cell box in some dimension.
         if self.use_lemma34:
             filtered = (
@@ -202,20 +220,20 @@ class _Blocker:
         self.stats.lemma3_filtered += int(filtered.sum())
         candidates = ~matched & ~filtered
         for mi, ri in zip(*np.nonzero(matched)):
-            self.result.add_match(int(members[mi]), kept_cells[ri].coords)
+            self.result.add_match(int(members[mi]), kept_cells[ri])
         for mi, ri in zip(*np.nonzero(candidates)):
-            self.result.add_candidate(int(members[mi]), kept_cells[ri].coords)
+            self.result.add_candidate(int(members[mi]), kept_cells[ri])
 
-    def _emit_subtree_matches(self, cell_q: GridCell, cell_r: GridCell) -> None:
-        """Lemma 6 fired: every query vector under ``cell_q`` matches every
-        target leaf cell under ``cell_r`` (Alg. 1 l.11–12).
+    def _emit_subtree_matches(self, level: int, q_code: int, r_code: int) -> None:
+        """Lemma 6 fired: every query vector under ``q_code`` matches every
+        target leaf cell under ``r_code`` (Alg. 1 l.11–12).
 
-        Emitted with one bulk list op per member instead of a per-(member,
-        leaf) Python loop — with batched queries a single Lemma 6 hit can
-        cover hundreds of member rows."""
-        members = self.hg_q.subtree_members(cell_q)
-        leaves = [leaf.coords for leaf in self.hg_rv.subtree_leaves(cell_r)]
-        for q in members:
+        Both subtrees are contiguous ranges of the grids' sorted arrays:
+        the member rows are one CSR slice and the target leaves one code
+        slice, emitted with one bulk list op per member."""
+        members = self.hg_q.subtree_member_rows(level, q_code)
+        leaves = self.hg_rv.subtree_leaf_codes(level, r_code).tolist()
+        for q in members.tolist():
             self.result.add_matches(q, leaves)
 
 
@@ -224,20 +242,18 @@ def quick_browse(
     hg_rv: HierarchicalGrid,
     result: BlockResult,
     stats: SearchStats,
-) -> set[Coords]:
+) -> set[CellCode]:
     """Emit candidates for identically-aligned leaf cells (§III-C).
 
-    Returns the set of aligned coordinates so Algorithm 1 can skip them.
+    Alignment is one ``np.intersect1d`` over the two sorted leaf-code
+    arrays. Returns the set of aligned codes so Algorithm 1 can skip them.
     """
-    aligned: set[Coords] = set()
-    rv_leaves = hg_rv.leaf_cells
-    for coords, cell_q in hg_q.leaf_cells.items():
-        if coords in rv_leaves:
-            aligned.add(coords)
-            stats.quick_browse_cells += 1
-            for q in cell_q.members:
-                result.add_candidate(q, coords)
-    return aligned
+    aligned_codes = np.intersect1d(hg_q.leaf_codes, hg_rv.leaf_codes)
+    stats.quick_browse_cells += int(aligned_codes.size)
+    for code in aligned_codes.tolist():
+        for q in hg_q.leaf_members(code).tolist():
+            result.add_candidate(q, code)
+    return set(aligned_codes.tolist())
 
 
 def block(

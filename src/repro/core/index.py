@@ -2,8 +2,9 @@
 
 :class:`PexesoIndex` owns the repository side of the framework: the pivot
 space, the mapped vector store, ``HG_RV`` and the inverted index. It
-supports the incremental maintenance of §III-E (column append and delete)
-and is picklable so that out-of-core partitions can spill it to disk.
+supports the incremental maintenance of §III-E (column append and delete);
+out-of-core partitions spill it to disk through the array-native
+:mod:`~repro.core.persistence` format.
 """
 
 from __future__ import annotations
@@ -30,6 +31,9 @@ class PexesoIndex:
             OPEN, 3 on SWDC).
         levels: m, the hierarchical-grid depth (paper default 6 / 4). Use
             :func:`repro.core.cost.choose_optimal_m` to pick it from data.
+            ``n_pivots * levels`` must stay within the 62 bits of a
+            linearized cell code (every paper configuration does, by a
+            wide margin).
         pivot_method: ``pca`` (paper §III-D), ``random`` or ``fft``.
         seed: randomness for pivot selection.
     """
@@ -95,7 +99,15 @@ class PexesoIndex:
         return index
 
     def fit(self, columns: Sequence[np.ndarray]) -> "PexesoIndex":
-        """Select pivots from the full repository and index every column."""
+        """Select pivots from the full repository and index every column.
+
+        The index core is built in bulk: one vectorised pivot-mapping
+        pass over the concatenated lake, one grid insert (leaf cell codes
+        plus shift-derived ancestor levels) and one lexsort building the
+        CSR inverted index — a handful of NumPy passes instead of
+        per-column, per-row Python. The resulting structure is identical
+        to appending the columns one at a time with :meth:`add_column`.
+        """
         if not columns:
             raise ValueError("cannot build an index over zero columns")
         arrays = [np.atleast_2d(np.asarray(c, dtype=np.float64)) for c in columns]
@@ -103,7 +115,11 @@ class PexesoIndex:
         for arr in arrays:
             if arr.shape[1] != dim:
                 raise ValueError("all columns must share one dimensionality")
+            if arr.shape[0] == 0:
+                raise ValueError("cannot index an empty column")
         all_vectors = np.concatenate(arrays, axis=0)
+        if not np.isfinite(all_vectors).all():
+            raise ValueError("column contains NaN or infinite values")
 
         t0 = time.perf_counter()
         self.pivot_space = build_pivot_space(
@@ -121,8 +137,36 @@ class PexesoIndex:
             self.pivot_space.extent,
             store_members=False,
         )
-        for arr in arrays:
-            self.add_column(arr)
+
+        t0 = time.perf_counter()
+        mapped = self.pivot_space.map_vectors(all_vectors)
+        self.stats.pivot_mapping_seconds += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        cell_of_row = self.grid.insert(mapped)
+        self.stats.grid_build_seconds += time.perf_counter() - t0
+
+        sizes = np.asarray([arr.shape[0] for arr in arrays], dtype=np.intp)
+        column_of_row = np.repeat(np.arange(len(arrays), dtype=np.int64), sizes)
+        t0 = time.perf_counter()
+        self.inverted.build_bulk(cell_of_row, column_of_row)
+        self.stats.inverted_index_seconds += time.perf_counter() - t0
+
+        self._vector_blocks = [all_vectors]
+        self._mapped_blocks = [mapped]
+        self._vectors = all_vectors
+        self._mapped = mapped
+        bounds = np.concatenate([[0], np.cumsum(sizes)])
+        self.column_rows = {
+            cid: np.arange(bounds[cid], bounds[cid + 1], dtype=np.intp)
+            for cid in range(len(arrays))
+        }
+        self._next_column_id = len(arrays)
+        self._n_rows = int(bounds[-1])
+        self.stats.n_vectors = self._n_rows
+        self.stats.n_columns = len(self.column_rows)
+        self.stats.n_leaf_cells = self.inverted.n_cells
+        self.stats.n_postings = self.inverted.n_postings
         return self
 
     def add_column(self, vectors: np.ndarray) -> int:
@@ -176,6 +220,7 @@ class PexesoIndex:
         self.inverted.delete_column(column_id)
         del self.column_rows[column_id]
         self.stats.n_columns = len(self.column_rows)
+        self.stats.n_leaf_cells = self.inverted.n_cells
         self.stats.n_postings = self.inverted.n_postings
 
     # -- vector stores -----------------------------------------------------------

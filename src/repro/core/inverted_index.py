@@ -1,24 +1,42 @@
 """Inverted index from grid leaf cells to column postings (paper §III-C).
 
-Keys are leaf-cell coordinates of ``HG_RV``; each key maps to a postings
-list of columns having at least one vector in that cell, in increasing
-column-ID order (the DaaT traversal of Algorithm 2 relies on that order).
-Each posting also carries the global row indices of that column's vectors
+Keys are the linearized leaf cell codes of ``HG_RV``
+(:mod:`repro.core.cellcodes`); each key maps to a postings list of
+columns having at least one vector in that cell, in increasing column-ID
+order (the DaaT traversal of Algorithm 2 relies on that order). Each
+posting also carries the global row indices of that column's vectors
 inside the cell, so verification can fetch exactly the vectors it needs.
+
+The layout is CSR over flat arrays instead of dict-of-lists:
+
+* ``_codes`` / ``_cols`` — one entry per (cell, column) posting, lexsorted
+  by ``(cell code, column id)``; a cell's postings are a contiguous range
+  found by ``np.searchsorted``, already in DaaT order;
+* ``_rows`` / ``_starts`` — the global row indices of every posting,
+  concatenated, with CSR offsets per entry.
+
+``build_bulk`` constructs the whole index from the per-row (code, column)
+pairs of a lake in one ``np.lexsort`` pass; :meth:`add_column` is a
+sorted-merge append and :meth:`delete_column` a boolean-mask compaction,
+preserving the §III-E maintenance semantics. Lookups
+(:meth:`columns_in_cells` and the array-returning
+:meth:`columns_in_cells_arrays`) are vectorised range gathers.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-Coords = tuple[int, ...]
+CellCode = int
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_IP = np.empty(0, dtype=np.intp)
 
 
 class Posting:
-    """One (column, rows-in-cell) entry of a postings list."""
+    """One (column, rows-in-cell) entry of a postings list (lookup view)."""
 
     __slots__ = ("column_id", "rows")
 
@@ -34,77 +52,244 @@ class Posting:
 
 
 class InvertedIndex:
-    """Leaf cell -> sorted postings list of columns."""
+    """Leaf cell code -> postings, stored as lexsorted CSR arrays."""
 
     def __init__(self) -> None:
-        self._lists: dict[Coords, list[Posting]] = {}
-        self.n_postings = 0
+        #: per posting entry: cell code, lexsorted by (code, column)
+        self._codes = _EMPTY_I64
+        #: per posting entry: column id
+        self._cols = _EMPTY_I64
+        #: CSR offsets of each entry's rows inside ``_rows``
+        self._starts = np.zeros(1, dtype=np.intp)
+        #: global row indices, concatenated per entry
+        self._rows = _EMPTY_IP
 
     # -- construction ------------------------------------------------------------
 
-    def add_vector(self, cell: Coords, column_id: int, row: int) -> None:
-        """Register a single vector (global row index) of ``column_id``."""
-        postings = self._lists.setdefault(cell, [])
-        pos = bisect_left(postings, Posting(column_id, []))
-        if pos < len(postings) and postings[pos].column_id == column_id:
-            postings[pos].rows.append(row)
-        else:
-            postings.insert(pos, Posting(column_id, [row]))
-            self.n_postings += 1
+    def build_bulk(
+        self,
+        cell_of_row: np.ndarray,
+        column_of_row: np.ndarray,
+        rows: np.ndarray | None = None,
+    ) -> None:
+        """Build the whole index from per-row arrays in one lexsort pass.
 
-    def add_column(self, column_id: int, cells: Iterable[Coords], first_row: int) -> None:
+        Args:
+            cell_of_row: leaf cell code of every repository vector.
+            column_of_row: column ID of every repository vector.
+            rows: global row index of every vector (defaults to
+                ``arange``, the layout :meth:`~repro.core.index.PexesoIndex.fit`
+                produces).
+        """
+        codes = np.asarray(cell_of_row, dtype=np.int64)
+        cols = np.asarray(column_of_row, dtype=np.int64)
+        if rows is None:
+            rows = np.arange(codes.size, dtype=np.intp)
+        else:
+            rows = np.asarray(rows, dtype=np.intp)
+        if not (codes.size == cols.size == rows.size):
+            raise ValueError("cell, column and row arrays must align")
+        if codes.size == 0:
+            self.__init__()
+            return
+        order = np.lexsort((rows, cols, codes))
+        sorted_codes = codes[order]
+        sorted_cols = cols[order]
+        boundary = np.empty(sorted_codes.size, dtype=bool)
+        boundary[0] = True
+        np.logical_or(
+            sorted_codes[1:] != sorted_codes[:-1],
+            sorted_cols[1:] != sorted_cols[:-1],
+            out=boundary[1:],
+        )
+        firsts = np.nonzero(boundary)[0]
+        self._codes = sorted_codes[firsts]
+        self._cols = sorted_cols[firsts]
+        self._starts = np.concatenate([firsts, [sorted_codes.size]]).astype(np.intp)
+        self._rows = rows[order]
+
+    def add_vector(self, cell: CellCode, column_id: int, row: int) -> None:
+        """Register a single vector (global row index) of ``column_id``."""
+        pos = self._entry_position(int(cell), int(column_id))
+        if (
+            pos < self._codes.size
+            and self._codes[pos] == cell
+            and self._cols[pos] == column_id
+        ):
+            self._rows = np.insert(self._rows, self._starts[pos + 1], row)
+            self._starts[pos + 1 :] += 1
+        else:
+            self._insert_entries(
+                np.asarray([cell], dtype=np.int64),
+                np.asarray([column_id], dtype=np.int64),
+                np.asarray([row], dtype=np.intp),
+                np.asarray([1], dtype=np.intp),
+            )
+
+    def add_column(
+        self, column_id: int, cells: Sequence[CellCode] | np.ndarray, first_row: int
+    ) -> None:
         """Register a whole column whose vectors occupy ``cells`` in order.
 
-        ``cells[i]`` is the leaf cell of the column's i-th vector; global
-        row indices are ``first_row + i``. This is the O(1)-amortised
-        append path of §III-E.
+        ``cells[i]`` is the leaf cell code of the column's i-th vector;
+        global row indices are ``first_row + i``. This is the sorted-merge
+        append path of §III-E: the column's new entries are grouped with
+        one stable argsort and spliced into the CSR arrays at their
+        ``searchsorted`` positions.
         """
-        grouped: dict[Coords, list[int]] = {}
-        for offset, cell in enumerate(cells):
-            grouped.setdefault(cell, []).append(first_row + offset)
-        for cell, rows in grouped.items():
-            postings = self._lists.setdefault(cell, [])
-            insort(postings, Posting(column_id, rows))
-            self.n_postings += 1
+        codes = np.asarray(cells, dtype=np.int64)
+        if codes.ndim != 1:
+            raise ValueError("cells must be a flat sequence of cell codes")
+        n = codes.size
+        if n == 0:
+            return
+        rows = np.arange(first_row, first_row + n, dtype=np.intp)
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        sorted_rows = rows[order]
+        boundary = np.empty(n, dtype=bool)
+        boundary[0] = True
+        np.not_equal(sorted_codes[1:], sorted_codes[:-1], out=boundary[1:])
+        firsts = np.nonzero(boundary)[0]
+        lens = np.diff(np.concatenate([firsts, [n]])).astype(np.intp)
+        new_codes = sorted_codes[firsts]
+        new_cols = np.full(new_codes.size, column_id, dtype=np.int64)
+        self._insert_entries(new_codes, new_cols, sorted_rows, lens)
+
+    def _entry_position(self, code: int, column_id: int) -> int:
+        """Lexicographic (code, column) insertion position into the entries."""
+        lo = int(np.searchsorted(self._codes, code, side="left"))
+        hi = int(np.searchsorted(self._codes, code, side="right"))
+        return lo + int(np.searchsorted(self._cols[lo:hi], column_id, side="left"))
+
+    def _insert_entries(
+        self,
+        new_codes: np.ndarray,
+        new_cols: np.ndarray,
+        new_rows: np.ndarray,
+        new_lens: np.ndarray,
+    ) -> None:
+        """Splice (code, column)-sorted new entries into the CSR arrays."""
+        if self._codes.size == 0:
+            self._codes = new_codes.copy()
+            self._cols = new_cols.copy()
+            self._rows = new_rows.astype(np.intp, copy=True)
+            self._starts = np.concatenate(
+                [[0], np.cumsum(new_lens)]
+            ).astype(np.intp)
+            return
+        positions = np.fromiter(
+            (
+                self._entry_position(int(code), int(col))
+                for code, col in zip(new_codes.tolist(), new_cols.tolist())
+            ),
+            dtype=np.intp,
+            count=new_codes.size,
+        )
+        old_lens = np.diff(self._starts)
+        self._codes = np.insert(self._codes, positions, new_codes)
+        self._cols = np.insert(self._cols, positions, new_cols)
+        self._rows = np.insert(
+            self._rows, np.repeat(self._starts[positions], new_lens), new_rows
+        )
+        lens = np.insert(old_lens, positions, new_lens)
+        self._starts = np.concatenate([[0], np.cumsum(lens)]).astype(np.intp)
 
     def delete_column(self, column_id: int) -> int:
         """Remove every posting of ``column_id``; returns how many were removed.
 
-        Cells left empty are dropped so blocking stops producing candidates
-        for them.
+        One boolean mask over the entry arrays; cells left empty vanish
+        with their entries, so blocking stops producing candidates for
+        them.
         """
-        removed = 0
-        empty: list[Coords] = []
-        for cell, postings in self._lists.items():
-            pos = bisect_left(postings, Posting(column_id, []))
-            if pos < len(postings) and postings[pos].column_id == column_id:
-                postings.pop(pos)
-                removed += 1
-                if not postings:
-                    empty.append(cell)
-        for cell in empty:
-            del self._lists[cell]
-        self.n_postings -= removed
+        kill = self._cols == column_id
+        removed = int(np.count_nonzero(kill))
+        if not removed:
+            return 0
+        keep = ~kill
+        lens = np.diff(self._starts)
+        self._rows = self._rows[np.repeat(keep, lens)]
+        self._codes = self._codes[keep]
+        self._cols = self._cols[keep]
+        self._starts = np.concatenate([[0], np.cumsum(lens[keep])]).astype(np.intp)
         return removed
 
     # -- lookup ------------------------------------------------------------------
 
-    def postings(self, cell: Coords) -> list[Posting]:
+    @property
+    def n_postings(self) -> int:
+        """Total number of (cell, column) posting entries."""
+        return int(self._codes.size)
+
+    def _cell_range(self, cell: CellCode) -> tuple[int, int]:
+        lo = int(np.searchsorted(self._codes, int(cell), side="left"))
+        hi = int(np.searchsorted(self._codes, int(cell), side="right"))
+        return lo, hi
+
+    def postings(self, cell: CellCode) -> list[Posting]:
         """Postings list of a cell (empty list when the cell is unknown)."""
-        return self._lists.get(cell, [])
+        lo, hi = self._cell_range(cell)
+        return [
+            Posting(int(self._cols[e]), self._rows[self._starts[e] : self._starts[e + 1]].tolist())
+            for e in range(lo, hi)
+        ]
 
-    def __contains__(self, cell: Coords) -> bool:
-        return cell in self._lists
+    def __contains__(self, cell: CellCode) -> bool:
+        lo, hi = self._cell_range(cell)
+        return lo < hi
 
-    def cells(self) -> Iterator[Coords]:
-        """Iterate all indexed leaf cells."""
-        return iter(self._lists)
+    def cells(self) -> Iterator[CellCode]:
+        """Iterate all indexed leaf cell codes (ascending)."""
+        return iter(np.unique(self._codes).tolist())
 
     @property
     def n_cells(self) -> int:
-        return len(self._lists)
+        if self._codes.size == 0:
+            return 0
+        return int(np.count_nonzero(np.diff(self._codes)) + 1)
 
-    def columns_in_cells(self, cells: Iterable[Coords]) -> dict[int, list[int]]:
+    def columns_in_cells_arrays(
+        self, cells: Iterable[CellCode] | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised postings merge over several cells.
+
+        Returns ``(columns, rows, lens)``: ascending column IDs, their
+        member row indices concatenated (per column, cells contribute in
+        input order), and the per-column row counts. This is the DaaT
+        merge of Algorithm 2 as three ``searchsorted`` range gathers.
+        """
+        codes = np.asarray(
+            cells if isinstance(cells, np.ndarray) else list(cells), dtype=np.int64
+        )
+        if codes.size == 0 or self._codes.size == 0:
+            return _EMPTY_I64, _EMPTY_IP, _EMPTY_IP
+        lo = np.searchsorted(self._codes, codes, side="left")
+        hi = np.searchsorted(self._codes, codes, side="right")
+        counts = hi - lo
+        total = int(counts.sum())
+        if total == 0:
+            return _EMPTY_I64, _EMPTY_IP, _EMPTY_IP
+        # entry index of every (input cell, posting) occurrence, cell order
+        offsets = np.cumsum(counts) - counts
+        occ = np.arange(total, dtype=np.intp) - np.repeat(offsets, counts)
+        occ += np.repeat(lo, counts)
+        order = np.argsort(self._cols[occ], kind="stable")
+        occ = occ[order]
+        # ragged gather of each occurrence's rows, in (column, cell) order
+        entry_lens = (self._starts[occ + 1] - self._starts[occ]).astype(np.intp)
+        n_rows = int(entry_lens.sum())
+        out_offsets = np.cumsum(entry_lens) - entry_lens
+        idx = np.arange(n_rows, dtype=np.intp) - np.repeat(out_offsets, entry_lens)
+        idx += np.repeat(self._starts[occ], entry_lens)
+        rows = self._rows[idx]
+        cols_sorted = self._cols[occ]
+        uniq_cols, first = np.unique(cols_sorted, return_index=True)
+        col_lens = np.add.reduceat(entry_lens, first).astype(np.intp)
+        return uniq_cols, rows, col_lens
+
+    def columns_in_cells(
+        self, cells: Iterable[CellCode] | np.ndarray
+    ) -> dict[int, list[int]]:
         """Merge postings of several cells into ``{column_id: [rows...]}``.
 
         The result's keys iterate in increasing column order, which is the
@@ -112,17 +297,20 @@ class InvertedIndex:
         of a document; merging the per-cell pointers up front is equivalent
         to the paper's priority queue over postings cursors).
         """
+        cols, rows, lens = self.columns_in_cells_arrays(cells)
         merged: dict[int, list[int]] = {}
-        for cell in cells:
-            for posting in self._lists.get(cell, ()):
-                merged.setdefault(posting.column_id, []).extend(posting.rows)
-        return dict(sorted(merged.items()))
+        offset = 0
+        rows_list = rows.tolist()
+        for col, length in zip(cols.tolist(), lens.tolist()):
+            merged[col] = rows_list[offset : offset + length]
+            offset += length
+        return merged
 
     def memory_bytes(self) -> int:
-        """Rough memory footprint (for Fig. 6b)."""
-        total = 0
-        for cell, postings in self._lists.items():
-            total += 8 * len(cell) + 48
-            for posting in postings:
-                total += 8 * len(posting.rows) + 32
-        return total
+        """Memory footprint of the CSR arrays (for Fig. 6b)."""
+        return (
+            self._codes.nbytes
+            + self._cols.nbytes
+            + self._starts.nbytes
+            + self._rows.nbytes
+        )

@@ -3,10 +3,13 @@
 When the repository does not fit in memory, the columns are partitioned
 (by default with the JSD clustering of :mod:`repro.core.partition`), one
 :class:`~repro.core.index.PexesoIndex` is built per partition, and each
-partition is (optionally) spilled to disk as a pickle. A search loads one
-partition at a time, queries it, remaps local column IDs back to global
-ones and merges the results — exactly the single-PEXESO-per-partition
-scheme the paper describes.
+partition is (optionally) spilled to disk in the array-native
+:mod:`~repro.core.persistence` format (one ``.npz`` per partition — no
+pickling, and loading is a handful of array reads instead of
+reconstructing a Python object graph). A search loads one partition at a
+time, queries it, remaps local column IDs back to global ones and merges
+the results — exactly the single-PEXESO-per-partition scheme the paper
+describes.
 """
 
 from __future__ import annotations
@@ -18,7 +21,8 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.index import PexesoIndex
-from repro.core.metric import Metric
+from repro.core.metric import METRIC_REGISTRY, Metric
+from repro.core.persistence import load_index, save_index
 from repro.core.partition import (
     average_kmeans_partition,
     jsd_kmeans_partition,
@@ -40,9 +44,10 @@ class PartitionedPexeso:
     Args:
         n_partitions: number of partitions (paper uses 10 for LWDC).
         partitioner: ``jsd`` | ``average-kmeans`` | ``random``.
-        spill_dir: when given, partition indexes are pickled here and only
-            one is resident in memory at a time (the out-of-core mode);
-            when ``None`` all partitions stay in memory.
+        spill_dir: when given, partition indexes are written here (one
+            array-native index directory each) and only one is resident
+            in memory at a time (the out-of-core mode); when ``None``
+            all partitions stay in memory.
         kmeans_iters: the clustering iteration bound ``t``.
         Remaining arguments configure each partition's
         :class:`~repro.core.index.PexesoIndex`.
@@ -119,13 +124,26 @@ class PartitionedPexeso:
             )
             self.partition_columns.append(globals_)
             if self.spill_dir is not None:
-                path = self.spill_dir / f"partition_{part}.pkl"
-                with open(path, "wb") as fh:
-                    pickle.dump(index, fh, protocol=pickle.HIGHEST_PROTOCOL)
-                self._spilled[part] = path
+                self._spill(part, index)
             else:
                 self._resident[part] = index
         return self
+
+    def _spill(self, part: int, index: PexesoIndex) -> None:
+        """Write one partition to disk in the array-native format.
+
+        The ``.npz`` format reconstructs the metric from its registry
+        name, so an unregistered custom :class:`~repro.core.metric.Metric`
+        instance falls back to the seed's pickle spill (slower to load,
+        but it round-trips arbitrary metric objects).
+        """
+        if type(index.metric) in METRIC_REGISTRY.values():
+            self._spilled[part] = save_index(index, self.spill_dir / f"partition_{part}")
+        else:
+            path = self.spill_dir / f"partition_{part}.pkl"
+            with open(path, "wb") as fh:
+                pickle.dump(index, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            self._spilled[part] = path
 
     def _load(self, part: int) -> Optional[PexesoIndex]:
         """Fetch one partition's index (from memory or disk)."""
@@ -134,8 +152,10 @@ class PartitionedPexeso:
         path = self._spilled.get(part)
         if path is None:
             return None
-        with open(path, "rb") as fh:
-            return pickle.load(fh)
+        if path.suffix == ".pkl":
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        return load_index(path)
 
     # -- search ------------------------------------------------------------------
 

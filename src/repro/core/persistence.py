@@ -1,23 +1,34 @@
 """Index persistence: save/load a PexesoIndex to a directory.
 
 The offline component of Fig. 1 builds the index once and serves many
-online queries, so the index must outlive the process. The format is a
-directory with the numeric stores as ``.npz`` (portable, memory-mappable)
-plus a small pickle for the structural parts (grid, postings, metadata).
+online queries, so the index must outlive the process. Because the index
+core is array-native — sorted leaf cell codes for the grid, lexsorted
+CSR arrays for the inverted index — the whole structure round-trips as
+**one** ``index.npz`` (portable, compressed) plus a small
+``manifest.json``; nothing is pickled and no Python object graph is
+rebuilt on load. The grid stores only its leaf codes: every ancestor
+level is re-derived by vectorised shifting.
+
+Format version 2. Version-1 directories (the pre-array layout with a
+``structure.pkl``) are rejected with a clear error; rebuild the index to
+migrate.
 """
 
 from __future__ import annotations
 
 import json
-import pickle
 from pathlib import Path
 
 import numpy as np
 
+from repro.core.grid import HierarchicalGrid
 from repro.core.index import PexesoIndex
+from repro.core.inverted_index import InvertedIndex
 
 #: bumped when the on-disk layout changes
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+_ARCHIVE = "index.npz"
 
 
 def save_index(index: PexesoIndex, directory: str | Path) -> Path:
@@ -31,25 +42,29 @@ def save_index(index: PexesoIndex, directory: str | Path) -> Path:
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
 
+    inverted = index.inverted
+    column_ids = np.fromiter(index.column_rows, dtype=np.int64, count=len(index.column_rows))
+    column_first_rows = np.asarray(
+        [int(index.column_rows[cid][0]) for cid in column_ids.tolist()], dtype=np.int64
+    )
+    column_counts = np.asarray(
+        [int(index.column_rows[cid].size) for cid in column_ids.tolist()], dtype=np.int64
+    )
     np.savez_compressed(
-        directory / "vectors.npz",
+        directory / _ARCHIVE,
         vectors=index.vectors,
         mapped=index.mapped,
         pivots=index.pivot_space.pivots,
+        extent=np.float64(index.pivot_space.extent),
+        grid_leaf_codes=index.grid.leaf_codes,
+        inv_codes=inverted._codes,
+        inv_cols=inverted._cols,
+        inv_starts=inverted._starts.astype(np.int64),
+        inv_rows=inverted._rows.astype(np.int64),
+        column_ids=column_ids,
+        column_first_rows=column_first_rows,
+        column_counts=column_counts,
     )
-    with open(directory / "structure.pkl", "wb") as fh:
-        pickle.dump(
-            {
-                "grid": index.grid,
-                "inverted": index.inverted,
-                "column_rows": index.column_rows,
-                "next_column_id": index._next_column_id,
-                "n_rows": index._n_rows,
-                "extent": index.pivot_space.extent,
-            },
-            fh,
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
     manifest = {
         "format_version": FORMAT_VERSION,
         "metric": index.metric.name,
@@ -57,6 +72,7 @@ def save_index(index: PexesoIndex, directory: str | Path) -> Path:
         "levels": index.levels,
         "pivot_method": index.pivot_method,
         "seed": index.seed,
+        "next_column_id": index._next_column_id,
         "n_columns": index.n_columns,
         "n_vectors": index.n_vectors,
         "dim": index.dim,
@@ -85,9 +101,7 @@ def load_index(directory: str | Path) -> PexesoIndex:
             f"index format {manifest.get('format_version')} != {FORMAT_VERSION}"
         )
 
-    arrays = np.load(directory / "vectors.npz")
-    with open(directory / "structure.pkl", "rb") as fh:
-        structure = pickle.load(fh)
+    arrays = np.load(directory / _ARCHIVE)
 
     index = PexesoIndex(
         metric=get_metric(manifest["metric"]),
@@ -97,17 +111,40 @@ def load_index(directory: str | Path) -> PexesoIndex:
         seed=manifest["seed"],
     )
     index.pivot_space = PivotSpace(
-        arrays["pivots"], index.metric, extent=structure["extent"]
+        arrays["pivots"], index.metric, extent=float(arrays["extent"])
     )
-    index.grid = structure["grid"]
-    index.inverted = structure["inverted"]
-    index.column_rows = structure["column_rows"]
-    index._next_column_id = structure["next_column_id"]
-    index._n_rows = structure["n_rows"]
-    index._vector_blocks = [arrays["vectors"]]
-    index._mapped_blocks = [arrays["mapped"]]
-    index._vectors = arrays["vectors"]
-    index._mapped = arrays["mapped"]
+    n_rows = int(manifest["n_vectors"])
+    index.grid = HierarchicalGrid.from_leaf_codes(
+        arrays["grid_leaf_codes"],
+        n_dims=manifest["n_pivots"],
+        levels=manifest["levels"],
+        extent=float(arrays["extent"]),
+        n_vectors=n_rows,
+    )
+    inverted = InvertedIndex()
+    inverted._codes = arrays["inv_codes"].astype(np.int64)
+    inverted._cols = arrays["inv_cols"].astype(np.int64)
+    inverted._starts = arrays["inv_starts"].astype(np.intp)
+    inverted._rows = arrays["inv_rows"].astype(np.intp)
+    index.inverted = inverted
+    index.column_rows = {
+        int(cid): np.arange(int(first), int(first) + int(count), dtype=np.intp)
+        for cid, first, count in zip(
+            arrays["column_ids"].tolist(),
+            arrays["column_first_rows"].tolist(),
+            arrays["column_counts"].tolist(),
+        )
+    }
+    index._next_column_id = int(manifest["next_column_id"])
+    index._n_rows = n_rows
+    vectors = arrays["vectors"]
+    mapped = arrays["mapped"]
+    index._vector_blocks = [vectors]
+    index._mapped_blocks = [mapped]
+    index._vectors = vectors
+    index._mapped = mapped
     index.stats.n_vectors = index._n_rows
     index.stats.n_columns = len(index.column_rows)
+    index.stats.n_leaf_cells = inverted.n_cells
+    index.stats.n_postings = inverted.n_postings
     return index

@@ -22,15 +22,22 @@ from repro.core.metric import Metric
 
 
 def _unique_rows(candidates: np.ndarray) -> np.ndarray:
-    """Deduplicate candidate pivot rows while preserving order."""
-    seen: set[bytes] = set()
-    keep: list[int] = []
-    for i, row in enumerate(candidates):
-        key = row.tobytes()
-        if key not in seen:
-            seen.add(key)
-            keep.append(i)
-    return candidates[keep]
+    """Deduplicate candidate pivot rows, preserving first-occurrence order.
+
+    Rows are compared bytewise (a void view over each row), so the
+    semantics match hashing ``row.tobytes()``, but the dedup is one
+    ``np.unique`` instead of an O(n^2)-ish Python loop: ``return_index``
+    yields each distinct row's first occurrence, and sorting those
+    indices restores input order.
+    """
+    candidates = np.ascontiguousarray(candidates)
+    if candidates.shape[0] == 0:
+        return candidates
+    rowbytes = candidates.view(
+        np.dtype((np.void, candidates.dtype.itemsize * candidates.shape[1]))
+    ).ravel()
+    _, first = np.unique(rowbytes, return_index=True)
+    return candidates[np.sort(first)]
 
 
 def select_pivots_random(

@@ -1,0 +1,185 @@
+"""Preserved seed implementation of the grid / inverted-index build path.
+
+The array-native index core (:mod:`repro.core.grid`,
+:mod:`repro.core.inverted_index`) replaced the original row-by-row Python
+build. This module keeps that original implementation — tuple-coordinate
+grid cells inserted one row at a time, per-cell ``Posting`` lists
+maintained with ``bisect``/``insort`` — verbatim, for two purposes:
+
+* ``benchmarks/bench_index_build.py`` measures the array-native build
+  against it (the PR's >= 3x speedup claim is asserted against this
+  builder, not against a strawman);
+* equivalence tests check that the CSR inverted index holds exactly the
+  postings the reference build produces, cell for cell, row for row.
+
+It is **not** wired into any search path.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Sequence
+
+import numpy as np
+
+Coords = tuple[int, ...]
+
+
+class ReferencePosting:
+    """One (column, rows-in-cell) entry of a reference postings list."""
+
+    __slots__ = ("column_id", "rows")
+
+    def __init__(self, column_id: int, rows: list[int]):
+        self.column_id = column_id
+        self.rows = rows
+
+    def __lt__(self, other: "ReferencePosting") -> bool:
+        return self.column_id < other.column_id
+
+
+class ReferenceGridCell:
+    """One populated cell of the reference hierarchical grid."""
+
+    __slots__ = ("level", "coords", "children", "members")
+
+    def __init__(self, level: int, coords: Coords):
+        self.level = level
+        self.coords = coords
+        self.children: list["ReferenceGridCell"] = []
+        self.members: list[int] = []
+
+
+class ReferenceGrid:
+    """The seed's sparse hierarchical grid: per-level coordinate dicts."""
+
+    def __init__(self, n_dims: int, levels: int, extent: float, store_members: bool = True):
+        self.n_dims = n_dims
+        self.levels = levels
+        self.extent = float(extent)
+        self.store_members = store_members
+        self.root = ReferenceGridCell(0, ())
+        self.cells: list[dict[Coords, ReferenceGridCell]] = [
+            dict() for _ in range(levels + 1)
+        ]
+        self.cells[0][()] = self.root
+        self.n_vectors = 0
+
+    def leaf_coords_for(self, mapped: np.ndarray) -> np.ndarray:
+        mapped = np.atleast_2d(np.asarray(mapped, dtype=np.float64))
+        n_cells = 1 << self.levels
+        cell_size = self.extent / n_cells
+        coords = np.floor(mapped / cell_size).astype(np.int64)
+        np.clip(coords, 0, n_cells - 1, out=coords)
+        return coords
+
+    def insert(self, mapped: np.ndarray) -> list[Coords]:
+        """Row-by-row insertion: one dict walk per vector (the seed path)."""
+        mapped = np.atleast_2d(np.asarray(mapped, dtype=np.float64))
+        leaf = self.leaf_coords_for(mapped)
+        start = self.n_vectors
+        out: list[Coords] = []
+        for offset, row in enumerate(leaf.tolist()):
+            coords = tuple(row)
+            out.append(coords)
+            cell = self._ensure_leaf(coords)
+            if self.store_members:
+                cell.members.append(start + offset)
+        self.n_vectors += mapped.shape[0]
+        return out
+
+    def _ensure_leaf(self, coords: Coords) -> ReferenceGridCell:
+        leaf_map = self.cells[self.levels]
+        cell = leaf_map.get(coords)
+        if cell is not None:
+            return cell
+        cell = ReferenceGridCell(self.levels, coords)
+        leaf_map[coords] = cell
+        child = cell
+        for level in range(self.levels - 1, 0, -1):
+            parent_coords = tuple(c >> 1 for c in child.coords)
+            parent_map = self.cells[level]
+            parent = parent_map.get(parent_coords)
+            if parent is not None:
+                parent.children.append(child)
+                return cell
+            parent = ReferenceGridCell(level, parent_coords)
+            parent_map[parent_coords] = parent
+            parent.children.append(child)
+            child = parent
+        self.root.children.append(child)
+        return cell
+
+    @property
+    def leaf_cells(self) -> dict[Coords, ReferenceGridCell]:
+        return self.cells[self.levels]
+
+
+class ReferenceInvertedIndex:
+    """The seed's inverted index: dict of per-cell ``insort``-ed postings."""
+
+    def __init__(self) -> None:
+        self._lists: dict[Coords, list[ReferencePosting]] = {}
+        self.n_postings = 0
+
+    def add_column(self, column_id: int, cells: Sequence[Coords], first_row: int) -> None:
+        grouped: dict[Coords, list[int]] = {}
+        for offset, cell in enumerate(cells):
+            grouped.setdefault(cell, []).append(first_row + offset)
+        for cell, rows in grouped.items():
+            postings = self._lists.setdefault(cell, [])
+            insort(postings, ReferencePosting(column_id, rows))
+            self.n_postings += 1
+
+    def delete_column(self, column_id: int) -> int:
+        removed = 0
+        empty: list[Coords] = []
+        for cell, postings in self._lists.items():
+            pos = bisect_left(postings, ReferencePosting(column_id, []))
+            if pos < len(postings) and postings[pos].column_id == column_id:
+                postings.pop(pos)
+                removed += 1
+                if not postings:
+                    empty.append(cell)
+        for cell in empty:
+            del self._lists[cell]
+        self.n_postings -= removed
+        return removed
+
+    def postings_by_cell(self) -> dict[Coords, list[tuple[int, list[int]]]]:
+        """Full contents as plain data, for equivalence checks."""
+        return {
+            cell: [(p.column_id, list(p.rows)) for p in postings]
+            for cell, postings in self._lists.items()
+        }
+
+    @property
+    def n_cells(self) -> int:
+        return len(self._lists)
+
+
+def build_reference_structures(
+    mapped_columns: Sequence[np.ndarray],
+    levels: int,
+    extent: float,
+) -> tuple[ReferenceGrid, ReferenceInvertedIndex]:
+    """The seed ``fit`` loop: per-column grid insert + postings append.
+
+    Args:
+        mapped_columns: pivot-mapped vectors of each column, in column-ID
+            order (pivot selection and mapping are shared with the
+            array-native path and therefore excluded from the comparison).
+        levels: grid depth ``m``.
+        extent: pivot-space extent.
+    """
+    if not mapped_columns:
+        raise ValueError("cannot build over zero columns")
+    n_dims = np.atleast_2d(mapped_columns[0]).shape[1]
+    grid = ReferenceGrid(n_dims, levels, extent, store_members=False)
+    inverted = ReferenceInvertedIndex()
+    first_row = 0
+    for column_id, mapped in enumerate(mapped_columns):
+        cells = grid.insert(mapped)
+        inverted.add_column(column_id, cells, first_row)
+        first_row += np.atleast_2d(mapped).shape[0]
+    return grid, inverted

@@ -312,8 +312,9 @@ def verify_row_blocks(
     n_rows_total = int(query_of_row.size)
 
     # Rows sharing a grid cell resolve identical cell lists; resolve each
-    # distinct list once into flat arrays (CSR-style: column IDs, their
-    # target rows concatenated, and per-column segment lengths).
+    # distinct list once into flat arrays (column IDs, their target rows
+    # concatenated, and per-column segment lengths) — one searchsorted
+    # range gather each over the CSR inverted index.
     resolve_cache: dict[tuple, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
     col_arrays: list[np.ndarray] = []
     for pairs in (block_result.match_pairs, block_result.candidate_pairs):
@@ -321,16 +322,7 @@ def verify_row_blocks(
             key = tuple(cells)
             if key in resolve_cache:
                 continue
-            merged = inverted_index.columns_in_cells(cells)
-            cols = np.fromiter(merged.keys(), dtype=np.int64, count=len(merged))
-            lens = np.fromiter(
-                (len(v) for v in merged.values()), dtype=np.intp, count=len(merged)
-            )
-            flat = (
-                np.concatenate([np.asarray(v, dtype=np.intp) for v in merged.values()])
-                if merged
-                else np.zeros(0, dtype=np.intp)
-            )
+            cols, flat, lens = inverted_index.columns_in_cells_arrays(cells)
             resolve_cache[key] = (cols, flat, lens)
             col_arrays.append(cols)
 

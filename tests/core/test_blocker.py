@@ -25,8 +25,7 @@ def _setup(seed=0, n_data=80, n_query=12, dim=6, n_pivots=3, levels=3):
     query_mapped = space.map_vectors(queries)
     hg_rv = HierarchicalGrid.build(data_mapped, levels, space.extent, store_members=False)
     hg_q = HierarchicalGrid.build(query_mapped, levels, space.extent)
-    leaf_of_row = {row: coords for row, coords in
-                   enumerate(map(tuple, hg_rv.leaf_coords_for(data_mapped).tolist()))}
+    leaf_of_row = dict(enumerate(hg_rv.leaf_codes_for(data_mapped).tolist()))
     return data, queries, metric, query_mapped, hg_q, hg_rv, leaf_of_row
 
 
@@ -108,11 +107,11 @@ class TestQuickBrowsing:
         result = BlockResult()
         stats = SearchStats()
         aligned = quick_browse(hg_q, hg_rv, result, stats)
-        assert aligned == set(hg_q.leaf_cells) & set(hg_rv.leaf_cells)
+        assert aligned == set(hg_q.leaf_codes.tolist()) & set(hg_rv.leaf_codes.tolist())
         assert stats.quick_browse_cells == len(aligned)
-        for coords in aligned:
-            for q in hg_q.leaf_cells[coords].members:
-                assert coords in result.candidate_pairs[q]
+        for code in aligned:
+            for q in hg_q.leaf_members(code).tolist():
+                assert code in result.candidate_pairs[q]
 
     def test_quick_browsing_does_not_change_reachable_set(self):
         data, queries, metric, q_mapped, hg_q, hg_rv, _ = _setup(seed=8)

@@ -1,0 +1,84 @@
+"""Tests for the linearized (bit-interleaved) cell codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cellcodes import (
+    MAX_CODE_BITS,
+    ancestor_codes,
+    check_code_width,
+    decode_cells,
+    encode_cells,
+    subtree_bounds,
+)
+
+
+@st.composite
+def coord_grids(draw):
+    n_dims = draw(st.integers(1, 5))
+    bits = draw(st.integers(1, 8))
+    n = draw(st.integers(1, 60))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    coords = rng.integers(0, 1 << bits, size=(n, n_dims), dtype=np.int64)
+    return coords, n_dims, bits
+
+
+class TestRoundtrip:
+    @settings(max_examples=60, deadline=None)
+    @given(data=coord_grids())
+    def test_decode_inverts_encode(self, data):
+        coords, n_dims, bits = data
+        codes = encode_cells(coords, n_dims, bits)
+        np.testing.assert_array_equal(decode_cells(codes, n_dims, bits), coords)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=coord_grids())
+    def test_codes_distinct_iff_coords_distinct(self, data):
+        coords, n_dims, bits = data
+        codes = encode_cells(coords, n_dims, bits)
+        n_unique_coords = len({tuple(row) for row in coords.tolist()})
+        assert np.unique(codes).size == n_unique_coords
+
+
+class TestAncestors:
+    @settings(max_examples=60, deadline=None)
+    @given(data=coord_grids(), up=st.integers(0, 3))
+    def test_shift_equals_coordinate_halving(self, data, up):
+        coords, n_dims, bits = data
+        up = min(up, bits)
+        codes = encode_cells(coords, n_dims, bits)
+        parents = ancestor_codes(codes, n_dims, up)
+        expected = encode_cells(coords >> up, n_dims, bits - up) if bits > up else (
+            np.zeros(coords.shape[0], dtype=np.int64)
+        )
+        np.testing.assert_array_equal(parents, expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=coord_grids())
+    def test_subtree_bounds_cover_descendant_codes(self, data):
+        coords, n_dims, bits = data
+        codes = encode_cells(coords, n_dims, bits)
+        up = min(2, bits)
+        for code in codes[:5].tolist():
+            parent = code >> (n_dims * up)
+            lo, hi = subtree_bounds(parent, n_dims, up)
+            assert lo <= code < hi
+
+
+class TestLimits:
+    def test_width_guard(self):
+        with pytest.raises(ValueError, match="int64"):
+            check_code_width(8, 8)
+        check_code_width(5, 12)  # 60 bits: fine
+
+    def test_paper_defaults_fit(self):
+        # OPEN: |P|=5, m=6; SWDC: |P|=3, m=4 — far below the limit
+        assert 5 * 6 <= MAX_CODE_BITS
+        assert 3 * 4 <= MAX_CODE_BITS
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match="coords"):
+            encode_cells(np.zeros((3,), dtype=np.int64), 2, 3)

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.cellcodes import encode_cells
 from repro.core.grid import HierarchicalGrid
 
 
@@ -124,10 +125,11 @@ class TestTraversal:
 
 
 class TestIncrementalInsert:
-    def test_insert_returns_leaf_coords(self):
+    def test_insert_returns_leaf_codes(self):
         grid = HierarchicalGrid(2, 2, extent=2.0)
-        coords = grid.insert(np.array([[0.1, 0.1], [1.9, 1.9]]))
-        assert coords == [(0, 0), (3, 3)]
+        codes = grid.insert(np.array([[0.1, 0.1], [1.9, 1.9]]))
+        expected = encode_cells(np.array([[0, 0], [3, 3]]), n_dims=2, bits_per_axis=2)
+        np.testing.assert_array_equal(codes, expected)
 
     def test_row_indices_continue_across_inserts(self):
         grid = HierarchicalGrid(2, 2, extent=2.0)

@@ -65,7 +65,7 @@ class TestSpilledPartitions:
             n_pivots=3, levels=3, n_partitions=3, spill_dir=tmp_path
         ).fit(columns)
         # every partition should be on disk, none resident
-        assert len(list(tmp_path.glob("partition_*.pkl"))) >= 1
+        assert len(list(tmp_path.glob("partition_*/index.npz"))) >= 1
         assert lake.memory_bytes() == 0
         got = lake.search(query, 0.8, 0.3).column_ids
         want = naive_search(columns, query, 0.8, 0.3).column_ids

@@ -60,6 +60,59 @@ class TestRoundtrip:
         )
 
 
+class TestMaintenanceAfterReload:
+    """Save -> load -> append -> delete -> search must equal a never-persisted index."""
+
+    def test_roundtrip_then_maintenance_matches_in_memory(
+        self, small_columns, small_query, tmp_path
+    ):
+        kept = PexesoIndex.build(small_columns, n_pivots=3, levels=3)
+        save_index(kept, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx")
+
+        extra = small_columns[1][:5].copy()
+        kept_id = kept.add_column(extra)
+        loaded_id = loaded.add_column(extra)
+        assert kept_id == loaded_id
+        kept.delete_column(0)
+        loaded.delete_column(0)
+
+        for tau in (0.2, 0.6, 1.1):
+            kept_result = pexeso_search(kept, small_query, tau, 0.3, exact_counts=True)
+            loaded_result = pexeso_search(loaded, small_query, tau, 0.3, exact_counts=True)
+            assert kept_result.column_ids == loaded_result.column_ids
+            assert [h.match_count for h in kept_result.joinable] == [
+                h.match_count for h in loaded_result.joinable
+            ]
+        assert 0 not in pexeso_search(loaded, small_query, 1.5, 0.1).column_ids
+
+    def test_second_roundtrip_after_maintenance(self, small_columns, small_query, tmp_path):
+        index = PexesoIndex.build(small_columns, n_pivots=3, levels=3)
+        save_index(index, tmp_path / "a")
+        loaded = load_index(tmp_path / "a")
+        loaded.add_column(small_columns[0][:6].copy())
+        loaded.delete_column(1)
+        save_index(loaded, tmp_path / "b")
+        again = load_index(tmp_path / "b")
+        for tau in (0.4, 0.9):
+            assert (
+                pexeso_search(again, small_query, tau, 0.3).column_ids
+                == pexeso_search(loaded, small_query, tau, 0.3).column_ids
+            )
+        assert again.stats.n_leaf_cells == loaded.inverted.n_cells
+        assert again.stats.n_postings == loaded.inverted.n_postings
+
+    def test_delete_column_refreshes_stats(self, small_columns):
+        index = PexesoIndex.build(small_columns, n_pivots=3, levels=3)
+        before_cells = index.stats.n_leaf_cells
+        before_postings = index.stats.n_postings
+        index.delete_column(0)
+        assert index.stats.n_leaf_cells == index.inverted.n_cells
+        assert index.stats.n_postings == index.inverted.n_postings
+        assert index.stats.n_postings < before_postings
+        assert index.stats.n_leaf_cells <= before_cells
+
+
 class TestValidation:
     def test_unbuilt_index_rejected(self, tmp_path):
         with pytest.raises(RuntimeError):

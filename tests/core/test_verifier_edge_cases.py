@@ -76,7 +76,7 @@ class TestEmptyInputs:
         queries = columns[0][:1]
         q_mapped = index.pivot_space.map_vectors(queries)
         pairs = BlockResult()
-        pairs.add_candidate(0, (99, 99))  # unoccupied cell
+        pairs.add_candidate(0, 10**9)  # unoccupied cell code
         verdict = verify(
             pairs, index.inverted, queries, q_mapped,
             index.vectors, index.mapped, index.metric,

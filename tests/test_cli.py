@@ -33,7 +33,7 @@ class TestIndexCommand:
         assert code == 0
         assert (index_dir / "manifest.json").exists()
         assert (index_dir / "catalog.json").exists()
-        assert (index_dir / "vectors.npz").exists()
+        assert (index_dir / "index.npz").exists()
 
     def test_missing_lake_fails(self, tmp_path):
         empty = tmp_path / "empty"
