@@ -1,0 +1,182 @@
+"""Partitioned search — parallel shard engine vs. the sequential loop.
+
+Not a paper figure: this benchmarks the repository's own sharded query
+engine (``repro/core/out_of_core.py``) against the seed's sequential
+per-partition loop — for every query, load each partition in turn, run
+one scalar ``pexeso_search``, merge — the way §IV was first reproduced.
+The parallel path answers the whole query batch per shard through
+:class:`~repro.core.engine.BatchSearch` and fans shards out over a
+worker pool with an LRU of resident shards. Reported per run:
+
+* wall-clock seconds for the sequential per-partition loop and for
+  ``PartitionedPexeso.search_many``, plus the resulting speedup;
+* a full equality check: the parallel results must be identical to the
+  sequential ones, hit for hit and count for count;
+* a top-k parity check: the theta-shared sharded top-k must equal
+  single-index ``pexeso_topk`` over the same columns.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from common import ResultTable, lwdc_like
+
+from repro.core.index import PexesoIndex
+from repro.core.out_of_core import PartitionedPexeso
+from repro.core.search import pexeso_search
+from repro.core.thresholds import distance_threshold
+from repro.core.topk import pexeso_topk
+
+TAU_FRACTION = 0.08
+# T = 30% (rather than the paper's 60% default) so the generated LWDC-like
+# workload yields non-empty result sets — an empty parity check proves
+# nothing about the merge.
+T = 0.3
+N_QUERIES = 40
+MIN_SPEEDUP = 2.0
+
+
+def make_query_batch(dataset, n_queries: int, query_rows: int = 20):
+    """Embed ``n_queries`` generated query tables over the dataset's domains."""
+    queries = []
+    for i in range(n_queries):
+        table, _ = dataset.gen.generate_query_table(
+            n_rows=query_rows, domain=i % 5, name=f"part_query_{i}"
+        )
+        queries.append(dataset.gen.embedder.embed_column(table.column("key").values))
+    return queries
+
+
+def sequential_partition_loop(lake: PartitionedPexeso, queries, tau, joinability):
+    """The seed path: per query, per partition, one scalar search; merge."""
+    shards = lake._shards()
+    results = []
+    for query in queries:
+        per_shard = []
+        for part, globals_ in shards:
+            index, _ = lake._get_index(part)
+            result = pexeso_search(index, query, tau, joinability)
+            per_shard.append((result, globals_))
+        merged = []
+        for result, globals_ in per_shard:
+            for hit in result.joinable:
+                merged.append(
+                    (globals_[hit.column_id], hit.match_count, hit.joinability)
+                )
+        merged.sort()
+        results.append(merged)
+    return results
+
+
+def run_partitioned_comparison(
+    dataset,
+    n_queries: int = N_QUERIES,
+    query_rows: int = 20,
+    n_partitions: int = 8,
+    max_workers: int = 4,
+    n_pivots: int = 3,
+    levels: int = 3,
+    tau_fraction: float = TAU_FRACTION,
+    joinability: float = T,
+    topk_k: int = 10,
+) -> dict:
+    """Time the sequential loop vs. the parallel shard engine; verify parity."""
+    lake = PartitionedPexeso(
+        n_pivots=n_pivots,
+        levels=levels,
+        n_partitions=n_partitions,
+        max_workers=max_workers,
+    ).fit(dataset.vector_columns)
+    metric = PexesoIndex().metric
+    tau = distance_threshold(tau_fraction, metric, dataset.dim)
+    queries = make_query_batch(dataset, n_queries, query_rows)
+
+    started = time.perf_counter()
+    sequential = sequential_partition_loop(lake, queries, tau, joinability)
+    seq_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batch = lake.search_many(queries, tau, joinability)
+    par_seconds = time.perf_counter() - started
+
+    for seq_rows, result in zip(sequential, batch.results):
+        got = [(h.column_id, h.match_count, h.joinability) for h in result.joinable]
+        assert got == seq_rows, (
+            "parallel partitioned results must be identical to the "
+            "sequential per-partition loop"
+        )
+
+    # Top-k parity: sharded theta-shared top-k == single-index top-k.
+    single = PexesoIndex.build(
+        dataset.vector_columns, n_pivots=n_pivots, levels=levels
+    )
+    want = pexeso_topk(single, queries[0], tau, topk_k)
+    got = lake.topk(queries[0], tau, topk_k)
+    assert [(c, n) for c, n, _ in got.hits] == [(c, n) for c, n, _ in want.hits], (
+        "sharded top-k must equal single-index top-k"
+    )
+
+    return {
+        "n_queries": n_queries,
+        "n_partitions": len(lake._shards()),
+        "max_workers": max_workers,
+        "seq_seconds": seq_seconds,
+        "par_seconds": par_seconds,
+        "speedup": seq_seconds / par_seconds if par_seconds else float("inf"),
+        "seq_hits": sum(len(rows) for rows in sequential),
+        "par_hits": batch.n_joinable,
+        "par_distances": batch.stats.distance_computations,
+    }
+
+
+def report(label: str, out: dict, filename: str) -> None:
+    table = ResultTable(
+        f"Partitioned search ({label}): {out['n_queries']} queries over "
+        f"{out['n_partitions']} shards, tau={TAU_FRACTION:.0%}, T={T:.0%}, "
+        f"workers={out['max_workers']}",
+        ["Mode", "Wall (s)", "Hits"],
+    )
+    table.add("sequential per-partition loop", out["seq_seconds"], out["seq_hits"])
+    table.add("parallel shard engine", out["par_seconds"], out["par_hits"])
+    table.add("speedup", out["speedup"], "-")
+    table.print_and_save(filename)
+
+
+def test_partitioned_speedup(lwdc_dataset, benchmark):
+    out = benchmark.pedantic(
+        lambda: run_partitioned_comparison(lwdc_dataset),
+        rounds=1,
+        iterations=1,
+    )
+    report("LWDC-like", out, "partitioned_lwdc_like.md")
+
+    # Headline claim: the parallel shard engine answers a 40-query batch
+    # at least 2x faster than the sequential per-partition loop.
+    assert out["speedup"] >= MIN_SPEEDUP, (
+        f"parallel partitioned search must be >= {MIN_SPEEDUP}x faster than "
+        f"the sequential per-partition loop, got {out['speedup']:.2f}x"
+    )
+
+
+def main() -> None:
+    """CI entry point: run at CI size and write results/partitioned_ci.md."""
+    dataset = lwdc_like(scale=0.5)
+    out = run_partitioned_comparison(dataset, n_queries=24)
+    report("CI-size LWDC-like", out, "partitioned_ci.md")
+    assert out["speedup"] >= MIN_SPEEDUP, (
+        f"parallel partitioned search must be >= {MIN_SPEEDUP}x faster than "
+        f"the sequential per-partition loop at CI size, got "
+        f"{out['speedup']:.2f}x"
+    )
+    print(
+        f"CI partitioned-search check passed: {out['speedup']:.1f}x over the "
+        f"sequential per-partition loop ({out['n_queries']} queries, "
+        f"{out['n_partitions']} shards)"
+    )
+
+
+if __name__ == "__main__":
+    main()

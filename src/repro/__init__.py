@@ -21,19 +21,23 @@ from repro.core import (
     BatchSearch,
     EuclideanMetric,
     JoinableColumn,
+    LakeSearcher,
     Metric,
     PartitionedPexeso,
     PexesoIndex,
     SearchResult,
     SearchStats,
+    TopKResult,
     batch_search,
     distance_threshold,
     get_metric,
     joinability_count,
     pexeso_search,
+    pexeso_topk,
+    register_metric,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AblationFlags",
@@ -42,14 +46,18 @@ __all__ = [
     "batch_search",
     "EuclideanMetric",
     "JoinableColumn",
+    "LakeSearcher",
     "Metric",
     "PartitionedPexeso",
     "PexesoIndex",
     "SearchResult",
     "SearchStats",
+    "TopKResult",
     "__version__",
     "distance_threshold",
     "get_metric",
     "joinability_count",
     "pexeso_search",
+    "pexeso_topk",
+    "register_metric",
 ]

@@ -3,18 +3,25 @@
 Three subcommands mirror the offline/online split of Fig. 1::
 
     python -m repro.cli index  LAKE_DIR INDEX_DIR [--dim 64] [--pivots 5] [--levels 4]
+                               [--partitions N] [--partitioner jsd]
     python -m repro.cli search INDEX_DIR QUERY_CSV [--column NAME]
-                               [--tau 0.06] [--joinability 0.6] [--topk K]
-                               [--all-columns] [--workers N]
+                               [--tau 0.06] [--joinability 0.6] [--top-k K]
+                               [--all-columns] [--workers W] [--partitions N]
     python -m repro.cli stats  LAKE_DIR
 
 ``index`` loads every CSV under LAKE_DIR, detects join-key columns,
 normalises and embeds them (hashing n-gram embedder — deterministic given
-``--seed``), builds a PexesoIndex and saves it with its column catalog.
-``search`` embeds the query CSV's column with the same embedder settings
-and prints joinable tables; with ``--all-columns`` every candidate join
-column of the query table is answered in one batch-engine pass (results
-per column are identical to running each search on its own). ``stats``
+``--seed``), builds a PexesoIndex and saves it with its column catalog;
+with ``--partitions N`` the lake is sharded into N per-partition indexes
+spilled under INDEX_DIR (paper §IV out-of-core layout). ``search`` embeds
+the query CSV's column with the same embedder settings and prints
+joinable tables — single-index and partitioned layouts are detected
+automatically and answered identically; ``--workers W`` widens the shard
+fan-out, ``--top-k K`` serves ranked discovery (theta-shared across
+shards), ``--partitions N`` repartitions a single-index directory into N
+in-memory shards for this run, and ``--all-columns`` answers every
+candidate join column of the query table in one batch pass (results per
+column are identical to running each search on its own). ``stats``
 prints the Table III-style profile.
 """
 
@@ -26,10 +33,11 @@ import sys
 from pathlib import Path
 
 from repro.core.index import PexesoIndex
-from repro.core.persistence import load_index, save_index
-from repro.core.search import pexeso_search
+from repro.core.metric import EuclideanMetric
+from repro.core.out_of_core import LakeSearcher, PartitionedPexeso
+from repro.core.partition import PARTITIONERS
+from repro.core.persistence import load_any, save_index, save_partitioned
 from repro.core.thresholds import distance_threshold
-from repro.core.topk import pexeso_topk
 from repro.embedding.hashing import HashingNGramEmbedder
 from repro.lake.csv_loader import load_csv
 from repro.lake.key_detection import detect_key_column
@@ -47,15 +55,32 @@ def cmd_index(args: argparse.Namespace) -> int:
     if n_loaded == 0:
         print(f"no CSV files under {args.lake_dir}", file=sys.stderr)
         return 1
+    if args.partitions < 1:
+        print("--partitions must be at least 1", file=sys.stderr)
+        return 1
     embedder = _build_embedder(args)
     refs, vector_columns = repo.vectorize(embedder)
     if not refs:
         print("no indexable key columns found", file=sys.stderr)
         return 1
-    index = PexesoIndex.build(
-        vector_columns, n_pivots=args.pivots, levels=args.levels, seed=args.seed
-    )
-    out = save_index(index, args.index_dir)
+    n_vectors = sum(c.shape[0] for c in vector_columns)
+    if args.partitions > 1:
+        lake = PartitionedPexeso(
+            n_pivots=args.pivots,
+            levels=args.levels,
+            seed=args.seed,
+            n_partitions=args.partitions,
+            partitioner=args.partitioner,
+            spill_dir=args.index_dir,
+        ).fit(vector_columns)
+        out = save_partitioned(lake, args.index_dir)
+        layout = f"{len([g for g in lake.partition_columns if g])} partitions"
+    else:
+        index = PexesoIndex.build(
+            vector_columns, n_pivots=args.pivots, levels=args.levels, seed=args.seed
+        )
+        out = save_index(index, args.index_dir)
+        layout = "single index"
     catalog = {
         "columns": [
             {"table": ref.table_name, "column": ref.column_name} for ref in refs
@@ -65,8 +90,8 @@ def cmd_index(args: argparse.Namespace) -> int:
     }
     (out / "catalog.json").write_text(json.dumps(catalog, indent=2))
     print(
-        f"indexed {len(refs)} columns / {index.n_vectors} vectors "
-        f"from {n_loaded} tables into {out}"
+        f"indexed {len(refs)} columns / {n_vectors} vectors "
+        f"from {n_loaded} tables into {out} ({layout})"
     )
     return 0
 
@@ -94,21 +119,41 @@ def _embed_query_values(values, catalog, embedder):
 
 def cmd_search(args: argparse.Namespace) -> int:
     index_dir = Path(args.index_dir)
-    index = load_index(index_dir)
+    backend = load_any(index_dir)
     catalog = json.loads((index_dir / "catalog.json").read_text())
     embedder = HashingNGramEmbedder(
         dim=catalog["embedder"]["dim"], seed=catalog["embedder"]["seed"]
     )
 
+    if args.partitions < 0:
+        print("--partitions must be non-negative", file=sys.stderr)
+        return 1
+    if args.partitions:
+        if isinstance(backend, PexesoIndex):
+            # Repartition the saved single index into in-memory shards for
+            # this run (the persisted layout is untouched).
+            backend = PartitionedPexeso.from_index(
+                backend,
+                n_partitions=args.partitions,
+                partitioner=args.partitioner,
+            )
+        else:
+            print(
+                "--partitions ignored: the index directory is already "
+                "partitioned",
+                file=sys.stderr,
+            )
+    searcher = LakeSearcher(backend, max_workers=args.workers)
+    metric = backend.metric if backend.metric is not None else EuclideanMetric()
+
     query_table = load_csv(args.query_csv)
-    tau = distance_threshold(args.tau, index.metric, index.dim)
+    tau = distance_threshold(args.tau, metric, catalog["embedder"]["dim"])
 
     if args.all_columns:
-        from repro.core.engine import BatchSearch
         from repro.lake.key_detection import candidate_join_columns
 
         if args.topk:
-            print("--topk is ignored in --all-columns mode", file=sys.stderr)
+            print("--top-k is ignored in --all-columns mode", file=sys.stderr)
         candidates = candidate_join_columns(query_table)
         if args.column and args.column not in candidates:
             candidates.insert(0, args.column)
@@ -119,8 +164,7 @@ def cmd_search(args: argparse.Namespace) -> int:
             _embed_query_values(query_table.column(name).values, catalog, embedder)
             for name in candidates
         ]
-        engine = BatchSearch(index, max_workers=args.workers)
-        batch = engine.search_many(vectors, tau, args.joinability)
+        batch = searcher.search_many(vectors, tau, args.joinability)
         columns = catalog["columns"]
         total = 0
         for name, result in zip(candidates, batch.results):
@@ -147,10 +191,10 @@ def cmd_search(args: argparse.Namespace) -> int:
     )
 
     if args.topk:
-        result = pexeso_topk(index, query_vectors, tau, args.topk)
+        result = searcher.topk(query_vectors, tau, args.topk)
         rows = result.hits
     else:
-        result = pexeso_search(index, query_vectors, tau, args.joinability)
+        result = searcher.search(query_vectors, tau, args.joinability)
         rows = _hit_rows(result)
 
     if not rows:
@@ -196,6 +240,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_index.add_argument("--levels", type=int, default=4)
     p_index.add_argument("--seed", type=int, default=0)
     p_index.add_argument("--no-preprocess", action="store_true")
+    p_index.add_argument("--partitions", type=int, default=1,
+                         help="shard the lake into N spilled partitions "
+                              "(paper §IV out-of-core layout)")
+    p_index.add_argument("--partitioner", choices=sorted(PARTITIONERS),
+                         default="jsd", help="column-to-partition strategy")
     p_index.set_defaults(func=cmd_index)
 
     p_search = sub.add_parser("search", help="search a saved index")
@@ -206,13 +255,22 @@ def build_parser() -> argparse.ArgumentParser:
                           help="fraction of the max distance (paper §V)")
     p_search.add_argument("--joinability", type=float, default=0.6,
                           help="fraction of the query column size")
-    p_search.add_argument("--topk", type=int, default=0,
-                          help="return the k best columns instead")
+    p_search.add_argument("--topk", "--top-k", type=int, default=0,
+                          help="return the k best columns instead (exact "
+                               "top-k; theta-shared across shards)")
     p_search.add_argument("--all-columns", action="store_true",
                           help="batch-search every candidate join column "
                                "of the query table via the batch engine")
     p_search.add_argument("--workers", type=int, default=None,
-                          help="thread-pool width for batch mode")
+                          help="worker-pool width (shard fan-out on a "
+                               "partitioned index, per-τ batch groups "
+                               "otherwise)")
+    p_search.add_argument("--partitions", type=int, default=0,
+                          help="repartition a single-index directory into "
+                               "N in-memory shards for this run")
+    p_search.add_argument("--partitioner", choices=sorted(PARTITIONERS),
+                          default="jsd",
+                          help="strategy for --partitions repartitioning")
     p_search.set_defaults(func=cmd_search)
 
     p_stats = sub.add_parser("stats", help="profile a CSV data lake")

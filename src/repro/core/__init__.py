@@ -12,24 +12,33 @@ from repro.core.metric import (
     ManhattanMetric,
     Metric,
     get_metric,
+    register_metric,
 )
 from repro.core.index import PexesoIndex
 from repro.core.search import AblationFlags, JoinableColumn, SearchResult, pexeso_search
-from repro.core.engine import BatchResult, BatchSearch, batch_search
+from repro.core.engine import BatchResult, BatchSearch, batch_search, merge_shard_batches
 from repro.core.stats import SearchStats
 from repro.core.thresholds import distance_threshold, joinability_count
 from repro.core.cost import choose_optimal_m, estimate_workload_cost
 from repro.core.partition import (
+    PARTITIONERS,
     average_kmeans_partition,
     column_histogram,
     jensen_shannon_divergence,
     jsd_kmeans_partition,
+    partition_labels,
     random_partition,
 )
-from repro.core.out_of_core import PartitionedPexeso
+from repro.core.out_of_core import LakeSearcher, PartitionedPexeso, ShardLRU
 from repro.core.allpairs import JoinabilityGraph, JoinableEdge, discover_joinable_pairs
 from repro.core.topk import TopKResult, pexeso_topk
-from repro.core.persistence import load_index, save_index
+from repro.core.persistence import (
+    load_any,
+    load_index,
+    load_partitioned,
+    save_index,
+    save_partitioned,
+)
 from repro.core.recommend import match_rate_profile, sample_repository, suggest_tau
 
 __all__ = [
@@ -37,16 +46,23 @@ __all__ = [
     "JoinableEdge",
     "TopKResult",
     "discover_joinable_pairs",
+    "load_any",
     "load_index",
+    "load_partitioned",
     "match_rate_profile",
     "pexeso_topk",
     "sample_repository",
     "save_index",
+    "save_partitioned",
     "suggest_tau",
     "AblationFlags",
     "BatchResult",
     "BatchSearch",
+    "LakeSearcher",
+    "PARTITIONERS",
+    "ShardLRU",
     "batch_search",
+    "merge_shard_batches",
     "ChebyshevMetric",
     "CosineDistance",
     "EuclideanMetric",
@@ -66,6 +82,8 @@ __all__ = [
     "jensen_shannon_divergence",
     "jsd_kmeans_partition",
     "joinability_count",
+    "partition_labels",
     "pexeso_search",
     "random_partition",
+    "register_metric",
 ]

@@ -317,6 +317,68 @@ class BatchSearch:
         return results, group_stats
 
 
+def merge_shard_batches(
+    shard_batches: Sequence[BatchResult],
+    column_maps: Sequence[Sequence[int]],
+) -> BatchResult:
+    """Merge per-shard :class:`BatchResult`\\ s into one global-ID batch.
+
+    Every shard must have answered the *same* query list (``results``
+    align position by position). ``column_maps[s]`` translates shard
+    ``s``'s local column IDs to global ones; hits are remapped, pooled
+    per query and re-sorted by global column ID — exactly the order a
+    single index over the union of the shards would produce. Per-query
+    and batch-level stats are accumulated across shards.
+
+    Raises:
+        ValueError: when the shard batches disagree on the query list
+            length or no shards are given.
+    """
+    if not shard_batches:
+        raise ValueError("need at least one shard batch to merge")
+    if len(shard_batches) != len(column_maps):
+        raise ValueError("need exactly one column map per shard batch")
+    n = len(shard_batches[0].results)
+    for batch in shard_batches:
+        if len(batch.results) != n:
+            raise ValueError("shard batches answered different query lists")
+
+    merged_stats = SearchStats()
+    wall = 0.0
+    for batch in shard_batches:
+        merged_stats.merge(batch.stats)
+        wall = max(wall, batch.wall_seconds)
+
+    results: list[SearchResult] = []
+    for i in range(n):
+        hits: list[JoinableColumn] = []
+        stats = SearchStats()
+        for batch, mapping in zip(shard_batches, column_maps):
+            shard_result = batch.results[i]
+            stats.merge(shard_result.stats)
+            for hit in shard_result.joinable:
+                hits.append(
+                    JoinableColumn(
+                        column_id=int(mapping[hit.column_id]),
+                        match_count=hit.match_count,
+                        joinability=hit.joinability,
+                        exact_count=hit.exact_count,
+                    )
+                )
+        hits.sort()
+        first = shard_batches[0].results[i]
+        results.append(
+            SearchResult(
+                joinable=hits,
+                stats=stats,
+                tau=first.tau,
+                t_count=first.t_count,
+                query_size=first.query_size,
+            )
+        )
+    return BatchResult(results=results, stats=merged_stats, wall_seconds=wall)
+
+
 def batch_search(
     index: PexesoIndex,
     queries: Sequence[np.ndarray],

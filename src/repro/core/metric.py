@@ -158,6 +158,57 @@ METRIC_REGISTRY = {
 }
 
 
+def register_metric(cls: type) -> type:
+    """Register a custom :class:`Metric` subclass under its ``name``.
+
+    Registered metrics round-trip through the array-native persistence
+    format (the manifest stores only the name), so spilled partitions and
+    saved indexes built with them never fall back to pickling. The class
+    must therefore be reconstructible from its name alone:
+    ``cls(counter=None)`` — the call :func:`get_metric` makes on load —
+    has to produce an equivalent metric. A class whose instances carry
+    extra constructor state would reload with the defaults — keep such
+    metrics unregistered so they take the pickle path instead. Usable as
+    a class decorator::
+
+        @register_metric
+        class HammingMetric(Metric):
+            name = "hamming"
+            ...
+
+    Raises:
+        ValueError: when ``cls`` lacks a usable ``name`` or the name is
+            already bound to a *different* class.
+    """
+    name = getattr(cls, "name", None)
+    if not name or name == Metric.name:
+        raise ValueError("metric class needs a distinctive `name` attribute")
+    bound = METRIC_REGISTRY.get(name)
+    if bound is not None and bound is not cls:
+        raise ValueError(f"metric name {name!r} already registered to {bound.__name__}")
+    METRIC_REGISTRY[name] = cls
+    return cls
+
+
+def metric_round_trips(metric: Metric) -> bool:
+    """True when ``metric`` can be reconstructed from its registry name.
+
+    This is the persistence-format gate: ``save_index`` stores
+    ``metric.name`` and ``load_index`` resolves it via :func:`get_metric`,
+    so the name must map back to exactly the instance's class *and* the
+    class must be default-constructible (that is how :func:`get_metric`
+    rebuilds it). Anything else falls back to the pickle spill.
+    """
+    if METRIC_REGISTRY.get(getattr(metric, "name", "")) is not type(metric):
+        return False
+    try:
+        # Probe the exact constructor call get_metric will make on load.
+        type(metric)(counter=None)
+    except Exception:
+        return False
+    return True
+
+
 def get_metric(name: str, counter: Optional[CounterBox] = None) -> Metric:
     """Instantiate a metric by name.
 
@@ -168,11 +219,12 @@ def get_metric(name: str, counter: Optional[CounterBox] = None) -> Metric:
     Raises:
         KeyError: for unknown names.
     """
-    try:
-        cls = METRIC_REGISTRY[name.lower()]
-    except KeyError:
+    # Exact match first so registered custom names round-trip verbatim;
+    # the built-in names stay reachable case-insensitively.
+    cls = METRIC_REGISTRY.get(name) or METRIC_REGISTRY.get(name.lower())
+    if cls is None:
         known = ", ".join(sorted(METRIC_REGISTRY))
-        raise KeyError(f"unknown metric {name!r}; known metrics: {known}") from None
+        raise KeyError(f"unknown metric {name!r}; known metrics: {known}")
     return cls(counter=counter)
 
 

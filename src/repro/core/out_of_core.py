@@ -6,36 +6,112 @@ When the repository does not fit in memory, the columns are partitioned
 partition is (optionally) spilled to disk in the array-native
 :mod:`~repro.core.persistence` format (one ``.npz`` per partition — no
 pickling, and loading is a handful of array reads instead of
-reconstructing a Python object graph). A search loads one partition at a
-time, queries it, remaps local column IDs back to global ones and merges
-the results — exactly the single-PEXESO-per-partition scheme the paper
-describes.
+reconstructing a Python object graph).
+
+The sharded layer is the fast path, not a fallback:
+
+* :meth:`PartitionedPexeso.search_many` answers many query columns over
+  many shards in one pass — every shard runs the batch engine
+  (:class:`~repro.core.engine.BatchSearch`: one shared pivot mapping,
+  one HG_Q build, one blocking descent per τ group) and shards fan out
+  over a thread pool (``max_workers``);
+* in spill mode, loads stay one-partition-per-worker: a thread-safe LRU
+  (:class:`ShardLRU`) keeps at most ``lru_shards`` indexes resident, so
+  memory stays bounded while repeated queries skip the disk;
+* :meth:`PartitionedPexeso.topk` runs the Lemma-7-bounded top-k across
+  partitions with a *shared* running k-th-best ``theta``: shards are
+  processed in waves of ``max_workers``, and each wave prunes against
+  the k-th best confirmed count of all earlier waves. The output is
+  provably identical to single-index
+  :func:`~repro.core.topk.pexeso_topk` over the union of the shards
+  (the theta floor abandons only columns strictly below the global
+  k-th best, so count ties — broken by column ID — survive).
+
+:class:`LakeSearcher` wraps either a single index or a partitioned lake
+behind one dispatch surface (``search`` / ``search_many`` / ``topk``),
+which is what :mod:`repro.lake.discovery`, :mod:`repro.ml.enrichment`
+and the CLI build against.
 """
 
 from __future__ import annotations
 
 import pickle
+import threading
+import time
+import warnings
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.engine import BatchResult, BatchSearch, merge_shard_batches
 from repro.core.index import PexesoIndex
-from repro.core.metric import METRIC_REGISTRY, Metric
+from repro.core.metric import Metric, metric_round_trips
 from repro.core.persistence import load_index, save_index
-from repro.core.partition import (
-    average_kmeans_partition,
-    jsd_kmeans_partition,
-    random_partition,
-)
-from repro.core.search import AblationFlags, JoinableColumn, SearchResult, pexeso_search
+from repro.core.partition import PARTITIONERS, partition_labels
+from repro.core.search import AblationFlags, SearchResult, pexeso_search
 from repro.core.stats import SearchStats
+from repro.core.topk import TopKResult, pexeso_topk
 
-PARTITIONERS = {
-    "jsd": "JSD histogram k-means (paper §IV)",
-    "average-kmeans": "k-means over column mean vectors (Fig. 7b baseline)",
-    "random": "uniform random assignment (Fig. 7b baseline)",
-}
+#: default shard fan-out width when ``max_workers`` is not given
+DEFAULT_SHARD_WORKERS = 4
+
+
+class ShardLRU:
+    """Thread-safe LRU cache of loaded shard indexes (out-of-core mode).
+
+    Bounds spill-mode memory to ``capacity`` resident shards — one per
+    worker by default, so a W-wide fan-out never holds more than W
+    partitions in memory — while letting repeated searches reuse loads.
+
+    Args:
+        loader: ``partition id -> PexesoIndex`` disk loader.
+        capacity: maximum number of resident shards (>= 1).
+    """
+
+    def __init__(self, loader: Callable[[int], PexesoIndex], capacity: int):
+        if capacity < 1:
+            raise ValueError("LRU capacity must be at least 1")
+        self._loader = loader
+        self.capacity = int(capacity)
+        self._cache: OrderedDict[int, PexesoIndex] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, part: int) -> PexesoIndex:
+        """Fetch one shard, loading (and possibly evicting) as needed."""
+        with self._lock:
+            index = self._cache.get(part)
+            if index is not None:
+                self._cache.move_to_end(part)
+                self.hits += 1
+                return index
+        # Load outside the lock so concurrent workers load distinct shards
+        # in parallel; a rare duplicate load of the same shard is benign.
+        index = self._loader(part)
+        with self._lock:
+            self.misses += 1
+            self._cache[part] = index
+            self._cache.move_to_end(part)
+            while len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
+        return index
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    def resident(self) -> list[PexesoIndex]:
+        """Snapshot of the currently resident shard indexes."""
+        with self._lock:
+            return list(self._cache.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._cache.clear()
 
 
 class PartitionedPexeso:
@@ -45,10 +121,15 @@ class PartitionedPexeso:
         n_partitions: number of partitions (paper uses 10 for LWDC).
         partitioner: ``jsd`` | ``average-kmeans`` | ``random``.
         spill_dir: when given, partition indexes are written here (one
-            array-native index directory each) and only one is resident
-            in memory at a time (the out-of-core mode); when ``None``
+            array-native index directory each) and at most ``lru_shards``
+            are resident at a time (the out-of-core mode); when ``None``
             all partitions stay in memory.
         kmeans_iters: the clustering iteration bound ``t``.
+        max_workers: default shard fan-out width for ``search_many`` /
+            ``topk`` (overridable per call); ``None`` picks
+            ``min(4, #shards)``.
+        lru_shards: spill-mode resident-shard bound; defaults to the
+            resolved worker count (one partition per worker).
         Remaining arguments configure each partition's
         :class:`~repro.core.index.PexesoIndex`.
     """
@@ -64,12 +145,18 @@ class PartitionedPexeso:
         partitioner: str = "jsd",
         spill_dir: Optional[str | Path] = None,
         kmeans_iters: int = 10,
+        max_workers: Optional[int] = None,
+        lru_shards: Optional[int] = None,
     ):
         if partitioner not in PARTITIONERS:
             known = ", ".join(sorted(PARTITIONERS))
             raise KeyError(f"unknown partitioner {partitioner!r}; known: {known}")
         if n_partitions < 1:
             raise ValueError("need at least one partition")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if lru_shards is not None and lru_shards < 1:
+            raise ValueError("lru_shards must be at least 1")
         self.metric = metric
         self.n_pivots = n_pivots
         self.levels = levels
@@ -79,76 +166,143 @@ class PartitionedPexeso:
         self.partitioner = partitioner
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
         self.kmeans_iters = kmeans_iters
+        self.max_workers = max_workers
+        self.lru_shards = lru_shards
 
-        #: partition label of every global column
+        #: partition label of every fitted column (positional)
         self.labels: Optional[np.ndarray] = None
         #: per partition: list of global column ids in local-id order
         self.partition_columns: list[list[int]] = []
         self._resident: dict[int, PexesoIndex] = {}
         self._spilled: dict[int, Path] = {}
+        self._lru: Optional[ShardLRU] = None
+        self._lru_lock = threading.Lock()
+        #: lazy reverse map: global column id -> (partition, local id)
+        self._column_shard: Optional[dict[int, tuple[int, int]]] = None
 
     # -- construction ------------------------------------------------------------
 
-    def fit(self, columns: Sequence[np.ndarray]) -> "PartitionedPexeso":
-        """Partition ``columns`` and build one index per partition."""
+    def fit(
+        self,
+        columns: Sequence[np.ndarray],
+        column_ids: Optional[Sequence[int]] = None,
+    ) -> "PartitionedPexeso":
+        """Partition ``columns`` and build one index per partition.
+
+        Args:
+            columns: the repository's vector columns.
+            column_ids: global column ID per column; defaults to the
+                positions in ``columns``. Used when repartitioning an
+                existing index whose IDs are not contiguous.
+        """
         if not columns:
             raise ValueError("cannot build over zero columns")
+        if column_ids is None:
+            column_ids = list(range(len(columns)))
+        elif len(column_ids) != len(columns):
+            raise ValueError("need exactly one column id per column")
         rng = np.random.default_rng(self.seed)
         k = min(self.n_partitions, len(columns))
-        if self.partitioner == "jsd":
-            labels = jsd_kmeans_partition(columns, k, n_iter=self.kmeans_iters, rng=rng)
-        elif self.partitioner == "average-kmeans":
-            labels = average_kmeans_partition(columns, k, n_iter=self.kmeans_iters, rng=rng)
-        else:
-            labels = random_partition(len(columns), k, rng=rng)
-        self.labels = np.asarray(labels, dtype=np.intp)
+        self.labels = partition_labels(
+            columns, k, partitioner=self.partitioner,
+            n_iter=self.kmeans_iters, rng=rng,
+        )
 
         self.partition_columns = []
         self._resident.clear()
         self._spilled.clear()
+        self._lru = None
+        self._column_shard = None
         if self.spill_dir is not None:
             self.spill_dir.mkdir(parents=True, exist_ok=True)
 
         for part in range(k):
-            globals_ = [i for i in range(len(columns)) if self.labels[i] == part]
-            if not globals_:
+            positions = np.flatnonzero(self.labels == part)
+            if positions.size == 0:
                 self.partition_columns.append([])
                 continue
             index = PexesoIndex.build(
-                [columns[i] for i in globals_],
+                [columns[p] for p in positions],
                 metric=self.metric,
                 n_pivots=self.n_pivots,
                 levels=self.levels,
                 pivot_method=self.pivot_method,
                 seed=self.seed + part,
             )
-            self.partition_columns.append(globals_)
+            self.partition_columns.append([int(column_ids[p]) for p in positions])
             if self.spill_dir is not None:
                 self._spill(part, index)
             else:
                 self._resident[part] = index
         return self
 
+    @classmethod
+    def from_index(
+        cls,
+        index: PexesoIndex,
+        n_partitions: int = 4,
+        partitioner: str = "jsd",
+        spill_dir: Optional[str | Path] = None,
+        kmeans_iters: int = 10,
+        max_workers: Optional[int] = None,
+        lru_shards: Optional[int] = None,
+    ) -> "PartitionedPexeso":
+        """Repartition a built single index into a sharded lake.
+
+        Column IDs are preserved (including gaps left by deletions), so
+        search results remain comparable with the source index.
+        """
+        if index.pivot_space is None or index.grid is None:
+            raise RuntimeError("index is not built; call fit() first")
+        column_ids = sorted(index.column_rows)
+        if not column_ids:
+            raise ValueError("index holds no live columns to repartition")
+        columns = [index.vectors[index.column_rows[cid]] for cid in column_ids]
+        lake = cls(
+            metric=index.metric,
+            n_pivots=index.n_pivots,
+            levels=index.levels,
+            pivot_method=index.pivot_method,
+            seed=index.seed,
+            n_partitions=n_partitions,
+            partitioner=partitioner,
+            spill_dir=spill_dir,
+            kmeans_iters=kmeans_iters,
+            max_workers=max_workers,
+            lru_shards=lru_shards,
+        )
+        return lake.fit(columns, column_ids=column_ids)
+
     def _spill(self, part: int, index: PexesoIndex) -> None:
         """Write one partition to disk in the array-native format.
 
         The ``.npz`` format reconstructs the metric from its registry
-        name, so an unregistered custom :class:`~repro.core.metric.Metric`
-        instance falls back to the seed's pickle spill (slower to load,
-        but it round-trips arbitrary metric objects).
+        name, so any metric whose name round-trips through
+        ``METRIC_REGISTRY`` — built-in or registered via
+        :func:`~repro.core.metric.register_metric` — spills without
+        pickling. Only a truly unregistered custom
+        :class:`~repro.core.metric.Metric` instance falls back to the
+        seed's pickle spill (slower to load, but it round-trips
+        arbitrary metric objects), and doing so now warns instead of
+        degrading silently.
         """
-        if type(index.metric) in METRIC_REGISTRY.values():
+        if metric_round_trips(index.metric):
             self._spilled[part] = save_index(index, self.spill_dir / f"partition_{part}")
         else:
+            warnings.warn(
+                f"metric {type(index.metric).__name__} is not registered in "
+                "METRIC_REGISTRY; spilling partitions via pickle. Register "
+                "it with repro.core.metric.register_metric to use the "
+                "array-native format.",
+                stacklevel=3,
+            )
             path = self.spill_dir / f"partition_{part}.pkl"
             with open(path, "wb") as fh:
                 pickle.dump(index, fh, protocol=pickle.HIGHEST_PROTOCOL)
             self._spilled[part] = path
 
     def _load(self, part: int) -> Optional[PexesoIndex]:
-        """Fetch one partition's index (from memory or disk)."""
-        if part in self._resident:
-            return self._resident[part]
+        """Load one spilled partition from disk (no caching)."""
         path = self._spilled.get(part)
         if path is None:
             return None
@@ -157,7 +311,118 @@ class PartitionedPexeso:
                 return pickle.load(fh)
         return load_index(path)
 
+    def _ensure_lru(self, workers: int) -> None:
+        """Create (or widen) the shard LRU for a ``workers``-wide fan-out.
+
+        Called on the coordinating thread before shards fan out, so pool
+        workers never race on creation. Without an explicit
+        ``lru_shards`` bound the capacity tracks the widest fan-out seen
+        (one partition per worker); an explicit bound is never changed.
+        """
+        if not self._spilled:
+            return
+        capacity = max(1, self.lru_shards or workers)
+        with self._lru_lock:
+            if self._lru is None:
+                self._lru = ShardLRU(self._load, capacity)
+            elif self.lru_shards is None and self._lru.capacity < capacity:
+                self._lru.capacity = capacity
+
+    def _get_index(self, part: int) -> tuple[PexesoIndex, float]:
+        """Fetch one partition's index plus the disk seconds it cost."""
+        if part in self._resident:
+            return self._resident[part], 0.0
+        if part not in self._spilled:
+            raise RuntimeError(
+                f"partition {part} has no resident or spilled index"
+            )
+        if self._lru is None:
+            self._ensure_lru(self._resolve_workers(None))
+        started = time.perf_counter()
+        index = self._lru.get(part)
+        return index, time.perf_counter() - started
+
     # -- search ------------------------------------------------------------------
+
+    def _require_fitted(self) -> None:
+        if self.labels is None:
+            raise RuntimeError("call fit() before searching")
+
+    def _shards(self) -> list[tuple[int, list[int]]]:
+        """Non-empty partitions as ``(partition id, global column ids)``."""
+        return [
+            (part, globals_)
+            for part, globals_ in enumerate(self.partition_columns)
+            if globals_
+        ]
+
+    def _resolve_workers(self, override: Optional[int], n_shards: int = 0) -> int:
+        workers = override if override is not None else self.max_workers
+        if workers is None:
+            workers = DEFAULT_SHARD_WORKERS
+        if n_shards:
+            workers = min(workers, n_shards)
+        return max(1, workers)
+
+    def search_many(
+        self,
+        queries: Sequence[np.ndarray],
+        tau: Union[float, Sequence[float]],
+        joinability: Union[float, int, Sequence[Union[float, int]]],
+        flags: Optional[AblationFlags] = None,
+        exact_counts: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> BatchResult:
+        """Answer many query columns over every shard in one pass.
+
+        Each shard runs the batch engine over the *whole* query list
+        (shared pivot mapping / HG_Q / blocking per τ group) and shards
+        fan out over a thread pool. Results carry global column IDs and
+        are bit-identical to a single index over the union of the shards
+        (per-query hits, match counts and joinabilities — the engine's
+        exactness guarantee composes with the disjoint-shard merge).
+
+        Loading time of spilled partitions is recorded in the stats'
+        ``shard_load_seconds``, matching the paper's protocol ("the
+        search time includes the overhead of loading the data from
+        disks").
+
+        Args:
+            queries: query columns, each ``(|Q_i|, dim)``.
+            tau: scalar or per-query distance thresholds.
+            joinability: scalar or per-query T (fraction or count).
+            flags: ablation switches applied to every query.
+            exact_counts: disable early termination.
+            max_workers: shard fan-out width for this call; defaults to
+                the constructor's ``max_workers``.
+
+        Returns:
+            A :class:`~repro.core.engine.BatchResult` aligned with
+            ``queries``; hits carry global column IDs.
+        """
+        self._require_fitted()
+        started = time.perf_counter()
+        if len(queries) == 0:
+            return BatchResult(results=[], stats=SearchStats(), wall_seconds=0.0)
+        shards = self._shards()
+        workers = self._resolve_workers(max_workers, len(shards))
+        self._ensure_lru(workers)
+
+        def run_shard(part: int) -> BatchResult:
+            index, load_seconds = self._get_index(part)
+            engine = BatchSearch(index, flags=flags, exact_counts=exact_counts)
+            batch = engine.search_many(queries, tau, joinability)
+            batch.stats.shard_load_seconds += load_seconds
+            return batch
+
+        if workers == 1 or len(shards) == 1:
+            batches = [run_shard(part) for part, _ in shards]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                batches = list(pool.map(run_shard, [part for part, _ in shards]))
+        merged = merge_shard_batches(batches, [globals_ for _, globals_ in shards])
+        merged.wall_seconds = time.perf_counter() - started
+        return merged
 
     def search(
         self,
@@ -166,59 +431,289 @@ class PartitionedPexeso:
         joinability: float | int,
         flags: Optional[AblationFlags] = None,
         exact_counts: bool = False,
+        max_workers: Optional[int] = None,
     ) -> SearchResult:
-        """Search every partition in turn and merge the results.
+        """Single-query convenience wrapper around :meth:`search_many`.
 
-        Loading time of spilled partitions is included in the reported
-        stats' verification time budget, matching the paper's protocol
-        ("the search time includes the overhead of loading the data from
-        disks").
+        The returned stats aggregate the whole fan-out (per-shard
+        blocking, verification and disk loads).
         """
-        if self.labels is None:
-            raise RuntimeError("call fit() before search()")
-        merged_stats = SearchStats()
-        hits: list[JoinableColumn] = []
-        tau_val = float(tau)
-        t_count = 0
-        query_size = int(np.atleast_2d(query_vectors).shape[0])
-        for part, globals_ in enumerate(self.partition_columns):
-            if not globals_:
-                continue
-            index = self._load(part)
-            if index is None:
-                continue
-            result = pexeso_search(
-                index,
-                query_vectors,
-                tau_val,
-                joinability,
-                flags=flags,
-                exact_counts=exact_counts,
-            )
-            t_count = result.t_count
-            merged_stats.merge(result.stats)
-            for hit in result.joinable:
-                hits.append(
-                    JoinableColumn(
-                        column_id=globals_[hit.column_id],
-                        match_count=hit.match_count,
-                        joinability=hit.joinability,
-                        exact_count=hit.exact_count,
-                    )
-                )
-        hits.sort()
+        batch = self.search_many(
+            [query_vectors],
+            tau,
+            joinability,
+            flags=flags,
+            exact_counts=exact_counts,
+            max_workers=max_workers,
+        )
+        result = batch.results[0]
         return SearchResult(
-            joinable=hits,
-            stats=merged_stats,
-            tau=tau_val,
-            t_count=t_count,
-            query_size=query_size,
+            joinable=result.joinable,
+            stats=batch.stats,
+            tau=result.tau,
+            t_count=result.t_count,
+            query_size=result.query_size,
+        )
+
+    def topk(
+        self,
+        query_vectors: np.ndarray,
+        tau: float,
+        k: int,
+        max_workers: Optional[int] = None,
+    ) -> TopKResult:
+        """Exact top-k columns by joinability across all shards.
+
+        Shards are processed in waves of ``max_workers``; every wave
+        passes the running global k-th-best count into each shard's
+        :func:`~repro.core.topk.pexeso_topk` as the ``theta`` floor, so
+        later shards abandon columns that provably cannot enter the
+        global top-k. Because the floor is strict (ties survive) and
+        each shard's local tie-break order equals the global one
+        restricted to that shard, the merged result is identical to
+        single-index top-k over the union of the shards.
+        """
+        self._require_fitted()
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        query = np.atleast_2d(np.asarray(query_vectors, dtype=np.float64))
+        if query.shape[0] == 0:
+            raise ValueError("query column is empty")
+        shards = self._shards()
+        workers = self._resolve_workers(max_workers, len(shards))
+        self._ensure_lru(workers)
+
+        merged_stats = SearchStats()
+        best: list[tuple[int, int, float]] = []  # (global id, count, joinability)
+        theta = 0
+
+        def run_shard(item: tuple[int, list[int]]):
+            part, globals_ = item
+            index, load_seconds = self._get_index(part)
+            local = pexeso_topk(index, query, tau, k, theta=theta)
+            local.stats.shard_load_seconds += load_seconds
+            return local, globals_
+
+        for at in range(0, len(shards), workers):
+            wave = shards[at : at + workers]
+            if len(wave) == 1 or workers == 1:
+                outputs = [run_shard(item) for item in wave]
+            else:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    outputs = list(pool.map(run_shard, wave))
+            for local, globals_ in outputs:
+                merged_stats.merge(local.stats)
+                best.extend(
+                    (int(globals_[cid]), count, jn) for cid, count, jn in local.hits
+                )
+            # Global order: count desc, column ID asc; only the k best
+            # can ever matter, and the k-th best count is the theta floor
+            # the next wave prunes against.
+            best.sort(key=lambda row: (-row[1], row[0]))
+            del best[k:]
+            if len(best) == k:
+                theta = best[-1][1]
+        return TopKResult(
+            hits=best, stats=merged_stats, tau=float(tau), k=min(k, self.n_columns)
         )
 
     @property
     def n_columns(self) -> int:
         return 0 if self.labels is None else int(self.labels.size)
 
+    def column_vectors(self, column_id: int) -> np.ndarray:
+        """Original vectors of one column, fetched from its shard.
+
+        Spilled shards come through the LRU, so repeated lookups stay
+        disk-cheap without unbounding resident memory.
+
+        Raises:
+            KeyError: when no shard holds ``column_id``.
+        """
+        self._require_fitted()
+        if self._column_shard is None:
+            self._column_shard = {
+                cid: (part, local)
+                for part, globals_ in enumerate(self.partition_columns)
+                for local, cid in enumerate(globals_)
+            }
+        if column_id not in self._column_shard:
+            raise KeyError(f"unknown column id {column_id}")
+        part, local = self._column_shard[column_id]
+        index, _ = self._get_index(part)
+        return index.vectors[index.column_rows[local]]
+
     def memory_bytes(self) -> int:
-        """Footprint of resident indexes only (spilled partitions cost disk)."""
-        return sum(index.memory_bytes() for index in self._resident.values())
+        """Footprint of resident indexes (spilled shards count only while
+        they sit in the LRU)."""
+        total = sum(index.memory_bytes() for index in self._resident.values())
+        if self._lru is not None:
+            total += sum(index.memory_bytes() for index in self._lru.resident())
+        return total
+
+
+class LakeSearcher:
+    """One dispatch surface over a single index or a partitioned lake.
+
+    The production entry point: callers pick a scale (``n_partitions``,
+    ``spill_dir``, ``max_workers``) at build time and the search API
+    stays the same — ``search`` one query, ``search_many`` a batch,
+    ``topk`` a ranked discovery — with identical results on every
+    backend (the differential-oracle suite pins this down).
+
+    Args:
+        backend: a built :class:`~repro.core.index.PexesoIndex` or
+            :class:`PartitionedPexeso`.
+        flags: default ablation switches for threshold searches.
+        max_workers: default worker-pool width (per-τ engine groups on a
+            single index; shard fan-out on a partitioned lake).
+    """
+
+    def __init__(
+        self,
+        backend: Union[PexesoIndex, PartitionedPexeso],
+        flags: Optional[AblationFlags] = None,
+        max_workers: Optional[int] = None,
+    ):
+        if isinstance(backend, PexesoIndex):
+            if backend.pivot_space is None or backend.grid is None:
+                raise RuntimeError("index is not built; call fit() first")
+        elif isinstance(backend, PartitionedPexeso):
+            if backend.labels is None:
+                raise RuntimeError("partitioned lake is not fitted")
+        else:
+            raise TypeError(
+                f"backend must be a PexesoIndex or PartitionedPexeso, "
+                f"got {type(backend).__name__}"
+            )
+        self.backend = backend
+        self.flags = flags
+        self.max_workers = max_workers
+
+    @classmethod
+    def build(
+        cls,
+        columns: Sequence[np.ndarray],
+        metric: Optional[Metric] = None,
+        n_pivots: int = 5,
+        levels: int = 4,
+        pivot_method: str = "pca",
+        seed: int = 0,
+        n_partitions: int = 1,
+        partitioner: str = "jsd",
+        spill_dir: Optional[str | Path] = None,
+        kmeans_iters: int = 10,
+        max_workers: Optional[int] = None,
+        flags: Optional[AblationFlags] = None,
+    ) -> "LakeSearcher":
+        """Build the right backend for the requested scale.
+
+        ``n_partitions <= 1`` with no ``spill_dir`` builds one in-memory
+        :class:`~repro.core.index.PexesoIndex`; anything else builds a
+        :class:`PartitionedPexeso`.
+        """
+        if n_partitions <= 1 and spill_dir is None:
+            backend: Union[PexesoIndex, PartitionedPexeso] = PexesoIndex.build(
+                columns,
+                metric=metric,
+                n_pivots=n_pivots,
+                levels=levels,
+                pivot_method=pivot_method,
+                seed=seed,
+            )
+        else:
+            backend = PartitionedPexeso(
+                metric=metric,
+                n_pivots=n_pivots,
+                levels=levels,
+                pivot_method=pivot_method,
+                seed=seed,
+                n_partitions=max(1, n_partitions),
+                partitioner=partitioner,
+                spill_dir=spill_dir,
+                kmeans_iters=kmeans_iters,
+                max_workers=max_workers,
+            ).fit(columns)
+        return cls(backend, flags=flags, max_workers=max_workers)
+
+    # -- dispatch ----------------------------------------------------------------
+
+    @property
+    def is_partitioned(self) -> bool:
+        return isinstance(self.backend, PartitionedPexeso)
+
+    @property
+    def index(self) -> Optional[PexesoIndex]:
+        """The single-index backend, or ``None`` when partitioned."""
+        return self.backend if isinstance(self.backend, PexesoIndex) else None
+
+    @property
+    def n_columns(self) -> int:
+        return self.backend.n_columns
+
+    def search(
+        self,
+        query_vectors: np.ndarray,
+        tau: float,
+        joinability: float | int,
+        flags: Optional[AblationFlags] = None,
+        exact_counts: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> SearchResult:
+        """Threshold search for one query column (global column IDs)."""
+        flags = flags if flags is not None else self.flags
+        workers = max_workers if max_workers is not None else self.max_workers
+        if isinstance(self.backend, PexesoIndex):
+            return pexeso_search(
+                self.backend, query_vectors, tau, joinability,
+                flags=flags, exact_counts=exact_counts,
+            )
+        return self.backend.search(
+            query_vectors, tau, joinability,
+            flags=flags, exact_counts=exact_counts, max_workers=workers,
+        )
+
+    def search_many(
+        self,
+        queries: Sequence[np.ndarray],
+        tau: Union[float, Sequence[float]],
+        joinability: Union[float, int, Sequence[Union[float, int]]],
+        flags: Optional[AblationFlags] = None,
+        exact_counts: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> BatchResult:
+        """Batch threshold search (global column IDs)."""
+        flags = flags if flags is not None else self.flags
+        workers = max_workers if max_workers is not None else self.max_workers
+        if isinstance(self.backend, PexesoIndex):
+            engine = BatchSearch(
+                self.backend, flags=flags, exact_counts=exact_counts,
+                max_workers=workers,
+            )
+            return engine.search_many(queries, tau, joinability)
+        return self.backend.search_many(
+            queries, tau, joinability,
+            flags=flags, exact_counts=exact_counts, max_workers=workers,
+        )
+
+    def topk(
+        self,
+        query_vectors: np.ndarray,
+        tau: float,
+        k: int,
+        max_workers: Optional[int] = None,
+    ) -> TopKResult:
+        """Exact top-k discovery (global column IDs)."""
+        workers = max_workers if max_workers is not None else self.max_workers
+        if isinstance(self.backend, PexesoIndex):
+            return pexeso_topk(self.backend, query_vectors, tau, k)
+        return self.backend.topk(query_vectors, tau, k, max_workers=workers)
+
+    def column_vectors(self, column_id: int) -> np.ndarray:
+        """Original vectors of one indexed column (any backend)."""
+        if isinstance(self.backend, PexesoIndex):
+            return self.backend.vectors[self.backend.column_rows[column_id]]
+        return self.backend.column_vectors(column_id)
+
+    def memory_bytes(self) -> int:
+        return self.backend.memory_bytes()

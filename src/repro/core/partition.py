@@ -144,6 +144,49 @@ def jsd_kmeans_partition(
     return labels
 
 
+#: partitioning strategies selectable by name (paper §IV + Fig. 7b baselines)
+PARTITIONERS = {
+    "jsd": "JSD histogram k-means (paper §IV)",
+    "average-kmeans": "k-means over column mean vectors (Fig. 7b baseline)",
+    "random": "uniform random assignment (Fig. 7b baseline)",
+}
+
+
+def partition_labels(
+    columns: Sequence[np.ndarray],
+    k: int,
+    partitioner: str = "jsd",
+    n_iter: int = 10,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Assign every column to one of ``k`` partitions by strategy name.
+
+    Args:
+        columns: the repository's vector columns.
+        k: number of partitions.
+        partitioner: one of :data:`PARTITIONERS`.
+        n_iter: k-means iteration bound ``t`` (ignored by ``random``).
+        rng: randomness source.
+
+    Returns:
+        Partition label per column, shape ``(len(columns),)``.
+
+    Raises:
+        KeyError: for unknown partitioner names.
+    """
+    if partitioner not in PARTITIONERS:
+        known = ", ".join(sorted(PARTITIONERS))
+        raise KeyError(f"unknown partitioner {partitioner!r}; known: {known}")
+    rng = rng or np.random.default_rng(0)
+    if partitioner == "jsd":
+        labels = jsd_kmeans_partition(columns, k, n_iter=n_iter, rng=rng)
+    elif partitioner == "average-kmeans":
+        labels = average_kmeans_partition(columns, k, n_iter=n_iter, rng=rng)
+    else:
+        labels = random_partition(len(columns), k, rng=rng)
+    return np.asarray(labels, dtype=np.intp)
+
+
 def random_partition(
     n_columns: int, k: int, rng: Optional[np.random.Generator] = None
 ) -> np.ndarray:

@@ -12,12 +12,21 @@ level is re-derived by vectorised shifting.
 Format version 2. Version-1 directories (the pre-array layout with a
 ``structure.pkl``) are rejected with a clear error; rebuild the index to
 migrate.
+
+Partitioned lakes persist as a lake-level ``partitioned.json`` manifest
+(labels, global column IDs per partition, build knobs) plus one
+array-native index directory per non-empty partition
+(:func:`save_partitioned` / :func:`load_partitioned`). Loading is lazy:
+partitions stay on disk until a search pulls them through the shard
+LRU. :func:`load_any` dispatches on the directory layout so callers
+need not know which flavour was saved.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Union
 
 import numpy as np
 
@@ -28,7 +37,12 @@ from repro.core.inverted_index import InvertedIndex
 #: bumped when the on-disk layout changes
 FORMAT_VERSION = 2
 
+#: bumped when the partitioned-lake layout changes
+PARTITIONED_FORMAT_VERSION = 1
+
 _ARCHIVE = "index.npz"
+
+_PARTITIONED_MANIFEST = "partitioned.json"
 
 
 def save_index(index: PexesoIndex, directory: str | Path) -> Path:
@@ -148,3 +162,146 @@ def load_index(directory: str | Path) -> PexesoIndex:
     index.stats.n_leaf_cells = inverted.n_cells
     index.stats.n_postings = inverted.n_postings
     return index
+
+
+# -- partitioned lakes ------------------------------------------------------------
+
+
+def save_partitioned(lake, directory: str | Path) -> Path:
+    """Persist a fitted :class:`~repro.core.out_of_core.PartitionedPexeso`.
+
+    Writes ``partitioned.json`` (labels, per-partition global column
+    IDs, build knobs) plus one array-native index directory per
+    non-empty partition. A lake already spilled *into* ``directory``
+    reuses its partition directories; resident partitions are saved
+    fresh; partitions spilled elsewhere are loaded and re-saved.
+
+    Raises:
+        RuntimeError: when the lake has not been fitted.
+        ValueError: when the lake's metric cannot round-trip through its
+            registry name (unregistered or not default-constructible
+            custom metric) — register it with
+            :func:`repro.core.metric.register_metric` and rebuild.
+    """
+    from repro.core.metric import metric_round_trips
+
+    if lake.labels is None:
+        raise RuntimeError("cannot save an unfitted partitioned lake")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    partitions: dict[str, str] = {}
+    metric_name = None
+    for part, globals_ in enumerate(lake.partition_columns):
+        if not globals_:
+            continue
+        subdir = f"partition_{part}"
+        if part in lake._resident:
+            index = lake._resident[part]
+            if not metric_round_trips(index.metric):
+                raise ValueError(
+                    f"metric {type(index.metric).__name__} cannot be "
+                    "reconstructed from its registry name, so the saved "
+                    "lake would be unloadable; register it with "
+                    "repro.core.metric.register_metric and rebuild"
+                )
+            save_index(index, directory / subdir)
+        else:
+            spilled = lake._spilled.get(part)
+            if spilled is None:
+                raise RuntimeError(f"partition {part} has no index to save")
+            if spilled.suffix == ".pkl":
+                raise ValueError(
+                    f"partition {part} was pickle-spilled (unregistered "
+                    "custom metric); register the metric with "
+                    "repro.core.metric.register_metric and rebuild to "
+                    "persist the lake"
+                )
+            if spilled.resolve() != (directory / subdir).resolve():
+                save_index(load_index(spilled), directory / subdir)
+        if metric_name is None:
+            metric_name = json.loads(
+                (directory / subdir / "manifest.json").read_text()
+            )["metric"]
+        partitions[str(part)] = subdir
+
+    manifest = {
+        "format_version": PARTITIONED_FORMAT_VERSION,
+        "metric": metric_name,
+        "n_pivots": lake.n_pivots,
+        "levels": lake.levels,
+        "pivot_method": lake.pivot_method,
+        "seed": lake.seed,
+        "n_partitions": lake.n_partitions,
+        "partitioner": lake.partitioner,
+        "kmeans_iters": lake.kmeans_iters,
+        "labels": np.asarray(lake.labels).astype(int).tolist(),
+        "partition_columns": [list(map(int, g)) for g in lake.partition_columns],
+        "partitions": partitions,
+    }
+    (directory / _PARTITIONED_MANIFEST).write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+def load_partitioned(directory: str | Path):
+    """Load a lake saved by :func:`save_partitioned` (lazy partitions).
+
+    The returned :class:`~repro.core.out_of_core.PartitionedPexeso` is
+    in spill mode over ``directory``: partition indexes are loaded on
+    demand through the shard LRU, so opening a lake costs one JSON read.
+
+    Raises:
+        FileNotFoundError: when the directory lacks the manifest.
+        ValueError: on a format-version mismatch.
+    """
+    from repro.core.metric import get_metric
+    from repro.core.out_of_core import PartitionedPexeso
+
+    directory = Path(directory)
+    manifest_path = directory / _PARTITIONED_MANIFEST
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no partitioned manifest under {directory}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != PARTITIONED_FORMAT_VERSION:
+        raise ValueError(
+            f"partitioned format {manifest.get('format_version')} != "
+            f"{PARTITIONED_FORMAT_VERSION}"
+        )
+
+    lake = PartitionedPexeso(
+        metric=get_metric(manifest["metric"]),
+        n_pivots=manifest["n_pivots"],
+        levels=manifest["levels"],
+        pivot_method=manifest["pivot_method"],
+        seed=manifest["seed"],
+        n_partitions=manifest["n_partitions"],
+        partitioner=manifest["partitioner"],
+        spill_dir=directory,
+        kmeans_iters=manifest["kmeans_iters"],
+    )
+    lake.labels = np.asarray(manifest["labels"], dtype=np.intp)
+    lake.partition_columns = [
+        [int(cid) for cid in globals_]
+        for globals_ in manifest["partition_columns"]
+    ]
+    lake._spilled = {
+        int(part): directory / subdir
+        for part, subdir in manifest["partitions"].items()
+    }
+    return lake
+
+
+def load_any(directory: str | Path) -> Union[PexesoIndex, "object"]:
+    """Load whatever index flavour ``directory`` holds.
+
+    Dispatches on the on-disk layout: a ``partitioned.json`` manifest
+    loads a :class:`~repro.core.out_of_core.PartitionedPexeso`, a plain
+    ``manifest.json`` loads a single :class:`PexesoIndex`.
+
+    Raises:
+        FileNotFoundError: when neither manifest is present.
+    """
+    directory = Path(directory)
+    if (directory / _PARTITIONED_MANIFEST).exists():
+        return load_partitioned(directory)
+    return load_index(directory)

@@ -46,6 +46,9 @@ class SearchStats:
             episodes.
         blocking_seconds: wall-clock time spent in Algorithm 1.
         verification_seconds: wall-clock time spent in Algorithm 2.
+        shard_load_seconds: wall-clock time spent loading spilled
+            partitions from disk (the paper's protocol includes this in
+            the reported out-of-core search time).
     """
 
     distance_computations: int = 0
@@ -65,6 +68,7 @@ class SearchStats:
     columns_verified: int = 0
     blocking_seconds: float = 0.0
     verification_seconds: float = 0.0
+    shard_load_seconds: float = 0.0
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate counters from ``other`` (used by partitioned search)."""
@@ -73,8 +77,8 @@ class SearchStats:
 
     @property
     def total_seconds(self) -> float:
-        """Combined blocking + verification time."""
-        return self.blocking_seconds + self.verification_seconds
+        """Combined blocking + verification + shard-loading time."""
+        return self.blocking_seconds + self.verification_seconds + self.shard_load_seconds
 
 
 @dataclass

@@ -48,6 +48,7 @@ def pexeso_topk(
     tau: float,
     k: int,
     stats: Optional[SearchStats] = None,
+    theta: int = 0,
 ) -> TopKResult:
     """Exact top-k columns by joinability.
 
@@ -56,6 +57,12 @@ def pexeso_topk(
         query_vectors: ``(|Q|, dim)`` query column.
         tau: distance threshold.
         k: number of columns to return (clamped to the repository size).
+        theta: external lower bound on the k-th best match count. Columns
+            whose possible match count is *strictly* below it are
+            abandoned unverified (ties survive, so ID tie-breaking across
+            shards stays exact). The partitioned search threads the
+            running global k-th best through here so later shards prune
+            against earlier shards' results; ``0`` disables the floor.
 
     Returns:
         Hits sorted by decreasing joinability, ties by ascending column ID.
@@ -64,6 +71,8 @@ def pexeso_topk(
         raise RuntimeError("index is not built; call fit() first")
     if k < 1:
         raise ValueError("k must be at least 1")
+    if theta < 0:
+        raise ValueError("theta must be non-negative")
     stats = stats if stats is not None else SearchStats()
     query_vectors = np.atleast_2d(np.asarray(query_vectors, dtype=np.float64))
     if query_vectors.shape[0] == 0:
@@ -117,8 +126,10 @@ def pexeso_topk(
     while heap:
         neg_bound, col = heapq.heappop(heap)
         bound = -neg_bound
-        if len(best_k) == k and bound < best_k[0]:
-            break  # nothing left can enter the top-k
+        floor = max(theta, best_k[0]) if len(best_k) == k else theta
+        if bound < floor:
+            stats.lemma7_skips += 1 + len(heap)
+            break  # nothing left can enter the (global) top-k
         count = counts.get(col, 0)
         for q in pending.get(col, []):
             # Threshold pruning: even if all remaining pending rows match,

@@ -1,23 +1,31 @@
 """End-to-end joinable table discovery facade (the whole of Fig. 1).
 
 :class:`JoinableTableSearch` ties together the repository, an embedder
-and a PEXESO index, exposing the online operation the paper's user sees:
-give a query table + query column, get back joinable tables *and* the
-record-level mapping between the query column and each hit ("since the
-user might not be familiar with our join predicates", §II-A).
+and a PEXESO searcher, exposing the online operation the paper's user
+sees: give a query table + query column, get back joinable tables *and*
+the record-level mapping between the query column and each hit ("since
+the user might not be familiar with our join predicates", §II-A).
+
+The searcher scales with the lake: the default is one in-memory index,
+while ``n_partitions`` / ``spill_dir`` / ``max_workers`` route every
+query through the sharded :class:`~repro.core.out_of_core.LakeSearcher`
+(parallel shard fan-out, bounded resident memory) with identical
+results. :meth:`JoinableTableSearch.topk` serves the ranked discovery
+mode on either backend.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.engine import BatchSearch
 from repro.core.index import PexesoIndex
 from repro.core.metric import EuclideanMetric, Metric
-from repro.core.search import AblationFlags, SearchResult, pexeso_search
+from repro.core.out_of_core import LakeSearcher
+from repro.core.search import AblationFlags, SearchResult
 from repro.core.thresholds import distance_threshold
 from repro.embedding.base import Embedder
 from repro.lake.key_detection import detect_key_column
@@ -47,6 +55,12 @@ class JoinableTableSearch:
         n_pivots / levels / pivot_method / seed: PEXESO index knobs.
         preprocess: expand abbreviations / normalise dates before
             embedding (paper §II-A "Convert").
+        n_partitions: shard the lake into this many per-partition
+            indexes (paper §IV); ``1`` keeps one in-memory index.
+        partitioner: ``jsd`` | ``average-kmeans`` | ``random``.
+        spill_dir: spill partition indexes here (out-of-core mode).
+        max_workers: worker-pool width (shard fan-out when partitioned,
+            per-τ engine groups otherwise).
     """
 
     def __init__(
@@ -58,6 +72,10 @@ class JoinableTableSearch:
         pivot_method: str = "pca",
         seed: int = 0,
         preprocess: bool = True,
+        n_partitions: int = 1,
+        partitioner: str = "jsd",
+        spill_dir: Optional[str | Path] = None,
+        max_workers: Optional[int] = None,
     ):
         self.embedder = embedder
         self.metric = metric if metric is not None else EuclideanMetric()
@@ -65,10 +83,20 @@ class JoinableTableSearch:
         self.levels = levels
         self.pivot_method = pivot_method
         self.seed = seed
+        self.n_partitions = n_partitions
+        self.partitioner = partitioner
+        self.spill_dir = spill_dir
+        self.max_workers = max_workers
         self.repository = TableRepository(preprocess=preprocess)
         self.refs: list[ColumnRef] = []
         self.string_columns: list[list[str]] = []
-        self.index: Optional[PexesoIndex] = None
+        self.searcher: Optional[LakeSearcher] = None
+
+    @property
+    def index(self) -> Optional[PexesoIndex]:
+        """The single-index backend (``None`` before indexing or when
+        partitioned)."""
+        return self.searcher.index if self.searcher is not None else None
 
     # -- offline -----------------------------------------------------------------
 
@@ -81,13 +109,17 @@ class JoinableTableSearch:
         vector_columns = [
             self.embedder.embed_column(values) for values in self.string_columns
         ]
-        self.index = PexesoIndex.build(
+        self.searcher = LakeSearcher.build(
             vector_columns,
             metric=self.metric,
             n_pivots=self.n_pivots,
             levels=self.levels,
             pivot_method=self.pivot_method,
             seed=self.seed,
+            n_partitions=self.n_partitions,
+            partitioner=self.partitioner,
+            spill_dir=self.spill_dir,
+            max_workers=self.max_workers,
         )
         return self
 
@@ -122,14 +154,48 @@ class JoinableTableSearch:
         Returns hits sorted by decreasing joinability, each with the
         record mapping between the query column and the hit column.
         """
-        if self.index is None:
+        if self.searcher is None:
             raise RuntimeError("no tables indexed yet; call index_tables() first")
         query_values, query_vectors = self.prepare_query(query_table, query_column)
         tau = distance_threshold(tau_fraction, self.metric, self.embedder.dim)
-        result: SearchResult = pexeso_search(
-            self.index, query_vectors, tau, joinability, flags=flags
+        result: SearchResult = self.searcher.search(
+            query_vectors, tau, joinability, flags=flags
         )
         return self._hits_from_result(result, query_vectors, tau, with_mappings)
+
+    def topk(
+        self,
+        query_table: Table,
+        query_column: Optional[str] = None,
+        tau_fraction: float = 0.06,
+        k: int = 10,
+        with_mappings: bool = False,
+    ) -> list[TableHit]:
+        """Ranked discovery: the k most joinable tables for the query.
+
+        Runs exact top-k (single index or theta-shared sharded top-k —
+        identical results) and returns hits in rank order: decreasing
+        joinability, ties by column ID.
+        """
+        if self.searcher is None:
+            raise RuntimeError("no tables indexed yet; call index_tables() first")
+        query_values, query_vectors = self.prepare_query(query_table, query_column)
+        tau = distance_threshold(tau_fraction, self.metric, self.embedder.dim)
+        result = self.searcher.topk(query_vectors, tau, k)
+        hits = []
+        for column_id, match_count, jn in result.hits:
+            mapping: list[tuple[int, int]] = []
+            if with_mappings:
+                mapping = self._record_mapping(query_vectors, column_id, tau)
+            hits.append(
+                TableHit(
+                    ref=self.refs[column_id],
+                    joinability=jn,
+                    match_count=match_count,
+                    record_mapping=mapping,
+                )
+            )
+        return hits
 
     def search_all_columns(
         self,
@@ -161,7 +227,7 @@ class JoinableTableSearch:
         """
         from repro.lake.key_detection import candidate_join_columns
 
-        if self.index is None:
+        if self.searcher is None:
             raise RuntimeError("no tables indexed yet; call index_tables() first")
         candidates = candidate_join_columns(query_table)
         if query_table.key_column and query_table.key_column not in candidates:
@@ -174,8 +240,9 @@ class JoinableTableSearch:
         vectors = [
             self.prepare_query(query_table, column)[1] for column in candidates
         ]
-        engine = BatchSearch(self.index, flags=flags, max_workers=max_workers)
-        batch = engine.search_many(vectors, tau, joinability)
+        batch = self.searcher.search_many(
+            vectors, tau, joinability, flags=flags, max_workers=max_workers
+        )
         # Without mappings, _hits_from_result is a trivial loop — only the
         # pairwise record mappings are worth farming out to a pool.
         if not with_mappings or max_workers == 1 or len(candidates) <= 1:
@@ -222,10 +289,14 @@ class JoinableTableSearch:
     def _record_mapping(
         self, query_vectors: np.ndarray, column_id: int, tau: float
     ) -> list[tuple[int, int]]:
-        """Exact (query row, target row) pairs within τ for one hit column."""
-        assert self.index is not None
-        rows = self.index.column_rows[column_id]
-        target = self.index.vectors[rows]
+        """Exact (query row, target row) pairs within τ for one hit column.
+
+        The hit column's vectors come from the searcher backend (a
+        spilled partitioned lake serves them through its shard LRU), so
+        the facade never keeps a second copy of the embedded lake.
+        """
+        assert self.searcher is not None
+        target = self.searcher.column_vectors(column_id)
         pairwise = self.metric.pairwise(query_vectors, target)
         pairs = np.argwhere(pairwise <= tau)
         return [(int(qi), int(ti)) for qi, ti in pairs]

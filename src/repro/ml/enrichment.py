@@ -106,15 +106,20 @@ def pexeso_joinable_tables(
     pivot_method: str = "pca",
     seed: int = 0,
     max_workers: Optional[int] = None,
+    n_partitions: int = 1,
+    partitioner: str = "jsd",
 ) -> list[list[int]]:
     """Select joinable lake tables for many query columns in one batch.
 
-    Builds a :class:`~repro.core.index.PexesoIndex` over the lake's
-    embedded key columns once and answers every query column through the
-    batch engine. The returned table-index lists are exactly what a
-    per-query :func:`~repro.core.search.pexeso_search` (or an exhaustive
-    scan) would select — this is PEXESO's joinable-table search step of
-    the paper's §VI-C enrichment pipeline, amortised across tasks.
+    Builds a :class:`~repro.core.out_of_core.LakeSearcher` over the
+    lake's embedded key columns once and answers every query column
+    through the batch engine — one in-memory index by default, or a
+    parallel sharded lake when ``n_partitions > 1`` (identical results,
+    per the differential-oracle suite). The returned table-index lists
+    are exactly what a per-query
+    :func:`~repro.core.search.pexeso_search` (or an exhaustive scan)
+    would select — this is PEXESO's joinable-table search step of the
+    paper's §VI-C enrichment pipeline, amortised across tasks.
 
     Args:
         vector_columns: the lake's embedded key columns, each ``(n_i, dim)``;
@@ -122,27 +127,32 @@ def pexeso_joinable_tables(
         query_columns: one embedded query column per task.
         tau: distance threshold (original-space units).
         joinability: T as a fraction of |Q| or an absolute count.
-        max_workers: thread-pool width for per-τ engine groups.
+        max_workers: worker-pool width (shard fan-out when partitioned,
+            per-τ engine groups otherwise).
+        n_partitions: shard the lake into this many per-partition
+            indexes; ``1`` keeps one in-memory index.
+        partitioner: ``jsd`` | ``average-kmeans`` | ``random``.
 
     Returns:
         ``joinable[i]`` = sorted lake table indices joinable to
         ``query_columns[i]``.
     """
-    from repro.core.engine import BatchSearch
-    from repro.core.index import PexesoIndex
+    from repro.core.out_of_core import LakeSearcher
 
     if not query_columns:
         return []
-    index = PexesoIndex.build(
+    searcher = LakeSearcher.build(
         vector_columns,
         metric=metric,
         n_pivots=n_pivots,
         levels=levels,
         pivot_method=pivot_method,
         seed=seed,
+        n_partitions=n_partitions,
+        partitioner=partitioner,
+        max_workers=max_workers,
     )
-    engine = BatchSearch(index, max_workers=max_workers)
-    batch = engine.search_many(query_columns, tau, joinability)
+    batch = searcher.search_many(query_columns, tau, joinability)
     return [result.column_ids for result in batch.results]
 
 

@@ -222,3 +222,43 @@ class TestBatchStats:
                 result.stats.pivot_mapping_distances
                 == query.shape[0] * index.n_pivots
             )
+
+
+class TestMergeShardBatches:
+    """The global-ID merge the partitioned search is built on."""
+
+    def test_merges_and_remaps(self, small_columns, small_query):
+        from repro.core.engine import merge_shard_batches
+
+        # Split the repository into two halves and merge the per-half
+        # batches: must equal one batch over the full index.
+        half = len(small_columns) // 2
+        left = PexesoIndex.build(small_columns[:half], n_pivots=3, levels=3)
+        right = PexesoIndex.build(small_columns[half:], n_pivots=3, levels=3)
+        full = PexesoIndex.build(small_columns, n_pivots=3, levels=3)
+        queries = [small_query, small_columns[3]]
+        batches = [
+            BatchSearch(left, exact_counts=True).search_many(queries, 0.8, 0.3),
+            BatchSearch(right, exact_counts=True).search_many(queries, 0.8, 0.3),
+        ]
+        maps = [list(range(half)), list(range(half, len(small_columns)))]
+        merged = merge_shard_batches(batches, maps)
+        want = BatchSearch(full, exact_counts=True).search_many(queries, 0.8, 0.3)
+        for got_r, want_r in zip(merged.results, want.results):
+            assert [(h.column_id, h.match_count) for h in got_r.joinable] == [
+                (h.column_id, h.match_count) for h in want_r.joinable
+            ]
+
+    def test_rejects_empty_and_mismatched(self, small_columns, small_query):
+        from repro.core.engine import merge_shard_batches
+
+        index = PexesoIndex.build(small_columns[:5], n_pivots=2, levels=2)
+        engine = BatchSearch(index)
+        one = engine.search_many([small_query], 0.8, 0.3)
+        two = engine.search_many([small_query, small_query], 0.8, 0.3)
+        with pytest.raises(ValueError):
+            merge_shard_batches([], [])
+        with pytest.raises(ValueError):
+            merge_shard_batches([one], [list(range(5)), list(range(5))])
+        with pytest.raises(ValueError):
+            merge_shard_batches([one, two], [list(range(5)), list(range(5))])

@@ -195,3 +195,126 @@ class TestNormalizeRows:
         original = np.ones((2, 2))
         normalize_rows(original)
         np.testing.assert_array_equal(original, np.ones((2, 2)))
+
+
+class TestRegisterMetric:
+    def test_register_round_trips(self):
+        from repro.core.metric import (
+            METRIC_REGISTRY,
+            get_metric,
+            metric_round_trips,
+            register_metric,
+        )
+
+        class WeightedEuclidean(EuclideanMetric):
+            name = "weighted-euclidean-test"
+
+        assert not metric_round_trips(WeightedEuclidean())
+        register_metric(WeightedEuclidean)
+        try:
+            assert metric_round_trips(WeightedEuclidean())
+            assert isinstance(
+                get_metric("weighted-euclidean-test"), WeightedEuclidean
+            )
+        finally:
+            del METRIC_REGISTRY["weighted-euclidean-test"]
+
+    def test_register_as_decorator(self):
+        from repro.core.metric import METRIC_REGISTRY, register_metric
+
+        @register_metric
+        class DecoratedMetric(EuclideanMetric):
+            name = "decorated-test"
+
+        try:
+            assert METRIC_REGISTRY["decorated-test"] is DecoratedMetric
+        finally:
+            del METRIC_REGISTRY["decorated-test"]
+
+    def test_register_rejects_nameless(self):
+        from repro.core.metric import Metric, register_metric
+
+        class Nameless(Metric):
+            pass
+
+        with pytest.raises(ValueError):
+            register_metric(Nameless)
+
+    def test_register_rejects_name_collision(self):
+        from repro.core.metric import register_metric
+
+        class FakeEuclidean(EuclideanMetric):
+            name = "euclidean"
+
+        with pytest.raises(ValueError):
+            register_metric(FakeEuclidean)
+
+    def test_builtins_round_trip(self):
+        from repro.core.metric import metric_round_trips
+
+        assert metric_round_trips(EuclideanMetric())
+        assert metric_round_trips(ManhattanMetric())
+
+    def test_mixed_case_registered_name_round_trips(self):
+        from repro.core.metric import (
+            METRIC_REGISTRY,
+            get_metric,
+            metric_round_trips,
+            register_metric,
+        )
+
+        @register_metric
+        class CamelCaseMetric(EuclideanMetric):
+            name = "CamelCase-Test"
+
+        try:
+            assert metric_round_trips(CamelCaseMetric())
+            # get_metric must find the verbatim name (it lowercases only
+            # as a fallback for the built-ins).
+            assert isinstance(get_metric("CamelCase-Test"), CamelCaseMetric)
+        finally:
+            del METRIC_REGISTRY["CamelCase-Test"]
+
+    def test_non_default_constructible_metric_does_not_round_trip(self):
+        from repro.core.metric import (
+            METRIC_REGISTRY,
+            metric_round_trips,
+            register_metric,
+        )
+
+        @register_metric
+        class ScaledMetric(EuclideanMetric):
+            name = "scaled-test"
+
+            def __init__(self, scale):  # no default: name alone can't rebuild it
+                super().__init__()
+                self.scale = scale
+
+        try:
+            # Registered, but get_metric could not reconstruct it — the
+            # persistence gate must send it down the pickle path.
+            assert not metric_round_trips(ScaledMetric(2.0))
+        finally:
+            del METRIC_REGISTRY["scaled-test"]
+
+    def test_metric_without_counter_kwarg_does_not_round_trip(self):
+        from repro.core.metric import (
+            METRIC_REGISTRY,
+            metric_round_trips,
+            register_metric,
+        )
+
+        @register_metric
+        class NoCounterMetric(EuclideanMetric):
+            name = "no-counter-test"
+
+            def __init__(self):  # drops the counter kwarg get_metric passes
+                super().__init__()
+
+        try:
+            # cls() works, but get_metric's cls(counter=None) would not —
+            # the gate must reject it so the spill falls back to pickle
+            # instead of saving an unloadable lake.
+            assert not metric_round_trips(NoCounterMetric())
+        finally:
+            del METRIC_REGISTRY["no-counter-test"]

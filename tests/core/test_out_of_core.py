@@ -4,8 +4,16 @@ import numpy as np
 import pytest
 
 from repro.baselines.exact_naive import naive_search
-from repro.core.metric import normalize_rows
-from repro.core.out_of_core import PartitionedPexeso
+from repro.core.index import PexesoIndex
+from repro.core.metric import (
+    METRIC_REGISTRY,
+    EuclideanMetric,
+    normalize_rows,
+    register_metric,
+)
+from repro.core.out_of_core import LakeSearcher, PartitionedPexeso, ShardLRU
+from repro.core.search import pexeso_search
+from repro.core.topk import naive_topk, pexeso_topk
 
 
 @pytest.fixture(scope="module")
@@ -98,3 +106,295 @@ class TestValidation:
     def test_fit_empty(self):
         with pytest.raises(ValueError):
             PartitionedPexeso().fit([])
+
+    def test_bad_workers(self):
+        with pytest.raises(ValueError):
+            PartitionedPexeso(max_workers=0)
+        with pytest.raises(ValueError):
+            PartitionedPexeso(lru_shards=0)
+
+    def test_topk_before_fit(self, query):
+        with pytest.raises(RuntimeError):
+            PartitionedPexeso().topk(query, 0.5, 3)
+
+
+def _int_stats(stats) -> dict:
+    """The deterministic (integer) counters of a SearchStats."""
+    return {
+        name: getattr(stats, name)
+        for name in stats.__dataclass_fields__
+        if isinstance(getattr(stats, name), int)
+    }
+
+
+class TestParallelShardSearch:
+    def test_batch_over_shards_is_exact(self, columns, query):
+        lake = PartitionedPexeso(n_pivots=3, levels=3, n_partitions=4).fit(columns)
+        queries = [query, columns[3], columns[17][:5]]
+        batch = lake.search_many(queries, 0.8, 0.3)
+        for q, result in zip(queries, batch.results):
+            want = naive_search(columns, q, 0.8, 0.3)
+            assert result.column_ids == want.column_ids
+
+    def test_empty_query_list(self, columns):
+        lake = PartitionedPexeso(n_pivots=2, levels=2, n_partitions=3).fit(columns)
+        batch = lake.search_many([], 0.8, 0.3)
+        assert len(batch) == 0
+
+    @pytest.mark.parametrize("spill", [False, True])
+    def test_worker_count_determinism(self, columns, query, tmp_path, spill):
+        """Satellite contract: same results AND identical SearchStats
+        totals for max_workers in {1, 2, 4}."""
+        queries = [query, columns[8], columns[21][:6]]
+        outputs = []
+        for workers in (1, 2, 4):
+            lake = PartitionedPexeso(
+                n_pivots=3,
+                levels=3,
+                n_partitions=4,
+                seed=5,
+                spill_dir=(tmp_path / f"w{workers}") if spill else None,
+                max_workers=workers,
+            ).fit(columns)
+            batch = lake.search_many(queries, 0.8, 0.3)
+            outputs.append(batch)
+        rows = [
+            [
+                [(h.column_id, h.match_count, h.joinability) for h in r.joinable]
+                for r in batch.results
+            ]
+            for batch in outputs
+        ]
+        assert rows[0] == rows[1] == rows[2]
+        totals = [_int_stats(batch.stats) for batch in outputs]
+        assert totals[0] == totals[1] == totals[2]
+
+    def test_shard_load_seconds_recorded(self, columns, query, tmp_path):
+        lake = PartitionedPexeso(
+            n_pivots=3, levels=3, n_partitions=3, spill_dir=tmp_path
+        ).fit(columns)
+        result = lake.search(query, 0.8, 0.3)
+        assert result.stats.shard_load_seconds > 0
+
+    def test_from_index_preserves_global_ids(self, columns, query):
+        index = PexesoIndex.build(columns, n_pivots=3, levels=3)
+        index.delete_column(4)
+        lake = PartitionedPexeso.from_index(index, n_partitions=4)
+        got = lake.search(query, 0.9, 0.2)
+        want = pexeso_search(index, query, 0.9, 0.2)
+        assert got.column_ids == want.column_ids
+        assert 4 not in got.column_ids
+
+
+class TestPartitionedTopK:
+    @pytest.mark.parametrize("k", [1, 3, 10, 50])
+    @pytest.mark.parametrize("spill", [False, True])
+    def test_matches_single_index(self, columns, query, tmp_path, k, spill):
+        index = PexesoIndex.build(columns, n_pivots=3, levels=3)
+        lake = PartitionedPexeso(
+            n_pivots=3,
+            levels=3,
+            n_partitions=4,
+            spill_dir=(tmp_path / f"k{k}") if spill else None,
+        ).fit(columns)
+        got = lake.topk(query, 0.8, k)
+        want = pexeso_topk(index, query, 0.8, k)
+        assert got.hits == want.hits
+        assert got.k == want.k
+
+    def test_matches_oracle_across_worker_counts(self, columns, query):
+        want = naive_topk(columns, query, 0.9, 7)
+        for workers in (1, 2, 4):
+            lake = PartitionedPexeso(
+                n_pivots=3, levels=3, n_partitions=5, max_workers=workers
+            ).fit(columns)
+            got = lake.topk(query, 0.9, 7)
+            assert [(c, n) for c, n, _ in got.hits] == [(c, n) for c, n, _ in want]
+
+    def test_theta_prunes_later_shards(self):
+        # One column clones the query (count 6); every other column is a
+        # single vector, so its match-count bound is 1. With one worker,
+        # shards run in sequence: once the clone's shard confirms theta=6,
+        # every later shard abandons its columns via the theta floor —
+        # and the result must still equal the oracle.
+        rng = np.random.default_rng(3)
+        query = normalize_rows(rng.normal(size=(6, 6)))
+        cols = [query.copy()]
+        for i in range(11):
+            v = query[i % 6] + 0.05 * rng.normal(size=6)
+            cols.append(normalize_rows(v[None, :]))
+        lake = PartitionedPexeso(
+            n_pivots=2, levels=2, n_partitions=4, partitioner="random",
+            seed=1, max_workers=1,
+        ).fit(cols)
+        got = lake.topk(query, 0.3, 1)
+        want = naive_topk(cols, query, 0.3, 1)
+        assert [(c, n) for c, n, _ in got.hits] == [(c, n) for c, n, _ in want]
+        assert got.stats.lemma7_skips > 0
+
+    def test_invalid_k(self, columns, query):
+        lake = PartitionedPexeso(n_pivots=2, levels=2, n_partitions=2).fit(columns)
+        with pytest.raises(ValueError):
+            lake.topk(query, 0.5, 0)
+
+    def test_empty_query(self, columns):
+        lake = PartitionedPexeso(n_pivots=2, levels=2, n_partitions=2).fit(columns)
+        with pytest.raises(ValueError):
+            lake.topk(np.zeros((0, 6)), 0.5, 3)
+
+
+class TestShardLRU:
+    def test_capacity_bounded(self):
+        loads = []
+
+        def loader(part):
+            loads.append(part)
+            return part * 10
+
+        lru = ShardLRU(loader, capacity=2)
+        assert lru.get(0) == 0 and lru.get(1) == 10 and lru.get(2) == 20
+        assert len(lru) == 2  # 0 evicted
+        assert lru.get(0) == 0  # reloaded
+        assert loads == [0, 1, 2, 0]
+        assert lru.misses == 4
+
+    def test_hits_skip_loader(self):
+        loads = []
+        lru = ShardLRU(lambda p: loads.append(p) or p, capacity=4)
+        lru.get(1), lru.get(1), lru.get(1)
+        assert loads == [1]
+        assert lru.hits == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ShardLRU(lambda p: p, capacity=0)
+
+    def test_spilled_search_bounds_residency(self, columns, query, tmp_path):
+        lake = PartitionedPexeso(
+            n_pivots=2,
+            levels=2,
+            n_partitions=5,
+            spill_dir=tmp_path,
+            max_workers=1,
+            lru_shards=2,
+        ).fit(columns)
+        lake.search(query, 0.8, 0.3)
+        assert lake._lru is not None
+        assert len(lake._lru) <= 2
+        # Memory accounting includes LRU-resident shards.
+        assert lake.memory_bytes() > 0
+
+
+class _UnregisteredMetric(EuclideanMetric):
+    name = "unregistered-test-metric"
+
+
+class TestCustomMetricSpill:
+    def test_registered_custom_metric_never_pickles(self, columns, query, tmp_path):
+        class RegisteredMetric(EuclideanMetric):
+            name = "registered-test-metric"
+
+        register_metric(RegisteredMetric)
+        try:
+            lake = PartitionedPexeso(
+                metric=RegisteredMetric(),
+                n_pivots=2,
+                levels=2,
+                n_partitions=3,
+                spill_dir=tmp_path,
+            ).fit(columns)
+            assert list(tmp_path.glob("*.pkl")) == []
+            assert len(list(tmp_path.glob("partition_*/index.npz"))) >= 1
+            want = naive_search(columns, query, 0.8, 0.3, metric=RegisteredMetric())
+            assert lake.search(query, 0.8, 0.3).column_ids == want.column_ids
+        finally:
+            del METRIC_REGISTRY["registered-test-metric"]
+
+    def test_unregistered_metric_falls_back_to_pickle_with_warning(
+        self, columns, query, tmp_path
+    ):
+        with pytest.warns(UserWarning, match="not registered"):
+            lake = PartitionedPexeso(
+                metric=_UnregisteredMetric(),
+                n_pivots=2,
+                levels=2,
+                n_partitions=3,
+                spill_dir=tmp_path,
+            ).fit(columns)
+        assert len(list(tmp_path.glob("partition_*.pkl"))) >= 1
+        want = naive_search(columns, query, 0.8, 0.3, metric=_UnregisteredMetric())
+        assert lake.search(query, 0.8, 0.3).column_ids == want.column_ids
+
+
+class TestLakeSearcher:
+    def test_dispatch_parity(self, columns, query):
+        single = LakeSearcher.build(columns, n_pivots=3, levels=3)
+        sharded = LakeSearcher.build(
+            columns, n_pivots=3, levels=3, n_partitions=4, max_workers=2
+        )
+        assert not single.is_partitioned and sharded.is_partitioned
+        assert single.index is not None and sharded.index is None
+        assert single.n_columns == sharded.n_columns == len(columns)
+        assert (
+            single.search(query, 0.8, 0.3).column_ids
+            == sharded.search(query, 0.8, 0.3).column_ids
+        )
+        batch_a = single.search_many([query, columns[2]], 0.8, 0.3)
+        batch_b = sharded.search_many([query, columns[2]], 0.8, 0.3)
+        assert batch_a.column_ids == batch_b.column_ids
+        assert single.topk(query, 0.8, 5).hits == sharded.topk(query, 0.8, 5).hits
+
+    def test_spill_dir_forces_partitioned_backend(self, columns, tmp_path):
+        searcher = LakeSearcher.build(
+            columns, n_pivots=2, levels=2, spill_dir=tmp_path
+        )
+        assert searcher.is_partitioned
+
+    def test_rejects_unbuilt_backend(self):
+        with pytest.raises(RuntimeError):
+            LakeSearcher(PexesoIndex())
+        with pytest.raises(RuntimeError):
+            LakeSearcher(PartitionedPexeso())
+        with pytest.raises(TypeError):
+            LakeSearcher(object())
+
+
+class TestLruCapacityTracksFanOut:
+    def test_wider_call_grows_default_capacity(self, columns, query, tmp_path):
+        lake = PartitionedPexeso(
+            n_pivots=2, levels=2, n_partitions=5, spill_dir=tmp_path,
+            max_workers=1,
+        ).fit(columns)
+        lake.search(query, 0.8, 0.3)  # 1-wide fan-out -> capacity 1
+        assert lake._lru is not None and lake._lru.capacity == 1
+        lake.search(query, 0.8, 0.3, max_workers=4)
+        assert lake._lru.capacity == 4  # follows the widest fan-out seen
+
+    def test_explicit_bound_never_grows(self, columns, query, tmp_path):
+        lake = PartitionedPexeso(
+            n_pivots=2, levels=2, n_partitions=5, spill_dir=tmp_path,
+            max_workers=1, lru_shards=2,
+        ).fit(columns)
+        lake.search(query, 0.8, 0.3, max_workers=4)
+        assert lake._lru.capacity == 2
+
+
+class TestColumnVectors:
+    def test_matches_source_columns(self, columns, tmp_path):
+        for spill in (None, tmp_path):
+            lake = PartitionedPexeso(
+                n_pivots=2, levels=2, n_partitions=4, spill_dir=spill
+            ).fit(columns)
+            for cid in (0, 13, 29):
+                np.testing.assert_array_equal(
+                    lake.column_vectors(cid), columns[cid]
+                )
+        with pytest.raises(KeyError):
+            lake.column_vectors(999)
+
+    def test_lake_searcher_dispatch(self, columns):
+        single = LakeSearcher.build(columns, n_pivots=2, levels=2)
+        sharded = LakeSearcher.build(columns, n_pivots=2, levels=2, n_partitions=3)
+        np.testing.assert_array_equal(
+            single.column_vectors(7), sharded.column_vectors(7)
+        )

@@ -129,3 +129,103 @@ class TestValidation:
         (tmp_path / "idx" / "manifest.json").write_text(json.dumps(manifest))
         with pytest.raises(ValueError, match="format"):
             load_index(tmp_path / "idx")
+
+
+class TestPartitionedPersistence:
+    """Lake-level save/load of the sharded layout."""
+
+    @pytest.fixture()
+    def lake(self, small_columns):
+        from repro.core.out_of_core import PartitionedPexeso
+
+        return PartitionedPexeso(n_pivots=3, levels=3, n_partitions=3, seed=5).fit(
+            small_columns
+        )
+
+    def test_roundtrip_identical_results(self, lake, small_query, tmp_path):
+        from repro.core.persistence import load_partitioned, save_partitioned
+
+        save_partitioned(lake, tmp_path / "lake")
+        loaded = load_partitioned(tmp_path / "lake")
+        assert (
+            loaded.search(small_query, 0.8, 0.3).column_ids
+            == lake.search(small_query, 0.8, 0.3).column_ids
+        )
+        assert loaded.topk(small_query, 0.8, 5).hits == lake.topk(small_query, 0.8, 5).hits
+        assert loaded.n_columns == lake.n_columns
+        assert loaded.partition_columns == lake.partition_columns
+
+    def test_spilled_in_place_reuses_partitions(self, small_columns, small_query, tmp_path):
+        from repro.core.out_of_core import PartitionedPexeso
+        from repro.core.persistence import load_partitioned, save_partitioned
+
+        target = tmp_path / "lake"
+        lake = PartitionedPexeso(
+            n_pivots=3, levels=3, n_partitions=3, seed=5, spill_dir=target
+        ).fit(small_columns)
+        save_partitioned(lake, target)
+        loaded = load_partitioned(target)
+        assert (
+            loaded.search(small_query, 0.8, 0.3).column_ids
+            == lake.search(small_query, 0.8, 0.3).column_ids
+        )
+
+    def test_load_any_dispatches(self, built, lake, tmp_path):
+        from repro.core.out_of_core import PartitionedPexeso
+        from repro.core.persistence import load_any, save_partitioned
+
+        save_index(built, tmp_path / "single")
+        save_partitioned(lake, tmp_path / "sharded")
+        assert isinstance(load_any(tmp_path / "single"), PexesoIndex)
+        assert isinstance(load_any(tmp_path / "sharded"), PartitionedPexeso)
+        with pytest.raises(FileNotFoundError):
+            load_any(tmp_path / "nothing")
+
+    def test_unfitted_lake_rejected(self, tmp_path):
+        from repro.core.out_of_core import PartitionedPexeso
+        from repro.core.persistence import save_partitioned
+
+        with pytest.raises(RuntimeError):
+            save_partitioned(PartitionedPexeso(), tmp_path / "lake")
+
+    def test_version_mismatch(self, lake, tmp_path):
+        from repro.core.persistence import (
+            PARTITIONED_FORMAT_VERSION,
+            load_partitioned,
+            save_partitioned,
+        )
+
+        save_partitioned(lake, tmp_path / "lake")
+        manifest_path = tmp_path / "lake" / "partitioned.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = PARTITIONED_FORMAT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="format"):
+            load_partitioned(tmp_path / "lake")
+
+    def test_lazy_loading(self, lake, small_query, tmp_path):
+        from repro.core.persistence import load_partitioned, save_partitioned
+
+        save_partitioned(lake, tmp_path / "lake")
+        loaded = load_partitioned(tmp_path / "lake")
+        assert loaded.memory_bytes() == 0  # nothing resident until queried
+        loaded.search(small_query, 0.8, 0.3)
+        assert loaded.memory_bytes() > 0
+
+    def test_resident_lake_with_unloadable_metric_rejected(
+        self, small_columns, tmp_path
+    ):
+        from repro.core.metric import EuclideanMetric
+        from repro.core.out_of_core import PartitionedPexeso
+        from repro.core.persistence import save_partitioned
+
+        class UnregisteredMetric(EuclideanMetric):
+            name = "unregistered-save-test"
+
+        lake = PartitionedPexeso(
+            metric=UnregisteredMetric(), n_pivots=2, levels=2, n_partitions=2
+        ).fit(small_columns)
+        # Saving would write a metric name load_partitioned cannot
+        # resolve; refuse rather than produce an unloadable lake.
+        with pytest.raises(ValueError, match="registry name"):
+            save_partitioned(lake, tmp_path / "lake")

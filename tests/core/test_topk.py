@@ -83,3 +83,96 @@ class TestTopK:
         got = pexeso_topk(index, query, tau, k)
         want = naive_topk(columns, query, tau, k)
         assert [(c, n) for c, n, _ in got.hits] == [(c, n) for c, n, _ in want]
+
+
+class TestTopKEdgeCases:
+    """Property tests for the corners the ranking logic must not bend."""
+
+    def test_k_zero_rejected(self, index, small_query):
+        with pytest.raises(ValueError):
+            pexeso_topk(index, small_query, 0.5, 0)
+        with pytest.raises(ValueError):
+            pexeso_topk(index, small_query, 0.5, -3)
+
+    def test_negative_theta_rejected(self, index, small_query):
+        with pytest.raises(ValueError):
+            pexeso_topk(index, small_query, 0.5, 3, theta=-1)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), extra=st.integers(0, 30))
+    def test_k_at_least_repository_size_returns_all_matching(self, seed, extra):
+        rng = np.random.default_rng(seed)
+        columns = [
+            normalize_rows(rng.normal(size=(int(rng.integers(2, 10)), 5)))
+            for _ in range(8)
+        ]
+        query = normalize_rows(rng.normal(size=(5, 5)))
+        index = PexesoIndex.build(columns, n_pivots=2, levels=3)
+        got = pexeso_topk(index, query, 0.9, len(columns) + extra)
+        want = naive_topk(columns, query, 0.9, len(columns))
+        assert [(c, n) for c, n, _ in got.hits] == [(c, n) for c, n, _ in want]
+        assert len(got.hits) <= len(columns)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 12))
+    def test_all_tied_joinabilities_break_by_column_id(self, seed, k):
+        # Every column is the same set of vectors, so every joinability
+        # ties; the ranking must then be ascending column ID, cut at k.
+        rng = np.random.default_rng(seed)
+        base = normalize_rows(rng.normal(size=(6, 5)))
+        columns = [base.copy() for _ in range(7)]
+        query = base[:4]
+        index = PexesoIndex.build(columns, n_pivots=2, levels=3)
+        got = pexeso_topk(index, query, 1e-6, k)
+        assert [c for c, _, _ in got.hits] == list(range(min(k, 7)))
+        assert all(n == 4 for _, n, _ in got.hits)
+
+    def test_empty_query_rejected(self, index):
+        with pytest.raises(ValueError):
+            pexeso_topk(index, np.zeros((0, 8)), 0.5, 3)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 10))
+    def test_tau_matching_nothing_yields_empty(self, seed, k):
+        rng = np.random.default_rng(seed)
+        columns = [
+            normalize_rows(rng.normal(size=(int(rng.integers(2, 8)), 5)))
+            for _ in range(6)
+        ]
+        # A query orthogonal-ish and a τ far below any realistic distance.
+        query = normalize_rows(rng.normal(size=(4, 5))) * -1.0
+        index = PexesoIndex.build(columns, n_pivots=2, levels=3)
+        got = pexeso_topk(index, query, 1e-12, k)
+        assert got.hits == naive_topk(columns, query, 1e-12, k)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 8),
+           tau=st.floats(0.1, 1.5))
+    def test_theta_at_most_kth_count_never_changes_results(self, seed, k, tau):
+        # The theta floor is sound: any value <= the true k-th best count
+        # (the largest floor the partitioned search can ever pass) leaves
+        # the result untouched.
+        rng = np.random.default_rng(seed)
+        columns = [
+            normalize_rows(rng.normal(size=(int(rng.integers(2, 10)), 5)))
+            for _ in range(9)
+        ]
+        query = normalize_rows(rng.normal(size=(5, 5)))
+        index = PexesoIndex.build(columns, n_pivots=2, levels=3)
+        want = pexeso_topk(index, query, tau, k)
+        kth = want.hits[k - 1][1] if len(want.hits) >= k else 0
+        for theta in {0, max(0, kth - 1), kth}:
+            got = pexeso_topk(index, query, tau, k, theta=theta)
+            assert got.hits == want.hits
+
+    def test_theta_above_every_count_abandons_all(self, index, small_query):
+        # A floor no column can reach abandons the whole candidate set
+        # (counted as generalized Lemma 7 skips) — this is what lets a
+        # later shard bail out instantly once earlier shards are better.
+        baseline = pexeso_topk(index, small_query, 0.9, 5)
+        assert baseline.hits  # sanity: the floor below has something to beat
+        got = pexeso_topk(
+            index, small_query, 0.9, 5, theta=small_query.shape[0] + 1
+        )
+        assert got.hits == []
+        assert got.stats.lemma7_skips > 0

@@ -1,0 +1,143 @@
+"""Randomized differential oracle over every search implementation.
+
+One seeded harness generates small random lakes — varying dimensionality,
+column count and length, metric, τ selectivity and T — and asserts that
+every implementation of joinable-column search agrees bit for bit:
+
+    exact_naive == pexeso_search == BatchSearch
+                == PartitionedPexeso (all partitioners, in-memory + spill)
+
+and that the merged sharded top-k equals the single-index top-k equals
+the k-prefix of the exhaustively ranked columns, for several k.
+
+This is the safety net behind the parallel shard engine: the sequential
+scalar pipeline, the batch engine and the partitioned fan-out share no
+result-assembly code, so a merge bug, an off-by-one in the global ID
+remap or an unsound theta floor shows up here as a seed-reproducible
+divergence. Run over >= 20 seeds in CI (see the differential-oracle
+job).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact_naive import naive_search
+from repro.core.engine import BatchSearch
+from repro.core.index import PexesoIndex
+from repro.core.metric import get_metric, normalize_rows
+from repro.core.out_of_core import PartitionedPexeso
+from repro.core.partition import PARTITIONERS
+from repro.core.search import pexeso_search
+from repro.core.topk import naive_topk, pexeso_topk
+
+SEEDS = list(range(24))  # >= 20 seeds, per the CI contract
+
+METRICS = ("euclidean", "manhattan", "chebyshev")
+
+
+def make_scenario(seed: int):
+    """One random lake + query workload; every knob varies with the seed."""
+    rng = np.random.default_rng(seed)
+    dim = int(rng.integers(3, 9))
+    n_columns = int(rng.integers(8, 21))
+    columns = [
+        normalize_rows(rng.normal(size=(int(rng.integers(2, 15)), dim)))
+        for _ in range(n_columns)
+    ]
+    metric = get_metric(METRICS[seed % len(METRICS)])
+
+    # Pick τ from an actual distance quantile so selectivity is always
+    # interesting (a τ below every distance or above all of them would
+    # make the oracle vacuous).
+    sample = np.concatenate(columns, axis=0)
+    take = sample[rng.choice(sample.shape[0], size=min(40, sample.shape[0]), replace=False)]
+    distances = metric.pairwise(take, take)
+    distances = distances[distances > 0]
+    tau = float(np.quantile(distances, float(rng.uniform(0.05, 0.5))))
+
+    queries = [
+        normalize_rows(rng.normal(size=(int(rng.integers(2, 12)), dim))),
+        columns[int(rng.integers(0, n_columns))],  # a repository column
+    ]
+
+    # T as a fraction or an absolute count (within every query's size),
+    # seed-dependent.
+    min_rows = min(q.shape[0] for q in queries)
+    joinability = (
+        float(rng.uniform(0.1, 0.8))
+        if rng.random() < 0.5
+        else int(rng.integers(1, min_rows + 1))
+    )
+    n_partitions = int(rng.integers(1, 6))
+    return columns, queries, metric, tau, joinability, n_partitions
+
+
+def hit_rows(result) -> list[tuple[int, int, float]]:
+    return [(h.column_id, h.match_count, h.joinability) for h in result.joinable]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_all_implementations_agree(seed, tmp_path):
+    columns, queries, metric, tau, joinability, n_partitions = make_scenario(seed)
+    index = PexesoIndex.build(columns, metric=metric, n_pivots=2, levels=3)
+
+    # -- threshold search: naive == scalar == batch (exact counts) ----------------
+    naive = [
+        naive_search(columns, q, tau, joinability, metric=metric) for q in queries
+    ]
+    scalar = [
+        pexeso_search(index, q, tau, joinability, exact_counts=True) for q in queries
+    ]
+    batch = BatchSearch(index, exact_counts=True).search_many(
+        queries, tau, joinability
+    )
+    for want, got_scalar, got_batch in zip(naive, scalar, batch.results):
+        assert hit_rows(got_scalar) == hit_rows(want), f"scalar != naive (seed {seed})"
+        assert hit_rows(got_batch) == hit_rows(want), f"batch != naive (seed {seed})"
+
+    # Default mode (early termination allowed): the *sets* of joinable
+    # columns still agree across every implementation.
+    default_ids = [pexeso_search(index, q, tau, joinability).column_ids for q in queries]
+    for want, got in zip(naive, default_ids):
+        assert got == want.column_ids
+
+    # -- partitioned: every partitioner, in-memory and spilled --------------------
+    for partitioner in sorted(PARTITIONERS):
+        for spill in (None, tmp_path / f"{partitioner}_{seed}"):
+            lake = PartitionedPexeso(
+                metric=metric,
+                n_pivots=2,
+                levels=3,
+                n_partitions=n_partitions,
+                partitioner=partitioner,
+                spill_dir=spill,
+                max_workers=2,
+            ).fit(columns)
+            sharded = lake.search_many(
+                queries, tau, joinability, exact_counts=True
+            )
+            for want, got in zip(naive, sharded.results):
+                assert hit_rows(got) == hit_rows(want), (
+                    f"partitioned ({partitioner}, spill={spill is not None}) "
+                    f"!= naive (seed {seed})"
+                )
+
+    # -- top-k: sharded theta-shared == single-index == naive prefix --------------
+    lake = PartitionedPexeso(
+        metric=metric, n_pivots=2, levels=3, n_partitions=n_partitions,
+        max_workers=2,
+    ).fit(columns)
+    query = queries[0]
+    full = naive_topk(columns, query, tau, len(columns), metric=metric)
+    for k in (1, 3, len(columns) + 5):
+        want = full[:k]
+        single = pexeso_topk(index, query, tau, k)
+        merged = lake.topk(query, tau, k)
+        assert [(c, n) for c, n, _ in single.hits] == [
+            (c, n) for c, n, _ in want
+        ], f"single top-{k} != naive (seed {seed})"
+        assert merged.hits == single.hits, (
+            f"merged top-{k} != single-index top-{k} (seed {seed})"
+        )

@@ -87,3 +87,76 @@ class TestSearch:
         bad = Table("q", [Column("n", ["1", "2", "3", "4", "5"])])
         with pytest.raises(ValueError, match="query column"):
             search.search(bad)
+
+
+class TestShardedFacade:
+    """The facade over a partitioned backend: same hits, plus top-k."""
+
+    @pytest.fixture(scope="class")
+    def sharded(self, gen, lake):
+        s = JoinableTableSearch(
+            gen.embedder, n_pivots=3, levels=3, preprocess=False,
+            n_partitions=4, max_workers=2,
+        )
+        return s.index_tables(lake.tables)
+
+    def test_partitioned_backend_selected(self, sharded):
+        assert sharded.searcher.is_partitioned
+        assert sharded.index is None
+
+    def test_hits_match_single_index(self, gen, search, sharded):
+        query, _ = gen.generate_query_table(n_rows=14, domain=0)
+        want = search.search(query, with_mappings=False)
+        got = sharded.search(query, with_mappings=False)
+        assert [(h.ref, h.match_count) for h in got] == [
+            (h.ref, h.match_count) for h in want
+        ]
+
+    def test_record_mappings_still_work(self, gen, sharded):
+        query, _ = gen.generate_query_table(n_rows=10, domain=1)
+        hits = sharded.search(query, with_mappings=True)
+        assert any(h.record_mapping for h in hits)
+
+    def test_topk_matches_across_backends(self, gen, search, sharded):
+        query, _ = gen.generate_query_table(n_rows=12, domain=2)
+        want = search.topk(query, k=5)
+        got = sharded.topk(query, k=5)
+        assert [(h.ref, h.match_count) for h in got] == [
+            (h.ref, h.match_count) for h in want
+        ]
+        assert len(got) <= 5
+
+    def test_topk_rank_order(self, gen, search):
+        query, _ = gen.generate_query_table(n_rows=12, domain=0)
+        hits = search.topk(query, k=8)
+        joins = [h.joinability for h in hits]
+        assert joins == sorted(joins, reverse=True)
+
+    def test_topk_before_indexing_raises(self, gen):
+        s = JoinableTableSearch(gen.embedder)
+        table = Table("q", [Column("key", ["a"] * 5)], key_column="key")
+        with pytest.raises(RuntimeError):
+            s.topk(table)
+
+    def test_all_columns_on_sharded_backend(self, gen, search, sharded):
+        query, _ = gen.generate_query_table(n_rows=12, domain=3)
+        want = search.search_all_columns(query)
+        got = sharded.search_all_columns(query)
+        assert {
+            name: [(h.ref, h.match_count) for h in hits]
+            for name, hits in got.items()
+        } == {
+            name: [(h.ref, h.match_count) for h in hits]
+            for name, hits in want.items()
+        }
+
+    def test_spilled_facade(self, gen, lake, search, tmp_path_factory):
+        spill = tmp_path_factory.mktemp("facade_spill")
+        s = JoinableTableSearch(
+            gen.embedder, n_pivots=3, levels=3, preprocess=False,
+            n_partitions=3, spill_dir=spill, max_workers=2,
+        ).index_tables(lake.tables)
+        query, _ = gen.generate_query_table(n_rows=10, domain=4)
+        want = search.search(query, with_mappings=False)
+        got = s.search(query, with_mappings=False)
+        assert [h.ref for h in got] == [h.ref for h in want]

@@ -121,6 +121,20 @@ class TestPexesoJoinableTables:
         )
         assert got[0] == got[1] == got[2]
 
+    def test_partitioned_selection_matches_single_index(self, task):
+        gen, ml_task = task
+        tau = distance_threshold(0.06, EuclideanMetric(), gen.dim)
+        vector_columns = ml_task.lake.vector_columns()
+        query = gen.embedder.embed_column(
+            ml_task.query_table.column(ml_task.key_column).values
+        )
+        want = pexeso_joinable_tables(vector_columns, [query], tau, 0.1)
+        got = pexeso_joinable_tables(
+            vector_columns, [query], tau, 0.1,
+            n_partitions=3, max_workers=2,
+        )
+        assert got == want
+
     def test_selected_tables_feed_enrichment(self, task):
         gen, ml_task = task
         tau = distance_threshold(0.06, EuclideanMetric(), gen.dim)

@@ -1,0 +1,61 @@
+"""CI-size smoke test for the partitioned-search benchmark.
+
+Runs ``benchmarks/bench_partitioned.py``'s comparison harness on a tiny
+lake (seconds, not minutes) to keep the benchmark importable and its
+parity checks — parallel shard engine == sequential per-partition loop,
+sharded top-k == single-index top-k — exercised in every test run. The
+≥2x speedup claim is asserted at full benchmark scale (`pytest
+benchmarks/`) and in the CI bench-smoke job (`python
+benchmarks/bench_partitioned.py`), where timings are meaningful.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS = Path(__file__).parent.parent / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    sys.path.insert(0, str(BENCHMARKS))
+    try:
+        import bench_partitioned
+
+        yield bench_partitioned
+    finally:
+        sys.path.remove(str(BENCHMARKS))
+
+
+def test_partitioned_comparison_runs_at_ci_size(bench_module):
+    from common import make_dataset
+
+    dataset = make_dataset(
+        "smoke",
+        n_tables=16,
+        rows_range=(6, 14),
+        dim=12,
+        n_entities=40,
+        n_queries=1,
+        query_rows=8,
+        seed=3,
+    )
+    out = bench_module.run_partitioned_comparison(
+        dataset,
+        n_queries=6,
+        query_rows=8,
+        n_partitions=4,
+        max_workers=2,
+        n_pivots=2,
+        levels=2,
+        topk_k=3,
+    )
+    # run_partitioned_comparison asserts parallel == sequential and
+    # sharded top-k == single-index top-k internally; here we check the
+    # report shape the benchmark table consumes.
+    assert out["n_queries"] == 6
+    assert out["n_partitions"] >= 1
+    assert out["seq_seconds"] > 0 and out["par_seconds"] > 0
+    assert out["seq_hits"] == out["par_hits"]
+    assert out["speedup"] > 0

@@ -111,6 +111,103 @@ class TestSearchCommand:
         assert key_section[:end] == single
 
 
+class TestPartitionedCli:
+    """The sharded layout through the CLI: index --partitions, search
+    --workers/--top-k/--partitions."""
+
+    @pytest.fixture()
+    def single_dir(self, lake_dir, tmp_path):
+        out = tmp_path / "single"
+        assert main(["index", str(lake_dir), str(out), "--dim", "32"]) == 0
+        return out
+
+    @pytest.fixture()
+    def sharded_dir(self, lake_dir, tmp_path):
+        out = tmp_path / "sharded"
+        assert main([
+            "index", str(lake_dir), str(out), "--dim", "32",
+            "--partitions", "3",
+        ]) == 0
+        return out
+
+    def test_partitioned_index_layout(self, sharded_dir):
+        assert (sharded_dir / "partitioned.json").exists()
+        assert (sharded_dir / "catalog.json").exists()
+        assert len(list(sharded_dir.glob("partition_*/index.npz"))) >= 1
+
+    def _search_lines(self, capsys, index_dir, query_csv, *extra):
+        assert main([
+            "search", str(index_dir), str(query_csv),
+            "--tau", "0.2", "--joinability", "0.2", *extra,
+        ]) == 0
+        return capsys.readouterr().out.strip().splitlines()
+
+    def test_sharded_search_matches_single(self, single_dir, sharded_dir,
+                                           lake_dir, capsys):
+        query_csv = lake_dir.parent / "query.csv"
+        single = self._search_lines(capsys, single_dir, query_csv)
+        sharded = self._search_lines(capsys, sharded_dir, query_csv,
+                                     "--workers", "2")
+        assert sharded == single
+
+    def test_repartitioned_search_matches_single(self, single_dir, lake_dir,
+                                                 capsys):
+        query_csv = lake_dir.parent / "query.csv"
+        single = self._search_lines(capsys, single_dir, query_csv)
+        repartitioned = self._search_lines(
+            capsys, single_dir, query_csv,
+            "--partitions", "3", "--workers", "2",
+        )
+        assert repartitioned == single
+
+    def test_sharded_topk_matches_single(self, single_dir, sharded_dir,
+                                         lake_dir, capsys):
+        query_csv = lake_dir.parent / "query.csv"
+        assert main([
+            "search", str(single_dir), str(query_csv),
+            "--tau", "0.2", "--top-k", "3",
+        ]) == 0
+        single = capsys.readouterr().out
+        assert main([
+            "search", str(sharded_dir), str(query_csv),
+            "--tau", "0.2", "--top-k", "3", "--workers", "2",
+        ]) == 0
+        assert capsys.readouterr().out == single
+
+    def test_all_columns_on_sharded_index(self, sharded_dir, lake_dir, capsys):
+        query_csv = lake_dir.parent / "query.csv"
+        assert main([
+            "search", str(sharded_dir), str(query_csv),
+            "--all-columns", "--workers", "2",
+            "--tau", "0.2", "--joinability", "0.2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[key]" in out and "query columns" in out
+
+    def test_negative_partitions_rejected(self, single_dir, lake_dir, capsys,
+                                          tmp_path):
+        query_csv = lake_dir.parent / "query.csv"
+        assert main([
+            "search", str(single_dir), str(query_csv),
+            "--tau", "0.2", "--partitions", "-3",
+        ]) == 1
+        assert "--partitions" in capsys.readouterr().err
+        assert main([
+            "index", str(lake_dir), str(tmp_path / "bad"),
+            "--partitions", "0",
+        ]) == 1
+        assert "--partitions" in capsys.readouterr().err
+
+    def test_partitions_ignored_on_sharded_dir(self, sharded_dir, lake_dir,
+                                               capsys):
+        query_csv = lake_dir.parent / "query.csv"
+        assert main([
+            "search", str(sharded_dir), str(query_csv),
+            "--tau", "0.2", "--joinability", "0.2", "--partitions", "5",
+        ]) == 0
+        assert "--partitions ignored" in capsys.readouterr().err
+
+
 class TestStatsCommand:
     def test_stats_output(self, lake_dir, capsys):
         assert main(["stats", str(lake_dir)]) == 0
