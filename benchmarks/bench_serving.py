@@ -1,0 +1,200 @@
+"""Serving throughput — micro-batched concurrent service vs. serial dispatch.
+
+Not a paper figure: this benchmarks the repository's own online serving
+layer (``repro/serve``). The workload is the serving headline scenario:
+**16 concurrent clients**, each issuing single-query requests back to
+back, against one resident :class:`~repro.serve.service.QueryService`.
+Three modes are timed over the same request list:
+
+* **serial per-query dispatch** — one thread, coalescing disabled; every
+  request runs its own single-query engine pass (what a naive
+  request-per-search server would do);
+* **coalesced concurrent serving** — 16 client threads against a
+  micro-batching service: concurrently arriving requests fuse into
+  shared :class:`~repro.core.engine.BatchSearch` dispatches;
+* **warm cache replay** (reported, not asserted) — the same clients
+  repeat their requests against the generation-stamped result cache.
+
+Every mode must return identical hits per request (checked hit for hit);
+the headline assertion is coalesced throughput >= 2x serial throughput.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from common import ResultTable, swdc_like
+
+from repro.core.index import PexesoIndex
+from repro.core.thresholds import distance_threshold
+from repro.serve.service import QueryService
+
+TAU_FRACTION = 0.06
+# T = 30% so the generated workload yields non-empty result sets (an
+# empty parity check proves nothing about the serving path).
+T = 0.3
+N_CLIENTS = 16
+REQUESTS_PER_CLIENT = 6
+WINDOW_MS = 4.0
+MIN_SPEEDUP = 2.0
+
+
+def make_request_queries(dataset, n_requests: int, query_rows: int = 20):
+    """One distinct embedded query column per request (no cache overlap)."""
+    queries = []
+    for i in range(n_requests):
+        table, _ = dataset.gen.generate_query_table(
+            n_rows=query_rows, domain=i % 5, name=f"serve_query_{i}"
+        )
+        queries.append(dataset.gen.embedder.embed_column(table.column("key").values))
+    return queries
+
+
+def run_clients(
+    service, queries, n_clients: int, tau: float, joinability: float
+) -> tuple[list, float]:
+    """Fan the request list out over ``n_clients`` threads; return results
+    (request-ordered) and wall seconds."""
+    per_client = len(queries) // n_clients
+    results = [None] * len(queries)
+    gate = threading.Barrier(n_clients)
+
+    def client(c: int):
+        gate.wait()
+        for r in range(per_client):
+            i = c * per_client + r
+            results[i] = service.search(queries[i], tau, joinability)
+
+    threads = [threading.Thread(target=client, args=(c,)) for c in range(n_clients)]
+    started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results, time.perf_counter() - started
+
+
+def run_serving_comparison(
+    dataset,
+    n_clients: int = N_CLIENTS,
+    requests_per_client: int = REQUESTS_PER_CLIENT,
+    n_pivots: int = 5,
+    levels: int = 4,
+    tau_fraction: float = TAU_FRACTION,
+    joinability: float = T,
+    window_ms: float = WINDOW_MS,
+) -> dict:
+    """Time serial vs. coalesced serving over one request list; verify parity."""
+    index = PexesoIndex.build(
+        dataset.vector_columns, n_pivots=n_pivots, levels=levels
+    )
+    tau = distance_threshold(tau_fraction, index.metric, dataset.dim)
+    n_requests = n_clients * requests_per_client
+    queries = make_request_queries(dataset, n_requests)
+
+    # Serial per-query dispatch: no coalescing, no cache, one thread.
+    serial_service = QueryService(index, window_ms=None, cache_size=0)
+    started = time.perf_counter()
+    serial = [serial_service.search(q, tau, joinability) for q in queries]
+    serial_seconds = time.perf_counter() - started
+
+    # Micro-batched concurrent serving (cache off: every request real).
+    service = QueryService(index, window_ms=window_ms, cache_size=0)
+    coalesced, coalesced_seconds = run_clients(
+        service, queries, n_clients, tau, joinability
+    )
+
+    for a, b in zip(serial, coalesced):
+        assert [(h.column_id, h.match_count) for h in a.result.joinable] == \
+            [(h.column_id, h.match_count) for h in b.result.joinable], (
+            "coalesced serving must return exactly the serial results"
+        )
+
+    # Warm cache replay: same requests against a caching service.
+    cached_service = QueryService(index, window_ms=window_ms, cache_size=2048)
+    run_clients(cached_service, queries, n_clients, tau, joinability)  # cold fill
+    replay, replay_seconds = run_clients(
+        cached_service, queries, n_clients, tau, joinability
+    )
+    for a, b in zip(serial, replay):
+        assert a.result.column_ids == b.result.column_ids, (
+            "cached replay must return the original hits"
+        )
+    cache_stats = cached_service.snapshot_stats()
+    assert cache_stats.cache_hits == len(queries), (
+        "every replayed request must hit the generation-stamped cache"
+    )
+
+    sizes = service.snapshot_stats().coalesced_batch_sizes
+    return {
+        "n_requests": n_requests,
+        "n_clients": n_clients,
+        "window_ms": window_ms,
+        "serial_seconds": serial_seconds,
+        "coalesced_seconds": coalesced_seconds,
+        "replay_seconds": replay_seconds,
+        "speedup": serial_seconds / coalesced_seconds if coalesced_seconds
+        else float("inf"),
+        "cache_speedup": serial_seconds / replay_seconds if replay_seconds
+        else float("inf"),
+        "mean_batch": sum(sizes) / len(sizes) if sizes else 0.0,
+        "max_batch": max(sizes) if sizes else 0,
+        "hits": sum(len(r.result.joinable) for r in serial),
+    }
+
+
+def report(label: str, out: dict, filename: str) -> None:
+    table = ResultTable(
+        f"Online serving ({label}): {out['n_requests']} requests from "
+        f"{out['n_clients']} concurrent clients, tau={TAU_FRACTION:.0%}, "
+        f"T={T:.0%}, window={out['window_ms']}ms "
+        f"(mean fused batch {out['mean_batch']:.1f}, max {out['max_batch']})",
+        ["Mode", "Wall (s)", "Requests/s"],
+    )
+    table.add("serial per-query dispatch", out["serial_seconds"],
+              out["n_requests"] / out["serial_seconds"])
+    table.add("coalesced concurrent serving", out["coalesced_seconds"],
+              out["n_requests"] / out["coalesced_seconds"])
+    table.add("warm cache replay", out["replay_seconds"],
+              out["n_requests"] / out["replay_seconds"])
+    table.add("speedup (coalesced vs serial)", out["speedup"], "-")
+    table.print_and_save(filename)
+
+
+def test_serving_speedup(swdc_dataset, benchmark):
+    out = benchmark.pedantic(
+        lambda: run_serving_comparison(swdc_dataset),
+        rounds=1,
+        iterations=1,
+    )
+    report("SWDC-like", out, "serving_swdc_like.md")
+
+    # Headline claim: at 16 concurrent clients, micro-batched serving
+    # answers requests at least 2x faster than serial per-query dispatch.
+    assert out["speedup"] >= MIN_SPEEDUP, (
+        f"micro-batched serving must be >= {MIN_SPEEDUP}x serial per-query "
+        f"dispatch at {out['n_clients']} clients, got {out['speedup']:.2f}x"
+    )
+
+
+def main() -> None:
+    """CI entry point: run at CI size and write results/serving_ci.md."""
+    dataset = swdc_like(scale=0.5)
+    out = run_serving_comparison(dataset)
+    report("CI-size SWDC-like", out, "serving_ci.md")
+    assert out["speedup"] >= MIN_SPEEDUP, (
+        f"micro-batched serving must be >= {MIN_SPEEDUP}x serial per-query "
+        f"dispatch at CI size, got {out['speedup']:.2f}x"
+    )
+    print(
+        f"CI serving check passed: {out['speedup']:.1f}x over serial "
+        f"dispatch ({out['n_clients']} clients, mean fused batch "
+        f"{out['mean_batch']:.1f}, cache replay {out['cache_speedup']:.0f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,12 +1,15 @@
 """Command-line interface for the PEXESO framework.
 
-Three subcommands mirror the offline/online split of Fig. 1::
+Four subcommands mirror the offline/online split of Fig. 1::
 
     python -m repro.cli index  LAKE_DIR INDEX_DIR [--dim 64] [--pivots 5] [--levels 4]
                                [--partitions N] [--partitioner jsd]
     python -m repro.cli search INDEX_DIR QUERY_CSV [--column NAME]
                                [--tau 0.06] [--joinability 0.6] [--top-k K]
                                [--all-columns] [--workers W] [--partitions N]
+                               [--json]
+    python -m repro.cli serve  INDEX_DIR [--host H] [--port P] [--window-ms W]
+                               [--cache-size C] [--workers W]
     python -m repro.cli stats  LAKE_DIR
 
 ``index`` loads every CSV under LAKE_DIR, detects join-key columns,
@@ -21,8 +24,12 @@ fan-out, ``--top-k K`` serves ranked discovery (theta-shared across
 shards), ``--partitions N`` repartitions a single-index directory into N
 in-memory shards for this run, and ``--all-columns`` answers every
 candidate join column of the query table in one batch pass (results per
-column are identical to running each search on its own). ``stats``
-prints the Table III-style profile.
+column are identical to running each search on its own), and ``--json``
+emits machine-readable results in the same schema the serving API's
+``/search`` endpoint returns. ``serve`` boots the resident HTTP query
+service (:mod:`repro.serve`) over a saved index — micro-batched
+concurrent search, generation-stamped result cache, live column
+add/delete. ``stats`` prints the Table III-style profile.
 """
 
 from __future__ import annotations
@@ -166,6 +173,19 @@ def cmd_search(args: argparse.Namespace) -> int:
         ]
         batch = searcher.search_many(vectors, tau, args.joinability)
         columns = catalog["columns"]
+        if args.json:
+            from repro.serve.schema import search_payload
+
+            payload = {
+                "columns": {
+                    name: search_payload(result, columns=columns)
+                    for name, result in zip(candidates, batch.results)
+                },
+                "wall_seconds": batch.wall_seconds,
+                "distance_computations": batch.stats.distance_computations,
+            }
+            print(json.dumps(payload, indent=2))
+            return 0
         total = 0
         for name, result in zip(candidates, batch.results):
             print(f"[{name}]")
@@ -193,14 +213,60 @@ def cmd_search(args: argparse.Namespace) -> int:
     if args.topk:
         result = searcher.topk(query_vectors, tau, args.topk)
         rows = result.hits
+        if args.json:
+            from repro.serve.schema import topk_payload
+
+            print(json.dumps(topk_payload(result, columns=catalog["columns"]),
+                             indent=2))
+            return 0
     else:
         result = searcher.search(query_vectors, tau, args.joinability)
         rows = _hit_rows(result)
+        if args.json:
+            from repro.serve.schema import search_payload
+
+            print(json.dumps(search_payload(result, columns=catalog["columns"]),
+                             indent=2))
+            return 0
 
     if not rows:
         print("no joinable tables found")
         return 0
     _print_hits(rows, catalog["columns"])
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import make_server
+
+    window_ms = None if args.window_ms < 0 else args.window_ms
+    try:
+        server = make_server(
+            args.index_dir,
+            host=args.host,
+            port=args.port,
+            quiet=not args.verbose,
+            window_ms=window_ms,
+            max_batch=args.max_batch,
+            cache_size=args.cache_size,
+            max_workers=args.workers,
+        )
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    service = server.service
+    layout = "partitioned" if service.searcher.is_partitioned else "single index"
+    print(
+        f"serving {service.n_columns} columns ({layout}) on {server.url} "
+        f"(window={window_ms}ms, cache={args.cache_size}) — Ctrl-C to stop",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
     return 0
 
 
@@ -271,7 +337,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--partitioner", choices=sorted(PARTITIONERS),
                           default="jsd",
                           help="strategy for --partitions repartitioning")
+    p_search.add_argument("--json", action="store_true",
+                          help="emit machine-readable JSON in the serving "
+                               "API's /search (or /topk) response schema")
     p_search.set_defaults(func=cmd_search)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve a saved index over HTTP (resident query service)"
+    )
+    p_serve.add_argument("index_dir")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765,
+                         help="0 binds an ephemeral port")
+    p_serve.add_argument("--window-ms", type=float, default=2.0,
+                         help="micro-batching window; 0 coalesces without "
+                              "sleeping, negative disables coalescing")
+    p_serve.add_argument("--max-batch", type=int, default=64,
+                         help="cap on requests per fused dispatch")
+    p_serve.add_argument("--cache-size", type=int, default=256,
+                         help="generation-stamped result-cache capacity "
+                              "(0 disables)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="worker-pool width for the underlying searcher")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every request")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_stats = sub.add_parser("stats", help="profile a CSV data lake")
     p_stats.add_argument("lake_dir")

@@ -105,6 +105,10 @@ class BatchSearch:
             parallelism); ``None`` keeps whole τ groups as the units and
             pools only across them; ``1`` forces serial execution.
         row_block_size: query rows per vectorised verification block.
+        record_batch_sizes: when set, every :meth:`search_many` call
+            appends the number of queries it fused to the batch stats'
+            ``coalesced_batch_sizes`` — the serving layer's micro-batcher
+            reads this to report how well requests coalesce.
     """
 
     def __init__(
@@ -114,6 +118,7 @@ class BatchSearch:
         exact_counts: bool = False,
         max_workers: Optional[int] = None,
         row_block_size: int = 8,
+        record_batch_sizes: bool = False,
     ):
         if index.pivot_space is None or index.grid is None:
             raise RuntimeError("index is not built; call fit() first")
@@ -124,6 +129,7 @@ class BatchSearch:
         self.exact_counts = exact_counts
         self.max_workers = max_workers
         self.row_block_size = row_block_size
+        self.record_batch_sizes = record_batch_sizes
 
     # -- public API ---------------------------------------------------------------
 
@@ -151,6 +157,8 @@ class BatchSearch:
         batch_stats = SearchStats()
         if n == 0:
             return BatchResult(results=[], stats=batch_stats, wall_seconds=0.0)
+        if self.record_batch_sizes:
+            batch_stats.coalesced_batch_sizes.append(n)
 
         arrays = [self._validated(q, position) for position, q in enumerate(queries)]
         taus = self._per_query(tau, n, "tau")

@@ -109,6 +109,24 @@ class ShardLRU:
         with self._lock:
             return list(self._cache.values())
 
+    def put(self, part: int, index: PexesoIndex) -> None:
+        """Install (or replace) one shard's resident index.
+
+        Live maintenance mutates a loaded shard and re-spills it; the
+        fresh object replaces any stale cached copy so later reads never
+        see the pre-mutation index.
+        """
+        with self._lock:
+            self._cache[part] = index
+            self._cache.move_to_end(part)
+            while len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
+
+    def invalidate(self, part: int) -> None:
+        """Drop one shard from the cache (no-op when absent)."""
+        with self._lock:
+            self._cache.pop(part, None)
+
     def clear(self) -> None:
         with self._lock:
             self._cache.clear()
@@ -169,9 +187,11 @@ class PartitionedPexeso:
         self.max_workers = max_workers
         self.lru_shards = lru_shards
 
-        #: partition label of every fitted column (positional)
+        #: partition label of every fitted or live-added column (positional)
         self.labels: Optional[np.ndarray] = None
         #: per partition: list of global column ids in local-id order
+        #: (deleted columns keep their slot as a tombstone so the
+        #: positional local-id -> global-id mapping stays valid)
         self.partition_columns: list[list[int]] = []
         self._resident: dict[int, PexesoIndex] = {}
         self._spilled: dict[int, Path] = {}
@@ -179,6 +199,9 @@ class PartitionedPexeso:
         self._lru_lock = threading.Lock()
         #: lazy reverse map: global column id -> (partition, local id)
         self._column_shard: Optional[dict[int, tuple[int, int]]] = None
+        #: global ids removed by delete_column (ids are never reused)
+        self._deleted_ids: set[int] = set()
+        self._next_gid: Optional[int] = None
 
     # -- construction ------------------------------------------------------------
 
@@ -213,6 +236,8 @@ class PartitionedPexeso:
         self._spilled.clear()
         self._lru = None
         self._column_shard = None
+        self._deleted_ids = set()
+        self._next_gid = None
         if self.spill_dir is not None:
             self.spill_dir.mkdir(parents=True, exist_ok=True)
 
@@ -517,9 +542,134 @@ class PartitionedPexeso:
             hits=best, stats=merged_stats, tau=float(tau), k=min(k, self.n_columns)
         )
 
+    # -- incremental maintenance (§III-E over shards) ------------------------------
+
+    def _ensure_column_shard(self) -> dict[int, tuple[int, int]]:
+        """Build (or reuse) the live ``global id -> (partition, local id)`` map."""
+        if self._column_shard is None:
+            self._column_shard = {
+                cid: (part, local)
+                for part, globals_ in enumerate(self.partition_columns)
+                for local, cid in enumerate(globals_)
+                if cid >= 0 and cid not in self._deleted_ids
+            }
+        return self._column_shard
+
+    def _next_global_id(self) -> int:
+        if self._next_gid is None:
+            self._next_gid = (
+                max(
+                    (cid for g in self.partition_columns for cid in g if cid >= 0),
+                    default=-1,
+                )
+                + 1
+            )
+        gid = self._next_gid
+        self._next_gid += 1
+        return gid
+
+    def _mutable_index(self, part: int) -> PexesoIndex:
+        """The shard's index, loaded if spilled (mutations re-spill it)."""
+        if part in self._resident:
+            return self._resident[part]
+        index, _ = self._get_index(part)
+        return index
+
+    def _after_mutation(self, part: int, index: PexesoIndex) -> None:
+        """Re-spill a mutated shard and refresh caches + manifest."""
+        if part in self._spilled:
+            self._spill(part, index)
+            if self._lru is not None:
+                self._lru.put(part, index)
+        self._refresh_manifest()
+
+    def _refresh_manifest(self) -> None:
+        """Keep an on-disk ``partitioned.json`` consistent after mutations.
+
+        Only the mutable parts (labels, local->global maps, deleted ids)
+        are rewritten; a lake that was never saved as a partitioned
+        directory has no manifest and nothing to refresh.
+        """
+        if self.spill_dir is None:
+            return
+        manifest_path = self.spill_dir / "partitioned.json"
+        if not manifest_path.exists():
+            return
+        import json
+
+        from repro.core.persistence import mutable_manifest_fields
+
+        manifest = json.loads(manifest_path.read_text())
+        manifest.update(mutable_manifest_fields(self))
+        manifest_path.write_text(json.dumps(manifest, indent=2))
+
+    def add_column(self, vectors: np.ndarray) -> int:
+        """Append one column to the lake and return its global column ID.
+
+        The column joins the least-loaded non-empty partition (empty
+        partitions never got an index at fit time), whose
+        :meth:`~repro.core.index.PexesoIndex.add_column` does the §III-E
+        incremental insert. A spilled shard is loaded, mutated, written
+        back and its LRU slot replaced, so later searches see the new
+        column no matter which path fetches the shard. Callers running
+        concurrent searches must serialize mutations against them (the
+        serving layer's :class:`~repro.serve.service.QueryService` does
+        this with a reader-writer lock).
+        """
+        self._require_fitted()
+        shards = self._shards()
+        if not shards:
+            raise RuntimeError("lake has no non-empty partition to extend")
+        live: dict[int, int] = {part: 0 for part, _ in shards}
+        for gid, (part, _) in self._ensure_column_shard().items():
+            live[part] = live.get(part, 0) + 1
+        part = min(shards, key=lambda s: (live.get(s[0], 0), s[0]))[0]
+
+        index = self._mutable_index(part)
+        local = index.add_column(vectors)
+        cols = self.partition_columns[part]
+        while len(cols) < local:  # keep positional local-id alignment
+            cols.append(-1)
+        gid = self._next_global_id()
+        cols.append(gid)
+        self.labels = np.append(self.labels, part)
+        if self._column_shard is not None:
+            self._column_shard[gid] = (part, local)
+        self._after_mutation(part, index)
+        return gid
+
+    def delete_column(self, column_id: int) -> None:
+        """Remove one column (by global ID) from its shard's postings.
+
+        The global ID keeps its tombstoned slot in ``partition_columns``
+        so every other column's local->global mapping is untouched; IDs
+        are never reused.
+
+        Raises:
+            KeyError: when ``column_id`` is unknown or already deleted.
+        """
+        self._require_fitted()
+        mapping = self._ensure_column_shard()
+        if column_id not in mapping:
+            raise KeyError(f"unknown column id {column_id}")
+        part, local = mapping[column_id]
+        index = self._mutable_index(part)
+        index.delete_column(local)
+        self._deleted_ids.add(int(column_id))
+        del mapping[column_id]
+        self._after_mutation(part, index)
+
+    def has_column(self, column_id: int) -> bool:
+        """Whether a global column ID is live (indexed and not deleted)."""
+        if self.labels is None:
+            return False
+        return column_id in self._ensure_column_shard()
+
     @property
     def n_columns(self) -> int:
-        return 0 if self.labels is None else int(self.labels.size)
+        if self.labels is None:
+            return 0
+        return int(self.labels.size) - len(self._deleted_ids)
 
     def column_vectors(self, column_id: int) -> np.ndarray:
         """Original vectors of one column, fetched from its shard.
@@ -531,15 +681,10 @@ class PartitionedPexeso:
             KeyError: when no shard holds ``column_id``.
         """
         self._require_fitted()
-        if self._column_shard is None:
-            self._column_shard = {
-                cid: (part, local)
-                for part, globals_ in enumerate(self.partition_columns)
-                for local, cid in enumerate(globals_)
-            }
-        if column_id not in self._column_shard:
+        mapping = self._ensure_column_shard()
+        if column_id not in mapping:
             raise KeyError(f"unknown column id {column_id}")
-        part, local = self._column_shard[column_id]
+        part, local = mapping[column_id]
         index, _ = self._get_index(part)
         return index.vectors[index.column_rows[local]]
 
@@ -567,6 +712,9 @@ class LakeSearcher:
         flags: default ablation switches for threshold searches.
         max_workers: default worker-pool width (per-τ engine groups on a
             single index; shard fan-out on a partitioned lake).
+        record_batch_sizes: append each ``search_many`` fan-in size to
+            the batch stats' ``coalesced_batch_sizes`` (the serving
+            layer's coalescing telemetry).
     """
 
     def __init__(
@@ -574,6 +722,7 @@ class LakeSearcher:
         backend: Union[PexesoIndex, PartitionedPexeso],
         flags: Optional[AblationFlags] = None,
         max_workers: Optional[int] = None,
+        record_batch_sizes: bool = False,
     ):
         if isinstance(backend, PexesoIndex):
             if backend.pivot_space is None or backend.grid is None:
@@ -589,6 +738,7 @@ class LakeSearcher:
         self.backend = backend
         self.flags = flags
         self.max_workers = max_workers
+        self.record_batch_sizes = record_batch_sizes
 
     @classmethod
     def build(
@@ -689,12 +839,16 @@ class LakeSearcher:
             engine = BatchSearch(
                 self.backend, flags=flags, exact_counts=exact_counts,
                 max_workers=workers,
+                record_batch_sizes=self.record_batch_sizes,
             )
             return engine.search_many(queries, tau, joinability)
-        return self.backend.search_many(
+        batch = self.backend.search_many(
             queries, tau, joinability,
             flags=flags, exact_counts=exact_counts, max_workers=workers,
         )
+        if self.record_batch_sizes and len(queries):
+            batch.stats.coalesced_batch_sizes.append(len(queries))
+        return batch
 
     def topk(
         self,
@@ -714,6 +868,26 @@ class LakeSearcher:
         if isinstance(self.backend, PexesoIndex):
             return self.backend.vectors[self.backend.column_rows[column_id]]
         return self.backend.column_vectors(column_id)
+
+    # -- incremental maintenance ---------------------------------------------------
+
+    def add_column(self, vectors: np.ndarray) -> int:
+        """Append one column (§III-E) on either backend; returns its ID.
+
+        Not safe to run concurrently with searches — serialize through a
+        writer lock (as :class:`~repro.serve.service.QueryService` does).
+        """
+        return self.backend.add_column(vectors)
+
+    def delete_column(self, column_id: int) -> None:
+        """Remove one column from the lake (same concurrency caveat)."""
+        self.backend.delete_column(column_id)
+
+    def has_column(self, column_id: int) -> bool:
+        """Whether ``column_id`` is live on the backend."""
+        if isinstance(self.backend, PexesoIndex):
+            return column_id in self.backend.column_rows
+        return self.backend.has_column(column_id)
 
     def memory_bytes(self) -> int:
         return self.backend.memory_bytes()

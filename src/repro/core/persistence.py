@@ -167,6 +167,20 @@ def load_index(directory: str | Path) -> PexesoIndex:
 # -- partitioned lakes ------------------------------------------------------------
 
 
+def mutable_manifest_fields(lake) -> dict:
+    """The manifest fields live maintenance can change.
+
+    One serialization shared by :func:`save_partitioned` and the lake's
+    in-place manifest refresh after ``add_column`` / ``delete_column``,
+    so the two paths can never drift apart.
+    """
+    return {
+        "labels": np.asarray(lake.labels).astype(int).tolist(),
+        "partition_columns": [list(map(int, g)) for g in lake.partition_columns],
+        "deleted_column_ids": sorted(int(c) for c in lake._deleted_ids),
+    }
+
+
 def save_partitioned(lake, directory: str | Path) -> Path:
     """Persist a fitted :class:`~repro.core.out_of_core.PartitionedPexeso`.
 
@@ -235,8 +249,7 @@ def save_partitioned(lake, directory: str | Path) -> Path:
         "n_partitions": lake.n_partitions,
         "partitioner": lake.partitioner,
         "kmeans_iters": lake.kmeans_iters,
-        "labels": np.asarray(lake.labels).astype(int).tolist(),
-        "partition_columns": [list(map(int, g)) for g in lake.partition_columns],
+        **mutable_manifest_fields(lake),
         "partitions": partitions,
     }
     (directory / _PARTITIONED_MANIFEST).write_text(json.dumps(manifest, indent=2))
@@ -287,6 +300,9 @@ def load_partitioned(directory: str | Path):
     lake._spilled = {
         int(part): directory / subdir
         for part, subdir in manifest["partitions"].items()
+    }
+    lake._deleted_ids = {
+        int(cid) for cid in manifest.get("deleted_column_ids", [])
     }
     return lake
 

@@ -49,6 +49,15 @@ class SearchStats:
         shard_load_seconds: wall-clock time spent loading spilled
             partitions from disk (the paper's protocol includes this in
             the reported out-of-core search time).
+        cache_hits: requests answered from the serving layer's
+            generation-stamped result cache.
+        cache_misses: requests that had to run a real search (a stale
+            cache entry from an earlier index generation also counts as
+            a miss).
+        coalesced_batch_sizes: one entry per fused engine dispatch — the
+            number of requests the serving layer's micro-batcher merged
+            into that :meth:`~repro.core.engine.BatchSearch.search_many`
+            call. Merging two stats objects concatenates the lists.
     """
 
     distance_computations: int = 0
@@ -69,11 +78,22 @@ class SearchStats:
     blocking_seconds: float = 0.0
     verification_seconds: float = 0.0
     shard_load_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    coalesced_batch_sizes: list[int] = field(default_factory=list)
 
     def merge(self, other: "SearchStats") -> None:
-        """Accumulate counters from ``other`` (used by partitioned search)."""
+        """Accumulate counters from ``other`` (used by partitioned search).
+
+        Numeric fields add; ``coalesced_batch_sizes`` concatenates.
+        """
         for name in self.__dataclass_fields__:
             setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    @property
+    def coalesced_requests(self) -> int:
+        """Total requests answered through fused micro-batches."""
+        return sum(self.coalesced_batch_sizes)
 
     @property
     def total_seconds(self) -> float:

@@ -91,6 +91,9 @@ class JoinableTableSearch:
         self.refs: list[ColumnRef] = []
         self.string_columns: list[list[str]] = []
         self.searcher: Optional[LakeSearcher] = None
+        #: registered table name -> live column IDs (maintained by
+        #: index_tables / add_table / remove_table)
+        self._table_columns: dict[str, list[int]] = {}
 
     @property
     def index(self) -> Optional[PexesoIndex]:
@@ -121,7 +124,78 @@ class JoinableTableSearch:
             spill_dir=self.spill_dir,
             max_workers=self.max_workers,
         )
+        self._table_columns = {}
+        for column_id, ref in enumerate(self.refs):
+            self._table_columns.setdefault(ref.table_name, []).append(column_id)
         return self
+
+    # -- incremental maintenance (§III-E at the discovery level) -------------------
+
+    def add_table(self, table: Table) -> int:
+        """Live-add one table to an already-built search; returns its column ID.
+
+        The table's key column is detected, preprocessed and embedded
+        exactly as at :meth:`index_tables` time, then appended through
+        :meth:`~repro.core.out_of_core.LakeSearcher.add_column` (the
+        §III-E incremental insert on either backend). The table<->column
+        mapping stays consistent: the new ID resolves through ``refs``
+        and :meth:`remove_table` can undo the add.
+
+        Raises:
+            RuntimeError: before :meth:`index_tables`.
+            ValueError: when the table has no usable key column.
+        """
+        if self.searcher is None:
+            raise RuntimeError("no tables indexed yet; call index_tables() first")
+        registered = self.repository.add_table(table)
+        try:
+            stored = self.repository.tables[registered]
+            key = detect_key_column(stored)
+            if key is None:
+                raise ValueError(
+                    f"table {table.name!r} has no usable key column"
+                )
+            values = stored.column(key).values
+            if self.repository.preprocess:
+                values = [to_full_form(v) for v in values]
+            column_id = self.searcher.add_column(self.embedder.embed_column(values))
+        except BaseException:
+            # never leave a registered-but-unindexed zombie behind: a
+            # retry would collide into a suffixed name and remove_table
+            # would target the wrong entry
+            self.repository.remove_table(registered)
+            raise
+        # Column IDs are monotonic and never reused, so refs stays a
+        # positional (ID -> provenance) table; pad over any gap.
+        while len(self.refs) < column_id:
+            self.refs.append(ColumnRef("?", "?"))
+            self.string_columns.append([])
+        self.refs.append(ColumnRef(registered, key))
+        self.string_columns.append(values)
+        self._table_columns.setdefault(registered, []).append(column_id)
+        return column_id
+
+    def remove_table(self, name: str) -> list[int]:
+        """Live-remove one table (by registered name); returns its column IDs.
+
+        Every column the table contributed is deleted from the backend
+        index (postings removed, ID tombstoned — deleted columns never
+        surface in later results), and the table leaves the repository.
+
+        Raises:
+            RuntimeError: before :meth:`index_tables`.
+            KeyError: when no table is registered under ``name``.
+        """
+        if self.searcher is None:
+            raise RuntimeError("no tables indexed yet; call index_tables() first")
+        if name not in self._table_columns and name not in self.repository.tables:
+            raise KeyError(f"unknown table {name!r}")
+        column_ids = self._table_columns.pop(name, [])
+        for column_id in column_ids:
+            self.searcher.delete_column(column_id)
+        if name in self.repository.tables:
+            self.repository.remove_table(name)
+        return column_ids
 
     # -- online ------------------------------------------------------------------
 

@@ -39,8 +39,13 @@ class TableRepository:
 
     # -- ingestion ---------------------------------------------------------------
 
-    def add_table(self, table: Table) -> None:
-        """Register a table; name collisions get a numeric suffix."""
+    def add_table(self, table: Table) -> str:
+        """Register a table; name collisions get a numeric suffix.
+
+        Returns the name the table was registered under (the caller
+        needs it when the collision suffix kicked in — live maintenance
+        keys its table->column map by registered name).
+        """
         name = table.name
         suffix = 1
         while name in self.tables:
@@ -49,6 +54,15 @@ class TableRepository:
         if name != table.name:
             table = Table(name=name, columns=table.columns, key_column=table.key_column)
         self.tables[name] = table
+        return name
+
+    def remove_table(self, name: str) -> Table:
+        """Deregister a table by its registered name.
+
+        Raises:
+            KeyError: when no table is registered under ``name``.
+        """
+        return self.tables.pop(name)
 
     def add_tables(self, tables: Iterable[Table]) -> None:
         for table in tables:

@@ -1,0 +1,34 @@
+"""Online serving subsystem: the resident side of Fig. 1's offline/online split.
+
+Everything below :mod:`repro.core` is a library answering one call at a
+time; this package turns it into a long-lived concurrent query service:
+
+* :class:`~repro.serve.service.QueryService` — holds a loaded
+  :class:`~repro.core.out_of_core.LakeSearcher` behind a reader-writer
+  lock, micro-batches concurrent single-query requests into fused
+  :class:`~repro.core.engine.BatchSearch` dispatches, caches results
+  stamped with an index *generation* that every mutation bumps, and
+  exposes live ``add_column`` / ``delete_column`` maintenance;
+* :class:`~repro.serve.server.ServeHTTPServer` — a stdlib
+  ``ThreadingHTTPServer`` JSON API over a service (``/search``,
+  ``/topk``, ``/columns``, ``/stats``, ``/healthz``, ``/metrics``);
+* :class:`~repro.serve.client.ServeClient` — a urllib-based client
+  speaking the same schema the CLI's ``search --json`` emits.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.coalescer import MicroBatcher
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeHTTPServer, make_server
+from repro.serve.service import QueryService, RWLock, ServeResponse
+
+__all__ = [
+    "MicroBatcher",
+    "QueryService",
+    "RWLock",
+    "ResultCache",
+    "ServeClient",
+    "ServeHTTPServer",
+    "ServeResponse",
+    "make_server",
+]

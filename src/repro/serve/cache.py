@@ -1,0 +1,96 @@
+"""Generation-stamped LRU result cache for the query service.
+
+A cached search result is only as fresh as the index it was computed
+against. Rather than tracking fine-grained invalidation sets, every
+entry is stamped with the service's *generation* — a counter bumped by
+each ``add_column`` / ``delete_column`` — and a lookup only hits when
+the entry's generation equals the current one. A mutation therefore
+invalidates the whole cache at the cost of bumping one integer; stale
+entries are dropped lazily on lookup or evicted by LRU pressure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional
+
+import numpy as np
+
+
+def query_cache_key(
+    kind: str,
+    query: np.ndarray,
+    *params: Hashable,
+) -> tuple:
+    """A hashable key for one request.
+
+    The query column is digested (SHA-1 over its float64 bytes plus the
+    shape) so keys stay small regardless of column length; ``kind`` and
+    the remaining scalar parameters (τ, T, k, exactness flags …)
+    disambiguate request types sharing a query.
+    """
+    query = np.ascontiguousarray(query, dtype=np.float64)
+    digest = hashlib.sha1(query.tobytes()).hexdigest()
+    return (kind, digest, query.shape) + tuple(params)
+
+
+@dataclass
+class CacheEntry:
+    """One cached result plus the generation it was computed under."""
+
+    value: Any
+    generation: int
+
+
+class ResultCache:
+    """Thread-safe LRU of generation-stamped results.
+
+    Args:
+        capacity: maximum number of entries; ``0`` disables the cache
+            (every ``get`` misses, every ``put`` is dropped).
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 0:
+            raise ValueError("cache capacity must be non-negative")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[tuple, CacheEntry] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: tuple, generation: int) -> Optional[CacheEntry]:
+        """The entry for ``key`` if it exists *and* is current.
+
+        A present-but-stale entry (older generation) is dropped — it can
+        never become valid again because generations only grow. Hit/miss
+        accounting lives with the caller (the service's ``SearchStats``),
+        not here, so there is exactly one set of counters to trust.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.generation == generation:
+                self._entries.move_to_end(key)
+                return entry
+            if entry is not None:
+                del self._entries[key]
+            return None
+
+    def put(self, key: tuple, value: Any, generation: int) -> None:
+        """Store ``value`` under ``key`` for ``generation``."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = CacheEntry(value=value, generation=generation)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,146 @@
+"""Tiny urllib client for the serving API (no third-party deps).
+
+:class:`ServeClient` speaks the same JSON schema the server emits and
+the CLI's ``search --json`` prints, so a script can swap between a local
+index and a remote service without reparsing anything.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+
+class ServeError(RuntimeError):
+    """An HTTP-level error from the serving API."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Client for one :class:`~repro.serve.server.ServeHTTPServer`.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8765`` (the server's ``url``).
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        raw: bool = False,
+    ):
+        data = None
+        headers = {}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                payload = reply.read()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                pass
+            raise ServeError(exc.code, detail) from exc
+        if raw:
+            return payload.decode("utf-8")
+        return json.loads(payload)
+
+    @staticmethod
+    def _query_body(
+        values: Optional[Sequence[str]],
+        vectors: Optional[np.ndarray],
+    ) -> dict:
+        if (values is None) == (vectors is None):
+            raise ValueError("give exactly one of values / vectors")
+        if values is not None:
+            return {"values": [str(v) for v in values]}
+        return {"vectors": np.asarray(vectors, dtype=np.float64).tolist()}
+
+    @staticmethod
+    def _tau_body(tau: Optional[float], tau_fraction: Optional[float]) -> dict:
+        if (tau is None) == (tau_fraction is None):
+            raise ValueError("give exactly one of tau / tau_fraction")
+        if tau is not None:
+            return {"tau": float(tau)}
+        return {"tau_fraction": float(tau_fraction)}
+
+    # -- API -----------------------------------------------------------------------
+
+    def search(
+        self,
+        values: Optional[Sequence[str]] = None,
+        vectors: Optional[np.ndarray] = None,
+        tau: Optional[float] = None,
+        tau_fraction: Optional[float] = None,
+        joinability: float | int = 0.6,
+    ) -> dict[str, Any]:
+        """Threshold search; returns the shared search payload."""
+        body = self._query_body(values, vectors)
+        body.update(self._tau_body(tau, tau_fraction))
+        body["joinability"] = joinability
+        return self._request("POST", "/search", body)
+
+    def topk(
+        self,
+        values: Optional[Sequence[str]] = None,
+        vectors: Optional[np.ndarray] = None,
+        tau: Optional[float] = None,
+        tau_fraction: Optional[float] = None,
+        k: int = 10,
+    ) -> dict[str, Any]:
+        """Exact top-k; returns the shared topk payload."""
+        body = self._query_body(values, vectors)
+        body.update(self._tau_body(tau, tau_fraction))
+        body["k"] = int(k)
+        return self._request("POST", "/topk", body)
+
+    def add_column(
+        self,
+        values: Optional[Sequence[str]] = None,
+        vectors: Optional[np.ndarray] = None,
+        table: Optional[str] = None,
+        column: Optional[str] = None,
+    ) -> dict[str, Any]:
+        """Live-add one column; returns ``{"column_id", "generation"}``."""
+        body = self._query_body(values, vectors)
+        if table is not None:
+            body["table"] = table
+        if column is not None:
+            body["column"] = column
+        return self._request("POST", "/columns", body)
+
+    def delete_column(self, column_id: int) -> dict[str, Any]:
+        """Live-delete one column; returns ``{"deleted", "generation"}``."""
+        return self._request("DELETE", f"/columns/{int(column_id)}")
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The raw ``/metrics`` text exposition."""
+        return self._request("GET", "/metrics", raw=True)

@@ -1,0 +1,121 @@
+"""One JSON schema for search results, shared by the server and the CLI.
+
+The HTTP server's ``/search`` response and ``python -m repro.cli search
+--json`` emit the *same* payload shape, so scripts, the
+:class:`~repro.serve.client.ServeClient` and shell pipelines parse one
+format:
+
+.. code-block:: json
+
+    {
+      "tau": 0.31,
+      "t_count": 12,
+      "query_size": 20,
+      "generation": 3,
+      "cached": false,
+      "hits": [
+        {"column_id": 5, "table": "users", "column": "name",
+         "match_count": 14, "joinability": 0.7, "exact_count": true}
+      ]
+    }
+
+``table`` / ``column`` appear when a column catalog (the ``catalog.json``
+written by ``repro.cli index``) is available; ``generation`` / ``cached``
+appear when the result came through a :class:`~repro.serve.service.QueryService`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.core.search import SearchResult
+from repro.core.stats import SearchStats
+from repro.core.topk import TopKResult
+
+
+def _ref(columns: Optional[Sequence[dict]], column_id: int) -> dict[str, Any]:
+    if columns is None or not (0 <= column_id < len(columns)):
+        return {}
+    ref = columns[column_id]
+    return {"table": ref["table"], "column": ref["column"]}
+
+
+def search_payload(
+    result: SearchResult,
+    columns: Optional[Sequence[dict]] = None,
+    generation: Optional[int] = None,
+    cached: Optional[bool] = None,
+) -> dict[str, Any]:
+    """The shared ``/search`` response for one threshold-search result."""
+    payload: dict[str, Any] = {
+        "tau": float(result.tau),
+        "t_count": int(result.t_count),
+        "query_size": int(result.query_size),
+        "hits": [
+            {
+                "column_id": int(hit.column_id),
+                **_ref(columns, hit.column_id),
+                "match_count": int(hit.match_count),
+                "joinability": float(hit.joinability),
+                "exact_count": bool(hit.exact_count),
+            }
+            for hit in result.joinable
+        ],
+    }
+    if generation is not None:
+        payload["generation"] = int(generation)
+    if cached is not None:
+        payload["cached"] = bool(cached)
+    return payload
+
+
+def topk_payload(
+    result: TopKResult,
+    columns: Optional[Sequence[dict]] = None,
+    generation: Optional[int] = None,
+    cached: Optional[bool] = None,
+) -> dict[str, Any]:
+    """The shared ``/topk`` response (hits in rank order)."""
+    payload: dict[str, Any] = {
+        "tau": float(result.tau),
+        "k": int(result.k),
+        "hits": [
+            {
+                "column_id": int(cid),
+                **_ref(columns, cid),
+                "match_count": int(count),
+                "joinability": float(joinability),
+            }
+            for cid, count, joinability in result.hits
+        ],
+    }
+    if generation is not None:
+        payload["generation"] = int(generation)
+    if cached is not None:
+        payload["cached"] = bool(cached)
+    return payload
+
+
+def stats_metrics_text(stats: SearchStats, extra: Optional[dict] = None) -> str:
+    """Prometheus-style exposition of the serving counters.
+
+    Every line is ``pexeso_serve_<name> <value>``; list-valued counters
+    are summarised (count + sum), and ``extra`` adds service-level
+    gauges (generation, column count, cache occupancy …) — an ``extra``
+    entry sharing a base counter's name *overrides* it (the service uses
+    this to report exact lifetime coalescing totals once old samples
+    fold out of its bounded window).
+    """
+    gauges = {
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+        "coalesced_batches": len(stats.coalesced_batch_sizes),
+        "coalesced_requests": stats.coalesced_requests,
+        "distance_computations": stats.distance_computations,
+        "candidate_pairs": stats.candidate_pairs,
+        "matching_pairs": stats.matching_pairs,
+        "shard_load_seconds": stats.shard_load_seconds,
+    }
+    gauges.update(extra or {})
+    lines = [f"pexeso_serve_{name} {value}" for name, value in gauges.items()]
+    return "\n".join(lines) + "\n"

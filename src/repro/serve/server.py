@@ -1,0 +1,324 @@
+"""Stdlib HTTP JSON API over a :class:`~repro.serve.service.QueryService`.
+
+A ``ThreadingHTTPServer`` — one thread per connection — which is exactly
+the arrival pattern the service's micro-batcher is built for: concurrent
+handler threads calling ``service.search`` coalesce into fused engine
+dispatches.
+
+Endpoints (all JSON unless noted):
+
+=========  ======  ===================================================
+path       method  body / response
+=========  ======  ===================================================
+/search    POST    ``{"vectors"|"values", "tau"|"tau_fraction",
+                   "joinability"}`` -> shared search payload
+/topk      POST    ``{"vectors"|"values", "tau"|"tau_fraction", "k"}``
+/columns   POST    ``{"vectors"|"values"}`` -> ``{"column_id",
+                   "generation"}`` (live add)
+/columns/N DELETE  -> ``{"deleted", "generation"}`` (live delete)
+/stats     GET     service state (cache, coalescing, backend)
+/healthz   GET     ``{"ok": true, "generation": G}``
+/metrics   GET     Prometheus-style text exposition
+=========  ======  ===================================================
+
+``"values"`` (raw strings) requires the server to hold an embedder —
+:func:`make_server` wires one up from a CLI-built index directory's
+``catalog.json``; ``"vectors"`` always works.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.serve.schema import search_payload, stats_metrics_text, topk_payload
+from repro.serve.service import QueryService
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """The serving process: a query service plus optional lake context.
+
+    Args:
+        address: ``(host, port)``; port 0 binds an ephemeral port
+            (read it back from ``server_address``).
+        service: the resident :class:`~repro.serve.service.QueryService`.
+        embedder: optional string embedder enabling ``"values"`` inputs.
+        columns: optional column catalog (``[{"table", "column"}, ...]``)
+            used to label hits in responses.
+        preprocess: apply full-form preprocessing to ``"values"`` inputs
+            (must match how the lake was indexed).
+        quiet: suppress per-request access logging.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: QueryService,
+        embedder=None,
+        columns: Optional[Sequence[dict]] = None,
+        preprocess: bool = True,
+        quiet: bool = True,
+    ):
+        self.service = service
+        self.embedder = embedder
+        self.columns = list(columns) if columns is not None else None
+        self._columns_lock = threading.Lock()
+        self.preprocess = preprocess
+        self.quiet = quiet
+        super().__init__(address, ServeHandler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Request handler translating HTTP to service calls."""
+
+    server: ServeHTTPServer  # for type checkers
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, text: str, status: int = 200) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, message: str, status: int) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        return body
+
+    def _query_vectors(self, body: dict) -> np.ndarray:
+        """The query column from either raw vectors or embeddable strings."""
+        if ("vectors" in body) == ("values" in body):
+            raise ValueError('give exactly one of "vectors" / "values"')
+        if "vectors" in body:
+            if not isinstance(body["vectors"], (list, tuple)):
+                raise ValueError('"vectors" must be a JSON array of rows')
+            return np.asarray(body["vectors"], dtype=np.float64)
+        if self.server.embedder is None:
+            raise ValueError(
+                'this server has no embedder; send "vectors" instead of "values"'
+            )
+        if not isinstance(body["values"], (list, tuple)):
+            # a bare string would be iterated character by character
+            raise ValueError('"values" must be a JSON array of strings')
+        values = [str(v) for v in body["values"]]
+        if self.server.preprocess:
+            from repro.lake.preprocessing import to_full_form
+
+            values = [to_full_form(v) for v in values]
+        return self.server.embedder.embed_column(values)
+
+    def _resolve_tau(self, body: dict, query: np.ndarray) -> float:
+        tau = body.get("tau")
+        fraction = body.get("tau_fraction")
+        return self.server.service.resolve_tau(tau, fraction, query.shape[1])
+
+    # -- verbs ---------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        try:
+            service = self.server.service
+            if self.path == "/healthz":
+                self._send_json({
+                    "ok": True,
+                    "generation": service.generation,
+                    "n_columns": service.n_columns,
+                })
+            elif self.path == "/stats":
+                self._send_json(service.describe())
+            elif self.path == "/metrics":
+                stats = service.snapshot_stats()
+                batches, coalesced = service.coalescing_totals()
+                extra = {
+                    "coalesced_batches": batches,
+                    "coalesced_requests": coalesced,
+                    "generation": service.generation,
+                    "columns": service.n_columns,
+                    "cache_size": len(service.cache),
+                }
+                self._send_text(stats_metrics_text(stats, extra))
+            else:
+                self._send_error_json(f"unknown path {self.path}", 404)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(str(exc), 500)
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            body = self._read_body()
+            if self.path == "/search":
+                self._handle_search(body)
+            elif self.path == "/topk":
+                self._handle_topk(body)
+            elif self.path == "/columns":
+                self._handle_add_column(body)
+            else:
+                self._send_error_json(f"unknown path {self.path}", 404)
+        except (ValueError, KeyError, TypeError) as exc:
+            self._send_error_json(str(exc), 400)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(str(exc), 500)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        try:
+            parts = self.path.strip("/").split("/")
+            if len(parts) == 2 and parts[0] == "columns":
+                try:
+                    column_id = int(parts[1])
+                except ValueError as exc:
+                    raise ValueError(f"bad column id {parts[1]!r}") from exc
+                try:
+                    generation = self.server.service.delete_column(column_id)
+                except KeyError:
+                    self._send_error_json(f"unknown column id {column_id}", 404)
+                    return
+                self._send_json({"deleted": column_id, "generation": generation})
+            else:
+                self._send_error_json(f"unknown path {self.path}", 404)
+        except ValueError as exc:
+            self._send_error_json(str(exc), 400)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(str(exc), 500)
+
+    # -- endpoint bodies -----------------------------------------------------------
+
+    def _handle_search(self, body: dict) -> None:
+        query = self._query_vectors(body)
+        tau = self._resolve_tau(body, query)
+        joinability = body.get("joinability", 0.6)
+        response = self.server.service.search(query, tau, joinability)
+        self._send_json(
+            search_payload(
+                response.result,
+                columns=self.server.columns,
+                generation=response.generation,
+                cached=response.cached,
+            )
+        )
+
+    def _handle_topk(self, body: dict) -> None:
+        query = self._query_vectors(body)
+        tau = self._resolve_tau(body, query)
+        k = int(body.get("k", 10))
+        response = self.server.service.topk(query, tau, k)
+        self._send_json(
+            topk_payload(
+                response.result,
+                columns=self.server.columns,
+                generation=response.generation,
+                cached=response.cached,
+            )
+        )
+
+    def _handle_add_column(self, body: dict) -> None:
+        vectors = self._query_vectors(body)
+        table = body.get("table")
+        column = body.get("column")
+        column_id, generation = self.server.service.add_column(vectors)
+        if self.server.columns is not None:
+            # Handler threads add concurrently, so the catalog entry is
+            # written at its column_id slot under a lock — a positional
+            # append could interleave with another add and shift every
+            # later label by one.
+            entry = {
+                "table": str(table) if table is not None else f"column_{column_id}",
+                "column": str(column) if column is not None else "key",
+            }
+            with self.server._columns_lock:
+                catalog = self.server.columns
+                while len(catalog) <= column_id:
+                    catalog.append({"table": "?", "column": "?"})
+                catalog[column_id] = entry
+        self._send_json({"column_id": column_id, "generation": generation})
+
+
+def make_server(
+    service_or_dir,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    embedder=None,
+    columns: Optional[Sequence[dict]] = None,
+    preprocess: Optional[bool] = None,
+    quiet: bool = True,
+    **service_kwargs: Any,
+) -> ServeHTTPServer:
+    """Build a ready-to-run server from a service or a saved index directory.
+
+    Given a directory, the index is loaded via
+    :func:`~repro.core.persistence.load_any` and — when the directory
+    carries the CLI's ``catalog.json`` — a matching
+    :class:`~repro.embedding.hashing.HashingNGramEmbedder`, the column
+    catalog and the preprocessing switch are wired up automatically, so
+    ``make_server("lake_index/")`` serves string queries out of the box.
+
+    Call ``serve_forever()`` on the result (or hand it to a thread) and
+    ``shutdown()`` / ``server_close()`` to stop.
+    """
+    if isinstance(service_or_dir, QueryService):
+        service = service_or_dir
+    elif isinstance(service_or_dir, (str, Path)):
+        directory = Path(service_or_dir)
+        service = QueryService.from_directory(directory, **service_kwargs)
+        catalog_path = directory / "catalog.json"
+        if catalog_path.exists():
+            catalog = json.loads(catalog_path.read_text())
+            if columns is None:
+                columns = catalog.get("columns")
+            if embedder is None and "embedder" in catalog:
+                from repro.embedding.hashing import HashingNGramEmbedder
+
+                embedder = HashingNGramEmbedder(
+                    dim=catalog["embedder"]["dim"],
+                    seed=catalog["embedder"]["seed"],
+                )
+            if preprocess is None:
+                preprocess = catalog.get("preprocess", True)
+    else:
+        service = QueryService(service_or_dir, **service_kwargs)
+    return ServeHTTPServer(
+        (host, port),
+        service,
+        embedder=embedder,
+        columns=columns,
+        preprocess=True if preprocess is None else bool(preprocess),
+        quiet=quiet,
+    )

@@ -1,0 +1,441 @@
+"""The resident query service: concurrency, caching and live maintenance.
+
+:class:`QueryService` is the long-lived object a server (or an embedded
+application) holds onto. It wraps a
+:class:`~repro.core.out_of_core.LakeSearcher` — single in-memory index
+or partitioned lake, whatever :func:`repro.core.persistence.load_any`
+produced — and layers the online concerns on top:
+
+* **consistency** — a writer-preferring :class:`RWLock`: any number of
+  searches share the read side, ``add_column`` / ``delete_column`` take
+  the write side, and a *generation* counter bumps on every mutation.
+  Every response carries the generation it was served under, so a
+  client can reason about which index state answered it.
+* **micro-batching** — single-query ``search`` calls are coalesced by a
+  :class:`~repro.serve.coalescer.MicroBatcher` into fused
+  ``search_many`` dispatches (one shared pivot mapping / grid build /
+  blocking descent), which is where the serving throughput comes from.
+* **caching** — a generation-stamped LRU
+  (:class:`~repro.serve.cache.ResultCache`); a mutation invalidates the
+  whole cache by bumping the generation.
+* **telemetry** — one service-wide
+  :class:`~repro.core.stats.SearchStats` accumulating search work plus
+  the serving counters (``cache_hits``, ``cache_misses``,
+  ``coalesced_batch_sizes``) surfaced by the server's ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.index import PexesoIndex
+from repro.core.out_of_core import LakeSearcher, PartitionedPexeso
+from repro.core.search import AblationFlags, SearchResult
+from repro.core.stats import SearchStats
+from repro.core.thresholds import distance_threshold
+from repro.core.topk import TopKResult
+from repro.serve.cache import ResultCache, query_cache_key
+from repro.serve.coalescer import MicroBatcher, PendingRequest
+
+
+class RWLock:
+    """A writer-preferring reader-writer lock.
+
+    Any number of readers may hold the lock together; a writer waits for
+    them to drain and excludes everyone. Arriving readers queue behind a
+    waiting writer so a steady search stream cannot starve maintenance.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+@dataclass
+class ServeResponse:
+    """One served request: the result plus its serving provenance.
+
+    ``generation`` is the index generation the result is valid for —
+    the search ran entirely under a read lock held at that generation,
+    or was replayed from a cache entry stamped with it.
+    """
+
+    result: Union[SearchResult, TopKResult]
+    generation: int
+    cached: bool
+
+
+class QueryService:
+    """Concurrent query service over one loaded lake.
+
+    Args:
+        backend: a :class:`~repro.core.out_of_core.LakeSearcher`, or a
+            bare :class:`~repro.core.index.PexesoIndex` /
+            :class:`~repro.core.out_of_core.PartitionedPexeso` (wrapped
+            automatically — pass whatever
+            :func:`~repro.core.persistence.load_any` returned).
+        window_ms: micro-batching window. Requests arriving within this
+            many milliseconds of a leader fuse into one engine dispatch;
+            ``0`` coalesces opportunistically without sleeping; ``None``
+            disables coalescing entirely (each request dispatches its
+            own single-query batch — the serial baseline the serving
+            benchmark compares against).
+        max_batch: cap on requests per fused dispatch.
+        cache_size: LRU capacity of the result cache; ``0`` disables.
+        exact_counts: serve exact match counts (disables the early-
+            termination lower bound; needed when clients compare counts
+            against an exhaustive oracle).
+        flags: ablation switches applied to every served search.
+        max_workers: worker-pool width passed through to the searcher.
+    """
+
+    def __init__(
+        self,
+        backend: Union[LakeSearcher, PexesoIndex, PartitionedPexeso],
+        window_ms: Optional[float] = 2.0,
+        max_batch: int = 64,
+        cache_size: int = 256,
+        exact_counts: bool = False,
+        flags: Optional[AblationFlags] = None,
+        max_workers: Optional[int] = None,
+    ):
+        if window_ms is not None and window_ms < 0:
+            raise ValueError("window_ms must be non-negative (or None)")
+        if isinstance(backend, LakeSearcher):
+            # left untouched — the service records fused fan-in itself,
+            # so a caller-shared searcher keeps its own configuration
+            searcher = backend
+        else:
+            searcher = LakeSearcher(backend, flags=flags, max_workers=max_workers)
+        self.searcher = searcher
+        self.exact_counts = exact_counts
+        self.flags = flags
+        self._rw = RWLock()
+        self._generation = 0
+        self.cache = ResultCache(cache_size)
+        self._batcher: Optional[MicroBatcher] = None
+        if window_ms is not None:
+            self._batcher = MicroBatcher(
+                self._execute_batch,
+                window_seconds=window_ms / 1000.0,
+                max_batch=max_batch,
+            )
+        self.stats = SearchStats()
+        self._stats_lock = threading.Lock()
+        self._requests_served = 0
+        # coalesced_batch_sizes is bounded to the most recent samples; a
+        # resident server would otherwise grow it one int per fused
+        # dispatch forever. Totals stay exact through these counters.
+        self._coalesced_batches_dropped = 0
+        self._coalesced_requests_dropped = 0
+
+    #: retained fused-batch-size samples (older ones fold into totals)
+    MAX_COALESCED_SAMPLES = 4096
+
+    # -- construction helpers ------------------------------------------------------
+
+    @classmethod
+    def from_directory(cls, directory: str | Path, **kwargs) -> "QueryService":
+        """Serve a saved index directory (single or partitioned layout)."""
+        from repro.core.persistence import load_any
+
+        return cls(load_any(directory), **kwargs)
+
+    # -- properties ----------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Current index generation (bumped by every mutation)."""
+        return self._generation
+
+    @property
+    def n_columns(self) -> int:
+        return self.searcher.n_columns
+
+    @property
+    def coalescing_enabled(self) -> bool:
+        return self._batcher is not None
+
+    def resolve_tau(
+        self,
+        tau: Optional[float],
+        tau_fraction: Optional[float],
+        dim: int,
+    ) -> float:
+        """An absolute τ from either an absolute value or a fraction.
+
+        The fraction is converted exactly as the CLI does: relative to
+        the metric's maximum distance at the query's dimensionality.
+        """
+        if (tau is None) == (tau_fraction is None):
+            raise ValueError("give exactly one of tau / tau_fraction")
+        if tau is not None:
+            return float(tau)
+        metric = self.searcher.backend.metric
+        if metric is None:  # a PartitionedPexeso built with the default
+            from repro.core.metric import EuclideanMetric
+
+            metric = EuclideanMetric()
+        return distance_threshold(float(tau_fraction), metric, dim)
+
+    # -- serving -------------------------------------------------------------------
+
+    def search(
+        self,
+        query: np.ndarray,
+        tau: float,
+        joinability: Union[float, int],
+    ) -> ServeResponse:
+        """Serve one threshold search (coalesced and cached).
+
+        The returned :class:`ServeResponse` stamps the generation the
+        search executed under; a cached response replays the stored
+        result only while its generation is still current.
+        """
+        query = self._validated_query(query)
+        # joinability semantics depend on its Python type (int = absolute
+        # count, float = fraction; 1 != 1.0 here although they hash the
+        # same), so the type goes into the key alongside the value.
+        key = query_cache_key(
+            "search", query, float(tau),
+            type(joinability).__name__, joinability, self.exact_counts,
+        )
+        entry = self.cache.get(key, self._generation)
+        if entry is not None:
+            self._count_cache(hit=True)
+            return ServeResponse(
+                result=entry.value, generation=entry.generation, cached=True
+            )
+        self._count_cache(hit=False)
+        if self._batcher is not None:
+            result, generation = self._batcher.submit(query, tau, joinability)
+        else:
+            result, generation = self._search_direct(query, tau, joinability)
+        self.cache.put(key, result, generation)
+        return ServeResponse(result=result, generation=generation, cached=False)
+
+    def topk(self, query: np.ndarray, tau: float, k: int) -> ServeResponse:
+        """Serve one exact top-k request (cached, not coalesced)."""
+        query = self._validated_query(query)
+        key = query_cache_key("topk", query, float(tau), int(k))
+        entry = self.cache.get(key, self._generation)
+        if entry is not None:
+            self._count_cache(hit=True)
+            return ServeResponse(
+                result=entry.value, generation=entry.generation, cached=True
+            )
+        self._count_cache(hit=False)
+        with self._rw.read():
+            generation = self._generation
+            result = self.searcher.topk(query, tau, k)
+        self._merge_stats(result.stats)
+        self.cache.put(key, result, generation)
+        return ServeResponse(result=result, generation=generation, cached=False)
+
+    # -- live maintenance ----------------------------------------------------------
+
+    def add_column(self, vectors: np.ndarray) -> tuple[int, int]:
+        """Append one column; returns ``(column_id, new generation)``.
+
+        Takes the write lock: in-flight searches drain first, queued
+        searches observe the new column and the bumped generation, and
+        every cached result is invalidated by the bump.
+        """
+        with self._rw.write():
+            column_id = self.searcher.add_column(vectors)
+            self._generation += 1
+            return column_id, self._generation
+
+    def delete_column(self, column_id: int) -> int:
+        """Remove one column; returns the new generation.
+
+        Raises:
+            KeyError: when ``column_id`` is unknown or already deleted.
+        """
+        with self._rw.write():
+            self.searcher.delete_column(column_id)
+            self._generation += 1
+            return self._generation
+
+    def has_column(self, column_id: int) -> bool:
+        return self.searcher.has_column(column_id)
+
+    # -- telemetry -----------------------------------------------------------------
+
+    def snapshot_stats(self) -> SearchStats:
+        """A consistent copy of the service-wide counters."""
+        with self._stats_lock:
+            copy = SearchStats()
+            copy.merge(self.stats)
+            return copy
+
+    def describe(self) -> dict[str, Any]:
+        """Service state for ``/stats`` (JSON-safe)."""
+        stats = self.snapshot_stats()
+        batches, coalesced = self.coalescing_totals()
+        batcher = self._batcher
+        return {
+            "generation": self._generation,
+            "n_columns": self.searcher.n_columns,
+            "partitioned": self.searcher.is_partitioned,
+            "requests_served": self._requests_served,
+            "cache": {
+                "size": len(self.cache),
+                "capacity": self.cache.capacity,
+                "hits": stats.cache_hits,
+                "misses": stats.cache_misses,
+            },
+            "coalescing": {
+                "enabled": batcher is not None,
+                "window_ms": (
+                    batcher.window_seconds * 1000.0 if batcher is not None else None
+                ),
+                "max_batch": batcher.max_batch if batcher is not None else None,
+                "batches": batches,
+                "requests": coalesced,
+            },
+            "distance_computations": stats.distance_computations,
+        }
+
+    # -- internals -----------------------------------------------------------------
+
+    def _validated_query(self, query: np.ndarray) -> np.ndarray:
+        """Reject malformed queries before they can poison a fused batch."""
+        query = np.atleast_2d(np.asarray(query, dtype=np.float64))
+        if query.shape[0] == 0:
+            raise ValueError("query column is empty")
+        if not np.isfinite(query).all():
+            raise ValueError("query contains NaN or infinite values")
+        index = self.searcher.index
+        if index is not None and query.shape[1] != index.dim:
+            raise ValueError(
+                f"query dim {query.shape[1]} != index dim {index.dim}"
+            )
+        return query
+
+    def _count_cache(self, hit: bool) -> None:
+        with self._stats_lock:
+            self._requests_served += 1
+            if hit:
+                self.stats.cache_hits += 1
+            else:
+                self.stats.cache_misses += 1
+
+    def _merge_stats(self, stats: SearchStats) -> None:
+        with self._stats_lock:
+            self.stats.merge(stats)
+            sizes = self.stats.coalesced_batch_sizes
+            overflow = len(sizes) - self.MAX_COALESCED_SAMPLES
+            if overflow > 0:
+                self._coalesced_batches_dropped += overflow
+                self._coalesced_requests_dropped += sum(sizes[:overflow])
+                del sizes[:overflow]
+
+    def coalescing_totals(self) -> tuple[int, int]:
+        """Exact lifetime ``(fused batches, coalesced requests)`` totals
+        (retained samples plus everything folded out of the window)."""
+        with self._stats_lock:
+            sizes = self.stats.coalesced_batch_sizes
+            return (
+                self._coalesced_batches_dropped + len(sizes),
+                self._coalesced_requests_dropped + sum(sizes),
+            )
+
+    def _search_direct(
+        self, query: np.ndarray, tau: float, joinability
+    ) -> tuple[SearchResult, int]:
+        """Per-request dispatch (coalescing disabled): one-query batch."""
+        with self._rw.read():
+            generation = self._generation
+            batch = self.searcher.search_many(
+                [query], [tau], [joinability],
+                flags=self.flags, exact_counts=self.exact_counts,
+            )
+        self._merge_stats(batch.stats)
+        return batch.results[0], generation
+
+    def _execute_batch(self, requests: Sequence[PendingRequest]) -> None:
+        """Fused dispatch for one coalesced batch (runs on the leader).
+
+        The whole batch executes under one read-lock hold, so every
+        request in it is answered by the same index generation.
+        """
+        queries = [r.args[0] for r in requests]
+        taus = [r.args[1] for r in requests]
+        joins = [r.args[2] for r in requests]
+        try:
+            with self._rw.read():
+                generation = self._generation
+                batch = self.searcher.search_many(
+                    queries, taus, joins,
+                    flags=self.flags, exact_counts=self.exact_counts,
+                )
+        except Exception:
+            # One malformed request (e.g. a dim mismatch on a partitioned
+            # backend or a mistyped joinability, unverifiable up front)
+            # must not fail its batch mates: re-dispatch each request
+            # alone so errors stay local.
+            for request in requests:
+                try:
+                    request.payload = self._search_direct(*request.args)
+                except BaseException as exc:
+                    request.error = exc
+            return
+        if not self.searcher.record_batch_sizes:
+            # the service owns fan-in telemetry unless the caller's own
+            # searcher is already recording it (avoid double counting)
+            batch.stats.coalesced_batch_sizes.append(len(requests))
+        self._merge_stats(batch.stats)
+        for request, result in zip(requests, batch.results):
+            request.payload = (result, generation)

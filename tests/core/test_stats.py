@@ -25,10 +25,26 @@ class TestSearchStats:
         a = SearchStats()
         b = SearchStats()
         for name in SearchStats.__dataclass_fields__:
-            setattr(b, name, 1)
+            one = [1] if isinstance(getattr(b, name), list) else 1
+            setattr(b, name, one)
         a.merge(b)
         for name in SearchStats.__dataclass_fields__:
-            assert getattr(a, name) == 1, name
+            want = [1] if isinstance(getattr(b, name), list) else 1
+            assert getattr(a, name) == want, name
+
+    def test_serving_counters_merge(self):
+        a = SearchStats(cache_hits=2, cache_misses=1,
+                        coalesced_batch_sizes=[4, 8])
+        b = SearchStats(cache_hits=1, cache_misses=3,
+                        coalesced_batch_sizes=[16])
+        a.merge(b)
+        assert a.cache_hits == 3
+        assert a.cache_misses == 4
+        assert a.coalesced_batch_sizes == [4, 8, 16]
+        assert a.coalesced_requests == 28
+        assert isinstance(a.cache_hits, int)
+        assert isinstance(a.cache_misses, int)
+        assert all(isinstance(n, int) for n in a.coalesced_batch_sizes)
 
 
 class TestIndexStats:

@@ -1,0 +1,133 @@
+"""Live table add/remove through the discovery facade (§III-E)."""
+
+import pytest
+
+from repro.lake.datagen import DataLakeGenerator
+from repro.lake.discovery import JoinableTableSearch
+from repro.lake.table import Column, Table
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return DataLakeGenerator(seed=5, n_entities=60, dim=24)
+
+
+@pytest.fixture(scope="module")
+def lake(gen):
+    return gen.generate_lake(n_tables=16, rows_range=(8, 18))
+
+
+@pytest.fixture
+def search(gen, lake):
+    s = JoinableTableSearch(gen.embedder, n_pivots=3, levels=3, preprocess=False)
+    return s.index_tables(lake.tables)
+
+
+@pytest.fixture
+def query_pair(gen):
+    """A query table plus a fresh lake table over the same entity domain."""
+    query, _ = gen.generate_query_table(n_rows=12, domain=1, name="the_query")
+    twin, _ = gen.generate_query_table(n_rows=14, domain=1, name="live_table")
+    return query, twin
+
+
+class TestAddTable:
+    def test_add_table_becomes_searchable(self, search, query_pair):
+        query, twin = query_pair
+        before = {h.ref.table_name for h in search.search(query, joinability=0.3)}
+        assert "live_table" not in before
+        column_id = search.add_table(twin)
+        assert search.refs[column_id].table_name == "live_table"
+        after = {h.ref.table_name for h in search.search(query, joinability=0.3)}
+        assert "live_table" in after
+        assert before <= after
+
+    def test_add_table_requires_index(self, gen, query_pair):
+        s = JoinableTableSearch(gen.embedder)
+        with pytest.raises(RuntimeError):
+            s.add_table(query_pair[1])
+
+    def test_add_unusable_table_raises_and_rolls_back(self, search):
+        junk = Table("junk", [Column("a", ["x"])])
+        n_tables = len(search.repository)
+        with pytest.raises(ValueError):
+            search.add_table(junk)
+        assert len(search.repository) == n_tables
+        assert "junk" not in search.repository.tables
+
+    def test_failed_index_insert_rolls_back_registration(
+        self, search, query_pair, monkeypatch
+    ):
+        """A failure *after* registration (embedding / backend insert) must
+        not leave a zombie table — a retry would collide into a suffixed
+        name and remove_table would target the wrong entry."""
+        _, twin = query_pair
+
+        def boom(vectors):
+            raise RuntimeError("backend insert failed")
+
+        monkeypatch.setattr(search.searcher, "add_column", boom)
+        with pytest.raises(RuntimeError, match="backend insert failed"):
+            search.add_table(twin)
+        assert "live_table" not in search.repository.tables
+        monkeypatch.undo()
+        # a retry on the healthy backend registers under the plain name
+        column_id = search.add_table(twin)
+        assert search.refs[column_id].table_name == "live_table"
+
+    def test_name_collision_gets_suffix(self, search, lake, query_pair):
+        _, twin = query_pair
+        collider = Table(
+            lake.tables[0].name, twin.columns, key_column=twin.key_column
+        )
+        column_id = search.add_table(collider)
+        registered = search.refs[column_id].table_name
+        assert registered != lake.tables[0].name
+        assert registered.startswith(lake.tables[0].name)
+        assert registered in search.repository.tables
+
+
+class TestRemoveTable:
+    def test_remove_table_disappears_from_results(self, search, query_pair):
+        query, _ = query_pair
+        hits = search.search(query, joinability=0.2)
+        assert hits, "need at least one hit to remove"
+        victim = hits[0].ref.table_name
+        removed = search.remove_table(victim)
+        assert removed  # at least one column came out
+        after = {h.ref.table_name for h in search.search(query, joinability=0.2)}
+        assert victim not in after
+        assert victim not in search.repository.tables
+
+    def test_remove_then_re_add(self, search, query_pair):
+        query, twin = query_pair
+        column_id = search.add_table(twin)
+        assert search.remove_table("live_table") == [column_id]
+        new_id = search.add_table(twin)
+        assert new_id != column_id  # IDs are never reused
+        names = {h.ref.table_name for h in search.search(query, joinability=0.3)}
+        assert "live_table" in names
+
+    def test_remove_unknown_raises(self, search):
+        with pytest.raises(KeyError):
+            search.remove_table("no_such_table")
+
+    def test_remove_requires_index(self, gen):
+        s = JoinableTableSearch(gen.embedder)
+        with pytest.raises(RuntimeError):
+            s.remove_table("anything")
+
+
+class TestPartitionedFacade:
+    def test_add_remove_on_partitioned_backend(self, gen, lake, query_pair):
+        search = JoinableTableSearch(
+            gen.embedder, n_pivots=3, levels=3, preprocess=False, n_partitions=3
+        ).index_tables(lake.tables)
+        query, twin = query_pair
+        column_id = search.add_table(twin)
+        names = {h.ref.table_name for h in search.search(query, joinability=0.3)}
+        assert "live_table" in names
+        search.remove_table("live_table")
+        names = {h.ref.table_name for h in search.search(query, joinability=0.3)}
+        assert "live_table" not in names
+        assert column_id not in search.searcher.backend._ensure_column_shard()

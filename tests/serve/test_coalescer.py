@@ -1,0 +1,140 @@
+"""Tests for the micro-batching request coalescer."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.coalescer import MicroBatcher
+
+
+def echo_executor(record):
+    """An executor that answers each request with its args and logs sizes."""
+
+    def execute(batch):
+        record.append(len(batch))
+        for request in batch:
+            request.payload = ("done", *request.args)
+
+    return execute
+
+
+class TestMicroBatcher:
+    def test_single_submit(self):
+        sizes = []
+        batcher = MicroBatcher(echo_executor(sizes), window_seconds=0)
+        assert batcher.submit(1, 2) == ("done", 1, 2)
+        assert sizes == [1]
+        assert batcher.pending == 0
+
+    def test_concurrent_submissions_coalesce(self):
+        sizes = []
+        gate = threading.Barrier(8)
+
+        def execute(batch):
+            sizes.append(len(batch))
+            time.sleep(0.005)  # let stragglers queue behind the leader
+            for request in batch:
+                request.payload = request.args[0]
+
+        batcher = MicroBatcher(execute, window_seconds=0.02)
+        results = [None] * 8
+
+        def client(i):
+            gate.wait()
+            results[i] = batcher.submit(i)
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(results) == list(range(8))  # everyone got their own answer
+        assert sum(sizes) == 8
+        assert max(sizes) > 1, "concurrent arrivals must fuse into one batch"
+
+    def test_max_batch_splits_queue(self):
+        sizes = []
+        gate = threading.Barrier(9)
+        batcher = MicroBatcher(echo_executor(sizes), window_seconds=0.02,
+                               max_batch=4)
+
+        def client(i):
+            gate.wait()
+            batcher.submit(i)
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(9)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(sizes) == 9
+        assert max(sizes) <= 4
+
+    def test_executor_error_propagates_to_all(self):
+        def execute(batch):
+            raise RuntimeError("engine down")
+
+        batcher = MicroBatcher(execute, window_seconds=0)
+        with pytest.raises(RuntimeError, match="engine down"):
+            batcher.submit(1)
+        # the batcher recovers: leadership was released
+        assert batcher.pending == 0
+
+    def test_recovers_after_error(self):
+        calls = []
+
+        def execute(batch):
+            calls.append(len(batch))
+            if len(calls) == 1:
+                raise RuntimeError("first call fails")
+            for request in batch:
+                request.payload = "ok"
+
+        batcher = MicroBatcher(execute, window_seconds=0)
+        with pytest.raises(RuntimeError):
+            batcher.submit(1)
+        assert batcher.submit(2) == "ok"
+
+    def test_leadership_hands_off_after_own_request(self):
+        """A leader exits once its own request is answered; a request that
+        queued up mid-execution is promoted to leader and serves itself."""
+        order = []
+        follower_queued = threading.Event()
+
+        def execute(batch):
+            order.append([r.args[0] for r in batch])
+            if len(order) == 1:
+                # hold the first batch until a follower is waiting
+                assert follower_queued.wait(timeout=2)
+            for r in batch:
+                r.payload = r.args[0]
+
+        batcher = MicroBatcher(execute, window_seconds=0)
+        results = {}
+
+        def client(name):
+            results[name] = batcher.submit(name)
+
+        first = threading.Thread(target=client, args=("a",))
+        first.start()
+        while not order:  # first batch is executing
+            time.sleep(0.001)
+        second = threading.Thread(target=client, args=("b",))
+        second.start()
+        while batcher.pending == 0:  # follower is queued behind the leader
+            time.sleep(0.001)
+        follower_queued.set()
+        first.join(timeout=2)
+        second.join(timeout=2)
+        assert results == {"a": "a", "b": "b"}
+        assert order == [["a"], ["b"]]  # second batch ran via promotion
+        # leadership was released cleanly: a fresh submit still works
+        assert batcher.submit("c") == "c"
+        assert batcher.pending == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda b: None, window_seconds=-1)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda b: None, max_batch=0)

@@ -1,0 +1,83 @@
+"""Tests for the generation-stamped LRU result cache."""
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import ResultCache, query_cache_key
+
+
+@pytest.fixture
+def query():
+    return np.random.default_rng(0).normal(size=(5, 4))
+
+
+class TestQueryCacheKey:
+    def test_same_query_same_key(self, query):
+        assert query_cache_key("search", query, 0.5, 0.6) == query_cache_key(
+            "search", query.copy(), 0.5, 0.6
+        )
+
+    def test_kind_and_params_disambiguate(self, query):
+        base = query_cache_key("search", query, 0.5, 0.6)
+        assert query_cache_key("topk", query, 0.5, 0.6) != base
+        assert query_cache_key("search", query, 0.4, 0.6) != base
+        assert query_cache_key("search", query, 0.5, 0.7) != base
+
+    def test_different_content_different_key(self, query):
+        other = query.copy()
+        other[0, 0] += 1.0
+        assert query_cache_key("search", query) != query_cache_key("search", other)
+
+    def test_shape_guard(self):
+        flat = np.zeros(6)
+        reshaped = np.zeros((2, 3))
+        assert query_cache_key("search", flat) != query_cache_key("search", reshaped)
+
+    def test_key_is_hashable(self, query):
+        hash(query_cache_key("search", query, 0.5, 0.6, True))
+
+
+class TestResultCache:
+    def test_hit_round_trip(self):
+        cache = ResultCache(capacity=4)
+        cache.put(("a",), "value", generation=3)
+        entry = cache.get(("a",), generation=3)
+        assert entry is not None
+        assert entry.value == "value"
+        assert entry.generation == 3
+
+    def test_generation_mismatch_is_miss_and_drops(self):
+        cache = ResultCache(capacity=4)
+        cache.put(("a",), "old", generation=1)
+        assert cache.get(("a",), generation=2) is None
+        assert len(cache) == 0  # stale entry dropped eagerly
+
+    def test_absent_key_is_miss(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get(("nope",), generation=0) is None
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put(("a",), 1, 0)
+        cache.put(("b",), 2, 0)
+        assert cache.get(("a",), 0) is not None  # refresh a
+        cache.put(("c",), 3, 0)  # evicts b
+        assert cache.get(("b",), 0) is None
+        assert cache.get(("a",), 0) is not None
+        assert cache.get(("c",), 0) is not None
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put(("a",), 1, 0)
+        assert len(cache) == 0
+        assert cache.get(("a",), 0) is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=-1)
+
+    def test_clear(self):
+        cache = ResultCache(capacity=4)
+        cache.put(("a",), 1, 0)
+        cache.clear()
+        assert len(cache) == 0

@@ -1,0 +1,58 @@
+"""CI-size smoke test for the serving benchmark.
+
+Runs ``benchmarks/bench_serving.py``'s comparison harness on a tiny lake
+(seconds, not minutes) so the benchmark stays importable and its parity
+checks — coalesced == serial hit for hit, cached replay == original,
+every replay a cache hit — run in every test pass. The ≥2x speedup claim
+is asserted at full benchmark scale (`pytest benchmarks/`) and in the CI
+serving job (`python benchmarks/bench_serving.py`), where timings are
+meaningful.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS = Path(__file__).parent.parent / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    sys.path.insert(0, str(BENCHMARKS))
+    try:
+        import bench_serving
+
+        yield bench_serving
+    finally:
+        sys.path.remove(str(BENCHMARKS))
+
+
+def test_serving_comparison_runs_at_ci_size(bench_module):
+    from common import make_dataset
+
+    dataset = make_dataset(
+        "smoke",
+        n_tables=16,
+        rows_range=(6, 14),
+        dim=12,
+        n_entities=40,
+        n_queries=1,
+        query_rows=8,
+        seed=6,
+    )
+    out = bench_module.run_serving_comparison(
+        dataset,
+        n_clients=4,
+        requests_per_client=3,
+        n_pivots=2,
+        levels=2,
+        window_ms=2.0,
+    )
+    # run_serving_comparison asserts coalesced == serial (hit for hit)
+    # and the cache-replay invariants internally; here we check the
+    # report shape the benchmark table consumes.
+    assert out["n_requests"] == 12
+    assert out["serial_seconds"] > 0 and out["coalesced_seconds"] > 0
+    assert out["mean_batch"] >= 1
+    assert out["speedup"] > 0 and out["cache_speedup"] > 0

@@ -1,4 +1,6 @@
-"""Tests for the command-line interface (index / search / stats)."""
+"""Tests for the command-line interface (index / search / serve / stats)."""
+
+import json
 
 import numpy as np
 import pytest
@@ -109,6 +111,123 @@ class TestSearchCommand:
             if line.startswith("[") or line.startswith("# ")
         )
         assert key_section[:end] == single
+
+
+class TestJsonOutput:
+    """--json emits the serving API's /search response schema."""
+
+    @pytest.fixture()
+    def index_dir(self, lake_dir, tmp_path):
+        out = tmp_path / "idx"
+        assert main(["index", str(lake_dir), str(out), "--dim", "32"]) == 0
+        return out
+
+    def test_search_json_schema(self, index_dir, lake_dir, capsys):
+        query_csv = lake_dir.parent / "query.csv"
+        assert main([
+            "search", str(index_dir), str(query_csv),
+            "--tau", "0.2", "--joinability", "0.2", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"tau", "t_count", "query_size", "hits"}
+        assert payload["hits"], "workload is built to produce hits"
+        for hit in payload["hits"]:
+            assert {"column_id", "table", "column", "match_count",
+                    "joinability", "exact_count"} <= set(hit)
+            assert isinstance(hit["column_id"], int)
+            assert isinstance(hit["match_count"], int)
+
+    def test_json_matches_plain_output(self, index_dir, lake_dir, capsys):
+        query_csv = lake_dir.parent / "query.csv"
+        assert main([
+            "search", str(index_dir), str(query_csv),
+            "--tau", "0.2", "--joinability", "0.2",
+        ]) == 0
+        plain = capsys.readouterr().out.strip().splitlines()
+        assert main([
+            "search", str(index_dir), str(query_csv),
+            "--tau", "0.2", "--joinability", "0.2", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        rebuilt = [
+            f"{h['table']}.{h['column']}\tmatches={h['match_count']}\t"
+            f"joinability={h['joinability']:.3f}"
+            for h in payload["hits"]
+        ]
+        assert rebuilt == plain
+
+    def test_topk_json_schema(self, index_dir, lake_dir, capsys):
+        query_csv = lake_dir.parent / "query.csv"
+        assert main([
+            "search", str(index_dir), str(query_csv),
+            "--tau", "0.2", "--topk", "3", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["k"] == 3
+        scores = [h["joinability"] for h in payload["hits"]]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_all_columns_json(self, index_dir, lake_dir, capsys):
+        query_csv = lake_dir.parent / "query.csv"
+        assert main([
+            "search", str(index_dir), str(query_csv),
+            "--all-columns", "--tau", "0.2", "--joinability", "0.2", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "key" in payload["columns"]
+        assert "hits" in payload["columns"]["key"]
+        assert "distance_computations" in payload
+
+    def test_json_schema_matches_server_response(self, index_dir, lake_dir):
+        """The CLI payload and the HTTP /search payload share one shape."""
+        import threading
+
+        from repro.lake.csv_loader import load_csv
+        from repro.serve.client import ServeClient
+        from repro.serve.server import make_server
+
+        query_csv = lake_dir.parent / "query.csv"
+        server = make_server(index_dir, port=0, window_ms=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServeClient(server.url)
+            values = load_csv(query_csv).column("key").values
+            reply = client.search(values=values, tau=0.2, joinability=0.2)
+        finally:
+            server.shutdown()
+            server.server_close()
+        import io
+        from contextlib import redirect_stdout
+
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            assert main([
+                "search", str(index_dir), str(query_csv),
+                "--tau", "0.2", "--joinability", "0.2", "--json",
+            ]) == 0
+        cli_payload = json.loads(buffer.getvalue())
+        # server adds serving provenance on top of the shared schema
+        assert set(reply) == set(cli_payload) | {"generation", "cached"}
+        assert reply["hits"] == cli_payload["hits"]
+
+
+class TestServeCommand:
+    def test_parser_accepts_serve(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "some_dir", "--port", "0", "--window-ms", "1.5",
+            "--cache-size", "64",
+        ])
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.window_ms == 1.5
+
+    def test_serve_missing_dir_fails(self, tmp_path, capsys):
+        missing = tmp_path / "nothing"
+        assert main(["serve", str(missing), "--port", "0"]) == 1
+        assert capsys.readouterr().err.strip()
 
 
 class TestPartitionedCli:

@@ -19,6 +19,7 @@ FAST_EXAMPLES = [
     "out_of_core_partitioning.py",
     "lake_curation.py",
     "topk_and_persistence.py",
+    "serving_quickstart.py",
 ]
 
 
