@@ -1,0 +1,209 @@
+"""Cluster throughput — process-level scaling of scatter-gather search.
+
+Not a paper figure: this benchmarks the repository's distributed tier
+(``repro/cluster``). A single serving process cannot push
+verification-heavy traffic past one core of useful CPU (the GIL); the
+cluster shards the lake across worker *processes*, so adding workers
+adds real cores. The workload:
+
+* one saved partitioned lake (CI-size SWDC-like profile, 8 partitions);
+* N concurrent clients issuing distinct single-query requests against
+  one coordinator;
+* the same request list replayed against a **1-worker** cluster and a
+  **4-worker** cluster (same coordinator code path, same lake, workers
+  spawned as real OS processes via ``repro.cli cluster-worker``).
+
+Every reply is checked hit-for-hit — column IDs, match counts *and*
+joinabilities — against a local single-node
+:class:`~repro.core.out_of_core.LakeSearcher` over the same lake, so
+the scaling claim never trades exactness. The headline assertion is
+>= 2x request throughput going from 1 worker to 4.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from common import ResultTable, swdc_like
+
+from repro.cluster import LocalCluster
+from repro.cluster.client import ClusterClient
+from repro.core.out_of_core import LakeSearcher, PartitionedPexeso
+from repro.core.persistence import load_partitioned, save_partitioned
+from repro.core.thresholds import distance_threshold
+
+TAU_FRACTION = 0.06
+T = 0.3
+N_PARTITIONS = 8
+N_CLIENTS = 8
+REQUESTS_PER_CLIENT = 4
+WORKER_COUNTS = (1, 4)
+MIN_SPEEDUP = 2.0
+
+
+def make_request_queries(dataset, n_requests: int, query_rows: int = 20):
+    """One distinct embedded query column per request (no cache overlap)."""
+    queries = []
+    for i in range(n_requests):
+        table, _ = dataset.gen.generate_query_table(
+            n_rows=query_rows, domain=i % 5, name=f"cluster_query_{i}"
+        )
+        queries.append(dataset.gen.embedder.embed_column(table.column("key").values))
+    return queries
+
+
+def run_clients(url: str, queries, n_clients: int, tau: float, joinability):
+    """Fan the request list out over ``n_clients`` threads against the
+    coordinator; returns (request-ordered payloads, wall seconds)."""
+    per_client = len(queries) // n_clients
+    payloads = [None] * len(queries)
+    gate = threading.Barrier(n_clients)
+
+    def client_thread(c: int):
+        client = ClusterClient(url, retries=2)
+        gate.wait()
+        for r in range(per_client):
+            i = c * per_client + r
+            payloads[i] = client.search(
+                vectors=queries[i], tau=tau, joinability=joinability
+            )
+
+    threads = [
+        threading.Thread(target=client_thread, args=(c,))
+        for c in range(n_clients)
+    ]
+    started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return payloads, time.perf_counter() - started
+
+
+def run_cluster_comparison(
+    dataset,
+    n_partitions: int = N_PARTITIONS,
+    worker_counts=WORKER_COUNTS,
+    n_clients: int = N_CLIENTS,
+    requests_per_client: int = REQUESTS_PER_CLIENT,
+    n_pivots: int = 5,
+    levels: int = 4,
+    tau_fraction: float = TAU_FRACTION,
+    joinability=T,
+    mode: str = "process",
+    lake_dir: str | Path | None = None,
+) -> dict:
+    """Time the same workload at several worker counts; verify exactness."""
+    tmp = Path(lake_dir) if lake_dir else Path(tempfile.mkdtemp(prefix="bench_cluster_"))
+    saved = tmp / "lake"
+    if not saved.exists():
+        lake = PartitionedPexeso(
+            n_pivots=n_pivots, levels=levels, n_partitions=n_partitions,
+        ).fit(dataset.vector_columns)
+        save_partitioned(lake, saved)
+
+    reference = LakeSearcher(load_partitioned(saved))
+    # a loaded lake always carries its metric (reconstructed by name)
+    tau = distance_threshold(tau_fraction, reference.backend.metric, dataset.dim)
+    n_requests = n_clients * requests_per_client
+    queries = make_request_queries(dataset, n_requests)
+    expected = [
+        [
+            (h.column_id, h.match_count, h.joinability)
+            for h in reference.search(q, tau, joinability).joinable
+        ]
+        for q in queries
+    ]
+
+    out: dict = {
+        "n_requests": n_requests,
+        "n_clients": n_clients,
+        "n_partitions": n_partitions,
+        "mode": mode,
+        "seconds": {},
+        "throughput": {},
+        "hits": sum(len(rows) for rows in expected),
+    }
+    for n_workers in worker_counts:
+        with LocalCluster(
+            saved, n_workers=n_workers, replication=1, mode=mode,
+            worker_kwargs=dict(cache_size=0),
+        ) as cluster:
+            # one warmup request per worker count (connection setup,
+            # worker-side first-dispatch costs) before the timed run
+            ClusterClient(cluster.url).search(
+                vectors=queries[0], tau=tau, joinability=joinability
+            )
+            payloads, seconds = run_clients(
+                cluster.url, queries, n_clients, tau, joinability
+            )
+        for payload, want in zip(payloads, expected):
+            got = [
+                (h["column_id"], h["match_count"], h["joinability"])
+                for h in payload["hits"]
+            ]
+            assert got == want, (
+                f"{n_workers}-worker cluster diverged from single-node search"
+            )
+        out["seconds"][n_workers] = seconds
+        out["throughput"][n_workers] = n_requests / seconds
+    low, high = min(worker_counts), max(worker_counts)
+    out["speedup"] = out["seconds"][low] / out["seconds"][high]
+    return out
+
+
+def report(label: str, out: dict, filename: str) -> None:
+    table = ResultTable(
+        f"Cluster scatter-gather ({label}): {out['n_requests']} requests from "
+        f"{out['n_clients']} concurrent clients over {out['n_partitions']} "
+        f"partitions, tau={TAU_FRACTION:.0%}, T={T:.0%}, "
+        f"{out['mode']}-mode workers (results checked hit-for-hit against "
+        f"single-node search)",
+        ["Workers", "Wall (s)", "Requests/s"],
+    )
+    for n_workers, seconds in sorted(out["seconds"].items()):
+        table.add(f"{n_workers} worker(s)", seconds, out["throughput"][n_workers])
+    table.add(
+        f"speedup ({min(out['seconds'])} -> {max(out['seconds'])} workers)",
+        out["speedup"], "-",
+    )
+    table.print_and_save(filename)
+
+
+def test_cluster_speedup(swdc_dataset, benchmark):
+    out = benchmark.pedantic(
+        lambda: run_cluster_comparison(swdc_dataset),
+        rounds=1,
+        iterations=1,
+    )
+    report("SWDC-like", out, "cluster_swdc_like.md")
+    assert out["speedup"] >= MIN_SPEEDUP, (
+        f"4-worker cluster must serve >= {MIN_SPEEDUP}x the 1-worker "
+        f"throughput, got {out['speedup']:.2f}x"
+    )
+
+
+def main() -> None:
+    """CI entry point: run at CI size and write results/cluster_ci.md."""
+    dataset = swdc_like(scale=0.5)
+    out = run_cluster_comparison(dataset)
+    report("CI-size SWDC-like", out, "cluster_ci.md")
+    assert out["speedup"] >= MIN_SPEEDUP, (
+        f"4-worker cluster must serve >= {MIN_SPEEDUP}x the 1-worker "
+        f"throughput at CI size, got {out['speedup']:.2f}x"
+    )
+    print(
+        f"CI cluster check passed: {out['speedup']:.1f}x going from "
+        f"{min(out['seconds'])} to {max(out['seconds'])} workers "
+        f"({out['throughput'][max(out['seconds'])]:.0f} req/s, "
+        f"{out['n_clients']} clients, results identical to single-node)"
+    )
+
+
+if __name__ == "__main__":
+    main()

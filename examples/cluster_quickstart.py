@@ -1,0 +1,91 @@
+"""Cluster quickstart: coordinator + 2 workers on ephemeral ports.
+
+Builds a small partitioned lake, spins up the distributed tier
+**in-process** (the same topology runs as separate machines via
+``repro cluster-coordinator`` / ``repro cluster-worker``), and walks
+the cluster contract: scatter-gather search identical to single-node
+results, routed live maintenance with replica write-through, and
+failover when a worker dies. Runs in a few seconds::
+
+    python examples/cluster_quickstart.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.cluster import LocalCluster
+from repro.core.out_of_core import LakeSearcher, PartitionedPexeso
+from repro.core.persistence import load_partitioned, save_partitioned
+from repro.core.thresholds import distance_threshold
+from repro.lake.datagen import DataLakeGenerator
+
+
+def main() -> None:
+    # 1. Offline: generate a lake, shard it into 4 partitions, save it.
+    #    (The CLI equivalent: repro index LAKE_DIR INDEX_DIR --partitions 4)
+    gen = DataLakeGenerator(seed=0, n_entities=100, dim=32)
+    lake = gen.generate_lake(n_tables=40, rows_range=(10, 22))
+    columns = lake.vector_columns()
+    saved = Path(tempfile.mkdtemp()) / "lake"
+    save_partitioned(
+        PartitionedPexeso(n_pivots=4, levels=4, n_partitions=4).fit(columns),
+        saved,
+    )
+    tau = distance_threshold(0.06, load_partitioned(saved).metric, 32)
+
+    # A single-node searcher over the same lake: the cluster must return
+    # exactly its results — that is the whole contract.
+    reference = LakeSearcher(load_partitioned(saved))
+
+    # 2. Online: a coordinator plus 2 workers, every partition hosted by
+    #    both (replication=2), all on ephemeral ports.
+    with LocalCluster(saved, n_workers=2, replication=2) as cluster:
+        client = cluster.client
+        state = client.cluster()
+        print(f"cluster on {cluster.url}: {len(state['parts'])} partitions, "
+              f"{state['n_workers']} workers (replication "
+              f"{state['replication']})")
+        for worker in state["workers"]:
+            print(f"  slot {worker['slot']}: {worker['status']} at "
+                  f"{worker['url']} hosting partitions {worker['parts']}")
+
+        # 3. Scatter-gather search. Each partition is answered by exactly
+        #    one worker; the coordinator merges through the same exact
+        #    shard merge the in-process engine uses.
+        query_table, _ = gen.generate_query_table(n_rows=15, domain=0)
+        query = gen.embedder.embed_column(query_table.column("key").values)
+        reply = client.search(vectors=query, tau=tau, joinability=0.25)
+        want = reference.search(query, tau, 0.25)
+        got = [(h["column_id"], h["match_count"]) for h in reply["hits"]]
+        assert got == [(h.column_id, h.match_count) for h in want.joinable]
+        print(f"\nsearch: {len(reply['hits'])} joinable columns, identical "
+              f"to single-node; generation vector {reply['generation']}")
+
+        # 4. Routed live maintenance: the add is written through to every
+        #    replica of the least-loaded partition (both generations bump).
+        new_table, _ = gen.generate_query_table(
+            n_rows=18, domain=0, name="live_added"
+        )
+        vectors = gen.embedder.embed_column(new_table.column("key").values)
+        added = client.add_column(vectors=vectors, table="live_added")
+        print(f"\nlive add -> column {added['column_id']}, "
+              f"generation vector {added['generation']}")
+
+        # 5. Failover: kill worker 0 without telling anyone. The next
+        #    scatter hits the dead socket, demotes the worker and fails
+        #    over to the replica — the answer is still exact, and it
+        #    still includes the live-added column.
+        cluster.kill_worker(0)
+        after = client.search(vectors=query, tau=tau, joinability=0.25)
+        statuses = [w["status"] for w in client.cluster()["workers"]]
+        has_new = any(
+            h["column_id"] == added["column_id"] for h in after["hits"]
+        )
+        print(f"\nafter killing worker 0: statuses {statuses}, "
+              f"{len(after['hits'])} hits, includes live-added column: "
+              f"{has_new}")
+        print(f"failovers recorded: {client.cluster()['failovers']}")
+
+
+if __name__ == "__main__":
+    main()

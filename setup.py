@@ -1,3 +1,21 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-pexeso",
+    version="1.3.0",
+    description=(
+        "PEXESO reproduction: joinable table discovery in data lakes, "
+        "grown into a sharded, serving, clustered search system"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            # the CLI as a real binary: `repro index ...`, `repro serve ...`,
+            # `repro cluster-coordinator ...` instead of `python -m repro.cli`
+            "repro = repro.cli:main",
+        ]
+    },
+)

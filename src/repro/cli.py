@@ -1,16 +1,21 @@
 """Command-line interface for the PEXESO framework.
 
-Four subcommands mirror the offline/online split of Fig. 1::
+The subcommands mirror the offline/online split of Fig. 1 (installed as
+the ``repro`` binary via the ``console_scripts`` entry point, or run as
+``python -m repro.cli``)::
 
-    python -m repro.cli index  LAKE_DIR INDEX_DIR [--dim 64] [--pivots 5] [--levels 4]
-                               [--partitions N] [--partitioner jsd]
-    python -m repro.cli search INDEX_DIR QUERY_CSV [--column NAME]
-                               [--tau 0.06] [--joinability 0.6] [--top-k K]
-                               [--all-columns] [--workers W] [--partitions N]
-                               [--json]
-    python -m repro.cli serve  INDEX_DIR [--host H] [--port P] [--window-ms W]
-                               [--cache-size C] [--workers W]
-    python -m repro.cli stats  LAKE_DIR
+    repro index  LAKE_DIR INDEX_DIR [--dim 64] [--pivots 5] [--levels 4]
+                 [--partitions N] [--partitioner jsd]
+    repro search INDEX_DIR QUERY_CSV [--column NAME]
+                 [--tau 0.06] [--joinability 0.6] [--top-k K]
+                 [--all-columns] [--workers W] [--partitions N]
+                 [--json] [--cluster URL]
+    repro serve  INDEX_DIR [--host H] [--port P] [--window-ms W]
+                 [--cache-size C] [--workers W]
+    repro cluster-coordinator INDEX_DIR --workers N [--replication R]
+                 [--host H] [--port P]
+    repro cluster-worker INDEX_DIR --coordinator URL [--host H] [--port P]
+    repro stats  LAKE_DIR
 
 ``index`` loads every CSV under LAKE_DIR, detects join-key columns,
 normalises and embeds them (hashing n-gram embedder — deterministic given
@@ -29,7 +34,12 @@ emits machine-readable results in the same schema the serving API's
 ``/search`` endpoint returns. ``serve`` boots the resident HTTP query
 service (:mod:`repro.serve`) over a saved index — micro-batched
 concurrent search, generation-stamped result cache, live column
-add/delete. ``stats`` prints the Table III-style profile.
+add/delete. ``cluster-coordinator`` / ``cluster-worker`` run the
+distributed tier (:mod:`repro.cluster`): the coordinator owns the
+shard map and scatter-gathers searches across worker processes that
+each host a shard subset, with replication and failover; ``search
+--cluster URL`` answers through a running coordinator. ``stats``
+prints the Table III-style profile.
 """
 
 from __future__ import annotations
@@ -50,6 +60,7 @@ from repro.lake.csv_loader import load_csv
 from repro.lake.key_detection import detect_key_column
 from repro.lake.repository import TableRepository
 from repro.lake.statistics import DatasetStatistics, dataset_statistics
+from repro.serve.client import ServeError
 
 
 def _build_embedder(args: argparse.Namespace) -> HashingNGramEmbedder:
@@ -124,13 +135,76 @@ def _embed_query_values(values, catalog, embedder):
     return embedder.embed_column(values)
 
 
+def _cluster_search(args: argparse.Namespace, catalog: dict, embedder) -> int:
+    """``search --cluster URL``: answer through a running coordinator.
+
+    The query is embedded locally (same catalog settings as indexing)
+    and shipped as vectors; results print exactly like a local search —
+    or as the shared JSON schema with ``--json`` (``generation`` is the
+    cluster's per-worker vector).
+    """
+    from repro.cluster.client import ClusterClient
+
+    query_table = load_csv(args.query_csv)
+    column = args.column or detect_key_column(query_table)
+    if column is None:
+        print("query table has no usable key column", file=sys.stderr)
+        return 1
+    query_vectors = _embed_query_values(
+        query_table.column(column).values, catalog, embedder
+    )
+    client = ClusterClient(args.cluster, retries=2)
+    try:
+        if args.topk:
+            payload = client.topk(
+                vectors=query_vectors, tau_fraction=args.tau, k=args.topk
+            )
+        else:
+            payload = client.search(
+                vectors=query_vectors, tau_fraction=args.tau,
+                joinability=args.joinability,
+            )
+    except (ServeError, OSError) as exc:
+        print(f"cluster request failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    if not payload["hits"]:
+        print("no joinable tables found")
+        return 0
+    # Label hits from the payload when the coordinator annotated them —
+    # its catalog tracks live adds, while the local catalog.json is
+    # frozen at index time and may not cover every live column ID.
+    columns = catalog["columns"]
+    for h in payload["hits"]:
+        table, column = h.get("table"), h.get("column")
+        if table is None:
+            cid = h["column_id"]
+            if 0 <= cid < len(columns):
+                table, column = columns[cid]["table"], columns[cid]["column"]
+            else:
+                table, column = f"column_{cid}", "?"
+        print(
+            f"{table}.{column}\tmatches={h['match_count']}\t"
+            f"joinability={h['joinability']:.3f}"
+        )
+    return 0
+
+
 def cmd_search(args: argparse.Namespace) -> int:
     index_dir = Path(args.index_dir)
-    backend = load_any(index_dir)
     catalog = json.loads((index_dir / "catalog.json").read_text())
     embedder = HashingNGramEmbedder(
         dim=catalog["embedder"]["dim"], seed=catalog["embedder"]["seed"]
     )
+    if args.cluster:
+        if args.all_columns:
+            print("--all-columns is not supported with --cluster",
+                  file=sys.stderr)
+            return 1
+        return _cluster_search(args, catalog, embedder)
+    backend = load_any(index_dir)
 
     if args.partitions < 0:
         print("--partitions must be non-negative", file=sys.stderr)
@@ -237,7 +311,7 @@ def cmd_search(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve.server import make_server
+    from repro.serve.server import install_signal_handlers, make_server
 
     window_ms = None if args.window_ms < 0 else args.window_ms
     try:
@@ -261,12 +335,91 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"(window={window_ms}ms, cache={args.cache_size}) — Ctrl-C to stop",
         flush=True,
     )
+    # SIGTERM/SIGINT drain in-flight requests before the socket closes,
+    # so a supervisor restart (or Ctrl-C) never drops accepted work.
+    install_signal_handlers(server)
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - direct interrupt
         pass
-    finally:
-        server.server_close()
+    # Drain on the *main* thread: the signal handler's helper thread
+    # unblocks serve_forever() first, and if main exited right away the
+    # interpreter would kill the daemon handler threads mid-request.
+    server.close()
+    print("shut down cleanly", flush=True)
+    return 0
+
+
+def cmd_cluster_coordinator(args: argparse.Namespace) -> int:
+    from repro.cluster.server import make_cluster_server
+    from repro.serve.server import install_signal_handlers
+
+    try:
+        server = make_cluster_server(
+            args.index_dir,
+            host=args.host,
+            port=args.port,
+            quiet=not args.verbose,
+            n_workers=args.workers,
+            replication=args.replication,
+            wave_width=args.wave_width,
+        )
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    coordinator = server.coordinator
+    print(
+        f"cluster coordinator on {server.url}: "
+        f"{len(coordinator.shard_map.parts)} partitions over "
+        f"{args.workers} worker slots (replication {coordinator.shard_map.replication}) "
+        f"— point `repro cluster-worker {args.index_dir} --coordinator "
+        f"{server.url}` at it",
+        flush=True,
+    )
+    install_signal_handlers(server)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - direct interrupt
+        pass
+    server.close()  # drain on the main thread (see cmd_serve)
+    print("shut down cleanly", flush=True)
+    return 0
+
+
+def cmd_cluster_worker(args: argparse.Namespace) -> int:
+    from repro.cluster.worker import start_worker
+    from repro.serve.server import install_signal_handlers
+
+    window_ms = None if args.window_ms < 0 else args.window_ms
+    try:
+        server, slot, thread = start_worker(
+            args.index_dir,
+            args.coordinator,
+            host=args.host,
+            port=args.port,
+            advertise_host=args.advertise_host,
+            window_ms=window_ms,
+            max_batch=args.max_batch,
+            cache_size=args.cache_size,
+            exact_counts=args.exact_counts,
+            max_workers=args.workers,
+        )
+    except (FileNotFoundError, OSError, ServeError, KeyError, ValueError) as exc:
+        print(f"failed to join cluster: {exc}", file=sys.stderr)
+        return 1
+    backend = server.service.searcher.backend
+    print(
+        f"worker slot {slot} on {server.url}: hosting partitions "
+        f"{sorted(backend.hosted_parts)} ({server.service.n_columns} columns)",
+        flush=True,
+    )
+    install_signal_handlers(server)
+    try:
+        thread.join()
+    except KeyboardInterrupt:  # pragma: no cover - direct interrupt
+        pass
+    server.close()  # drain on the main thread (see cmd_serve)
+    print("shut down cleanly", flush=True)
     return 0
 
 
@@ -340,6 +493,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--json", action="store_true",
                           help="emit machine-readable JSON in the serving "
                                "API's /search (or /topk) response schema")
+    p_search.add_argument("--cluster", metavar="URL", default=None,
+                          help="answer through a running cluster "
+                               "coordinator instead of loading the index "
+                               "locally (INDEX_DIR still supplies the "
+                               "embedding catalog)")
     p_search.set_defaults(func=cmd_search)
 
     p_serve = sub.add_parser(
@@ -362,6 +520,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every request")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_coord = sub.add_parser(
+        "cluster-coordinator",
+        help="run the cluster coordinator over a saved partitioned index",
+    )
+    p_coord.add_argument("index_dir")
+    p_coord.add_argument("--host", default="127.0.0.1")
+    p_coord.add_argument("--port", type=int, default=8766,
+                         help="0 binds an ephemeral port")
+    p_coord.add_argument("--workers", type=int, required=True,
+                         help="number of worker slots in the shard map")
+    p_coord.add_argument("--replication", type=int, default=1,
+                         help="replicas per partition (clamped to --workers)")
+    p_coord.add_argument("--wave-width", type=int, default=4,
+                         help="worker groups per top-k wave (theta-shared)")
+    p_coord.add_argument("--verbose", action="store_true",
+                         help="log every request")
+    p_coord.set_defaults(func=cmd_cluster_coordinator)
+
+    p_worker = sub.add_parser(
+        "cluster-worker",
+        help="join a cluster: host a shard subset of a saved partitioned index",
+    )
+    p_worker.add_argument("index_dir",
+                          help="the same saved lake the coordinator reads")
+    p_worker.add_argument("--coordinator", required=True, metavar="URL",
+                          help="coordinator base URL to register with")
+    p_worker.add_argument("--host", default="127.0.0.1")
+    p_worker.add_argument("--port", type=int, default=0,
+                          help="0 binds an ephemeral port (the bound URL is "
+                               "reported to the coordinator)")
+    p_worker.add_argument("--advertise-host", default=None,
+                          help="hostname the coordinator should dial, when "
+                               "it differs from --host")
+    p_worker.add_argument("--window-ms", type=float, default=2.0,
+                          help="micro-batching window; negative disables "
+                               "coalescing")
+    p_worker.add_argument("--max-batch", type=int, default=64)
+    p_worker.add_argument("--cache-size", type=int, default=256)
+    p_worker.add_argument("--exact-counts", action="store_true",
+                          help="serve exact match counts (disable early "
+                               "termination)")
+    p_worker.add_argument("--workers", type=int, default=None,
+                          help="shard fan-out width inside this worker")
+    p_worker.set_defaults(func=cmd_cluster_worker)
 
     p_stats = sub.add_parser("stats", help="profile a CSV data lake")
     p_stats.add_argument("lake_dir")

@@ -1,0 +1,49 @@
+"""Distributed cluster subsystem: multi-node scatter-gather search.
+
+One process cannot scale verification-heavy traffic past a single core
+of useful CPU (the GIL), and one process is a single point of failure.
+This package crosses the process boundary while keeping the repo's
+core guarantee — results bit-identical to a single-node
+:class:`~repro.core.out_of_core.LakeSearcher`:
+
+* :class:`~repro.cluster.shard_map.ShardMap` — partition -> worker-slot
+  assignment with N-way replication, persisted as ``cluster.json``
+  next to the lake's ``partitioned.json``;
+* :class:`~repro.cluster.coordinator.ClusterCoordinator` —
+  scatter-gathers ``/search`` / ``/topk`` across workers (each
+  partition answered exactly once), merges exactly through
+  :func:`~repro.core.engine.merge_shard_batches`, runs wave-parallel
+  top-k with a shared strict ``theta`` floor, routes live maintenance
+  to every replica of the least-loaded partition, and fails queries
+  over to replicas when workers die;
+* :func:`~repro.cluster.worker.start_worker` — a serving node over a
+  shard-subset lake (:func:`~repro.core.persistence.load_partitioned`
+  with ``parts=``), joined through the coordinator's registration
+  endpoints;
+* :class:`~repro.cluster.local.LocalCluster` — one-machine clusters
+  (thread or process workers) for tests, examples and benchmarks;
+* :class:`~repro.cluster.remote.RemoteLakeSearcher` — the local
+  searcher surface over the cluster API, backing
+  :meth:`repro.lake.discovery.JoinableTableSearch.from_cluster`.
+"""
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.local import LocalCluster
+from repro.cluster.remote import RemoteLakeSearcher
+from repro.cluster.server import ClusterHTTPServer, make_cluster_server
+from repro.cluster.shard_map import ClusterUnavailable, ShardMap, WorkerSlot
+from repro.cluster.worker import start_worker
+
+__all__ = [
+    "ClusterClient",
+    "ClusterCoordinator",
+    "ClusterHTTPServer",
+    "ClusterUnavailable",
+    "LocalCluster",
+    "RemoteLakeSearcher",
+    "ShardMap",
+    "WorkerSlot",
+    "make_cluster_server",
+    "start_worker",
+]

@@ -1,0 +1,34 @@
+"""Client for the coordinator API (a :class:`ServeClient` extension).
+
+``/search`` / ``/topk`` / ``/columns`` / ``/stats`` / ``/healthz`` /
+``/metrics`` are inherited unchanged — the coordinator speaks the same
+schema as a single serving node (with a generation *vector*). The
+additions are the worker lifecycle and cluster introspection calls.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.serve.client import ServeClient
+
+
+class ClusterClient(ServeClient):
+    """Client for one :class:`~repro.cluster.server.ClusterHTTPServer`."""
+
+    def register_worker(self, url: Optional[str] = None) -> dict[str, Any]:
+        """Claim a worker slot; returns ``{"slot", "parts", ...}``."""
+        body = {} if url is None else {"url": url}
+        return self._request("POST", "/workers", body)
+
+    def worker_ready(self, slot: int, url: str) -> dict[str, Any]:
+        """Report a loaded worker's serving URL; triggers replay + promotion."""
+        return self._request("POST", f"/workers/{int(slot)}/ready", {"url": url})
+
+    def cluster(self) -> dict[str, Any]:
+        """Shard map, worker statuses and routing telemetry."""
+        return self._request("GET", "/cluster")
+
+    def health_check(self) -> dict[str, Any]:
+        """Ask the coordinator to probe every worker right now."""
+        return self._request("POST", "/health-check", {})

@@ -1,0 +1,784 @@
+"""The cluster coordinator: scatter-gather search with exact merging.
+
+:class:`ClusterCoordinator` owns the shard map over one saved
+partitioned lake and speaks to its workers through
+:class:`~repro.serve.client.ServeClient`:
+
+* **search** — one scatter per request: every partition is routed to
+  exactly one live owner (primary, else first live replica), each
+  worker answers a partition-restricted ``/search``, and the per-worker
+  results merge through :func:`~repro.core.engine.merge_shard_batches`
+  — the same exact merge single-node sharded search uses, so cluster
+  results are bit-identical to a local
+  :class:`~repro.core.out_of_core.LakeSearcher` over the union of the
+  shards.
+* **top-k** — worker groups run in waves; each wave prunes against the
+  running global k-th-best count (a *strict* ``theta`` floor threaded
+  into every worker's :func:`~repro.core.topk.pexeso_topk`), so ID
+  tie-breaks survive and the merged ranking equals single-node top-k.
+* **maintenance** — ``add_column`` picks the least-loaded partition
+  cluster-wide, allocates the global column ID centrally, and writes
+  through to *every* live replica of that partition; ``delete_column``
+  tombstones on every live replica. A worker that missed writes while
+  down is replayed from the coordinator's mutation log before it is
+  promoted back to ``up``.
+* **failover** — a worker that fails a scatter call (or a health check)
+  is demoted and its partitions are re-routed to live replicas, within
+  the same request.
+
+Every response stamps a **cluster generation vector** — the last known
+per-worker service generation, indexed by worker slot — rolling the
+single-node generation contract up to the cluster: a response is valid
+for the per-worker index states it names.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.core.engine import BatchResult, merge_shard_batches
+from repro.core.metric import get_metric
+from repro.core.stats import SearchStats
+from repro.core.thresholds import distance_threshold
+from repro.core.topk import TopKResult
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.schema import search_result_from_payload
+from repro.cluster.shard_map import (
+    CLUSTER_MANIFEST,
+    ClusterUnavailable,
+    ShardMap,
+)
+
+#: how many worker groups one top-k wave queries in parallel (the
+#: cluster analogue of the shard engine's DEFAULT_SHARD_WORKERS)
+DEFAULT_WAVE_WIDTH = 4
+
+
+class ClusterCoordinator:
+    """Routing, merging and metadata authority for one cluster.
+
+    Args:
+        lake_dir: a directory produced by
+            :func:`~repro.core.persistence.save_partitioned` (the
+            ``partitioned.json`` manifest names the partitions and their
+            global column IDs; ``catalog.json``, when present, labels
+            hits and enables ``"values"`` queries at the coordinator).
+        n_workers: number of worker slots in the plan.
+        replication: replicas per partition (clamped to ``n_workers``).
+        wave_width: worker groups per top-k wave.
+        retries: transport retry budget per worker call (see
+            :class:`~repro.serve.client.ServeClient`); exhausting it
+            demotes the worker and triggers failover.
+        timeout: per-worker-call socket timeout in seconds.
+    """
+
+    def __init__(
+        self,
+        lake_dir: str | Path,
+        n_workers: int,
+        replication: int = 1,
+        wave_width: int = DEFAULT_WAVE_WIDTH,
+        retries: int = 1,
+        timeout: float = 60.0,
+    ):
+        self.lake_dir = Path(lake_dir)
+        manifest_path = self.lake_dir / "partitioned.json"
+        if not manifest_path.exists():
+            raise FileNotFoundError(
+                f"no partitioned manifest under {self.lake_dir}; the cluster "
+                "serves saved partitioned lakes (repro.cli index --partitions N)"
+            )
+        manifest = json.loads(manifest_path.read_text())
+        self.metric = get_metric(manifest["metric"])
+        self.wave_width = max(1, int(wave_width))
+        self.retries = int(retries)
+        self.timeout = float(timeout)
+
+        parts = sorted(int(p) for p in manifest["partitions"])
+        #: live global column id -> partition
+        self._column_partition: dict[int, int] = {}
+        deleted = {int(c) for c in manifest.get("deleted_column_ids", [])}
+        for part, globals_ in enumerate(manifest["partition_columns"]):
+            for cid in globals_:
+                if cid >= 0 and cid not in deleted:
+                    self._column_partition[int(cid)] = part
+        self._deleted_ids = set(deleted)
+        next_gid = max(
+            (c for g in manifest["partition_columns"] for c in g), default=-1
+        ) + 1
+
+        # the embedding dimensionality, for tau_fraction resolution
+        part_manifest = json.loads(
+            (self.lake_dir / manifest["partitions"][str(parts[0])] /
+             "manifest.json").read_text()
+        )
+        self.dim = int(part_manifest["dim"])
+
+        self.columns: Optional[list[dict]] = None
+        catalog_path = self.lake_dir / "catalog.json"
+        self.catalog: Optional[dict] = None
+        if catalog_path.exists():
+            self.catalog = json.loads(catalog_path.read_text())
+            self.columns = self.catalog.get("columns")
+
+        # cluster.json: the shard map plus the mutation metadata the
+        # coordinator owns (ids are allocated here, never on workers)
+        self._cluster_path = self.lake_dir / CLUSTER_MANIFEST
+        self._next_column_id = next_gid
+        saved_map = None
+        if self._cluster_path.exists():
+            restored = json.loads(self._cluster_path.read_text())
+            # ID allocation and tombstones are restored *unconditionally*
+            # — they outlive any change of worker count or replication
+            # (the "IDs never reused" guarantee must survive a resize)
+            self._next_column_id = max(
+                next_gid, int(restored.get("next_column_id", next_gid))
+            )
+            self._deleted_ids |= {
+                int(c) for c in restored.get("deleted_column_ids", [])
+            }
+            # adds routed before the restart are not in the on-disk
+            # partitioned.json; the saved column map keeps their routing
+            # (and the least-loaded placement counts) right
+            for gid, part in restored.get("column_partition", {}).items():
+                if int(gid) not in self._deleted_ids:
+                    self._column_partition[int(gid)] = int(part)
+            for cid in self._deleted_ids:
+                self._column_partition.pop(cid, None)
+            saved_map = ShardMap.from_dict(restored["shard_map"])
+            if not (
+                saved_map.n_workers == int(n_workers)
+                and saved_map.replication == min(int(replication), int(n_workers))
+                and saved_map.parts == parts
+            ):
+                saved_map = None  # replan the topology, keep the metadata
+        self.shard_map = (
+            saved_map
+            if saved_map is not None
+            else ShardMap(parts, n_workers, replication)
+        )
+
+        self._clients: dict[int, ServeClient] = {}
+        self._clients_lock = threading.Lock()
+        #: last known per-worker service generation, indexed by slot
+        self._generations = [0] * self.shard_map.n_workers
+        #: mutation log for replaying missed writes to returning workers:
+        #: ("add", part, gid, vectors as lists) | ("delete", part, gid)
+        self._mutation_log: list[tuple] = []
+        #: log position each slot has confirmed (applied or registered at)
+        self._slot_log_pos = [0] * self.shard_map.n_workers
+        self._mutation_lock = threading.Lock()
+        self._save_lock = threading.Lock()
+        # telemetry
+        self._requests_served = 0
+        self._failovers = 0
+        self._stats_lock = threading.Lock()
+        self._save()
+
+    # -- properties ----------------------------------------------------------------
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._column_partition)
+
+    @property
+    def n_workers(self) -> int:
+        return self.shard_map.n_workers
+
+    def has_column(self, column_id: int) -> bool:
+        """Whether a global column ID is live cluster-wide."""
+        return int(column_id) in self._column_partition
+
+    def column_partition(self, column_id: int) -> Optional[int]:
+        """The partition holding a live column (``None`` when not live)."""
+        return self._column_partition.get(int(column_id))
+
+    def generation_vector(self) -> list[int]:
+        """Last known per-worker generations, indexed by worker slot."""
+        return list(self._generations)
+
+    def resolve_tau(
+        self, tau: Optional[float], tau_fraction: Optional[float], dim: int
+    ) -> float:
+        """An absolute τ from either form (mirrors the serving layer)."""
+        if (tau is None) == (tau_fraction is None):
+            raise ValueError("give exactly one of tau / tau_fraction")
+        if tau is not None:
+            return float(tau)
+        return distance_threshold(float(tau_fraction), self.metric, dim)
+
+    def _validated_vectors(self, vectors) -> np.ndarray:
+        """Reject malformed inputs before they reach any worker.
+
+        Coordinator-side validation matters for mutations especially: a
+        request every replica would reject must fail *here* — rejections
+        seen during write-through are read as replica divergence and
+        demote the worker.
+        """
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if vectors.shape[0] == 0:
+            raise ValueError("vector column is empty")
+        if vectors.shape[1] != self.dim:
+            raise ValueError(
+                f"vector dim {vectors.shape[1]} != lake dim {self.dim}"
+            )
+        if not np.isfinite(vectors).all():
+            raise ValueError("vectors contain NaN or infinite values")
+        return vectors
+
+    # -- worker lifecycle ----------------------------------------------------------
+
+    def register_worker(self, url: Optional[str] = None) -> dict[str, Any]:
+        """Claim a slot for a joining worker; returns its assignment.
+
+        The worker loads exactly ``parts`` from the shared lake
+        directory, then reports :meth:`worker_ready` with its serving
+        URL.
+        """
+        worker = self.shard_map.register(url)
+        # a fresh (or re-loading) worker starts from the on-disk lake:
+        # every logged mutation for its shards must be replayed
+        with self._mutation_lock:
+            self._slot_log_pos[worker.slot] = 0
+        self._save()
+        return {
+            "slot": worker.slot,
+            "parts": list(worker.parts),
+            "replication": self.shard_map.replication,
+            "n_workers": self.shard_map.n_workers,
+        }
+
+    def worker_ready(self, slot: int, url: str) -> dict[str, Any]:
+        """Promote a loaded worker to ``up`` (after replaying missed writes)."""
+        worker = self.shard_map.worker(slot)
+        if worker.status == "empty":
+            raise KeyError(f"worker slot {slot} was never registered")
+        with self._clients_lock:
+            self._clients[slot] = ServeClient(
+                url, timeout=self.timeout, retries=self.retries
+            )
+        replayed = self._replay_and_promote(
+            slot, set(worker.parts),
+            lambda: self.shard_map.mark_ready(slot, url),
+        )
+        self._probe(slot)
+        self._save()
+        return {"ok": True, "slot": slot, "replayed": replayed}
+
+    def _replay_and_promote(self, slot: int, parts: set[int], promote) -> int:
+        """Bring a slot level with the mutation log, then promote it.
+
+        The replay itself runs without the mutation lock (it makes HTTP
+        calls), so a mutation can land between the log snapshot and the
+        promotion — write-through skips non-``up`` workers, and a replay
+        that promoted on its stale snapshot would silently drop that
+        write. Hence the loop: promotion happens *under* the mutation
+        lock, and only once the slot's confirmed position equals the log
+        length at that instant.
+        """
+        replayed = 0
+        while True:
+            replayed += self._replay_missed(slot, parts)
+            with self._mutation_lock:
+                if self._slot_log_pos[slot] >= len(self._mutation_log):
+                    promote()
+                    return replayed
+
+    def _replay_missed(self, slot: int, parts: set[int]) -> int:
+        """Re-apply logged mutations this slot has not confirmed yet."""
+        client = self._client(slot)
+        replayed = 0
+        with self._mutation_lock:
+            pending = self._mutation_log[self._slot_log_pos[slot]:]
+            target = len(self._mutation_log)
+        for entry in pending:
+            if entry[1] not in parts:
+                continue
+            if entry[0] == "add":
+                _, part, gid, vectors = entry
+                client.add_column(
+                    vectors=np.asarray(vectors, dtype=np.float64),
+                    partition=part, column_id=gid,
+                )
+            else:
+                _, part, gid = entry
+                try:
+                    client.delete_column(gid)
+                except ServeError as exc:
+                    if exc.status != 404:  # already absent is fine
+                        raise
+            replayed += 1
+        with self._mutation_lock:
+            self._slot_log_pos[slot] = max(self._slot_log_pos[slot], target)
+        return replayed
+
+    def _client(self, slot: int) -> ServeClient:
+        with self._clients_lock:
+            client = self._clients.get(slot)
+        if client is None:
+            url = self.shard_map.worker(slot).url
+            if url is None:
+                raise ClusterUnavailable(f"worker slot {slot} has no URL yet")
+            client = ServeClient(url, timeout=self.timeout, retries=self.retries)
+            with self._clients_lock:
+                self._clients[slot] = client
+        return client
+
+    def health_check(self) -> list[str]:
+        """Probe every claimed worker; demote the dead, revive the recovered.
+
+        A ``down`` worker that answers again is replayed any mutations it
+        missed *before* being promoted, so recovery never serves stale
+        shards. Returns the post-probe status list.
+        """
+        for worker in list(self.shard_map.workers):
+            if worker.status in ("up", "down") and worker.url is not None:
+                self._probe(worker.slot)
+        return self.shard_map.statuses()
+
+    def _probe(self, slot: int) -> bool:
+        worker = self.shard_map.worker(slot)
+        try:
+            reply = self._client(slot).healthz()
+        except (ServeError, OSError, ClusterUnavailable):
+            self.shard_map.mark_down(slot)
+            return False
+        self._generations[slot] = int(reply.get("generation", 0))
+        if worker.status == "down":
+            try:
+                self._replay_and_promote(
+                    slot, set(worker.parts),
+                    lambda: self.shard_map.mark_up(slot),
+                )
+            except (ServeError, OSError):
+                self.shard_map.mark_down(slot)
+                return False
+        else:
+            self.shard_map.mark_up(slot)
+        return True
+
+    # -- scatter-gather ------------------------------------------------------------
+
+    def _call_group(self, slot: int, parts: list[int], call) -> Any:
+        """One worker call with failure -> demotion bookkeeping."""
+        worker = self.shard_map.worker(slot)
+        # a worker answering its *entire* assignment needs no partition
+        # restriction — the unrestricted path keeps the worker's
+        # micro-batcher eligible to fuse concurrent scatters
+        restricted = sorted(parts) != sorted(worker.parts)
+        try:
+            payload = call(self._client(slot), parts if restricted else None)
+        except ServeError:
+            raise  # the worker answered; not a liveness failure
+        except (OSError, ClusterUnavailable) as exc:
+            self.shard_map.mark_down(slot)
+            raise _WorkerDown(slot, parts) from exc
+        generation = payload.get("generation")
+        if isinstance(generation, int):
+            self._generations[slot] = generation
+        return payload
+
+    def _scatter(
+        self, parts: Optional[Sequence[int]], call
+    ) -> list[tuple[int, Any]]:
+        """Fan one request out over the routed workers, failing over.
+
+        ``call(client, parts_or_none)`` runs per group on a thread pool.
+        Groups that fail with a transport error are re-routed to live
+        replicas and retried until they succeed or some partition has no
+        live owner left. Returns ``(slot, payload)`` pairs so callers
+        can stamp each answer with the exact generation it executed at.
+        """
+        plan = self.shard_map.route(parts)
+        payloads: list[tuple[int, Any]] = []
+        for _attempt in range(self.shard_map.n_workers + 1):
+            groups = sorted(plan.items())
+            if len(groups) == 1:
+                outcomes = [self._try_group(groups[0], call)]
+            else:
+                with ThreadPoolExecutor(max_workers=len(groups)) as pool:
+                    outcomes = list(
+                        pool.map(lambda g: self._try_group(g, call), groups)
+                    )
+            failed_parts: list[int] = []
+            for outcome in outcomes:
+                if isinstance(outcome, _WorkerDown):
+                    failed_parts.extend(outcome.parts)
+                else:
+                    payloads.append(outcome)
+            if not failed_parts:
+                return payloads
+            with self._stats_lock:
+                self._failovers += 1
+            # re-route only the failed partitions; mark_down already
+            # removed the dead worker from candidacy
+            plan = self.shard_map.route(failed_parts)
+        raise ClusterUnavailable("scatter retries exhausted")  # pragma: no cover
+
+    def _try_group(self, group: tuple[int, list[int]], call):
+        slot, parts = group
+        try:
+            return slot, self._call_group(slot, parts, call)
+        except _WorkerDown as exc:
+            return exc
+
+    # -- serving -------------------------------------------------------------------
+
+    def search(
+        self,
+        vectors: np.ndarray,
+        tau: float,
+        joinability: float | int,
+    ) -> tuple[Any, list[int]]:
+        """Scatter one threshold search; returns ``(merged result, generations)``.
+
+        The merged :class:`~repro.core.search.SearchResult` is
+        bit-identical to a single-node
+        :class:`~repro.core.out_of_core.LakeSearcher` over the same lake
+        (each partition is answered exactly once; worker hits carry
+        global column IDs; the merge re-sorts by ID exactly as the
+        sharded engine does).
+        """
+        with self._stats_lock:
+            self._requests_served += 1
+        vectors = self._validated_vectors(vectors).tolist()
+
+        def call(client: ServeClient, parts):
+            return client.search(
+                vectors=vectors, tau=tau, joinability=joinability, parts=parts
+            )
+
+        outcomes = self._scatter(None, call)
+        # the response names the generations its answers actually
+        # executed at — taken from the payloads themselves, so a
+        # concurrent mutation finishing after the gather cannot inflate
+        # the vector past the state that produced these hits
+        generations = self._stamp(outcomes)
+        batches = [
+            BatchResult(
+                results=[search_result_from_payload(payload)],
+                stats=SearchStats(),
+                wall_seconds=0.0,
+            )
+            for _slot, payload in outcomes
+        ]
+        # hits already carry global IDs: an unbounded identity map keeps
+        # the exact-merge code path shared (sizing it from _next_column_id
+        # would race with a concurrent add whose write-through landed
+        # before the counter moved)
+        identity = _IdentityMap()
+        merged = merge_shard_batches(batches, [identity] * len(batches))
+        return merged.results[0], generations
+
+    def _stamp(self, outcomes: Sequence[tuple[int, Any]]) -> list[int]:
+        """A generation vector anchored to the given worker payloads.
+
+        Slots that answered this request report the generation from
+        their own reply; uninvolved slots fall back to the last known
+        value (they contributed no hits, so any value is consistent).
+        """
+        generations = self.generation_vector()
+        for slot, payload in outcomes:
+            reported = payload.get("generation")
+            if isinstance(reported, int):
+                generations[slot] = reported
+        return generations
+
+    def topk(
+        self, vectors: np.ndarray, tau: float, k: int
+    ) -> tuple[TopKResult, list[int]]:
+        """Wave-parallel exact top-k across the cluster.
+
+        Routed worker groups run in waves of ``wave_width``; each wave
+        receives the running global k-th-best count as its ``theta``
+        floor. The floor is strict, so the merged ranking — count
+        descending, column ID ascending — equals single-node top-k.
+        """
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        with self._stats_lock:
+            self._requests_served += 1
+        vectors = self._validated_vectors(vectors).tolist()
+        plan = self.shard_map.route(None)
+        groups = sorted(plan.items())
+        best: list[tuple[int, int, float]] = []
+        theta = 0
+        tau_out = float(tau)
+        stamped: list[tuple[int, Any]] = []
+        for at in range(0, len(groups), self.wave_width):
+            wave = dict(groups[at : at + self.wave_width])
+            floor = theta
+
+            def call(client: ServeClient, parts, _floor=floor):
+                return client.topk(
+                    vectors=vectors, tau=tau, k=k, parts=parts, theta=_floor
+                )
+
+            outcomes = self._scatter(
+                [p for parts in wave.values() for p in parts], call
+            )
+            stamped.extend(outcomes)
+            for _slot, payload in outcomes:
+                tau_out = float(payload["tau"])
+                best.extend(
+                    (int(h["column_id"]), int(h["match_count"]),
+                     float(h["joinability"]))
+                    for h in payload["hits"]
+                )
+            best.sort(key=lambda row: (-row[1], row[0]))
+            del best[k:]
+            if len(best) == k:
+                theta = max(theta, best[-1][1])
+        result = TopKResult(
+            hits=best, stats=SearchStats(), tau=tau_out,
+            k=min(k, self.n_columns),
+        )
+        return result, self._stamp(stamped)
+
+    # -- routed live maintenance ---------------------------------------------------
+
+    def add_column(
+        self,
+        vectors: np.ndarray,
+        table: Optional[str] = None,
+        column: Optional[str] = None,
+    ) -> tuple[int, list[int]]:
+        """Add one column cluster-wide; returns ``(column id, generations)``.
+
+        Placement is least-loaded across the whole cluster (the
+        partition with the fewest live columns, ties to the lowest id);
+        the coordinator allocates the global ID and writes the identical
+        ``(partition, id, vectors)`` through to **every** live replica
+        of that partition. Replicas that are down are brought level by
+        the mutation-log replay before they rejoin.
+
+        Raises:
+            ClusterUnavailable: when no replica of the chosen partition
+                accepted the write (nothing was recorded; the ID is not
+                burned).
+        """
+        vectors = self._validated_vectors(vectors)
+        with self._mutation_lock:
+            loads: dict[int, int] = {p: 0 for p in self.shard_map.parts}
+            for part in self._column_partition.values():
+                loads[part] += 1
+            part = min(self.shard_map.parts, key=lambda p: (loads[p], p))
+            gid = self._next_column_id
+            applied = self._write_through(
+                part,
+                lambda client: client.add_column(
+                    vectors=vectors, partition=part, column_id=gid
+                ),
+            )
+            if not applied:
+                raise ClusterUnavailable(
+                    f"no live replica of partition {part} accepted the add"
+                )
+            self._next_column_id = gid + 1
+            self._column_partition[gid] = part
+            # The log retains full vectors so any worker (re)joining from
+            # the fit-time saved lake can be brought level; it is never
+            # compacted, because a future registrant always replays from
+            # position zero. A very long-lived coordinator bounds this by
+            # re-saving the lake and restarting the cluster.
+            self._mutation_log.append(("add", part, gid, vectors.tolist()))
+            generations = self._ack_generations(applied)
+        if self.columns is not None:
+            while len(self.columns) <= gid:
+                self.columns.append({"table": "?", "column": "?"})
+            self.columns[gid] = {
+                "table": str(table) if table is not None else f"column_{gid}",
+                "column": str(column) if column is not None else "key",
+            }
+        self._save()
+        return gid, generations
+
+    def delete_column(self, column_id: int) -> list[int]:
+        """Tombstone one column on every live replica; returns generations.
+
+        Raises:
+            KeyError: when the ID is unknown or already deleted.
+            ClusterUnavailable: when no replica accepted the delete.
+        """
+        gid = int(column_id)
+        with self._mutation_lock:
+            part = self._column_partition.get(gid)
+            if part is None:
+                raise KeyError(f"unknown column id {gid}")
+
+            def deleter(client: ServeClient):
+                try:
+                    return client.delete_column(gid)
+                except ServeError as exc:
+                    if exc.status == 404:  # replica already tombstoned
+                        return {"deleted": gid}
+                    raise
+
+            applied = self._write_through(part, deleter)
+            if not applied:
+                raise ClusterUnavailable(
+                    f"no live replica of partition {part} accepted the delete"
+                )
+            del self._column_partition[gid]
+            self._deleted_ids.add(gid)
+            self._mutation_log.append(("delete", part, gid))
+            generations = self._ack_generations(applied)
+        self._save()
+        return generations
+
+    def _write_through(self, part: int, call) -> list[tuple[int, Optional[int]]]:
+        """Apply one mutation to every live owner of ``part``.
+
+        Owners that fail at the transport level are demoted (the replay
+        log squares them up later); returns ``(slot, acked generation)``
+        for the owners that applied it.
+        """
+        live = [
+            slot for slot in self.shard_map.owners[part]
+            if self.shard_map.worker(slot).status == "up"
+        ]
+
+        def attempt(slot: int):
+            try:
+                return slot, call(self._client(slot))
+            except ServeError:
+                # The worker answered but rejected the write. The request
+                # itself was validated at the coordinator, so a rejection
+                # means *this replica's* state diverged (or it failed
+                # internally) — demote it rather than abort: an abort
+                # after another replica applied would leave a phantom
+                # column the coordinator never recorded. The recovery
+                # replay retries the mutation; a replica that keeps
+                # rejecting it stays down for an operator to inspect.
+                return slot, None
+            except (OSError, ClusterUnavailable):
+                return slot, None
+
+        # Replicas are written in parallel (the mutation lock is held
+        # around the whole fan-out, so ordering is unchanged): summed
+        # sequential round trips would let one black-holed replica stall
+        # every mutation and worker promotion behind the lock for the
+        # full timeout × replication budget.
+        if len(live) <= 1:
+            outcomes = [attempt(slot) for slot in live]
+        else:
+            with ThreadPoolExecutor(max_workers=len(live)) as pool:
+                outcomes = list(pool.map(attempt, live))
+
+        applied: list[tuple[int, Optional[int]]] = []
+        for slot, reply in outcomes:
+            if reply is None:
+                self.shard_map.mark_down(slot)
+                continue
+            generation = reply.get("generation")
+            if isinstance(generation, int):
+                self._generations[slot] = generation
+                applied.append((slot, generation))
+            else:
+                applied.append((slot, None))
+        return applied
+
+    def _ack_generations(
+        self, applied: Sequence[tuple[int, Optional[int]]]
+    ) -> list[int]:
+        """Confirm a just-logged mutation for its ack'ing slots and build
+        the response's generation vector from their acks (the vector
+        must name the states the write actually landed in)."""
+        generations = self.generation_vector()
+        for slot, generation in applied:
+            self._slot_log_pos[slot] = len(self._mutation_log)
+            if generation is not None:
+                generations[slot] = generation
+        return generations
+
+    # -- telemetry and persistence -------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        """Cluster state for ``/stats`` and ``/cluster`` (JSON-safe)."""
+        with self._stats_lock:
+            requests = self._requests_served
+            failovers = self._failovers
+        return {
+            "n_workers": self.shard_map.n_workers,
+            "replication": self.shard_map.replication,
+            "metric": self.metric.name,
+            "dim": self.dim,
+            "parts": list(self.shard_map.parts),
+            "workers": [w.to_dict() for w in self.shard_map.workers],
+            "serviceable": self.shard_map.is_serviceable(),
+            "n_columns": self.n_columns,
+            "next_column_id": self._next_column_id,
+            "generation": self.generation_vector(),
+            "requests_served": requests,
+            "failovers": failovers,
+            "mutation_log": len(self._mutation_log),
+            "columns": self.columns,
+        }
+
+    def metrics_text(self) -> str:
+        """Prometheus-style exposition for the coordinator's ``/metrics``."""
+        statuses = self.shard_map.statuses()
+        with self._stats_lock:
+            gauges = {
+                "cluster_requests": self._requests_served,
+                "cluster_failovers": self._failovers,
+                "cluster_workers_up": statuses.count("up"),
+                "cluster_workers_down": statuses.count("down"),
+                "cluster_columns": self.n_columns,
+                "cluster_serviceable": int(self.shard_map.is_serviceable()),
+                "cluster_mutation_log": len(self._mutation_log),
+            }
+        lines = [f"pexeso_serve_{k} {v}" for k, v in gauges.items()]
+        return "\n".join(lines) + "\n"
+
+    def wait_serviceable(self, timeout: float = 30.0, poll: float = 0.05) -> bool:
+        """Block until every partition has a live worker (or timeout)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.shard_map.is_serviceable():
+                return True
+            time.sleep(poll)
+        return self.shard_map.is_serviceable()
+
+    def _save(self) -> None:
+        """Persist the shard map + mutation metadata as ``cluster.json``.
+
+        The vectors in the mutation log are deliberately *not* persisted
+        (they are unbounded); after a coordinator restart, workers must
+        reload from a freshly saved lake. ID allocation and tombstones
+        do survive, so routing and ID uniqueness are never compromised.
+        """
+        state = {
+            "shard_map": self.shard_map.to_dict(),
+            "next_column_id": self._next_column_id,
+            "deleted_column_ids": sorted(self._deleted_ids),
+            "column_partition": {
+                str(gid): part for gid, part in self._column_partition.items()
+            },
+        }
+        with self._save_lock:
+            self._cluster_path.write_text(json.dumps(state, indent=2))
+
+
+class _IdentityMap:
+    """``map[column_id] == column_id`` for any ID (worker hits are
+    already global, so the shard merge needs no translation)."""
+
+    def __getitem__(self, column_id: int) -> int:
+        return column_id
+
+
+class _WorkerDown(Exception):
+    """Internal scatter signal: this group's worker died mid-call."""
+
+    def __init__(self, slot: int, parts: list[int]):
+        super().__init__(f"worker {slot} down")
+        self.slot = slot
+        self.parts = parts

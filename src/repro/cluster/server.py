@@ -1,0 +1,234 @@
+"""HTTP front door for one :class:`~repro.cluster.coordinator.ClusterCoordinator`.
+
+The coordinator speaks the *same* JSON schema as a single-node serving
+process, so :class:`~repro.serve.client.ServeClient` and ``search
+--json`` consumers work unchanged — the only schema difference is that
+``generation`` is a per-worker vector instead of one integer. On top of
+the serving endpoints it adds the worker lifecycle:
+
+==================  ======  ==============================================
+path                method  body / response
+==================  ======  ==============================================
+/search             POST    shared search payload (generation = vector)
+/topk               POST    shared topk payload (generation = vector)
+/columns            POST    routed live add -> ``{"column_id", "generation"}``
+/columns/N          DELETE  routed live delete (all live replicas)
+/workers            POST    ``{"url"?}`` -> ``{"slot", "parts", ...}``
+/workers/N/ready    POST    ``{"url"}`` -> ``{"ok", "replayed"}``
+/health-check       POST    probe every worker now -> ``{"workers", ...}``
+/cluster            GET     shard map, worker statuses, routing telemetry
+/stats              GET     alias of /cluster
+/healthz            GET     ``{"ok": <serviceable>, "generation": [...]}``
+/metrics            GET     Prometheus text (cluster gauges)
+==================  ======  ==============================================
+
+``503`` signals an unserviceable cluster (some partition has no live
+worker); transport failures during a request fail over to replicas
+before that verdict is reached.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.shard_map import ClusterUnavailable
+from repro.serve.schema import search_payload, topk_payload
+from repro.serve.server import GracefulHTTPServer, JsonRequestHandler
+
+
+class ClusterHTTPServer(GracefulHTTPServer):
+    """The coordinator process: routing state plus the JSON API."""
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        coordinator: ClusterCoordinator,
+        quiet: bool = True,
+    ):
+        self.coordinator = coordinator
+        self.quiet = quiet
+        self.embedder = None
+        self.preprocess = True
+        catalog = coordinator.catalog
+        if catalog and "embedder" in catalog:
+            from repro.embedding.hashing import HashingNGramEmbedder
+
+            self.embedder = HashingNGramEmbedder(
+                dim=catalog["embedder"]["dim"],
+                seed=catalog["embedder"]["seed"],
+            )
+            self.preprocess = catalog.get("preprocess", True)
+        super().__init__(address, ClusterHandler)
+
+
+class ClusterHandler(JsonRequestHandler):
+    """Request handler translating HTTP to coordinator calls."""
+
+    server: ClusterHTTPServer  # for type checkers
+
+    def _resolve_tau(self, body: dict, query) -> float:
+        return self.server.coordinator.resolve_tau(
+            body.get("tau"), body.get("tau_fraction"), query.shape[1]
+        )
+
+    # -- verbs ---------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        try:
+            coordinator = self.server.coordinator
+            if self.path == "/healthz":
+                self._send_json({
+                    "ok": coordinator.shard_map.is_serviceable(),
+                    "generation": coordinator.generation_vector(),
+                    "n_columns": coordinator.n_columns,
+                    "workers": coordinator.shard_map.statuses(),
+                })
+            elif self.path in ("/cluster", "/stats"):
+                self._send_json(coordinator.describe())
+            elif self.path == "/metrics":
+                self._send_text(coordinator.metrics_text())
+            else:
+                parts = self.path.strip("/").split("/")
+                if len(parts) == 2 and parts[0] == "columns":
+                    cid = int(parts[1])
+                    self._send_json({
+                        "column_id": cid,
+                        "live": coordinator.has_column(cid),
+                        "partition": coordinator.column_partition(cid),
+                    })
+                else:
+                    self._send_error_json(f"unknown path {self.path}", 404)
+        except ValueError as exc:
+            self._send_error_json(str(exc), 400)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(str(exc), 500)
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            body = self._read_body()
+            parts = self.path.strip("/").split("/")
+            if self.path == "/search":
+                self._handle_search(body)
+            elif self.path == "/topk":
+                self._handle_topk(body)
+            elif self.path == "/columns":
+                self._handle_add_column(body)
+            elif self.path == "/workers":
+                reply = self.server.coordinator.register_worker(body.get("url"))
+                self._send_json(reply)
+            elif self.path == "/health-check":
+                statuses = self.server.coordinator.health_check()
+                self._send_json({
+                    "workers": statuses,
+                    "serviceable":
+                        self.server.coordinator.shard_map.is_serviceable(),
+                })
+            elif len(parts) == 3 and parts[0] == "workers" and parts[2] == "ready":
+                reply = self.server.coordinator.worker_ready(
+                    int(parts[1]), str(body["url"])
+                )
+                self._send_json(reply)
+            else:
+                self._send_error_json(f"unknown path {self.path}", 404)
+        except ClusterUnavailable as exc:
+            self._send_error_json(str(exc), 503)
+        except (ValueError, KeyError, TypeError) as exc:
+            self._send_error_json(str(exc), 400)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(str(exc), 500)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        try:
+            parts = self.path.strip("/").split("/")
+            if len(parts) == 2 and parts[0] == "columns":
+                try:
+                    column_id = int(parts[1])
+                except ValueError as exc:
+                    raise ValueError(f"bad column id {parts[1]!r}") from exc
+                try:
+                    generation = self.server.coordinator.delete_column(column_id)
+                except KeyError:
+                    self._send_error_json(f"unknown column id {column_id}", 404)
+                    return
+                self._send_json({"deleted": column_id, "generation": generation})
+            else:
+                self._send_error_json(f"unknown path {self.path}", 404)
+        except ClusterUnavailable as exc:
+            self._send_error_json(str(exc), 503)
+        except ValueError as exc:
+            self._send_error_json(str(exc), 400)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(str(exc), 500)
+
+    # -- endpoint bodies -----------------------------------------------------------
+
+    def _handle_search(self, body: dict) -> None:
+        query = self._query_vectors(body)
+        tau = self._resolve_tau(body, query)
+        joinability = body.get("joinability", 0.6)
+        result, generations = self.server.coordinator.search(
+            query, tau, joinability
+        )
+        self._send_json(
+            search_payload(
+                result,
+                columns=self.server.coordinator.columns,
+                generation=generations,
+            )
+        )
+
+    def _handle_topk(self, body: dict) -> None:
+        query = self._query_vectors(body)
+        tau = self._resolve_tau(body, query)
+        k = int(body.get("k", 10))
+        result, generations = self.server.coordinator.topk(query, tau, k)
+        self._send_json(
+            topk_payload(
+                result,
+                columns=self.server.coordinator.columns,
+                generation=generations,
+            )
+        )
+
+    def _handle_add_column(self, body: dict) -> None:
+        # partition/column_id are the *worker-level* write-through fields;
+        # the coordinator does its own placement and ID allocation, and
+        # silently ignoring them would let a client retry marked
+        # idempotent (it carried an explicit ID) double-insert here.
+        for field in ("partition", "column_id"):
+            if field in body:
+                raise ValueError(
+                    f'"{field}" is set by the coordinator, not by clients; '
+                    "send the vectors only"
+                )
+        vectors = self._query_vectors(body)
+        column_id, generations = self.server.coordinator.add_column(
+            vectors, table=body.get("table"), column=body.get("column")
+        )
+        self._send_json({"column_id": column_id, "generation": generations})
+
+
+def make_cluster_server(
+    lake_dir_or_coordinator,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+    **coordinator_kwargs: Any,
+) -> ClusterHTTPServer:
+    """Build a ready-to-run coordinator server.
+
+    Accepts a prebuilt :class:`ClusterCoordinator` or a saved
+    partitioned lake directory (plus the coordinator's constructor
+    arguments — ``n_workers`` is required in that case). Run it exactly
+    like a serving node: ``serve_forever()`` on a thread, ``close()``
+    to drain and stop.
+    """
+    if isinstance(lake_dir_or_coordinator, ClusterCoordinator):
+        coordinator = lake_dir_or_coordinator
+    else:
+        coordinator = ClusterCoordinator(
+            Path(lake_dir_or_coordinator), **coordinator_kwargs
+        )
+    return ClusterHTTPServer((host, port), coordinator, quiet=quiet)

@@ -202,6 +202,11 @@ class PartitionedPexeso:
         #: global ids removed by delete_column (ids are never reused)
         self._deleted_ids: set[int] = set()
         self._next_gid: Optional[int] = None
+        #: when set, this lake hosts only these partitions (a cluster
+        #: worker's shard subset); searches, mutations and column lookups
+        #: are restricted to them and the shared on-disk manifest is
+        #: never rewritten (the cluster coordinator owns that metadata)
+        self.hosted_parts: Optional[frozenset[int]] = None
 
     # -- construction ------------------------------------------------------------
 
@@ -373,13 +378,55 @@ class PartitionedPexeso:
         if self.labels is None:
             raise RuntimeError("call fit() before searching")
 
-    def _shards(self) -> list[tuple[int, list[int]]]:
-        """Non-empty partitions as ``(partition id, global column ids)``."""
-        return [
+    def restrict_to_parts(self, parts: Sequence[int]) -> None:
+        """Host only the given partitions (a cluster worker's shard subset).
+
+        Every hosted partition must be non-empty. Once restricted,
+        searches fan out over the hosted partitions only, mutations may
+        only target them, and the on-disk ``partitioned.json`` is never
+        refreshed — a worker sees just its slice of the lake, so writing
+        the shared manifest from that partial view would clobber the
+        other workers' columns.
+        """
+        self._require_fitted()
+        hosted = frozenset(int(p) for p in parts)
+        if not hosted:
+            raise ValueError("must host at least one partition")
+        for part in sorted(hosted):
+            if not (0 <= part < len(self.partition_columns)):
+                raise KeyError(f"unknown partition {part}")
+            if not self.partition_columns[part]:
+                raise KeyError(f"partition {part} is empty (never indexed)")
+        self.hosted_parts = hosted
+        self._column_shard = None
+
+    def _shards(
+        self, parts: Optional[Sequence[int]] = None
+    ) -> list[tuple[int, list[int]]]:
+        """Non-empty (hosted) partitions as ``(partition id, global ids)``.
+
+        ``parts`` further restricts one call to a subset of the hosted
+        partitions — the cluster coordinator uses this to ask a worker
+        for exactly the partitions routed to it, so replicated shards
+        are answered exactly once across the cluster.
+        """
+        shards = [
             (part, globals_)
             for part, globals_ in enumerate(self.partition_columns)
             if globals_
         ]
+        if self.hosted_parts is not None:
+            shards = [s for s in shards if s[0] in self.hosted_parts]
+        if parts is not None:
+            want = {int(p) for p in parts}
+            known = {s[0] for s in shards}
+            unknown = sorted(want - known)
+            if unknown:
+                raise KeyError(f"partitions not hosted here: {unknown}")
+            shards = [s for s in shards if s[0] in want]
+            if not shards:
+                raise ValueError("parts selects no partitions")
+        return shards
 
     def _resolve_workers(self, override: Optional[int], n_shards: int = 0) -> int:
         workers = override if override is not None else self.max_workers
@@ -397,6 +444,7 @@ class PartitionedPexeso:
         flags: Optional[AblationFlags] = None,
         exact_counts: bool = False,
         max_workers: Optional[int] = None,
+        parts: Optional[Sequence[int]] = None,
     ) -> BatchResult:
         """Answer many query columns over every shard in one pass.
 
@@ -420,6 +468,8 @@ class PartitionedPexeso:
             exact_counts: disable early termination.
             max_workers: shard fan-out width for this call; defaults to
                 the constructor's ``max_workers``.
+            parts: restrict this call to a subset of the (hosted)
+                partitions; ``None`` searches them all.
 
         Returns:
             A :class:`~repro.core.engine.BatchResult` aligned with
@@ -429,7 +479,7 @@ class PartitionedPexeso:
         started = time.perf_counter()
         if len(queries) == 0:
             return BatchResult(results=[], stats=SearchStats(), wall_seconds=0.0)
-        shards = self._shards()
+        shards = self._shards(parts)
         workers = self._resolve_workers(max_workers, len(shards))
         self._ensure_lru(workers)
 
@@ -457,6 +507,7 @@ class PartitionedPexeso:
         flags: Optional[AblationFlags] = None,
         exact_counts: bool = False,
         max_workers: Optional[int] = None,
+        parts: Optional[Sequence[int]] = None,
     ) -> SearchResult:
         """Single-query convenience wrapper around :meth:`search_many`.
 
@@ -470,6 +521,7 @@ class PartitionedPexeso:
             flags=flags,
             exact_counts=exact_counts,
             max_workers=max_workers,
+            parts=parts,
         )
         result = batch.results[0]
         return SearchResult(
@@ -486,6 +538,8 @@ class PartitionedPexeso:
         tau: float,
         k: int,
         max_workers: Optional[int] = None,
+        parts: Optional[Sequence[int]] = None,
+        theta: int = 0,
     ) -> TopKResult:
         """Exact top-k columns by joinability across all shards.
 
@@ -497,20 +551,32 @@ class PartitionedPexeso:
         each shard's local tie-break order equals the global one
         restricted to that shard, the merged result is identical to
         single-index top-k over the union of the shards.
+
+        Args:
+            parts: restrict this call to a subset of the (hosted)
+                partitions.
+            theta: external lower bound on the global k-th best count —
+                the cluster coordinator threads its running k-th best
+                through here so one worker's shards prune against the
+                other workers' earlier waves. ``0`` disables the seed
+                floor; the floor stays strict, so ID tie-breaks are
+                preserved.
         """
         self._require_fitted()
         if k < 1:
             raise ValueError("k must be at least 1")
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
         query = np.atleast_2d(np.asarray(query_vectors, dtype=np.float64))
         if query.shape[0] == 0:
             raise ValueError("query column is empty")
-        shards = self._shards()
+        shards = self._shards(parts)
         workers = self._resolve_workers(max_workers, len(shards))
         self._ensure_lru(workers)
 
         merged_stats = SearchStats()
         best: list[tuple[int, int, float]] = []  # (global id, count, joinability)
-        theta = 0
+        theta = int(theta)
 
         def run_shard(item: tuple[int, list[int]]):
             part, globals_ = item
@@ -537,7 +603,11 @@ class PartitionedPexeso:
             best.sort(key=lambda row: (-row[1], row[0]))
             del best[k:]
             if len(best) == k:
-                theta = best[-1][1]
+                # max(): an externally seeded floor may exceed the local
+                # k-th best (it reflects other workers' shards too) and
+                # must never be lowered — lowering only costs pruning,
+                # but the stronger bound is already proven sound.
+                theta = max(theta, best[-1][1])
         return TopKResult(
             hits=best, stats=merged_stats, tau=float(tau), k=min(k, self.n_columns)
         )
@@ -545,17 +615,24 @@ class PartitionedPexeso:
     # -- incremental maintenance (§III-E over shards) ------------------------------
 
     def _ensure_column_shard(self) -> dict[int, tuple[int, int]]:
-        """Build (or reuse) the live ``global id -> (partition, local id)`` map."""
+        """Build (or reuse) the live ``global id -> (partition, local id)`` map.
+
+        A parts-restricted lake maps only the columns of its hosted
+        partitions — a worker can neither search nor mutate columns it
+        does not hold.
+        """
         if self._column_shard is None:
             self._column_shard = {
                 cid: (part, local)
                 for part, globals_ in enumerate(self.partition_columns)
                 for local, cid in enumerate(globals_)
-                if cid >= 0 and cid not in self._deleted_ids
+                if cid >= 0
+                and cid not in self._deleted_ids
+                and (self.hosted_parts is None or part in self.hosted_parts)
             }
         return self._column_shard
 
-    def _next_global_id(self) -> int:
+    def _ensure_next_gid(self) -> None:
         if self._next_gid is None:
             self._next_gid = (
                 max(
@@ -564,6 +641,9 @@ class PartitionedPexeso:
                 )
                 + 1
             )
+
+    def _next_global_id(self) -> int:
+        self._ensure_next_gid()
         gid = self._next_gid
         self._next_gid += 1
         return gid
@@ -588,9 +668,13 @@ class PartitionedPexeso:
 
         Only the mutable parts (labels, local->global maps, deleted ids)
         are rewritten; a lake that was never saved as a partitioned
-        directory has no manifest and nothing to refresh.
+        directory has no manifest and nothing to refresh. A
+        parts-restricted lake (a cluster worker's subset) never writes
+        the manifest: its view of the other partitions is partial and
+        possibly stale, and the cluster coordinator owns that metadata
+        (``cluster.json``).
         """
-        if self.spill_dir is None:
+        if self.spill_dir is None or self.hosted_parts is not None:
             return
         manifest_path = self.spill_dir / "partitioned.json"
         if not manifest_path.exists():
@@ -603,7 +687,12 @@ class PartitionedPexeso:
         manifest.update(mutable_manifest_fields(self))
         manifest_path.write_text(json.dumps(manifest, indent=2))
 
-    def add_column(self, vectors: np.ndarray) -> int:
+    def add_column(
+        self,
+        vectors: np.ndarray,
+        part: Optional[int] = None,
+        column_id: Optional[int] = None,
+    ) -> int:
         """Append one column to the lake and return its global column ID.
 
         The column joins the least-loaded non-empty partition (empty
@@ -615,22 +704,66 @@ class PartitionedPexeso:
         concurrent searches must serialize mutations against them (the
         serving layer's :class:`~repro.serve.service.QueryService` does
         this with a reader-writer lock).
+
+        Args:
+            part: place the column in this (hosted, non-empty) partition
+                instead of the least-loaded one. The cluster coordinator
+                uses this to route the same add to every replica of one
+                partition.
+            column_id: use this global ID instead of allocating the next
+                one — again for the coordinator, which allocates IDs
+                cluster-wide so replicas agree. Must be unused.
+
+        Raises:
+            KeyError: when ``part`` is not a hosted non-empty partition.
+            ValueError: when ``column_id`` is already in use.
         """
         self._require_fitted()
         shards = self._shards()
         if not shards:
             raise RuntimeError("lake has no non-empty partition to extend")
-        live: dict[int, int] = {part: 0 for part, _ in shards}
-        for gid, (part, _) in self._ensure_column_shard().items():
-            live[part] = live.get(part, 0) + 1
-        part = min(shards, key=lambda s: (live.get(s[0], 0), s[0]))[0]
+        if part is None:
+            live: dict[int, int] = {p: 0 for p, _ in shards}
+            for gid, (p, _) in self._ensure_column_shard().items():
+                live[p] = live.get(p, 0) + 1
+            part = min(shards, key=lambda s: (live.get(s[0], 0), s[0]))[0]
+        else:
+            part = int(part)
+            if part not in {p for p, _ in shards}:
+                raise KeyError(f"partition {part} is not hosted by this lake")
+        # Resolve the global ID *before* mutating the shard index so a
+        # rejected explicit ID leaves the lake untouched.
+        if column_id is None:
+            gid = self._next_global_id()
+        else:
+            gid = int(column_id)
+            if gid < 0:
+                raise ValueError("column_id must be non-negative")
+            existing = self._ensure_column_shard().get(gid)
+            if existing is not None:
+                # Idempotent replay of a replicated write-through: the
+                # coordinator (or its client's transport retry after a
+                # lost reply) may deliver the same (partition, id,
+                # vectors) twice; the second delivery must be a no-op,
+                # not an error that poisons the replica.
+                if existing[0] == part and np.array_equal(
+                    self.column_vectors(gid),
+                    np.atleast_2d(np.asarray(vectors, dtype=np.float64)),
+                ):
+                    return gid
+                raise ValueError(f"column id {gid} is already in use")
+            if gid in self._deleted_ids or any(
+                gid in g for g in self.partition_columns
+            ):
+                raise ValueError(f"column id {gid} is already in use")
+            self._ensure_next_gid()
+            self._next_gid = max(self._next_gid, gid + 1)
 
         index = self._mutable_index(part)
         local = index.add_column(vectors)
         cols = self.partition_columns[part]
         while len(cols) < local:  # keep positional local-id alignment
             cols.append(-1)
-        gid = self._next_global_id()
         cols.append(gid)
         self.labels = np.append(self.labels, part)
         if self._column_shard is not None:
@@ -669,7 +802,29 @@ class PartitionedPexeso:
     def n_columns(self) -> int:
         if self.labels is None:
             return 0
+        if self.hosted_parts is not None:
+            return len(self._ensure_column_shard())
         return int(self.labels.size) - len(self._deleted_ids)
+
+    def lru_info(self) -> dict[str, int]:
+        """Shard residency telemetry for the serving layer's ``/metrics``."""
+        info = {
+            "resident": len(self._resident),
+            "spilled": len(self._spilled),
+            "lru_size": 0,
+            "lru_capacity": 0,
+            "lru_hits": 0,
+            "lru_misses": 0,
+        }
+        lru = self._lru
+        if lru is not None:
+            info.update(
+                lru_size=len(lru),
+                lru_capacity=lru.capacity,
+                lru_hits=lru.hits,
+                lru_misses=lru.misses,
+            )
+        return info
 
     def column_vectors(self, column_id: int) -> np.ndarray:
         """Original vectors of one column, fetched from its shard.
@@ -809,11 +964,13 @@ class LakeSearcher:
         flags: Optional[AblationFlags] = None,
         exact_counts: bool = False,
         max_workers: Optional[int] = None,
+        parts: Optional[Sequence[int]] = None,
     ) -> SearchResult:
         """Threshold search for one query column (global column IDs)."""
         flags = flags if flags is not None else self.flags
         workers = max_workers if max_workers is not None else self.max_workers
         if isinstance(self.backend, PexesoIndex):
+            self._reject_parts(parts)
             return pexeso_search(
                 self.backend, query_vectors, tau, joinability,
                 flags=flags, exact_counts=exact_counts,
@@ -821,6 +978,7 @@ class LakeSearcher:
         return self.backend.search(
             query_vectors, tau, joinability,
             flags=flags, exact_counts=exact_counts, max_workers=workers,
+            parts=parts,
         )
 
     def search_many(
@@ -831,11 +989,13 @@ class LakeSearcher:
         flags: Optional[AblationFlags] = None,
         exact_counts: bool = False,
         max_workers: Optional[int] = None,
+        parts: Optional[Sequence[int]] = None,
     ) -> BatchResult:
         """Batch threshold search (global column IDs)."""
         flags = flags if flags is not None else self.flags
         workers = max_workers if max_workers is not None else self.max_workers
         if isinstance(self.backend, PexesoIndex):
+            self._reject_parts(parts)
             engine = BatchSearch(
                 self.backend, flags=flags, exact_counts=exact_counts,
                 max_workers=workers,
@@ -845,6 +1005,7 @@ class LakeSearcher:
         batch = self.backend.search_many(
             queries, tau, joinability,
             flags=flags, exact_counts=exact_counts, max_workers=workers,
+            parts=parts,
         )
         if self.record_batch_sizes and len(queries):
             batch.stats.coalesced_batch_sizes.append(len(queries))
@@ -856,12 +1017,30 @@ class LakeSearcher:
         tau: float,
         k: int,
         max_workers: Optional[int] = None,
+        parts: Optional[Sequence[int]] = None,
+        theta: int = 0,
     ) -> TopKResult:
-        """Exact top-k discovery (global column IDs)."""
+        """Exact top-k discovery (global column IDs).
+
+        ``theta`` seeds the k-th-best pruning floor (see
+        :meth:`PartitionedPexeso.topk`); the floor is strict, so results
+        never change — only the amount of pruning does.
+        """
         workers = max_workers if max_workers is not None else self.max_workers
         if isinstance(self.backend, PexesoIndex):
-            return pexeso_topk(self.backend, query_vectors, tau, k)
-        return self.backend.topk(query_vectors, tau, k, max_workers=workers)
+            self._reject_parts(parts)
+            return pexeso_topk(self.backend, query_vectors, tau, k, theta=theta)
+        return self.backend.topk(
+            query_vectors, tau, k, max_workers=workers, parts=parts, theta=theta
+        )
+
+    @staticmethod
+    def _reject_parts(parts: Optional[Sequence[int]]) -> None:
+        if parts is not None:
+            raise ValueError(
+                "a partition restriction needs a partitioned backend; "
+                "this searcher wraps a single in-memory index"
+            )
 
     def column_vectors(self, column_id: int) -> np.ndarray:
         """Original vectors of one indexed column (any backend)."""
@@ -871,13 +1050,29 @@ class LakeSearcher:
 
     # -- incremental maintenance ---------------------------------------------------
 
-    def add_column(self, vectors: np.ndarray) -> int:
+    def add_column(
+        self,
+        vectors: np.ndarray,
+        part: Optional[int] = None,
+        column_id: Optional[int] = None,
+    ) -> int:
         """Append one column (§III-E) on either backend; returns its ID.
+
+        ``part`` / ``column_id`` give explicit placement and a
+        cluster-allocated global ID on a partitioned backend (see
+        :meth:`PartitionedPexeso.add_column`); a single index rejects
+        them.
 
         Not safe to run concurrently with searches — serialize through a
         writer lock (as :class:`~repro.serve.service.QueryService` does).
         """
-        return self.backend.add_column(vectors)
+        if isinstance(self.backend, PexesoIndex):
+            if part is not None or column_id is not None:
+                raise ValueError(
+                    "explicit placement needs a partitioned backend"
+                )
+            return self.backend.add_column(vectors)
+        return self.backend.add_column(vectors, part=part, column_id=column_id)
 
     def delete_column(self, column_id: int) -> None:
         """Remove one column from the lake (same concurrency caveat)."""

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Sequence, Union
 
 import numpy as np
 
@@ -256,16 +256,25 @@ def save_partitioned(lake, directory: str | Path) -> Path:
     return directory
 
 
-def load_partitioned(directory: str | Path):
+def load_partitioned(directory: str | Path, parts: "Sequence[int] | None" = None):
     """Load a lake saved by :func:`save_partitioned` (lazy partitions).
 
     The returned :class:`~repro.core.out_of_core.PartitionedPexeso` is
     in spill mode over ``directory``: partition indexes are loaded on
     demand through the shard LRU, so opening a lake costs one JSON read.
 
+    Args:
+        parts: host only this partition subset (a cluster worker's
+            assignment). The listed partitions are loaded **eagerly into
+            memory** and the lake is restricted to them: searches cover
+            only the hosted shards, mutations may only target them, and
+            the shared on-disk layout is never written back — the worker
+            owns its resident slice, the coordinator owns the metadata.
+
     Raises:
         FileNotFoundError: when the directory lacks the manifest.
         ValueError: on a format-version mismatch.
+        KeyError: when ``parts`` names a partition the lake does not have.
     """
     from repro.core.metric import get_metric
     from repro.core.out_of_core import PartitionedPexeso
@@ -304,20 +313,42 @@ def load_partitioned(directory: str | Path):
     lake._deleted_ids = {
         int(cid) for cid in manifest.get("deleted_column_ids", [])
     }
+    if parts is not None:
+        wanted = sorted({int(p) for p in parts})
+        unknown = [p for p in wanted if str(p) not in manifest["partitions"]]
+        if unknown:
+            raise KeyError(
+                f"partitions {unknown} are not in the saved lake "
+                f"(have: {sorted(int(p) for p in manifest['partitions'])})"
+            )
+        for p in wanted:
+            lake._resident[p] = load_index(directory / manifest["partitions"][str(p)])
+        # Nothing stays spilled: the hosted shards are resident, the
+        # rest are not this lake's to touch (no re-spill, no LRU).
+        lake._spilled = {}
+        lake.restrict_to_parts(wanted)
     return lake
 
 
-def load_any(directory: str | Path) -> Union[PexesoIndex, "object"]:
+def load_any(
+    directory: str | Path, parts: "Sequence[int] | None" = None
+) -> Union[PexesoIndex, "object"]:
     """Load whatever index flavour ``directory`` holds.
 
     Dispatches on the on-disk layout: a ``partitioned.json`` manifest
     loads a :class:`~repro.core.out_of_core.PartitionedPexeso`, a plain
-    ``manifest.json`` loads a single :class:`PexesoIndex`.
+    ``manifest.json`` loads a single :class:`PexesoIndex`. ``parts``
+    (a shard-subset restriction) requires the partitioned layout.
 
     Raises:
         FileNotFoundError: when neither manifest is present.
     """
     directory = Path(directory)
     if (directory / _PARTITIONED_MANIFEST).exists():
-        return load_partitioned(directory)
+        return load_partitioned(directory, parts=parts)
+    if parts is not None:
+        raise ValueError(
+            f"{directory} holds a single index; a partition subset needs "
+            "the partitioned layout"
+        )
     return load_index(directory)

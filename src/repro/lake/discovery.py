@@ -95,6 +95,55 @@ class JoinableTableSearch:
         #: index_tables / add_table / remove_table)
         self._table_columns: dict[str, list[int]] = {}
 
+    @classmethod
+    def from_cluster(
+        cls,
+        embedder: Embedder,
+        url: str,
+        metric: Optional[Metric] = None,
+        preprocess: bool = True,
+        timeout: float = 60.0,
+    ) -> "JoinableTableSearch":
+        """Discovery over a running cluster coordinator.
+
+        The lake lives on the cluster's workers; this facade embeds
+        queries locally (``embedder`` and ``preprocess`` must match how
+        the lake was indexed — the CLI's ``catalog.json`` records both)
+        and answers through the coordinator's scatter-gather, with
+        results identical to a local searcher over the same lake. Hit
+        provenance (``refs``) comes from the coordinator's column
+        catalog when it has one.
+
+        Record mappings need raw column vectors, which stay on the
+        workers — call :meth:`search` / :meth:`topk` with
+        ``with_mappings=False``. Live ``add_table`` / ``remove_table``
+        route through the coordinator (replica write-through).
+        """
+        from repro.cluster.remote import RemoteLakeSearcher
+
+        search = cls(embedder, metric=metric, preprocess=preprocess)
+        remote = RemoteLakeSearcher(url, timeout=timeout)
+        search.searcher = remote  # the LakeSearcher surface over HTTP
+        state = remote.client.cluster()
+        catalog_columns = state.get("columns")
+        if catalog_columns:
+            search.refs = [
+                ColumnRef(entry["table"], entry["column"])
+                for entry in catalog_columns
+            ]
+        else:
+            search.refs = []
+        # Global IDs are never reused, so live IDs can exceed the live
+        # *count* (and the catalog's length) once anything was deleted
+        # or live-added: size the provenance table by the cluster's ID
+        # horizon, not by n_columns.
+        while len(search.refs) < int(state["next_column_id"]):
+            search.refs.append(ColumnRef(f"column_{len(search.refs)}", "key"))
+        search.string_columns = [[] for _ in search.refs]
+        for column_id, ref in enumerate(search.refs):
+            search._table_columns.setdefault(ref.table_name, []).append(column_id)
+        return search
+
     @property
     def index(self) -> Optional[PexesoIndex]:
         """The single-index backend (``None`` before indexing or when
@@ -230,12 +279,20 @@ class JoinableTableSearch:
         """
         if self.searcher is None:
             raise RuntimeError("no tables indexed yet; call index_tables() first")
+        self._check_mappings(with_mappings)
         query_values, query_vectors = self.prepare_query(query_table, query_column)
         tau = distance_threshold(tau_fraction, self.metric, self.embedder.dim)
         result: SearchResult = self.searcher.search(
             query_vectors, tau, joinability, flags=flags
         )
         return self._hits_from_result(result, query_vectors, tau, with_mappings)
+
+    def _check_mappings(self, with_mappings: bool) -> None:
+        if with_mappings and not getattr(self.searcher, "supports_mappings", True):
+            raise ValueError(
+                "record mappings need local column vectors; a cluster-backed "
+                "search must be called with with_mappings=False"
+            )
 
     def topk(
         self,
@@ -253,6 +310,7 @@ class JoinableTableSearch:
         """
         if self.searcher is None:
             raise RuntimeError("no tables indexed yet; call index_tables() first")
+        self._check_mappings(with_mappings)
         query_values, query_vectors = self.prepare_query(query_table, query_column)
         tau = distance_threshold(tau_fraction, self.metric, self.embedder.dim)
         result = self.searcher.topk(query_vectors, tau, k)
@@ -263,13 +321,24 @@ class JoinableTableSearch:
                 mapping = self._record_mapping(query_vectors, column_id, tau)
             hits.append(
                 TableHit(
-                    ref=self.refs[column_id],
+                    ref=self._ref(column_id),
                     joinability=jn,
                     match_count=match_count,
                     record_mapping=mapping,
                 )
             )
         return hits
+
+    def _ref(self, column_id: int) -> ColumnRef:
+        """Provenance for a hit column, tolerant of unknown IDs.
+
+        A cluster-backed search can return columns live-added by *other*
+        clients after this facade was built; those get a synthesized ref
+        instead of an IndexError.
+        """
+        if 0 <= column_id < len(self.refs):
+            return self.refs[column_id]
+        return ColumnRef(f"column_{column_id}", "?")
 
     def search_all_columns(
         self,
@@ -303,6 +372,7 @@ class JoinableTableSearch:
 
         if self.searcher is None:
             raise RuntimeError("no tables indexed yet; call index_tables() first")
+        self._check_mappings(with_mappings)
         candidates = candidate_join_columns(query_table)
         if query_table.key_column and query_table.key_column not in candidates:
             candidates.insert(0, query_table.key_column)
@@ -345,7 +415,7 @@ class JoinableTableSearch:
         """Convert one query's :class:`SearchResult` into sorted table hits."""
         hits = []
         for hit in result.joinable:
-            ref = self.refs[hit.column_id]
+            ref = self._ref(hit.column_id)
             mapping: list[tuple[int, int]] = []
             if with_mappings:
                 mapping = self._record_mapping(query_vectors, hit.column_id, tau)

@@ -19,10 +19,16 @@ time; this package turns it into a long-lived concurrent query service:
 from repro.serve.cache import ResultCache
 from repro.serve.coalescer import MicroBatcher
 from repro.serve.client import ServeClient
-from repro.serve.server import ServeHTTPServer, make_server
+from repro.serve.server import (
+    GracefulHTTPServer,
+    ServeHTTPServer,
+    install_signal_handlers,
+    make_server,
+)
 from repro.serve.service import QueryService, RWLock, ServeResponse
 
 __all__ = [
+    "GracefulHTTPServer",
     "MicroBatcher",
     "QueryService",
     "RWLock",
@@ -30,5 +36,6 @@ __all__ = [
     "ServeClient",
     "ServeHTTPServer",
     "ServeResponse",
+    "install_signal_handlers",
     "make_server",
 ]

@@ -8,6 +8,7 @@ index and a remote service without reparsing anything.
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 from typing import Any, Optional, Sequence
@@ -30,11 +31,29 @@ class ServeClient:
     Args:
         base_url: e.g. ``http://127.0.0.1:8765`` (the server's ``url``).
         timeout: per-request socket timeout in seconds.
+        retries: transport-level retry budget. A connection that cannot
+            be established or dies mid-flight (``URLError``,
+            ``ConnectionError``, socket timeout) is retried after a
+            short backoff; an HTTP *status* error is never retried — the
+            server answered. The cluster coordinator leans on this for
+            transient worker hiccups, keeping real failures (refused
+            connections after the budget) as the failover signal.
+        retry_backoff: base sleep between attempts (doubled each retry).
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 0,
+        retry_backoff: float = 0.05,
+    ):
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = int(retries)
+        self.retry_backoff = float(retry_backoff)
 
     # -- plumbing ------------------------------------------------------------------
 
@@ -44,25 +63,41 @@ class ServeClient:
         path: str,
         body: Optional[dict] = None,
         raw: bool = False,
+        idempotent: bool = True,
     ):
+        """One HTTP exchange, transport-retried only when ``idempotent``.
+
+        A transport failure leaves it unknown whether the server applied
+        the request, so only requests that are safe to apply twice may
+        be re-sent — searches, reads, replica write-throughs carrying an
+        explicit column ID, tombstone deletes. A non-idempotent request
+        (an add that *allocates* an ID) fails straight to the caller.
+        """
         data = None
         headers = {}
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            self.base_url + path, data=data, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
-                payload = reply.read()
-        except urllib.error.HTTPError as exc:
-            detail = exc.read().decode("utf-8", errors="replace")
+        attempts = (self.retries + 1) if idempotent else 1
+        for attempt in range(attempts):
+            request = urllib.request.Request(
+                self.base_url + path, data=data, headers=headers, method=method
+            )
             try:
-                detail = json.loads(detail).get("error", detail)
-            except json.JSONDecodeError:
-                pass
-            raise ServeError(exc.code, detail) from exc
+                with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                    payload = reply.read()
+                break
+            except urllib.error.HTTPError as exc:
+                detail = exc.read().decode("utf-8", errors="replace")
+                try:
+                    detail = json.loads(detail).get("error", detail)
+                except json.JSONDecodeError:
+                    pass
+                raise ServeError(exc.code, detail) from exc
+            except (urllib.error.URLError, ConnectionError, TimeoutError):
+                if attempt == attempts - 1:
+                    raise
+                time.sleep(self.retry_backoff * (2 ** attempt))
         if raw:
             return payload.decode("utf-8")
         return json.loads(payload)
@@ -95,11 +130,18 @@ class ServeClient:
         tau: Optional[float] = None,
         tau_fraction: Optional[float] = None,
         joinability: float | int = 0.6,
+        parts: Optional[Sequence[int]] = None,
     ) -> dict[str, Any]:
-        """Threshold search; returns the shared search payload."""
+        """Threshold search; returns the shared search payload.
+
+        ``parts`` restricts a partitioned server to a partition subset
+        (the cluster coordinator's scatter routing).
+        """
         body = self._query_body(values, vectors)
         body.update(self._tau_body(tau, tau_fraction))
         body["joinability"] = joinability
+        if parts is not None:
+            body["parts"] = [int(p) for p in parts]
         return self._request("POST", "/search", body)
 
     def topk(
@@ -109,11 +151,22 @@ class ServeClient:
         tau: Optional[float] = None,
         tau_fraction: Optional[float] = None,
         k: int = 10,
+        parts: Optional[Sequence[int]] = None,
+        theta: int = 0,
     ) -> dict[str, Any]:
-        """Exact top-k; returns the shared topk payload."""
+        """Exact top-k; returns the shared topk payload.
+
+        ``parts`` / ``theta`` are the cluster scatter parameters (answer
+        these partitions only, pruning against an external k-th-best
+        floor).
+        """
         body = self._query_body(values, vectors)
         body.update(self._tau_body(tau, tau_fraction))
         body["k"] = int(k)
+        if parts is not None:
+            body["parts"] = [int(p) for p in parts]
+        if theta:
+            body["theta"] = int(theta)
         return self._request("POST", "/topk", body)
 
     def add_column(
@@ -122,14 +175,29 @@ class ServeClient:
         vectors: Optional[np.ndarray] = None,
         table: Optional[str] = None,
         column: Optional[str] = None,
+        partition: Optional[int] = None,
+        column_id: Optional[int] = None,
     ) -> dict[str, Any]:
-        """Live-add one column; returns ``{"column_id", "generation"}``."""
+        """Live-add one column; returns ``{"column_id", "generation"}``.
+
+        ``partition`` / ``column_id`` request explicit placement and a
+        pre-allocated global ID (the coordinator's replica write-through).
+        """
         body = self._query_body(values, vectors)
         if table is not None:
             body["table"] = table
         if column is not None:
             body["column"] = column
-        return self._request("POST", "/columns", body)
+        if partition is not None:
+            body["partition"] = int(partition)
+        if column_id is not None:
+            body["column_id"] = int(column_id)
+        # an add carrying an explicit ID is a replicated write-through,
+        # which the worker applies idempotently; an ID-allocating add
+        # must not be transport-retried (a lost reply would double-add)
+        return self._request(
+            "POST", "/columns", body, idempotent=column_id is not None
+        )
 
     def delete_column(self, column_id: int) -> dict[str, Any]:
         """Live-delete one column; returns ``{"deleted", "generation"}``."""

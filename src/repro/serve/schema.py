@@ -26,11 +26,15 @@ appear when the result came through a :class:`~repro.serve.service.QueryService`
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from typing import Any, Optional, Sequence, Union
 
-from repro.core.search import SearchResult
+from repro.core.search import JoinableColumn, SearchResult
 from repro.core.stats import SearchStats
 from repro.core.topk import TopKResult
+
+#: a single node stamps one generation integer; a cluster response rolls
+#: every worker's generation into a vector indexed by worker slot
+Generation = Union[int, Sequence[int]]
 
 
 def _ref(columns: Optional[Sequence[dict]], column_id: int) -> dict[str, Any]:
@@ -40,10 +44,16 @@ def _ref(columns: Optional[Sequence[dict]], column_id: int) -> dict[str, Any]:
     return {"table": ref["table"], "column": ref["column"]}
 
 
+def _generation_value(generation: Generation) -> Union[int, list[int]]:
+    if isinstance(generation, int):
+        return generation
+    return [int(g) for g in generation]
+
+
 def search_payload(
     result: SearchResult,
     columns: Optional[Sequence[dict]] = None,
-    generation: Optional[int] = None,
+    generation: Optional[Generation] = None,
     cached: Optional[bool] = None,
 ) -> dict[str, Any]:
     """The shared ``/search`` response for one threshold-search result."""
@@ -63,7 +73,7 @@ def search_payload(
         ],
     }
     if generation is not None:
-        payload["generation"] = int(generation)
+        payload["generation"] = _generation_value(generation)
     if cached is not None:
         payload["cached"] = bool(cached)
     return payload
@@ -72,7 +82,7 @@ def search_payload(
 def topk_payload(
     result: TopKResult,
     columns: Optional[Sequence[dict]] = None,
-    generation: Optional[int] = None,
+    generation: Optional[Generation] = None,
     cached: Optional[bool] = None,
 ) -> dict[str, Any]:
     """The shared ``/topk`` response (hits in rank order)."""
@@ -90,10 +100,52 @@ def topk_payload(
         ],
     }
     if generation is not None:
-        payload["generation"] = int(generation)
+        payload["generation"] = _generation_value(generation)
     if cached is not None:
         payload["cached"] = bool(cached)
     return payload
+
+
+def search_result_from_payload(payload: dict) -> SearchResult:
+    """The inverse of :func:`search_payload` (stats are not round-tripped).
+
+    The cluster coordinator rebuilds each worker's
+    :class:`~repro.core.search.SearchResult` from its JSON reply so the
+    exact shard merge (:func:`~repro.core.engine.merge_shard_batches`)
+    runs on the same objects single-node search produces. JSON float
+    round-trips are exact for IEEE doubles, so joinabilities survive
+    bit for bit.
+    """
+    hits = [
+        JoinableColumn(
+            column_id=int(h["column_id"]),
+            match_count=int(h["match_count"]),
+            joinability=float(h["joinability"]),
+            exact_count=bool(h.get("exact_count", True)),
+        )
+        for h in payload["hits"]
+    ]
+    return SearchResult(
+        joinable=hits,
+        stats=SearchStats(),
+        tau=float(payload["tau"]),
+        t_count=int(payload["t_count"]),
+        query_size=int(payload["query_size"]),
+    )
+
+
+def topk_result_from_payload(payload: dict) -> TopKResult:
+    """The inverse of :func:`topk_payload` (stats are not round-tripped)."""
+    hits = [
+        (int(h["column_id"]), int(h["match_count"]), float(h["joinability"]))
+        for h in payload["hits"]
+    ]
+    return TopKResult(
+        hits=hits,
+        stats=SearchStats(),
+        tau=float(payload["tau"]),
+        k=int(payload["k"]),
+    )
 
 
 def stats_metrics_text(stats: SearchStats, extra: Optional[dict] = None) -> str:

@@ -29,7 +29,9 @@ path       method  body / response
 from __future__ import annotations
 
 import json
+import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Optional, Sequence
@@ -40,7 +42,108 @@ from repro.serve.schema import search_payload, stats_metrics_text, topk_payload
 from repro.serve.service import QueryService
 
 
-class ServeHTTPServer(ThreadingHTTPServer):
+class GracefulHTTPServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` that can shut down without dropping work.
+
+    Handler threads are daemonic (a hung client cannot pin the process),
+    but every in-flight request is counted, so :meth:`close` can stop
+    accepting, *drain* the requests already executing, and only then
+    close the socket — the clean-restart path a cluster worker needs.
+    Use as a context manager, or call :meth:`close` directly (also from
+    a signal handler via :func:`install_signal_handlers`).
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, *args, **kwargs):
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+        self._served = False
+        self._close_lock = threading.Lock()
+        self._closed = False
+        super().__init__(*args, **kwargs)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        # Serialized against close(): a close that already ran (e.g. a
+        # SIGTERM delivered between install_signal_handlers and here)
+        # must make this a no-op — entering the accept loop on a closed
+        # socket would crash instead of exiting cleanly. Conversely,
+        # once _served is set under the lock, a concurrent close() will
+        # call shutdown() and this loop is guaranteed to observe it.
+        with self._close_lock:
+            if self._closed:
+                return
+            self._served = True
+        super().serve_forever(poll_interval)
+
+    def process_request_thread(self, request, client_address) -> None:
+        with self._inflight_cond:
+            self._inflight += 1
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            with self._inflight_cond:
+                self._inflight -= 1
+                self._inflight_cond.notify_all()
+
+    def close(self, drain_seconds: float = 5.0) -> None:
+        """Stop accepting, drain in-flight requests, release the socket.
+
+        ``drain_seconds`` bounds the wait for running handlers; anything
+        still executing after the deadline is abandoned to its daemon
+        thread (the process can exit regardless).
+
+        Safe to call more than once and from several threads (the CLI
+        drains on the main thread after a signal handler's helper
+        thread already initiated the close): later calls wait for the
+        first to finish, then return.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            # shutdown() blocks until serve_forever() exits its loop —
+            # only meaningful (and safe) when the loop was entered.
+            if self._served:
+                self.shutdown()
+            deadline = time.monotonic() + max(0.0, drain_seconds)
+            with self._inflight_cond:
+                while self._inflight:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._inflight_cond.wait(timeout=remaining)
+            self.server_close()
+            self._closed = True
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def install_signal_handlers(server: GracefulHTTPServer) -> None:
+    """Route SIGTERM/SIGINT to a graceful drain-and-close.
+
+    The handler fires ``server.close()`` on a helper thread — calling
+    ``shutdown()`` from the signal frame would deadlock when
+    ``serve_forever()`` runs on the main thread. Call from the main
+    thread (a CPython requirement for ``signal.signal``).
+    """
+
+    def _handle(signum, frame):
+        threading.Thread(
+            target=server.close, name="graceful-shutdown", daemon=True
+        ).start()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, _handle)
+
+
+class ServeHTTPServer(GracefulHTTPServer):
     """The serving process: a query service plus optional lake context.
 
     Args:
@@ -54,9 +157,6 @@ class ServeHTTPServer(ThreadingHTTPServer):
             (must match how the lake was indexed).
         quiet: suppress per-request access logging.
     """
-
-    daemon_threads = True
-    allow_reuse_address = True
 
     def __init__(
         self,
@@ -75,23 +175,21 @@ class ServeHTTPServer(ThreadingHTTPServer):
         self.quiet = quiet
         super().__init__(address, ServeHandler)
 
-    @property
-    def url(self) -> str:
-        host, port = self.server_address[:2]
-        return f"http://{host}:{port}"
 
+class JsonRequestHandler(BaseHTTPRequestHandler):
+    """Shared JSON plumbing for the serving and cluster HTTP APIs.
 
-class ServeHandler(BaseHTTPRequestHandler):
-    """Request handler translating HTTP to service calls."""
-
-    server: ServeHTTPServer  # for type checkers
+    Subclasses implement the verbs; the owning server is expected to
+    carry ``quiet`` plus — for ``"values"`` query support — ``embedder``
+    and ``preprocess`` attributes.
+    """
 
     protocol_version = "HTTP/1.1"
 
     # -- plumbing ------------------------------------------------------------------
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        if not self.server.quiet:
+        if not getattr(self.server, "quiet", True):
             super().log_message(format, *args)
 
     def _send_json(self, payload: dict, status: int = 200) -> None:
@@ -148,6 +246,22 @@ class ServeHandler(BaseHTTPRequestHandler):
             values = [to_full_form(v) for v in values]
         return self.server.embedder.embed_column(values)
 
+    @staticmethod
+    def _parse_parts(body: dict) -> Optional[list[int]]:
+        """The optional partition restriction of a scatter-routed request."""
+        parts = body.get("parts")
+        if parts is None:
+            return None
+        if not isinstance(parts, (list, tuple)):
+            raise ValueError('"parts" must be a JSON array of partition ids')
+        return [int(p) for p in parts]
+
+
+class ServeHandler(JsonRequestHandler):
+    """Request handler translating HTTP to service calls."""
+
+    server: ServeHTTPServer  # for type checkers
+
     def _resolve_tau(self, body: dict, query: np.ndarray) -> float:
         tau = body.get("tau")
         fraction = body.get("tau_fraction")
@@ -176,6 +290,16 @@ class ServeHandler(BaseHTTPRequestHandler):
                     "columns": service.n_columns,
                     "cache_size": len(service.cache),
                 }
+                lru = service.lru_info()
+                if lru is not None:
+                    extra.update(
+                        resident_shards=lru["resident"],
+                        spilled_shards=lru["spilled"],
+                        shard_lru_size=lru["lru_size"],
+                        shard_lru_capacity=lru["lru_capacity"],
+                        shard_lru_hits=lru["lru_hits"],
+                        shard_lru_misses=lru["lru_misses"],
+                    )
                 self._send_text(stats_metrics_text(stats, extra))
             else:
                 self._send_error_json(f"unknown path {self.path}", 404)
@@ -225,7 +349,9 @@ class ServeHandler(BaseHTTPRequestHandler):
         query = self._query_vectors(body)
         tau = self._resolve_tau(body, query)
         joinability = body.get("joinability", 0.6)
-        response = self.server.service.search(query, tau, joinability)
+        response = self.server.service.search(
+            query, tau, joinability, parts=self._parse_parts(body)
+        )
         self._send_json(
             search_payload(
                 response.result,
@@ -239,7 +365,10 @@ class ServeHandler(BaseHTTPRequestHandler):
         query = self._query_vectors(body)
         tau = self._resolve_tau(body, query)
         k = int(body.get("k", 10))
-        response = self.server.service.topk(query, tau, k)
+        response = self.server.service.topk(
+            query, tau, k,
+            parts=self._parse_parts(body), theta=int(body.get("theta", 0)),
+        )
         self._send_json(
             topk_payload(
                 response.result,
@@ -253,7 +382,13 @@ class ServeHandler(BaseHTTPRequestHandler):
         vectors = self._query_vectors(body)
         table = body.get("table")
         column = body.get("column")
-        column_id, generation = self.server.service.add_column(vectors)
+        part = body.get("partition")
+        explicit_id = body.get("column_id")
+        column_id, generation = self.server.service.add_column(
+            vectors,
+            part=int(part) if part is not None else None,
+            column_id=int(explicit_id) if explicit_id is not None else None,
+        )
         if self.server.columns is not None:
             # Handler threads add concurrently, so the catalog entry is
             # written at its column_id slot under a lock — a positional

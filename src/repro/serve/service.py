@@ -231,25 +231,40 @@ class QueryService:
 
     # -- serving -------------------------------------------------------------------
 
+    @staticmethod
+    def _normalized_parts(
+        parts: Optional[Sequence[int]],
+    ) -> Optional[tuple[int, ...]]:
+        if parts is None:
+            return None
+        return tuple(sorted({int(p) for p in parts}))
+
     def search(
         self,
         query: np.ndarray,
         tau: float,
         joinability: Union[float, int],
+        parts: Optional[Sequence[int]] = None,
     ) -> ServeResponse:
         """Serve one threshold search (coalesced and cached).
 
         The returned :class:`ServeResponse` stamps the generation the
         search executed under; a cached response replays the stored
         result only while its generation is still current.
+
+        ``parts`` restricts the search to a partition subset (cluster
+        scatter routing). A restricted request dispatches directly —
+        the micro-batcher fuses only whole-lake requests, because one
+        engine pass answers one partition set.
         """
         query = self._validated_query(query)
+        parts = self._normalized_parts(parts)
         # joinability semantics depend on its Python type (int = absolute
         # count, float = fraction; 1 != 1.0 here although they hash the
         # same), so the type goes into the key alongside the value.
         key = query_cache_key(
             "search", query, float(tau),
-            type(joinability).__name__, joinability, self.exact_counts,
+            type(joinability).__name__, joinability, self.exact_counts, parts,
         )
         entry = self.cache.get(key, self._generation)
         if entry is not None:
@@ -258,17 +273,33 @@ class QueryService:
                 result=entry.value, generation=entry.generation, cached=True
             )
         self._count_cache(hit=False)
-        if self._batcher is not None:
+        if self._batcher is not None and parts is None:
             result, generation = self._batcher.submit(query, tau, joinability)
         else:
-            result, generation = self._search_direct(query, tau, joinability)
+            result, generation = self._search_direct(
+                query, tau, joinability, parts
+            )
         self.cache.put(key, result, generation)
         return ServeResponse(result=result, generation=generation, cached=False)
 
-    def topk(self, query: np.ndarray, tau: float, k: int) -> ServeResponse:
-        """Serve one exact top-k request (cached, not coalesced)."""
+    def topk(
+        self,
+        query: np.ndarray,
+        tau: float,
+        k: int,
+        parts: Optional[Sequence[int]] = None,
+        theta: int = 0,
+    ) -> ServeResponse:
+        """Serve one exact top-k request (cached, not coalesced).
+
+        ``parts`` / ``theta`` are the cluster scatter parameters: answer
+        only these partitions, pruning against an externally proven
+        k-th-best floor (strict, so results are unchanged).
+        """
         query = self._validated_query(query)
-        key = query_cache_key("topk", query, float(tau), int(k))
+        parts = self._normalized_parts(parts)
+        theta = int(theta)
+        key = query_cache_key("topk", query, float(tau), int(k), parts, theta)
         entry = self.cache.get(key, self._generation)
         if entry is not None:
             self._count_cache(hit=True)
@@ -278,24 +309,33 @@ class QueryService:
         self._count_cache(hit=False)
         with self._rw.read():
             generation = self._generation
-            result = self.searcher.topk(query, tau, k)
+            result = self.searcher.topk(query, tau, k, parts=parts, theta=theta)
         self._merge_stats(result.stats)
         self.cache.put(key, result, generation)
         return ServeResponse(result=result, generation=generation, cached=False)
 
     # -- live maintenance ----------------------------------------------------------
 
-    def add_column(self, vectors: np.ndarray) -> tuple[int, int]:
+    def add_column(
+        self,
+        vectors: np.ndarray,
+        part: Optional[int] = None,
+        column_id: Optional[int] = None,
+    ) -> tuple[int, int]:
         """Append one column; returns ``(column_id, new generation)``.
 
         Takes the write lock: in-flight searches drain first, queued
         searches observe the new column and the bumped generation, and
-        every cached result is invalidated by the bump.
+        every cached result is invalidated by the bump. ``part`` /
+        ``column_id`` are the cluster coordinator's explicit placement
+        (partitioned backends only).
         """
         with self._rw.write():
-            column_id = self.searcher.add_column(vectors)
+            new_id = self.searcher.add_column(
+                vectors, part=part, column_id=column_id
+            )
             self._generation += 1
-            return column_id, self._generation
+            return new_id, self._generation
 
     def delete_column(self, column_id: int) -> int:
         """Remove one column; returns the new generation.
@@ -319,6 +359,17 @@ class QueryService:
             copy = SearchStats()
             copy.merge(self.stats)
             return copy
+
+    def lru_info(self) -> Optional[dict[str, int]]:
+        """Shard-residency telemetry (``None`` on a single-index backend).
+
+        Surfaced by the server's ``/metrics`` as the ``shard_lru_*``
+        gauges so spill behaviour is observable in production.
+        """
+        backend = self.searcher.backend
+        if isinstance(backend, PartitionedPexeso):
+            return backend.lru_info()
+        return None
 
     def describe(self) -> dict[str, Any]:
         """Service state for ``/stats`` (JSON-safe)."""
@@ -346,6 +397,7 @@ class QueryService:
                 "requests": coalesced,
             },
             "distance_computations": stats.distance_computations,
+            "shard_lru": self.lru_info(),
         }
 
     # -- internals -----------------------------------------------------------------
@@ -393,14 +445,14 @@ class QueryService:
             )
 
     def _search_direct(
-        self, query: np.ndarray, tau: float, joinability
+        self, query: np.ndarray, tau: float, joinability, parts=None
     ) -> tuple[SearchResult, int]:
         """Per-request dispatch (coalescing disabled): one-query batch."""
         with self._rw.read():
             generation = self._generation
             batch = self.searcher.search_many(
                 [query], [tau], [joinability],
-                flags=self.flags, exact_counts=self.exact_counts,
+                flags=self.flags, exact_counts=self.exact_counts, parts=parts,
             )
         self._merge_stats(batch.stats)
         return batch.results[0], generation

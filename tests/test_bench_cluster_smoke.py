@@ -1,0 +1,60 @@
+"""CI-size smoke test for the cluster benchmark.
+
+Runs ``benchmarks/bench_cluster.py``'s comparison harness on a tiny lake
+with real worker processes, so the benchmark stays importable and its
+exactness check — every scatter-gathered reply equal hit-for-hit to
+single-node search — runs in every test pass. The >= 2x scaling claim
+is asserted at full benchmark scale (``pytest benchmarks/``) and in the
+CI cluster job (``python benchmarks/bench_cluster.py``), where the
+machine has the cores to show it.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS = Path(__file__).parent.parent / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    sys.path.insert(0, str(BENCHMARKS))
+    try:
+        import bench_cluster
+
+        yield bench_cluster
+    finally:
+        sys.path.remove(str(BENCHMARKS))
+
+
+def test_cluster_comparison_runs_at_ci_size(bench_module, tmp_path):
+    from common import make_dataset
+
+    dataset = make_dataset(
+        "smoke",
+        n_tables=16,
+        rows_range=(6, 14),
+        dim=12,
+        n_entities=40,
+        n_queries=1,
+        query_rows=8,
+        seed=9,
+    )
+    out = bench_module.run_cluster_comparison(
+        dataset,
+        n_partitions=4,
+        worker_counts=(1, 2),
+        n_clients=2,
+        requests_per_client=2,
+        n_pivots=2,
+        levels=2,
+        mode="process",
+        lake_dir=tmp_path,
+    )
+    # run_cluster_comparison asserts every cluster reply == single-node
+    # search internally; here we check the report shape.
+    assert out["n_requests"] == 4
+    assert set(out["seconds"]) == {1, 2}
+    assert all(s > 0 for s in out["seconds"].values())
+    assert out["speedup"] > 0

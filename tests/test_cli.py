@@ -338,3 +338,113 @@ class TestStatsCommand:
         empty = tmp_path / "none"
         empty.mkdir()
         assert main(["stats", str(empty)]) == 1
+
+
+class TestClusterCli:
+    """The distributed tier through the CLI: cluster-coordinator /
+    cluster-worker subcommands and `search --cluster URL`."""
+
+    @pytest.fixture()
+    def sharded_dir(self, lake_dir, tmp_path):
+        out = tmp_path / "sharded"
+        assert main([
+            "index", str(lake_dir), str(out), "--dim", "32", "--partitions", "3",
+        ]) == 0
+        return out
+
+    def test_parser_accepts_cluster_commands(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "cluster-coordinator", "some_dir", "--workers", "2",
+            "--replication", "2", "--port", "0",
+        ])
+        assert args.command == "cluster-coordinator"
+        assert args.workers == 2
+        args = build_parser().parse_args([
+            "cluster-worker", "some_dir", "--coordinator",
+            "http://127.0.0.1:1", "--exact-counts",
+        ])
+        assert args.command == "cluster-worker"
+        assert args.exact_counts is True
+
+    def test_coordinator_requires_partitioned_dir(self, lake_dir, tmp_path,
+                                                  capsys):
+        single = tmp_path / "single"
+        assert main(["index", str(lake_dir), str(single), "--dim", "32"]) == 0
+        assert main([
+            "cluster-coordinator", str(single), "--workers", "2", "--port", "0",
+        ]) == 1
+        assert "partitioned" in capsys.readouterr().err
+
+    def test_worker_without_coordinator_fails(self, sharded_dir, capsys):
+        # nothing listens on this port: joining must fail cleanly
+        assert main([
+            "cluster-worker", str(sharded_dir),
+            "--coordinator", "http://127.0.0.1:9",
+        ]) == 1
+        assert "failed to join" in capsys.readouterr().err
+
+    def test_search_cluster_matches_local(self, sharded_dir, lake_dir, capsys):
+        """`search --cluster URL` == plain local `search`, via a real
+        coordinator + worker pair on ephemeral ports."""
+        from repro.cluster import LocalCluster
+
+        query_csv = lake_dir.parent / "query.csv"
+        assert main([
+            "search", str(sharded_dir), str(query_csv),
+            "--tau", "0.2", "--joinability", "0.2", "--json",
+        ]) == 0
+        local = json.loads(capsys.readouterr().out)
+
+        with LocalCluster(sharded_dir, n_workers=2, replication=1) as cluster:
+            assert main([
+                "search", str(sharded_dir), str(query_csv),
+                "--tau", "0.2", "--joinability", "0.2", "--json",
+                "--cluster", cluster.url,
+            ]) == 0
+            remote = json.loads(capsys.readouterr().out)
+            # human-readable mode prints the same hits with labels
+            assert main([
+                "search", str(sharded_dir), str(query_csv),
+                "--tau", "0.2", "--joinability", "0.2",
+                "--cluster", cluster.url,
+            ]) == 0
+            human = capsys.readouterr().out
+        assert remote["hits"] == local["hits"]
+        assert isinstance(remote["generation"], list)
+        for hit in remote["hits"]:
+            assert f"{hit['table']}.{hit['column']}" in human
+
+    def test_search_cluster_topk(self, sharded_dir, lake_dir, capsys):
+        from repro.cluster import LocalCluster
+
+        query_csv = lake_dir.parent / "query.csv"
+        with LocalCluster(sharded_dir, n_workers=2, replication=1) as cluster:
+            assert main([
+                "search", str(sharded_dir), str(query_csv),
+                "--tau", "0.2", "--topk", "3", "--json",
+                "--cluster", cluster.url,
+            ]) == 0
+            payload = json.loads(capsys.readouterr().out)
+        scores = [h["joinability"] for h in payload["hits"]]
+        assert scores == sorted(scores, reverse=True)
+        assert len(payload["hits"]) <= 3
+
+    def test_search_cluster_rejects_all_columns(self, sharded_dir, lake_dir,
+                                                capsys):
+        query_csv = lake_dir.parent / "query.csv"
+        assert main([
+            "search", str(sharded_dir), str(query_csv),
+            "--all-columns", "--cluster", "http://127.0.0.1:9",
+        ]) == 1
+        assert "--all-columns" in capsys.readouterr().err
+
+    def test_search_cluster_unreachable_fails_cleanly(self, sharded_dir,
+                                                      lake_dir, capsys):
+        query_csv = lake_dir.parent / "query.csv"
+        assert main([
+            "search", str(sharded_dir), str(query_csv),
+            "--tau", "0.2", "--cluster", "http://127.0.0.1:9",
+        ]) == 1
+        assert "cluster request failed" in capsys.readouterr().err

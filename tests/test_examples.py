@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "lake_curation.py",
     "topk_and_persistence.py",
     "serving_quickstart.py",
+    "cluster_quickstart.py",
 ]
 
 
