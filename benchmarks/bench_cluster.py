@@ -29,7 +29,7 @@ from pathlib import Path
 
 import pytest
 
-from common import ResultTable, swdc_like
+from common import ResultTable, swdc_like, write_bench_json
 
 from repro.cluster import LocalCluster
 from repro.cluster.client import ClusterClient
@@ -173,6 +173,12 @@ def report(label: str, out: dict, filename: str) -> None:
         out["speedup"], "-",
     )
     table.print_and_save(filename)
+    write_bench_json(
+        filename.rsplit(".", 1)[0],
+        {"label": label,
+         **{k: v for k, v in out.items()
+            if isinstance(v, (int, float, str, bool))}},
+    )
 
 
 def test_cluster_speedup(swdc_dataset, benchmark):

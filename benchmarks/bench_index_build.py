@@ -28,7 +28,7 @@ import time
 import numpy as np
 import pytest
 
-from common import ResultTable, timed
+from common import ResultTable, timed, write_bench_json
 
 
 def timed_best(fn, repeats: int = 3):
@@ -173,6 +173,12 @@ def report(profile: str, out: dict, filename: str) -> None:
     table.add("save", out["save_seconds"], "one .npz")
     table.add("load", out["load_seconds"], "array reads, no pickle")
     table.print_and_save(filename)
+    write_bench_json(
+        filename.rsplit(".", 1)[0],
+        {"label": profile,
+         **{k: v for k, v in out.items()
+            if isinstance(v, (int, float, str, bool))}},
+    )
 
 
 @pytest.mark.parametrize("profile", ["OPEN-like", "SWDC-like"])

@@ -22,7 +22,7 @@ import time
 
 import pytest
 
-from common import ResultTable, lwdc_like
+from common import ResultTable, lwdc_like, write_bench_json
 
 from repro.core.index import PexesoIndex
 from repro.core.out_of_core import PartitionedPexeso
@@ -143,6 +143,12 @@ def report(label: str, out: dict, filename: str) -> None:
     table.add("parallel shard engine", out["par_seconds"], out["par_hits"])
     table.add("speedup", out["speedup"], "-")
     table.print_and_save(filename)
+    write_bench_json(
+        filename.rsplit(".", 1)[0],
+        {"label": label,
+         **{k: v for k, v in out.items()
+            if isinstance(v, (int, float, str, bool))}},
+    )
 
 
 def test_partitioned_speedup(lwdc_dataset, benchmark):

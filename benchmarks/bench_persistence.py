@@ -1,0 +1,228 @@
+"""Persistence-format benchmark: v3 mmap cold start + kernel lanes.
+
+Headline claims of the format-v3 rework:
+
+* **Cold start.** Opening a saved lake with every partition hosted —
+  the cluster-worker cold-start / failover path — is ≥ 10x faster over
+  the v3 raw-``.npy`` layout (``mmap_mode="r"``, zero-copy, pages fault
+  in on demand) than over the legacy v2 compressed ``.npz`` layout,
+  which must decompress every array eagerly. Results served by the two
+  loads are checked hit-for-hit.
+
+* **Verify lane.** The verification-heavy search lane (exact counts,
+  every candidate replayed) goes through the kernel dispatch layer
+  (:mod:`repro.core.kernels`). With Numba installed the compiled lane
+  must be ≥ 3x the pure-NumPy lane at benchmark scale; without it the
+  NumPy lane *is* the shipped fallback and both lanes' timings land in
+  the JSON artifact for trajectory tracking. Backends are bit-identical
+  (asserted here per query, pinned down exhaustively by the 24-seed
+  differential oracle).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from common import ResultTable, deep_like, timed, write_bench_json
+
+from repro.core import kernels
+from repro.core.engine import BatchSearch
+from repro.core.index import PexesoIndex
+from repro.core.out_of_core import PartitionedPexeso
+from repro.core.persistence import (
+    FORMAT_VERSION,
+    V2_FORMAT_VERSION,
+    load_partitioned,
+    save_partitioned,
+)
+from repro.core.metric import EuclideanMetric
+from repro.core.thresholds import distance_threshold
+
+TAU_FRACTION = 0.06
+T = 0.25
+
+MIN_COLDSTART_SPEEDUP = 10.0
+MIN_COMPILED_SPEEDUP = 3.0
+
+
+def _hit_rows(batch):
+    return [
+        [(h.column_id, h.match_count) for h in r.joinable] for r in batch.results
+    ]
+
+
+def run_coldstart_comparison(
+    dataset,
+    n_partitions: int = 6,
+    n_pivots: int = 3,
+    levels: int = 3,
+    repeats: int = 3,
+    work_dir: str | Path | None = None,
+) -> dict:
+    """Save one lake in both formats; time the all-parts cold open."""
+    tmp = Path(work_dir) if work_dir else Path(tempfile.mkdtemp(prefix="bench_v3_"))
+    owns_tmp = work_dir is None
+    try:
+        lake = PartitionedPexeso(
+            n_pivots=n_pivots,
+            levels=levels,
+            n_partitions=n_partitions,
+            seed=11,
+        ).fit(dataset.vector_columns)
+        hosted = [p for p, g in enumerate(lake.partition_columns) if g]
+
+        save_seconds = {}
+        for fmt, name in ((V2_FORMAT_VERSION, "v2"), (FORMAT_VERSION, "v3")):
+            seconds, _ = timed(
+                lambda f=fmt, n=name: save_partitioned(lake, tmp / n, fmt=f)
+            )
+            save_seconds[name] = seconds
+
+        # Cold start = load_partitioned with every partition hosted (the
+        # cluster worker's open-everything path). v2 decompresses every
+        # array; v3 mmaps them lazily.
+        v2_seconds, v2_lake = timed(
+            lambda: load_partitioned(tmp / "v2", parts=hosted), repeats=repeats
+        )
+        v3_seconds, v3_lake = timed(
+            lambda: load_partitioned(tmp / "v3", parts=hosted, mmap=True),
+            repeats=repeats,
+        )
+
+        tau = distance_threshold(TAU_FRACTION, EuclideanMetric(), dataset.dim)
+        queries = dataset.queries
+        want = _hit_rows(lake.search_many(queries, tau, T, exact_counts=True))
+        for name, loaded in (("v2", v2_lake), ("v3", v3_lake)):
+            got = _hit_rows(loaded.search_many(queries, tau, T, exact_counts=True))
+            assert got == want, f"{name} cold-started lake diverges from source"
+
+        return {
+            "n_columns": len(dataset.vector_columns),
+            "n_vectors": dataset.n_vectors,
+            "n_partitions": len(hosted),
+            "v2_save_seconds": save_seconds["v2"],
+            "v3_save_seconds": save_seconds["v3"],
+            "v2_coldstart_seconds": v2_seconds,
+            "v3_coldstart_seconds": v3_seconds,
+            "coldstart_speedup": v2_seconds / v3_seconds if v3_seconds else float("inf"),
+        }
+    finally:
+        if owns_tmp:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+def run_verify_lane_comparison(
+    dataset,
+    n_pivots: int = 3,
+    levels: int = 3,
+    repeats: int = 2,
+) -> dict:
+    """Time the verification-heavy lane on every available kernel backend."""
+    index = PexesoIndex.build(
+        dataset.vector_columns, n_pivots=n_pivots, levels=levels
+    )
+    tau = distance_threshold(TAU_FRACTION, EuclideanMetric(), dataset.dim)
+    queries = dataset.queries
+
+    def lane():
+        engine = BatchSearch(index, exact_counts=True)
+        return _hit_rows(engine.search_many(queries, tau, T))
+
+    out: dict = {
+        "n_columns": len(dataset.vector_columns),
+        "n_vectors": dataset.n_vectors,
+        "n_queries": len(queries),
+        "have_numba": kernels.HAVE_NUMBA,
+    }
+    with kernels.use_backend("numpy"):
+        out["numpy_seconds"], want = timed(lane, repeats=repeats)
+    if kernels.HAVE_NUMBA:
+        with kernels.use_backend("numba"):
+            lane()  # warm the JIT outside the timed region
+            out["numba_seconds"], got = timed(lane, repeats=repeats)
+        assert got == want, "numba verify lane diverges from numpy"
+        out["compiled_speedup"] = out["numpy_seconds"] / out["numba_seconds"]
+    return out
+
+
+def report(label: str, cold: dict, lanes: dict, filename: str) -> None:
+    table = ResultTable(
+        f"Persistence v3 + kernels ({label}): {cold['n_columns']} columns, "
+        f"{cold['n_vectors']} vectors over {cold['n_partitions']} shards",
+        ["Measure", "Seconds", "Note"],
+    )
+    table.add("v2 save", cold["v2_save_seconds"], "compressed .npz")
+    table.add("v3 save", cold["v3_save_seconds"], "raw .npy epoch dir")
+    table.add("v2 cold start (all parts)", cold["v2_coldstart_seconds"],
+              "eager decompress")
+    table.add("v3 cold start (all parts)", cold["v3_coldstart_seconds"],
+              "zero-copy mmap")
+    table.add("cold-start speedup", cold["coldstart_speedup"],
+              f">= {MIN_COLDSTART_SPEEDUP:.0f}x required")
+    table.add("verify lane (numpy)", lanes["numpy_seconds"],
+              f"{lanes['n_queries']} queries, exact counts")
+    if lanes.get("numba_seconds") is not None:
+        table.add("verify lane (numba)", lanes["numba_seconds"],
+                  f"{lanes['compiled_speedup']:.1f}x compiled")
+    else:
+        table.add("verify lane (numba)", "n/a", "numba not installed")
+    table.print_and_save(filename)
+    write_bench_json(
+        filename.rsplit(".", 1)[0],
+        {"label": label,
+         **{k: v for k, v in cold.items() if isinstance(v, (int, float, bool))},
+         **{k: v for k, v in lanes.items() if isinstance(v, (int, float, bool))}},
+    )
+
+
+def test_coldstart_speedup(deep_dataset, benchmark, tmp_path):
+    cold = benchmark.pedantic(
+        lambda: run_coldstart_comparison(deep_dataset, work_dir=tmp_path),
+        rounds=1,
+        iterations=1,
+    )
+    lanes = run_verify_lane_comparison(deep_dataset)
+    report("DEEP-like", cold, lanes, "persistence_deep_like.md")
+
+    assert cold["coldstart_speedup"] >= MIN_COLDSTART_SPEEDUP, (
+        f"v3 mmap cold start must be >= {MIN_COLDSTART_SPEEDUP}x faster than "
+        f"the v2 eager load, got {cold['coldstart_speedup']:.1f}x"
+    )
+    if kernels.HAVE_NUMBA:
+        assert lanes["compiled_speedup"] >= MIN_COMPILED_SPEEDUP, (
+            f"compiled verify lane must be >= {MIN_COMPILED_SPEEDUP}x the "
+            f"numpy lane, got {lanes['compiled_speedup']:.1f}x"
+        )
+
+
+def main() -> None:
+    """CI entry point: run at CI size and write results + JSON artifact."""
+    # The DEEP profile carries enough array bytes that load times are
+    # dominated by what each format actually does with the data (eager
+    # decompress vs lazy mmap) rather than per-file constant overhead.
+    dataset = deep_like()
+    cold = run_coldstart_comparison(dataset)
+    lanes = run_verify_lane_comparison(dataset)
+    report("CI-size DEEP-like", cold, lanes, "persistence_ci.md")
+    assert cold["coldstart_speedup"] >= MIN_COLDSTART_SPEEDUP, (
+        f"v3 mmap cold start must be >= {MIN_COLDSTART_SPEEDUP}x faster than "
+        f"the v2 eager load at CI size, got {cold['coldstart_speedup']:.1f}x"
+    )
+    if kernels.HAVE_NUMBA:
+        assert lanes["compiled_speedup"] >= MIN_COMPILED_SPEEDUP, (
+            f"compiled verify lane must be >= {MIN_COMPILED_SPEEDUP}x the "
+            f"numpy lane at CI size, got {lanes['compiled_speedup']:.1f}x"
+        )
+    print(
+        f"CI persistence check passed: v3 cold start "
+        f"{cold['coldstart_speedup']:.1f}x over v2 eager load "
+        f"({cold['n_vectors']} vectors, {cold['n_partitions']} shards); "
+        f"kernel backend = {kernels.get_backend()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -26,7 +26,7 @@ import time
 
 import pytest
 
-from common import ResultTable, swdc_like
+from common import ResultTable, swdc_like, write_bench_json
 
 from repro.core.index import PexesoIndex
 from repro.core.thresholds import distance_threshold
@@ -162,6 +162,12 @@ def report(label: str, out: dict, filename: str) -> None:
               out["n_requests"] / out["replay_seconds"])
     table.add("speedup (coalesced vs serial)", out["speedup"], "-")
     table.print_and_save(filename)
+    write_bench_json(
+        filename.rsplit(".", 1)[0],
+        {"label": label,
+         **{k: v for k, v in out.items()
+            if isinstance(v, (int, float, str, bool))}},
+    )
 
 
 def test_serving_speedup(swdc_dataset, benchmark):

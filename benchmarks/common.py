@@ -122,6 +122,24 @@ def lwdc_like(seed: int = 2, scale: float = 1.0) -> BenchDataset:
     )
 
 
+def deep_like(seed: int = 3, scale: float = 1.0) -> BenchDataset:
+    """DEEP profile: few but long columns, 64-dim embeddings.
+
+    Byte-heavy relative to its column count — sized so persistence
+    costs (decompression, array reads) dominate over per-file constant
+    overhead, which the *WDC profiles are far too small to show.
+    """
+    return make_dataset(
+        "DEEP-like",
+        n_tables=max(6, int(72 * scale)),
+        rows_range=(500, 900),
+        dim=64,
+        n_entities=4000,
+        query_rows=20,
+        seed=seed,
+    )
+
+
 def timed(fn: Callable[[], object], repeats: int = 1) -> tuple[float, object]:
     """Run ``fn`` ``repeats`` times; return (mean seconds, last result)."""
     took = []
@@ -200,3 +218,31 @@ def precision_recall(
     else:
         recall = 1.0
     return precision, recall
+
+
+def write_bench_json(name: str, metrics: dict) -> Path:
+    """Write one benchmark's machine-readable trajectory artifact.
+
+    Emits ``benchmarks/results/BENCH_<name>.json`` holding the given
+    metrics plus environment provenance (python / numpy versions, kernel
+    backend), so CI runs accumulate a comparable time series next to the
+    human-readable markdown tables. Returns the path written.
+    """
+    import json
+    import platform
+
+    from repro.core import kernels
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema_version": 1,
+        "bench": name,
+        "unix_time": time.time(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "kernel_backend": kernels.get_backend(),
+        "metrics": metrics,
+    }
+    out = RESULTS_DIR / f"BENCH_{name}.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return out

@@ -5,7 +5,7 @@ the ``repro`` binary via the ``console_scripts`` entry point, or run as
 ``python -m repro.cli``)::
 
     repro index  LAKE_DIR INDEX_DIR [--dim 64] [--pivots 5] [--levels 4]
-                 [--partitions N] [--partitioner jsd]
+                 [--partitions N] [--partitioner jsd] [--format v2|v3]
     repro search INDEX_DIR QUERY_CSV [--column NAME]
                  [--tau 0.06] [--joinability 0.6] [--top-k K]
                  [--all-columns] [--workers W] [--partitions N]
@@ -53,7 +53,14 @@ from repro.core.index import PexesoIndex
 from repro.core.metric import EuclideanMetric
 from repro.core.out_of_core import LakeSearcher, PartitionedPexeso
 from repro.core.partition import PARTITIONERS
-from repro.core.persistence import load_any, save_index, save_partitioned
+from repro.core.atomic import atomic_write_text
+from repro.core.persistence import (
+    FORMAT_VERSION,
+    V2_FORMAT_VERSION,
+    load_any,
+    save_index,
+    save_partitioned,
+)
 from repro.core.thresholds import distance_threshold
 from repro.embedding.hashing import HashingNGramEmbedder
 from repro.lake.csv_loader import load_csv
@@ -82,6 +89,7 @@ def cmd_index(args: argparse.Namespace) -> int:
         print("no indexable key columns found", file=sys.stderr)
         return 1
     n_vectors = sum(c.shape[0] for c in vector_columns)
+    fmt = {"v2": V2_FORMAT_VERSION, "v3": FORMAT_VERSION}[args.format]
     if args.partitions > 1:
         lake = PartitionedPexeso(
             n_pivots=args.pivots,
@@ -91,13 +99,13 @@ def cmd_index(args: argparse.Namespace) -> int:
             partitioner=args.partitioner,
             spill_dir=args.index_dir,
         ).fit(vector_columns)
-        out = save_partitioned(lake, args.index_dir)
+        out = save_partitioned(lake, args.index_dir, fmt=fmt)
         layout = f"{len([g for g in lake.partition_columns if g])} partitions"
     else:
         index = PexesoIndex.build(
             vector_columns, n_pivots=args.pivots, levels=args.levels, seed=args.seed
         )
-        out = save_index(index, args.index_dir)
+        out = save_index(index, args.index_dir, fmt=fmt)
         layout = "single index"
     catalog = {
         "columns": [
@@ -106,7 +114,7 @@ def cmd_index(args: argparse.Namespace) -> int:
         "embedder": {"dim": args.dim, "seed": args.seed},
         "preprocess": not args.no_preprocess,
     }
-    (out / "catalog.json").write_text(json.dumps(catalog, indent=2))
+    atomic_write_text(out / "catalog.json", json.dumps(catalog, indent=2))
     print(
         f"indexed {len(refs)} columns / {n_vectors} vectors "
         f"from {n_loaded} tables into {out} ({layout})"
@@ -464,6 +472,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "(paper §IV out-of-core layout)")
     p_index.add_argument("--partitioner", choices=sorted(PARTITIONERS),
                          default="jsd", help="column-to-partition strategy")
+    p_index.add_argument("--format", choices=("v2", "v3"), default="v3",
+                         help="on-disk index format: v3 (raw mmap-able "
+                              ".npy arrays, the default) or v2 (legacy "
+                              "compressed .npz archive)")
     p_index.set_defaults(func=cmd_index)
 
     p_search = sub.add_parser("search", help="search a saved index")

@@ -43,6 +43,7 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
+from repro.core.atomic import atomic_write_text
 from repro.core.engine import BatchResult, merge_shard_batches
 from repro.core.metric import get_metric
 from repro.core.stats import SearchStats
@@ -764,7 +765,7 @@ class ClusterCoordinator:
             },
         }
         with self._save_lock:
-            self._cluster_path.write_text(json.dumps(state, indent=2))
+            atomic_write_text(self._cluster_path, json.dumps(state, indent=2))
 
 
 class _IdentityMap:

@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.core.atomic import atomic_write_text
+
 #: bumped when the cluster.json layout changes
 CLUSTER_FORMAT_VERSION = 1
 
@@ -266,7 +268,7 @@ class ShardMap:
         return shard_map
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+        atomic_write_text(Path(path), json.dumps(self.to_dict(), indent=2))
 
     @classmethod
     def load(cls, path: str | Path) -> "ShardMap":

@@ -64,7 +64,10 @@ def start_worker(
     client = ClusterClient(coordinator_url, timeout=timeout, retries=retries)
     assignment = client.register_worker()
     slot = int(assignment["slot"])
-    backend = load_partitioned(Path(lake_dir), parts=assignment["parts"])
+    # mmap=True: over a v3 lake the hosted shards open zero-copy, so a
+    # cold start (or a failover replacement spinning up) is a few mmap
+    # calls instead of reading every shard's arrays into the heap.
+    backend = load_partitioned(Path(lake_dir), parts=assignment["parts"], mmap=True)
     service = QueryService(backend, **service_kwargs)
     server = make_server(service, host=host, port=port)
     thread = threading.Thread(

@@ -36,6 +36,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.cellcodes import decode_cells
 from repro.core.grid import CellCode, HierarchicalGrid
 from repro.core.stats import SearchStats
@@ -148,22 +149,13 @@ class _Blocker:
                 self._block_leaves(q_code, r_codes, r_lo, r_hi)
                 continue
 
-            # Lemma 6 (cell-cell matching), batched over sibling target cells:
-            # exists pivot i with t_hi[i] + q_hi[i] <= tau.
-            if self.use_lemma56:
-                matched = ((r_hi + q_hi[None, :]) <= self.tau).any(axis=1)
-            else:
-                matched = np.zeros(n_r, dtype=bool)
-            # Lemma 4 (cell-cell filtering), batched: boxes farther than tau
-            # apart in some dimension.
-            if self.use_lemma34:
-                filtered = (
-                    (r_lo > q_hi[None, :] + self.tau)
-                    | (r_hi < q_lo[None, :] - self.tau)
-                ).any(axis=1)
-                filtered &= ~matched
-            else:
-                filtered = np.zeros(n_r, dtype=bool)
+            # Lemma 6 (cell-cell matching) and Lemma 4 (cell-cell
+            # filtering), batched over sibling target cells through the
+            # active kernel backend (numba-compiled when available).
+            matched, filtered = kernels.cell_masks(
+                r_lo, r_hi, q_lo, q_hi, self.tau,
+                self.use_lemma56, self.use_lemma34,
+            )
 
             n_matched = int(matched.sum())
             if n_matched:
@@ -201,20 +193,11 @@ class _Blocker:
         if not kept_cells:
             return
 
-        # Lemma 5: (mq, kt) — exists pivot i with t_hi[i] + q'[i] <= tau.
-        if self.use_lemma56:
-            matched = ((batch[:, None, :] + t_hi[None, :, :]) <= tau).any(axis=2)
-        else:
-            matched = np.zeros((members.size, len(kept_cells)), dtype=bool)
-        # Lemma 3: SQR(q', tau) misses the cell box in some dimension.
-        if self.use_lemma34:
-            filtered = (
-                (t_lo[None, :, :] > batch[:, None, :] + tau)
-                | (t_hi[None, :, :] < batch[:, None, :] - tau)
-            ).any(axis=2)
-            filtered &= ~matched
-        else:
-            filtered = np.zeros_like(matched)
+        # Lemma 5 ((mq, kt) matching) and Lemma 3 (SQR-vs-box filtering),
+        # batched over both axes through the active kernel backend.
+        matched, filtered = kernels.leaf_masks(
+            batch, t_lo, t_hi, tau, self.use_lemma56, self.use_lemma34
+        )
 
         self.stats.lemma5_matched += int(matched.sum())
         self.stats.lemma3_filtered += int(filtered.sum())

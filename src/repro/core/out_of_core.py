@@ -4,9 +4,9 @@ When the repository does not fit in memory, the columns are partitioned
 (by default with the JSD clustering of :mod:`repro.core.partition`), one
 :class:`~repro.core.index.PexesoIndex` is built per partition, and each
 partition is (optionally) spilled to disk in the array-native
-:mod:`~repro.core.persistence` format (one ``.npz`` per partition — no
-pickling, and loading is a handful of array reads instead of
-reconstructing a Python object graph).
+:mod:`~repro.core.persistence` format (raw ``.npy`` files per
+partition — no pickling, and loading is a handful of ``mmap`` calls
+instead of reconstructing a Python object graph).
 
 The sharded layer is the fast path, not a fallback:
 
@@ -78,27 +78,46 @@ class ShardLRU:
         self.capacity = int(capacity)
         self._cache: OrderedDict[int, PexesoIndex] = OrderedDict()
         self._lock = threading.Lock()
+        #: per-part version counter, bumped by put()/invalidate(); a
+        #: get() that loaded from disk installs its result only if the
+        #: token it captured is still current, so a slow disk load can
+        #: never clobber a fresher index a concurrent put() installed.
+        self._tokens: dict[int, int] = {}
         self.hits = 0
         self.misses = 0
 
     def get(self, part: int) -> PexesoIndex:
         """Fetch one shard, loading (and possibly evicting) as needed."""
-        with self._lock:
-            index = self._cache.get(part)
-            if index is not None:
+        while True:
+            with self._lock:
+                index = self._cache.get(part)
+                if index is not None:
+                    self._cache.move_to_end(part)
+                    self.hits += 1
+                    return index
+                token = self._tokens.get(part, 0)
+            # Load outside the lock so concurrent workers load distinct
+            # shards in parallel; a rare duplicate load of the same shard
+            # is benign.
+            index = self._loader(part)
+            with self._lock:
+                self.misses += 1
+                if self._tokens.get(part, 0) != token:
+                    # The entry changed mid-load (a mutation put() a
+                    # fresher index, or invalidate() dropped it because
+                    # the on-disk copy moved on). Our load may predate
+                    # that, so it must not be installed; serve the cached
+                    # fresh copy if there is one, else re-load.
+                    current = self._cache.get(part)
+                    if current is not None:
+                        self._cache.move_to_end(part)
+                        return current
+                    continue
+                self._cache[part] = index
                 self._cache.move_to_end(part)
-                self.hits += 1
-                return index
-        # Load outside the lock so concurrent workers load distinct shards
-        # in parallel; a rare duplicate load of the same shard is benign.
-        index = self._loader(part)
-        with self._lock:
-            self.misses += 1
-            self._cache[part] = index
-            self._cache.move_to_end(part)
-            while len(self._cache) > self.capacity:
-                self._cache.popitem(last=False)
-        return index
+                while len(self._cache) > self.capacity:
+                    self._cache.popitem(last=False)
+            return index
 
     def __len__(self) -> int:
         with self._lock:
@@ -114,9 +133,12 @@ class ShardLRU:
 
         Live maintenance mutates a loaded shard and re-spills it; the
         fresh object replaces any stale cached copy so later reads never
-        see the pre-mutation index.
+        see the pre-mutation index. Bumps the part's version token so an
+        in-flight disk load started before this put can never overwrite
+        it.
         """
         with self._lock:
+            self._tokens[part] = self._tokens.get(part, 0) + 1
             self._cache[part] = index
             self._cache.move_to_end(part)
             while len(self._cache) > self.capacity:
@@ -125,10 +147,13 @@ class ShardLRU:
     def invalidate(self, part: int) -> None:
         """Drop one shard from the cache (no-op when absent)."""
         with self._lock:
+            self._tokens[part] = self._tokens.get(part, 0) + 1
             self._cache.pop(part, None)
 
     def clear(self) -> None:
         with self._lock:
+            for part in self._cache:
+                self._tokens[part] = self._tokens.get(part, 0) + 1
             self._cache.clear()
 
 
@@ -148,6 +173,10 @@ class PartitionedPexeso:
             ``min(4, #shards)``.
         lru_shards: spill-mode resident-shard bound; defaults to the
             resolved worker count (one partition per worker).
+        mmap: open spilled v3 partitions memory-mapped (zero-copy; see
+            :func:`~repro.core.persistence.load_index`). The LRU then
+            bounds address-space mappings rather than heap, so spill
+            mode can afford a far larger ``lru_shards``.
         Remaining arguments configure each partition's
         :class:`~repro.core.index.PexesoIndex`.
     """
@@ -165,6 +194,7 @@ class PartitionedPexeso:
         kmeans_iters: int = 10,
         max_workers: Optional[int] = None,
         lru_shards: Optional[int] = None,
+        mmap: bool = True,
     ):
         if partitioner not in PARTITIONERS:
             known = ", ".join(sorted(PARTITIONERS))
@@ -186,6 +216,7 @@ class PartitionedPexeso:
         self.kmeans_iters = kmeans_iters
         self.max_workers = max_workers
         self.lru_shards = lru_shards
+        self.mmap = bool(mmap)
 
         #: partition label of every fitted or live-added column (positional)
         self.labels: Optional[np.ndarray] = None
@@ -306,8 +337,10 @@ class PartitionedPexeso:
     def _spill(self, part: int, index: PexesoIndex) -> None:
         """Write one partition to disk in the array-native format.
 
-        The ``.npz`` format reconstructs the metric from its registry
-        name, so any metric whose name round-trips through
+        Spills use the current (v3, mmap-able) format and are
+        crash-atomic: a killed spill leaves the partition's previous
+        complete epoch on disk. The format reconstructs the metric from
+        its registry name, so any metric whose name round-trips through
         ``METRIC_REGISTRY`` — built-in or registered via
         :func:`~repro.core.metric.register_metric` — spills without
         pickling. Only a truly unregistered custom
@@ -339,7 +372,7 @@ class PartitionedPexeso:
         if path.suffix == ".pkl":
             with open(path, "rb") as fh:
                 return pickle.load(fh)
-        return load_index(path)
+        return load_index(path, mmap=self.mmap)
 
     def _ensure_lru(self, workers: int) -> None:
         """Create (or widen) the shard LRU for a ``workers``-wide fan-out.
@@ -681,11 +714,12 @@ class PartitionedPexeso:
             return
         import json
 
+        from repro.core.atomic import atomic_write_text
         from repro.core.persistence import mutable_manifest_fields
 
         manifest = json.loads(manifest_path.read_text())
         manifest.update(mutable_manifest_fields(self))
-        manifest_path.write_text(json.dumps(manifest, indent=2))
+        atomic_write_text(manifest_path, json.dumps(manifest, indent=2))
 
     def add_column(
         self,

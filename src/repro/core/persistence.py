@@ -4,14 +4,30 @@ The offline component of Fig. 1 builds the index once and serves many
 online queries, so the index must outlive the process. Because the index
 core is array-native — sorted leaf cell codes for the grid, lexsorted
 CSR arrays for the inverted index — the whole structure round-trips as
-**one** ``index.npz`` (portable, compressed) plus a small
-``manifest.json``; nothing is pickled and no Python object graph is
-rebuilt on load. The grid stores only its leaf codes: every ancestor
-level is re-derived by vectorised shifting.
+a handful of arrays plus a small ``manifest.json``; nothing is pickled
+and no Python object graph is rebuilt on load.
 
-Format version 2. Version-1 directories (the pre-array layout with a
-``structure.pkl``) are rejected with a clear error; rebuild the index to
-migrate.
+Format **version 3** (the write default): every array is one raw
+aligned ``.npy`` file inside a per-save epoch directory
+(``arrays_v3_<epoch>/``), so :func:`load_index` opens them with
+``mmap_mode="r"`` — loading a shard is a few ``open``/``mmap`` calls and
+costs no copying, no decompression and almost no resident memory until
+pages are actually touched. That makes cluster-worker cold start and
+failover near-instant and lets the shard LRU hold far more shards than
+RAM would allow (capacity is address space, not heap).
+
+Crash safety: array files are written into a *fresh* epoch directory
+and the manifest — which names the epoch directory — is swapped in with
+an atomic rename (:mod:`repro.core.atomic`). A writer killed at any
+instant leaves either the old complete index or the new complete index;
+stale epoch directories and ``*.tmp-*`` files are ignored by loaders
+and swept by the next successful save.
+
+Format version 2 (one compressed ``index.npz``) is still **read**
+supported — v2 directories load eagerly exactly as before, and saving
+with ``fmt=2`` is kept for compatibility tooling. Version-1 directories
+(the pre-array layout with a ``structure.pkl``) are rejected with a
+clear error; rebuild the index to migrate.
 
 Partitioned lakes persist as a lake-level ``partitioned.json`` manifest
 (labels, global column IDs per partition, build knobs) plus one
@@ -25,17 +41,29 @@ need not know which flavour was saved.
 from __future__ import annotations
 
 import json
+import shutil
 from pathlib import Path
 from typing import Sequence, Union
 
 import numpy as np
 
+from repro.core.atomic import (
+    atomic_write_array,
+    atomic_write_text,
+    clean_temp_artifacts,
+)
 from repro.core.grid import HierarchicalGrid
 from repro.core.index import PexesoIndex
 from repro.core.inverted_index import InvertedIndex
 
-#: bumped when the on-disk layout changes
-FORMAT_VERSION = 2
+#: current write default; bumped when the on-disk layout changes
+FORMAT_VERSION = 3
+
+#: the pre-mmap single-archive layout, still loadable (read-only compat)
+V2_FORMAT_VERSION = 2
+
+#: formats :func:`load_index` accepts
+SUPPORTED_FORMATS = (V2_FORMAT_VERSION, FORMAT_VERSION)
 
 #: bumped when the partitioned-lake layout changes
 PARTITIONED_FORMAT_VERSION = 1
@@ -44,43 +72,54 @@ _ARCHIVE = "index.npz"
 
 _PARTITIONED_MANIFEST = "partitioned.json"
 
+#: v3 epoch-directory prefix (the manifest names the live one)
+_V3_ARRAYS_PREFIX = "arrays_v3_"
 
-def save_index(index: PexesoIndex, directory: str | Path) -> Path:
-    """Persist a built index; returns the directory written.
+#: the arrays a v3 index directory persists, one ``.npy`` each, with the
+#: dtype they are saved (and therefore mmapped) as
+_V3_ARRAYS = (
+    ("vectors", np.float64),
+    ("mapped", np.float64),
+    ("pivots", np.float64),
+    ("grid_leaf_codes", np.int64),
+    ("inv_codes", np.int64),
+    ("inv_cols", np.int64),
+    ("inv_starts", np.int64),
+    ("inv_rows", np.int64),
+    ("column_ids", np.int64),
+    ("column_first_rows", np.int64),
+    ("column_counts", np.int64),
+)
 
-    Raises:
-        RuntimeError: when the index has not been built.
-    """
-    if index.pivot_space is None or index.grid is None:
-        raise RuntimeError("cannot save an unbuilt index")
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
 
+def _index_payload(index: PexesoIndex) -> tuple[dict[str, np.ndarray], dict]:
+    """The arrays + manifest fields shared by every save format."""
     inverted = index.inverted
-    column_ids = np.fromiter(index.column_rows, dtype=np.int64, count=len(index.column_rows))
+    column_ids = np.fromiter(
+        index.column_rows, dtype=np.int64, count=len(index.column_rows)
+    )
     column_first_rows = np.asarray(
-        [int(index.column_rows[cid][0]) for cid in column_ids.tolist()], dtype=np.int64
+        [int(index.column_rows[cid][0]) for cid in column_ids.tolist()],
+        dtype=np.int64,
     )
     column_counts = np.asarray(
-        [int(index.column_rows[cid].size) for cid in column_ids.tolist()], dtype=np.int64
+        [int(index.column_rows[cid].size) for cid in column_ids.tolist()],
+        dtype=np.int64,
     )
-    np.savez_compressed(
-        directory / _ARCHIVE,
-        vectors=index.vectors,
-        mapped=index.mapped,
-        pivots=index.pivot_space.pivots,
-        extent=np.float64(index.pivot_space.extent),
-        grid_leaf_codes=index.grid.leaf_codes,
-        inv_codes=inverted._codes,
-        inv_cols=inverted._cols,
-        inv_starts=inverted._starts.astype(np.int64),
-        inv_rows=inverted._rows.astype(np.int64),
-        column_ids=column_ids,
-        column_first_rows=column_first_rows,
-        column_counts=column_counts,
-    )
+    arrays = {
+        "vectors": index.vectors,
+        "mapped": index.mapped,
+        "pivots": index.pivot_space.pivots,
+        "grid_leaf_codes": index.grid.leaf_codes,
+        "inv_codes": inverted._codes,
+        "inv_cols": inverted._cols,
+        "inv_starts": inverted._starts.astype(np.int64),
+        "inv_rows": inverted._rows.astype(np.int64),
+        "column_ids": column_ids,
+        "column_first_rows": column_first_rows,
+        "column_counts": column_counts,
+    }
     manifest = {
-        "format_version": FORMAT_VERSION,
         "metric": index.metric.name,
         "n_pivots": index.n_pivots,
         "levels": index.levels,
@@ -91,12 +130,124 @@ def save_index(index: PexesoIndex, directory: str | Path) -> Path:
         "n_vectors": index.n_vectors,
         "dim": index.dim,
     }
-    (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return arrays, manifest
+
+
+def _sweep_stale_epochs(directory: Path, keep: str | None) -> None:
+    """Drop epoch dirs a crashed (or superseded) save left behind.
+
+    Safe while readers hold mmaps into a removed directory: on POSIX the
+    unlinked files' pages stay valid until the last mapping goes away.
+    """
+    for entry in directory.iterdir():
+        if (
+            entry.is_dir()
+            and entry.name.startswith(_V3_ARRAYS_PREFIX)
+            and entry.name != keep
+        ):
+            shutil.rmtree(entry, ignore_errors=True)
+
+
+def save_index(
+    index: PexesoIndex, directory: str | Path, fmt: int = FORMAT_VERSION
+) -> Path:
+    """Persist a built index; returns the directory written.
+
+    Args:
+        fmt: on-disk format — ``3`` (raw mmap-able ``.npy`` files, the
+            default) or ``2`` (one compressed ``index.npz``; kept so v2
+            lakes can still be produced for compatibility testing).
+
+    The write is crash-atomic in both formats: array data lands under
+    names the current manifest does not reference, and the manifest swap
+    is one ``os.replace``. A killed writer can never leave a directory
+    that loads as a half-written index.
+
+    Raises:
+        RuntimeError: when the index has not been built.
+        ValueError: for an unknown ``fmt``.
+    """
+    if index.pivot_space is None or index.grid is None:
+        raise RuntimeError("cannot save an unbuilt index")
+    if fmt not in SUPPORTED_FORMATS:
+        raise ValueError(f"unknown index format {fmt}; supported: {SUPPORTED_FORMATS}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    arrays, manifest = _index_payload(index)
+    manifest = {"format_version": fmt, **manifest}
+    manifest["extent"] = float(index.pivot_space.extent)
+
+    if fmt == V2_FORMAT_VERSION:
+        manifest.pop("extent")
+        np.savez_compressed(
+            directory / _ARCHIVE,
+            extent=np.float64(index.pivot_space.extent),
+            **arrays,
+        )
+        atomic_write_text(
+            directory / "manifest.json", json.dumps(manifest, indent=2)
+        )
+        clean_temp_artifacts(directory)
+        return directory
+
+    # v3: arrays into a fresh epoch dir, manifest flip last, then sweep.
+    epoch = 0
+    manifest_path = directory / "manifest.json"
+    if manifest_path.exists():
+        try:
+            previous = json.loads(manifest_path.read_text())
+            prior_dir = str(previous.get("arrays_dir", ""))
+            if prior_dir.startswith(_V3_ARRAYS_PREFIX):
+                epoch = int(prior_dir[len(_V3_ARRAYS_PREFIX):]) + 1
+        except (ValueError, OSError):
+            pass  # unreadable prior manifest: start a fresh epoch chain
+    arrays_dir = f"{_V3_ARRAYS_PREFIX}{epoch:08d}"
+    epoch_path = directory / arrays_dir
+    if epoch_path.exists():  # a crashed writer got this far; restart it
+        shutil.rmtree(epoch_path)
+    epoch_path.mkdir()
+    for name, dtype in _V3_ARRAYS:
+        atomic_write_array(
+            epoch_path / f"{name}.npy", arrays[name].astype(dtype, copy=False)
+        )
+    manifest["arrays_dir"] = arrays_dir
+    atomic_write_text(manifest_path, json.dumps(manifest, indent=2))
+    _sweep_stale_epochs(directory, keep=arrays_dir)
+    clean_temp_artifacts(directory)
+    # The npz of an in-place v2 -> v3 re-save is now dead weight.
+    (directory / _ARCHIVE).unlink(missing_ok=True)
     return directory
 
 
-def load_index(directory: str | Path) -> PexesoIndex:
+def _load_v3_arrays(
+    directory: Path, manifest: dict, mmap: bool
+) -> dict[str, np.ndarray]:
+    arrays_dir = directory / str(manifest.get("arrays_dir", ""))
+    if not arrays_dir.is_dir():
+        raise FileNotFoundError(
+            f"v3 index manifest names missing arrays dir {arrays_dir}"
+        )
+    mode = "r" if mmap else None
+    return {
+        name: np.load(arrays_dir / f"{name}.npy", mmap_mode=mode)
+        for name, _ in _V3_ARRAYS
+    }
+
+
+def load_index(directory: str | Path, mmap: bool = True) -> PexesoIndex:
     """Load an index saved by :func:`save_index`.
+
+    Args:
+        mmap: open a v3 directory's arrays with ``mmap_mode="r"``
+            (zero-copy; pages fault in on first touch). ``False`` reads
+            them eagerly into RAM. v2 directories always load eagerly
+            (the npz must be decompressed).
+
+    Mutating a mmap-loaded index is safe: every maintenance path
+    (§III-E append/delete) builds *new* arrays rather than writing in
+    place, and the one in-place structure (the inverted index's CSR
+    offsets) is materialised at load time.
 
     Raises:
         FileNotFoundError: when the directory lacks the expected files.
@@ -109,13 +260,30 @@ def load_index(directory: str | Path) -> PexesoIndex:
     manifest_path = directory / "manifest.json"
     if not manifest_path.exists():
         raise FileNotFoundError(f"no index manifest under {directory}")
-    manifest = json.loads(manifest_path.read_text())
-    if manifest.get("format_version") != FORMAT_VERSION:
-        raise ValueError(
-            f"index format {manifest.get('format_version')} != {FORMAT_VERSION}"
-        )
-
-    arrays = np.load(directory / _ARCHIVE)
+    # A concurrent re-save flips the manifest to a new epoch directory
+    # and sweeps the old one; a reader that fetched the manifest just
+    # before the flip can find its arrays gone mid-open. The manifest it
+    # re-reads then names the new complete epoch, so retrying gives a
+    # consistent snapshot (arrays are never mixed across epochs — any
+    # miss restarts the whole open).
+    for attempt in range(10):
+        manifest = json.loads(manifest_path.read_text())
+        fmt = manifest.get("format_version")
+        if fmt not in SUPPORTED_FORMATS:
+            raise ValueError(
+                f"index format {fmt} not in supported {SUPPORTED_FORMATS}"
+            )
+        try:
+            if fmt == V2_FORMAT_VERSION:
+                arrays = dict(np.load(directory / _ARCHIVE))
+                extent = float(arrays.pop("extent"))
+            else:
+                arrays = _load_v3_arrays(directory, manifest, mmap)
+                extent = float(manifest["extent"])
+            break
+        except FileNotFoundError:
+            if attempt == 9:
+                raise
 
     index = PexesoIndex(
         metric=get_metric(manifest["metric"]),
@@ -124,22 +292,24 @@ def load_index(directory: str | Path) -> PexesoIndex:
         pivot_method=manifest["pivot_method"],
         seed=manifest["seed"],
     )
-    index.pivot_space = PivotSpace(
-        arrays["pivots"], index.metric, extent=float(arrays["extent"])
-    )
+    index.pivot_space = PivotSpace(arrays["pivots"], index.metric, extent=extent)
     n_rows = int(manifest["n_vectors"])
     index.grid = HierarchicalGrid.from_leaf_codes(
         arrays["grid_leaf_codes"],
         n_dims=manifest["n_pivots"],
         levels=manifest["levels"],
-        extent=float(arrays["extent"]),
+        extent=extent,
         n_vectors=n_rows,
     )
     inverted = InvertedIndex()
-    inverted._codes = arrays["inv_codes"].astype(np.int64)
-    inverted._cols = arrays["inv_cols"].astype(np.int64)
-    inverted._starts = arrays["inv_starts"].astype(np.intp)
-    inverted._rows = arrays["inv_rows"].astype(np.intp)
+    inverted._codes = arrays["inv_codes"].astype(np.int64, copy=False)
+    inverted._cols = arrays["inv_cols"].astype(np.int64, copy=False)
+    # _starts is the one array maintenance mutates in place
+    # (InvertedIndex.add_vector); materialise it so a read-only mmap can
+    # never be written through. It is O(postings) offsets — tiny next to
+    # the vector stores that stay mapped.
+    inverted._starts = np.array(arrays["inv_starts"], dtype=np.intp)
+    inverted._rows = arrays["inv_rows"].astype(np.intp, copy=False)
     index.inverted = inverted
     index.column_rows = {
         int(cid): np.arange(int(first), int(first) + int(count), dtype=np.intp)
@@ -181,14 +351,19 @@ def mutable_manifest_fields(lake) -> dict:
     }
 
 
-def save_partitioned(lake, directory: str | Path) -> Path:
+def save_partitioned(
+    lake, directory: str | Path, fmt: int = FORMAT_VERSION
+) -> Path:
     """Persist a fitted :class:`~repro.core.out_of_core.PartitionedPexeso`.
 
     Writes ``partitioned.json`` (labels, per-partition global column
     IDs, build knobs) plus one array-native index directory per
-    non-empty partition. A lake already spilled *into* ``directory``
-    reuses its partition directories; resident partitions are saved
-    fresh; partitions spilled elsewhere are loaded and re-saved.
+    non-empty partition, each in format ``fmt`` (v3 by default). A lake
+    already spilled *into* ``directory`` reuses its partition
+    directories; resident partitions are saved fresh; partitions
+    spilled elsewhere are loaded and re-saved. The lake-level manifest
+    is written atomically, last, so a killed saver leaves either the old
+    lake or the new one.
 
     Raises:
         RuntimeError: when the lake has not been fitted.
@@ -219,7 +394,7 @@ def save_partitioned(lake, directory: str | Path) -> Path:
                     "lake would be unloadable; register it with "
                     "repro.core.metric.register_metric and rebuild"
                 )
-            save_index(index, directory / subdir)
+            save_index(index, directory / subdir, fmt=fmt)
         else:
             spilled = lake._spilled.get(part)
             if spilled is None:
@@ -232,7 +407,7 @@ def save_partitioned(lake, directory: str | Path) -> Path:
                     "persist the lake"
                 )
             if spilled.resolve() != (directory / subdir).resolve():
-                save_index(load_index(spilled), directory / subdir)
+                save_index(load_index(spilled), directory / subdir, fmt=fmt)
         if metric_name is None:
             metric_name = json.loads(
                 (directory / subdir / "manifest.json").read_text()
@@ -252,11 +427,18 @@ def save_partitioned(lake, directory: str | Path) -> Path:
         **mutable_manifest_fields(lake),
         "partitions": partitions,
     }
-    (directory / _PARTITIONED_MANIFEST).write_text(json.dumps(manifest, indent=2))
+    atomic_write_text(
+        directory / _PARTITIONED_MANIFEST, json.dumps(manifest, indent=2)
+    )
+    clean_temp_artifacts(directory)
     return directory
 
 
-def load_partitioned(directory: str | Path, parts: "Sequence[int] | None" = None):
+def load_partitioned(
+    directory: str | Path,
+    parts: "Sequence[int] | None" = None,
+    mmap: bool = True,
+):
     """Load a lake saved by :func:`save_partitioned` (lazy partitions).
 
     The returned :class:`~repro.core.out_of_core.PartitionedPexeso` is
@@ -265,11 +447,15 @@ def load_partitioned(directory: str | Path, parts: "Sequence[int] | None" = None
 
     Args:
         parts: host only this partition subset (a cluster worker's
-            assignment). The listed partitions are loaded **eagerly into
-            memory** and the lake is restricted to them: searches cover
-            only the hosted shards, mutations may only target them, and
-            the shared on-disk layout is never written back — the worker
+            assignment). The listed partitions are opened **up front**
+            and the lake is restricted to them: searches cover only the
+            hosted shards, mutations may only target them, and the
+            shared on-disk layout is never written back — the worker
             owns its resident slice, the coordinator owns the metadata.
+            Over a v3 lake with ``mmap=True`` the open is zero-copy, so
+            worker cold start and failover cost milliseconds, not a
+            full-shard read.
+        mmap: open v3 partitions memory-mapped (see :func:`load_index`).
 
     Raises:
         FileNotFoundError: when the directory lacks the manifest.
@@ -300,6 +486,7 @@ def load_partitioned(directory: str | Path, parts: "Sequence[int] | None" = None
         partitioner=manifest["partitioner"],
         spill_dir=directory,
         kmeans_iters=manifest["kmeans_iters"],
+        mmap=mmap,
     )
     lake.labels = np.asarray(manifest["labels"], dtype=np.intp)
     lake.partition_columns = [
@@ -322,7 +509,9 @@ def load_partitioned(directory: str | Path, parts: "Sequence[int] | None" = None
                 f"(have: {sorted(int(p) for p in manifest['partitions'])})"
             )
         for p in wanted:
-            lake._resident[p] = load_index(directory / manifest["partitions"][str(p)])
+            lake._resident[p] = load_index(
+                directory / manifest["partitions"][str(p)], mmap=mmap
+            )
         # Nothing stays spilled: the hosted shards are resident, the
         # rest are not this lake's to touch (no re-spill, no LRU).
         lake._spilled = {}
@@ -331,7 +520,9 @@ def load_partitioned(directory: str | Path, parts: "Sequence[int] | None" = None
 
 
 def load_any(
-    directory: str | Path, parts: "Sequence[int] | None" = None
+    directory: str | Path,
+    parts: "Sequence[int] | None" = None,
+    mmap: bool = True,
 ) -> Union[PexesoIndex, "object"]:
     """Load whatever index flavour ``directory`` holds.
 
@@ -339,16 +530,17 @@ def load_any(
     loads a :class:`~repro.core.out_of_core.PartitionedPexeso`, a plain
     ``manifest.json`` loads a single :class:`PexesoIndex`. ``parts``
     (a shard-subset restriction) requires the partitioned layout.
+    ``mmap`` controls zero-copy opening of v3 layouts.
 
     Raises:
         FileNotFoundError: when neither manifest is present.
     """
     directory = Path(directory)
     if (directory / _PARTITIONED_MANIFEST).exists():
-        return load_partitioned(directory, parts=parts)
+        return load_partitioned(directory, parts=parts, mmap=mmap)
     if parts is not None:
         raise ValueError(
             f"{directory} holds a single index; a partition subset needs "
             "the partitioned layout"
         )
-    return load_index(directory)
+    return load_index(directory, mmap=mmap)

@@ -38,6 +38,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.blocker import BlockResult
 from repro.core.filtering import lemma1_filter_mask, lemma2_match_mask
 from repro.core.inverted_index import InvertedIndex
@@ -499,34 +500,25 @@ def verify_row_blocks(
             highs = np.searchsorted(sorted_keys, fired_keys, side="right")
             for k, lo, hi in zip(fired_keys.tolist(), lows.tolist(), highs.tolist()):
                 eps = order[lo:hi]  # episode positions, original order
-                ep_cand = (~kinds[eps]).tolist()
-                ep_match = matched[eps].tolist()
                 q_idx = k // C
-                t_need = int(t_arr[q_idx])
-                miss_bound = int(max_miss[q_idx])
-                cnt = int(counts[k])
-                mis = int(misses[k])
-                joi = bool(joinable[k])
-                dd = False  # dead keys were skipped at block start
-                for is_cand, is_match in zip(ep_cand, ep_match):
-                    if use_lemma7 and dd:
-                        if is_cand:
-                            acc["lemma7_skips"][q_idx] += 1
-                        continue
-                    if early_accept and joi:
-                        if is_cand:
-                            acc["early_accepts"][q_idx] += 1
-                        continue
-                    if is_cand:
-                        acc["columns_verified"][q_idx] += 1
-                    if is_match:
-                        cnt += 1
-                        if cnt >= t_need:
-                            joi = True
-                    else:
-                        mis += 1
-                        if use_lemma7 and mis > miss_bound:
-                            dd = True
+                # The per-episode gating (dead keys were skipped at block
+                # start, so the replay starts live) runs through the
+                # active kernel backend — pure integer bookkeeping,
+                # bit-identical on every backend.
+                cnt, mis, joi, dd, l7, ea, cv = kernels.replay_column(
+                    ~kinds[eps],
+                    matched[eps],
+                    int(counts[k]),
+                    int(misses[k]),
+                    bool(joinable[k]),
+                    int(t_arr[q_idx]),
+                    int(max_miss[q_idx]),
+                    use_lemma7,
+                    early_accept,
+                )
+                acc["lemma7_skips"][q_idx] += l7
+                acc["early_accepts"][q_idx] += ea
+                acc["columns_verified"][q_idx] += cv
                 counts[k] = cnt
                 misses[k] = mis
                 joinable[k] = joi

@@ -78,10 +78,21 @@ class ResultCache:
             return None
 
     def put(self, key: tuple, value: Any, generation: int) -> None:
-        """Store ``value`` under ``key`` for ``generation``."""
+        """Store ``value`` under ``key`` for ``generation``.
+
+        A slow in-flight search can finish after a mutation bumped the
+        generation *and* after a fresher search already cached the
+        post-mutation result; installing the straggler would replace a
+        current entry with a stale one that ``get`` then serves as a
+        hit. Entries therefore only ever move forward: a put whose
+        generation is below the cached entry's is dropped.
+        """
         if self.capacity == 0:
             return
         with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None and existing.generation > generation:
+                return
             self._entries[key] = CacheEntry(value=value, generation=generation)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:

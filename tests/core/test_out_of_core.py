@@ -73,7 +73,7 @@ class TestSpilledPartitions:
             n_pivots=3, levels=3, n_partitions=3, spill_dir=tmp_path
         ).fit(columns)
         # every partition should be on disk, none resident
-        assert len(list(tmp_path.glob("partition_*/index.npz"))) >= 1
+        assert len(list(tmp_path.glob("partition_*/arrays_v3_*/vectors.npy"))) >= 1
         assert lake.memory_bytes() == 0
         got = lake.search(query, 0.8, 0.3).column_ids
         want = naive_search(columns, query, 0.8, 0.3).column_ids
@@ -285,6 +285,107 @@ class TestShardLRU:
         assert lake.memory_bytes() > 0
 
 
+class TestShardLRUStaleLoadRace:
+    """A disk load that straddles a put() must never clobber the fresher
+    index put() installed (the stale-shard race)."""
+
+    def test_slow_load_does_not_overwrite_put(self):
+        import threading
+
+        load_started = threading.Event()
+        release_load = threading.Event()
+
+        def loader(part):
+            load_started.set()
+            release_load.wait(5.0)
+            return "stale-from-disk"
+
+        lru = ShardLRU(loader, capacity=4)
+        got = []
+        t = threading.Thread(target=lambda: got.append(lru.get(7)))
+        t.start()
+        assert load_started.wait(5.0)
+        # Mutation path installs a fresher index while the load sleeps.
+        lru.put(7, "fresh-mutated")
+        release_load.set()
+        t.join(5.0)
+        assert got == ["fresh-mutated"]
+        assert lru.get(7) == "fresh-mutated"
+
+    def test_invalidate_mid_load_forces_reload(self):
+        import threading
+
+        versions = [0]
+        load_started = threading.Event()
+        release_load = threading.Event()
+        first_load = [True]
+
+        def loader(part):
+            if first_load[0]:
+                first_load[0] = False
+                load_started.set()
+                release_load.wait(5.0)
+            return f"disk-v{versions[0]}"
+
+        lru = ShardLRU(loader, capacity=4)
+        got = []
+        t = threading.Thread(target=lambda: got.append(lru.get(3)))
+        t.start()
+        assert load_started.wait(5.0)
+        versions[0] = 1  # the on-disk copy moves on ...
+        lru.invalidate(3)  # ... and the cache is told so
+        release_load.set()
+        t.join(5.0)
+        # The straddling get() must retry and see the new disk state, not
+        # install its pre-invalidate snapshot.
+        assert got == ["disk-v1"]
+
+    def test_stress_get_vs_mutation_put(self, columns, tmp_path):
+        """Hammer get() against concurrent add_column mutations; every
+        search fetched after a mutation completes must see it."""
+        import threading
+
+        lake = PartitionedPexeso(
+            n_pivots=2,
+            levels=2,
+            n_partitions=2,
+            spill_dir=tmp_path,
+            max_workers=4,
+            lru_shards=1,  # tiny LRU maximises reload traffic
+        ).fit(columns)
+        parts = [p for p, g in enumerate(lake.partition_columns) if g]
+        lake._ensure_lru(4)
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                for part in parts:
+                    try:
+                        lake._lru.get(part)
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+                        return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        added = []
+        try:
+            for i in range(12):
+                added.append(lake.add_column(columns[0][:3].copy()))
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(10.0)
+        assert errors == []
+        # Post-race ground truth: every added column is present in the
+        # shard the LRU now serves.
+        for gid in added:
+            assert lake.has_column(gid)
+            assert lake.column_vectors(gid).shape[0] == 3
+
+
 class _UnregisteredMetric(EuclideanMetric):
     name = "unregistered-test-metric"
 
@@ -304,7 +405,7 @@ class TestCustomMetricSpill:
                 spill_dir=tmp_path,
             ).fit(columns)
             assert list(tmp_path.glob("*.pkl")) == []
-            assert len(list(tmp_path.glob("partition_*/index.npz"))) >= 1
+            assert len(list(tmp_path.glob("partition_*/arrays_v3_*/vectors.npy"))) >= 1
             want = naive_search(columns, query, 0.8, 0.3, metric=RegisteredMetric())
             assert lake.search(query, 0.8, 0.3).column_ids == want.column_ids
         finally:

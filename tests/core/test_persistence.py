@@ -229,3 +229,181 @@ class TestPartitionedPersistence:
         # resolve; refuse rather than produce an unloadable lake.
         with pytest.raises(ValueError, match="registry name"):
             save_partitioned(lake, tmp_path / "lake")
+
+
+class TestV3Format:
+    """The mmap-able raw-.npy layout (format version 3)."""
+
+    def test_v3_layout_on_disk(self, built, tmp_path):
+        save_index(built, tmp_path / "idx")
+        manifest = json.loads((tmp_path / "idx" / "manifest.json").read_text())
+        assert manifest["format_version"] == FORMAT_VERSION == 3
+        arrays_dir = tmp_path / "idx" / manifest["arrays_dir"]
+        assert (arrays_dir / "vectors.npy").exists()
+        assert (arrays_dir / "inv_starts.npy").exists()
+        assert not (tmp_path / "idx" / "index.npz").exists()
+
+    def test_mmap_load_is_zero_copy(self, built, tmp_path):
+        save_index(built, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx", mmap=True)
+        assert isinstance(loaded.vectors, np.memmap)
+        assert isinstance(loaded.mapped, np.memmap)
+        # the one in-place-mutated array must be materialised
+        assert not isinstance(loaded.inverted._starts, np.memmap)
+
+    def test_eager_load_matches_mmap(self, built, small_query, tmp_path):
+        save_index(built, tmp_path / "idx")
+        eager = load_index(tmp_path / "idx", mmap=False)
+        mapped = load_index(tmp_path / "idx", mmap=True)
+        assert not isinstance(eager.vectors, np.memmap)
+        for tau in (0.3, 0.9):
+            assert (
+                pexeso_search(eager, small_query, tau, 0.3).column_ids
+                == pexeso_search(mapped, small_query, tau, 0.3).column_ids
+            )
+
+    def test_mmap_index_supports_maintenance(self, built, small_columns, small_query, tmp_path):
+        save_index(built, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx", mmap=True)
+        kept = load_index(tmp_path / "idx", mmap=False)
+        extra = small_columns[1][:5].copy()
+        assert loaded.add_column(extra) == kept.add_column(extra)
+        loaded.delete_column(0)
+        kept.delete_column(0)
+        for tau in (0.2, 0.6):
+            a = pexeso_search(loaded, small_query, tau, 0.3, exact_counts=True)
+            b = pexeso_search(kept, small_query, tau, 0.3, exact_counts=True)
+            assert a.column_ids == b.column_ids
+            assert [h.match_count for h in a.joinable] == [
+                h.match_count for h in b.joinable
+            ]
+
+    def test_resave_bumps_epoch_and_sweeps_old(self, built, small_columns, tmp_path):
+        target = tmp_path / "idx"
+        save_index(built, target)
+        first = json.loads((target / "manifest.json").read_text())["arrays_dir"]
+        loaded = load_index(target, mmap=True)
+        loaded.add_column(small_columns[0][:4].copy())
+        save_index(loaded, target)
+        second = json.loads((target / "manifest.json").read_text())["arrays_dir"]
+        assert second != first
+        assert not (target / first).exists()
+        again = load_index(target)
+        assert again.n_columns == loaded.n_columns
+
+    def test_unknown_format_rejected_on_save(self, built, tmp_path):
+        with pytest.raises(ValueError, match="format"):
+            save_index(built, tmp_path / "idx", fmt=99)
+
+
+class TestV2Compat:
+    """v2 (single .npz) directories stay loadable; v3 is the default."""
+
+    def test_v2_save_and_load(self, built, small_query, tmp_path):
+        from repro.core.persistence import V2_FORMAT_VERSION
+
+        save_index(built, tmp_path / "idx", fmt=V2_FORMAT_VERSION)
+        assert (tmp_path / "idx" / "index.npz").exists()
+        manifest = json.loads((tmp_path / "idx" / "manifest.json").read_text())
+        assert manifest["format_version"] == V2_FORMAT_VERSION
+        loaded = load_index(tmp_path / "idx")
+        for tau in (0.3, 0.9):
+            assert (
+                pexeso_search(loaded, small_query, tau, 0.3).column_ids
+                == pexeso_search(built, small_query, tau, 0.3).column_ids
+            )
+
+    def test_migration_v2_to_v3_in_place(self, built, small_query, tmp_path):
+        from repro.core.persistence import V2_FORMAT_VERSION
+
+        target = tmp_path / "idx"
+        save_index(built, target, fmt=V2_FORMAT_VERSION)
+        migrated = load_index(target)
+        save_index(migrated, target)  # re-save upgrades to v3
+        manifest = json.loads((target / "manifest.json").read_text())
+        assert manifest["format_version"] == FORMAT_VERSION
+        assert not (target / "index.npz").exists()
+        v3 = load_index(target, mmap=True)
+        assert (
+            pexeso_search(v3, small_query, 0.6, 0.3).column_ids
+            == pexeso_search(built, small_query, 0.6, 0.3).column_ids
+        )
+
+    def test_partitioned_v2_lake_loads(self, small_columns, small_query, tmp_path):
+        from repro.core.out_of_core import PartitionedPexeso
+        from repro.core.persistence import (
+            V2_FORMAT_VERSION,
+            load_partitioned,
+            save_partitioned,
+        )
+
+        lake = PartitionedPexeso(n_pivots=3, levels=3, n_partitions=3, seed=5).fit(
+            small_columns
+        )
+        save_partitioned(lake, tmp_path / "lake", fmt=V2_FORMAT_VERSION)
+        assert list((tmp_path / "lake").glob("partition_*/index.npz"))
+        loaded = load_partitioned(tmp_path / "lake")
+        assert (
+            loaded.search(small_query, 0.8, 0.3).column_ids
+            == lake.search(small_query, 0.8, 0.3).column_ids
+        )
+
+
+class TestAtomicWrites:
+    """Crash-safety of manifests and array epochs."""
+
+    def test_leftover_temp_files_ignored_and_swept(self, built, tmp_path):
+        target = tmp_path / "idx"
+        save_index(built, target)
+        junk = target / "manifest.json.tmp-999-deadbeef"
+        junk.write_text("{ truncated")
+        loaded = load_index(target)  # must not trip over the leftover
+        assert loaded.n_columns == built.n_columns
+        save_index(loaded, target)  # next save sweeps it
+        assert not junk.exists()
+
+    def test_stale_epoch_dir_ignored_and_swept(self, built, tmp_path):
+        target = tmp_path / "idx"
+        save_index(built, target)
+        stale = target / "arrays_v3_99999999"
+        stale.mkdir()
+        (stale / "vectors.npy").write_bytes(b"garbage")
+        loaded = load_index(target)
+        assert loaded.n_columns == built.n_columns
+        save_index(loaded, target)
+        assert not stale.exists()
+
+    def test_manifest_flip_is_all_or_nothing(self, built, small_columns, tmp_path):
+        """A save interrupted before the manifest flip leaves the old
+        index fully loadable (simulated by writing the new epoch dir
+        without touching the manifest)."""
+        target = tmp_path / "idx"
+        save_index(built, target)
+        before = json.loads((target / "manifest.json").read_text())
+        # Simulate a crash mid-save: a newer epoch dir exists but the
+        # manifest still names the old one.
+        orphan = target / "arrays_v3_00000042"
+        orphan.mkdir()
+        (orphan / "vectors.npy").write_bytes(b"partial write")
+        loaded = load_index(target)
+        assert loaded.n_columns == built.n_columns
+        after = json.loads((target / "manifest.json").read_text())
+        assert after == before
+
+    def test_lake_manifest_refresh_is_atomic(self, small_columns, small_query, tmp_path):
+        """A mutation's manifest refresh replaces partitioned.json in one
+        step and leaves no temp debris behind."""
+        from repro.core.atomic import is_temp_artifact
+        from repro.core.out_of_core import PartitionedPexeso
+        from repro.core.persistence import load_partitioned, save_partitioned
+
+        target = tmp_path / "lake"
+        lake = PartitionedPexeso(
+            n_pivots=3, levels=3, n_partitions=3, seed=5, spill_dir=target
+        ).fit(small_columns)
+        save_partitioned(lake, target)
+        lake.add_column(small_columns[0][:4].copy())
+        leftovers = [p for p in target.iterdir() if is_temp_artifact(p)]
+        assert leftovers == []
+        reloaded = load_partitioned(target)
+        assert reloaded.n_columns == lake.n_columns

@@ -232,3 +232,59 @@ def test_cluster_matches_oracle(seed, tmp_path):
         probed = client.health_check()
         assert probed["workers"][seed % 2] == "down"
         assert probed["serviceable"] is True  # the replica covers it all
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_persistence_formats_and_backends_agree(seed, tmp_path):
+    """The storage/kernel lane: every on-disk format and kernel backend
+    replays the same seeds bit-identically.
+
+        in-memory == v2 roundtrip == v3 eager == v3 mmap
+                  == (numba kernels, when installed)
+
+    The v3 path serves searches straight off read-only mmaps, and the
+    kernel backends share no predicate code with each other — so a
+    torn serialization, an mmap aliasing bug or a compiled predicate
+    diverging in the last ulp all show up as a seed-reproducible
+    mismatch here.
+    """
+    from repro.core import kernels
+    from repro.core.persistence import (
+        FORMAT_VERSION,
+        V2_FORMAT_VERSION,
+        load_index,
+        save_index,
+    )
+
+    columns, queries, metric, tau, joinability, n_partitions = make_scenario(seed)
+    index = PexesoIndex.build(columns, metric=metric, n_pivots=2, levels=3)
+    want = [
+        hit_rows(pexeso_search(index, q, tau, joinability, exact_counts=True))
+        for q in queries
+    ]
+
+    lanes = {}
+    save_index(index, tmp_path / "v2", fmt=V2_FORMAT_VERSION)
+    lanes["v2"] = load_index(tmp_path / "v2")
+    save_index(index, tmp_path / "v3", fmt=FORMAT_VERSION)
+    lanes["v3-eager"] = load_index(tmp_path / "v3", mmap=False)
+    lanes["v3-mmap"] = load_index(tmp_path / "v3", mmap=True)
+
+    for lane, loaded in lanes.items():
+        got = [
+            hit_rows(pexeso_search(loaded, q, tau, joinability, exact_counts=True))
+            for q in queries
+        ]
+        assert got == want, f"{lane} != in-memory (seed {seed})"
+
+    if kernels.HAVE_NUMBA:
+        with kernels.use_backend("numba"):
+            got = [
+                hit_rows(
+                    pexeso_search(
+                        lanes["v3-mmap"], q, tau, joinability, exact_counts=True
+                    )
+                )
+                for q in queries
+            ]
+        assert got == want, f"numba kernels != numpy (seed {seed})"

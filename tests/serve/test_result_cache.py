@@ -81,3 +81,39 @@ class TestResultCache:
         cache.put(("a",), 1, 0)
         cache.clear()
         assert len(cache) == 0
+
+
+class TestStaleStragglerPut:
+    """A slow in-flight search finishing after a mutation must not
+    replace a fresher cached result with its stale one."""
+
+    def test_older_generation_put_is_dropped(self):
+        cache = ResultCache(capacity=4)
+        cache.put(("k",), "post-mutation result", generation=2)
+        # The straggler computed against generation 1 finishes late.
+        cache.put(("k",), "stale result", generation=1)
+        hit = cache.get(("k",), generation=2)
+        assert hit is not None and hit.value == "post-mutation result"
+
+    def test_equal_generation_put_replaces(self):
+        cache = ResultCache(capacity=4)
+        cache.put(("k",), "first", generation=3)
+        cache.put(("k",), "second", generation=3)
+        assert cache.get(("k",), generation=3).value == "second"
+
+    def test_newer_generation_put_replaces(self):
+        cache = ResultCache(capacity=4)
+        cache.put(("k",), "old", generation=1)
+        cache.put(("k",), "new", generation=2)
+        assert cache.get(("k",), generation=2).value == "new"
+        assert cache.get(("k",), generation=1) is None
+
+    def test_dropped_straggler_does_not_refresh_lru_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put(("a",), 1, generation=5)
+        cache.put(("b",), 2, generation=5)
+        cache.put(("a",), 0, generation=4)  # dropped straggler
+        cache.put(("c",), 3, generation=5)  # evicts the true LRU: "a"
+        assert cache.get(("a",), generation=5) is None
+        assert cache.get(("b",), generation=5).value == 2
+        assert cache.get(("c",), generation=5).value == 3

@@ -1,0 +1,90 @@
+"""CI-size smoke test for the persistence-format benchmark.
+
+Runs ``benchmarks/bench_persistence.py``'s harnesses on a tiny lake so
+the benchmark stays importable and its exactness checks — v2 and v3
+cold-started lakes answering hit-for-hit like the source lake, and the
+kernel backends agreeing bit-for-bit — run in every test pass. The
+>= 10x cold-start and >= 3x compiled-lane claims are asserted at full
+benchmark scale (``pytest benchmarks/``) and in the CI bench job
+(``python benchmarks/bench_persistence.py``), where the arrays are big
+enough for format costs to dominate per-file overhead.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS = Path(__file__).parent.parent / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    sys.path.insert(0, str(BENCHMARKS))
+    try:
+        import bench_persistence
+
+        yield bench_persistence
+    finally:
+        sys.path.remove(str(BENCHMARKS))
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    sys.path.insert(0, str(BENCHMARKS))
+    try:
+        from common import make_dataset
+
+        return make_dataset(
+            "smoke",
+            n_tables=18,
+            rows_range=(6, 14),
+            dim=12,
+            n_entities=40,
+            n_queries=2,
+            query_rows=8,
+            seed=9,
+        )
+    finally:
+        sys.path.remove(str(BENCHMARKS))
+
+
+def test_coldstart_comparison_runs_at_ci_size(bench_module, dataset, tmp_path):
+    out = bench_module.run_coldstart_comparison(
+        dataset, n_partitions=3, n_pivots=2, levels=2, repeats=1,
+        work_dir=tmp_path,
+    )
+    # run_coldstart_comparison asserts v2/v3 reload parity internally;
+    # here we check the report shape. No speed assertion: at smoke size
+    # both loads are dominated by constant per-file overhead.
+    assert out["n_partitions"] == 3
+    assert out["v2_coldstart_seconds"] > 0
+    assert out["v3_coldstart_seconds"] > 0
+    assert out["coldstart_speedup"] > 0
+
+
+def test_verify_lane_comparison_runs_at_ci_size(bench_module, dataset):
+    out = bench_module.run_verify_lane_comparison(
+        dataset, n_pivots=2, levels=2, repeats=1
+    )
+    assert out["numpy_seconds"] > 0
+    if out["have_numba"]:
+        assert out["numba_seconds"] > 0
+        assert out["compiled_speedup"] > 0
+    else:
+        assert "compiled_speedup" not in out
+
+
+def test_bench_json_artifact_schema(bench_module, tmp_path, monkeypatch):
+    import common
+
+    monkeypatch.setattr(common, "RESULTS_DIR", tmp_path)
+    path = common.write_bench_json("smoke_check", {"speedup": 2.0, "ok": True})
+    assert path == tmp_path / "BENCH_smoke_check.json"
+    payload = json.loads(path.read_text())
+    assert payload["schema_version"] == 1
+    assert payload["bench"] == "smoke_check"
+    assert payload["metrics"] == {"speedup": 2.0, "ok": True}
+    for key in ("unix_time", "python", "numpy", "kernel_backend"):
+        assert key in payload

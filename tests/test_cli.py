@@ -35,7 +35,7 @@ class TestIndexCommand:
         assert code == 0
         assert (index_dir / "manifest.json").exists()
         assert (index_dir / "catalog.json").exists()
-        assert (index_dir / "index.npz").exists()
+        assert list(index_dir.glob("arrays_v3_*/vectors.npy"))
 
     def test_missing_lake_fails(self, tmp_path):
         empty = tmp_path / "empty"
@@ -252,7 +252,7 @@ class TestPartitionedCli:
     def test_partitioned_index_layout(self, sharded_dir):
         assert (sharded_dir / "partitioned.json").exists()
         assert (sharded_dir / "catalog.json").exists()
-        assert len(list(sharded_dir.glob("partition_*/index.npz"))) >= 1
+        assert len(list(sharded_dir.glob("partition_*/arrays_v3_*/vectors.npy"))) >= 1
 
     def _search_lines(self, capsys, index_dir, query_csv, *extra):
         assert main([
