@@ -332,6 +332,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             cache_size=args.cache_size,
             max_workers=args.workers,
+            max_concurrent=args.max_concurrent,
         )
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
@@ -371,6 +372,7 @@ def cmd_cluster_coordinator(args: argparse.Namespace) -> int:
             n_workers=args.workers,
             replication=args.replication,
             wave_width=args.wave_width,
+            max_concurrent=args.max_concurrent,
         )
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
@@ -529,6 +531,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "(0 disables)")
     p_serve.add_argument("--workers", type=int, default=None,
                          help="worker-pool width for the underlying searcher")
+    p_serve.add_argument("--max-concurrent", type=int, default=None,
+                         help="admission-control capacity: concurrent "
+                              "requests beyond this are shed with 429 + "
+                              "Retry-After (default: unlimited)")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every request")
     p_serve.set_defaults(func=cmd_serve)
@@ -547,6 +553,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="replicas per partition (clamped to --workers)")
     p_coord.add_argument("--wave-width", type=int, default=4,
                          help="worker groups per top-k wave (theta-shared)")
+    p_coord.add_argument("--max-concurrent", type=int, default=None,
+                         help="admission-control capacity for search/top-k "
+                              "(shed with 429 beyond it; default unlimited)")
     p_coord.add_argument("--verbose", action="store_true",
                          help="log every request")
     p_coord.set_defaults(func=cmd_cluster_coordinator)

@@ -24,24 +24,40 @@ core guarantee — results bit-identical to a single-node
   (thread or process workers) for tests, examples and benchmarks;
 * :class:`~repro.cluster.remote.RemoteLakeSearcher` — the local
   searcher surface over the cluster API, backing
-  :meth:`repro.lake.discovery.JoinableTableSearch.from_cluster`.
+  :meth:`repro.lake.discovery.JoinableTableSearch.from_cluster`;
+* :mod:`repro.cluster.resilience` — per-request deadline budgets
+  (propagated coordinator -> worker), hedged replica reads, and
+  per-worker circuit breakers with half-open probing, configured via
+  :class:`~repro.cluster.resilience.ResilienceConfig`.
 """
 
 from repro.cluster.client import ClusterClient
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.local import LocalCluster
 from repro.cluster.remote import RemoteLakeSearcher
+from repro.cluster.resilience import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    LatencyTracker,
+    ResilienceConfig,
+)
 from repro.cluster.server import ClusterHTTPServer, make_cluster_server
 from repro.cluster.shard_map import ClusterUnavailable, ShardMap, WorkerSlot
 from repro.cluster.worker import start_worker
 
 __all__ = [
+    "CircuitBreaker",
     "ClusterClient",
     "ClusterCoordinator",
     "ClusterHTTPServer",
     "ClusterUnavailable",
+    "Deadline",
+    "DeadlineExceeded",
+    "LatencyTracker",
     "LocalCluster",
     "RemoteLakeSearcher",
+    "ResilienceConfig",
     "ShardMap",
     "WorkerSlot",
     "make_cluster_server",

@@ -51,6 +51,14 @@ from repro.core.thresholds import distance_threshold
 from repro.core.topk import TopKResult
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.schema import search_result_from_payload
+from repro.cluster.resilience import (
+    BREAKER_CLOSED,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    LatencyTracker,
+    ResilienceConfig,
+)
 from repro.cluster.shard_map import (
     CLUSTER_MANIFEST,
     ClusterUnavailable,
@@ -78,6 +86,13 @@ class ClusterCoordinator:
             :class:`~repro.serve.client.ServeClient`); exhausting it
             demotes the worker and triggers failover.
         timeout: per-worker-call socket timeout in seconds.
+        resilience: :class:`~repro.cluster.resilience.ResilienceConfig`
+            tuning hedged reads, circuit breakers and default deadlines
+            (``None`` = defaults: hedging on, breaker threshold 1).
+        fault_injector: optional
+            :class:`~repro.serve.faults.FaultInjector` applied to every
+            worker client this coordinator creates (scope rules to one
+            worker with ``target=<its url>``).
     """
 
     def __init__(
@@ -88,6 +103,8 @@ class ClusterCoordinator:
         wave_width: int = DEFAULT_WAVE_WIDTH,
         retries: int = 1,
         timeout: float = 60.0,
+        resilience: Optional[ResilienceConfig] = None,
+        fault_injector=None,
     ):
         self.lake_dir = Path(lake_dir)
         manifest_path = self.lake_dir / "partitioned.json"
@@ -177,9 +194,27 @@ class ClusterCoordinator:
         self._slot_log_pos = [0] * self.shard_map.n_workers
         self._mutation_lock = threading.Lock()
         self._save_lock = threading.Lock()
+        # resilience: per-slot breakers, a shared latency window for the
+        # hedge delay, and the fault plane handed to every worker client
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
+        cfg = self.resilience
+        self._breakers = [
+            CircuitBreaker(
+                failure_threshold=cfg.breaker_failure_threshold,
+                cooldown=cfg.breaker_cooldown,
+                max_cooldown=cfg.breaker_max_cooldown,
+            )
+            for _ in range(self.shard_map.n_workers)
+        ]
+        self._latency = LatencyTracker(default=cfg.hedge_default_delay)
+        self.fault_injector = fault_injector
         # telemetry
         self._requests_served = 0
         self._failovers = 0
+        self._slot_failovers = [0] * self.shard_map.n_workers
+        self._hedges_fired = 0
+        self._hedges_won = 0
+        self._deadline_violations = 0
         self._stats_lock = threading.Lock()
         self._save()
 
@@ -263,7 +298,8 @@ class ClusterCoordinator:
             raise KeyError(f"worker slot {slot} was never registered")
         with self._clients_lock:
             self._clients[slot] = ServeClient(
-                url, timeout=self.timeout, retries=self.retries
+                url, timeout=self.timeout, retries=self.retries,
+                fault_injector=self.fault_injector,
             )
         replayed = self._replay_and_promote(
             slot, set(worker.parts),
@@ -327,10 +363,32 @@ class ClusterCoordinator:
             url = self.shard_map.worker(slot).url
             if url is None:
                 raise ClusterUnavailable(f"worker slot {slot} has no URL yet")
-            client = ServeClient(url, timeout=self.timeout, retries=self.retries)
+            client = ServeClient(
+                url, timeout=self.timeout, retries=self.retries,
+                fault_injector=self.fault_injector,
+            )
             with self._clients_lock:
                 self._clients[slot] = client
         return client
+
+    def _demote(self, slot: int, force: bool = False) -> None:
+        """Record one failure against a slot's breaker; demote when open.
+
+        With the default ``failure_threshold=1`` this reproduces the old
+        demote-on-first-failure behaviour exactly; a higher threshold
+        absorbs transient faults (the failed partitions are re-routed
+        per request via ``route(exclude=...)`` without marking the
+        worker down). ``force`` trips the breaker outright — used for
+        failed health probes and write-through rejections, where
+        continuing to route to the worker is never right.
+        """
+        breaker = self._breakers[slot]
+        if force:
+            breaker.trip()
+        else:
+            breaker.record_failure()
+        if breaker.state != BREAKER_CLOSED:
+            self.shard_map.mark_down(slot)
 
     def health_check(self) -> list[str]:
         """Probe every claimed worker; demote the dead, revive the recovered.
@@ -349,7 +407,7 @@ class ClusterCoordinator:
         try:
             reply = self._client(slot).healthz()
         except (ServeError, OSError, ClusterUnavailable):
-            self.shard_map.mark_down(slot)
+            self._demote(slot, force=True)
             return False
         self._generations[slot] = int(reply.get("generation", 0))
         if worker.status == "down":
@@ -359,84 +417,281 @@ class ClusterCoordinator:
                     lambda: self.shard_map.mark_up(slot),
                 )
             except (ServeError, OSError):
-                self.shard_map.mark_down(slot)
+                self._demote(slot, force=True)
                 return False
         else:
             self.shard_map.mark_up(slot)
+        self._breakers[slot].record_success()
         return True
+
+    def probe_half_open(self) -> list[int]:
+        """Probe every down worker whose breaker grants a half-open probe.
+
+        Each granted probe is a *full* recovery probe (health check,
+        mutation-log replay, then promotion), run synchronously; a probe
+        that fails re-opens the breaker with a doubled cooldown. The
+        scatter path calls this asynchronously (see
+        :meth:`_maybe_probe_async`), so a demoted worker is retried on
+        the breaker's schedule without blocking any query; tests call it
+        directly for deterministic flapping sequences. Returns the slots
+        probed.
+        """
+        probed = []
+        for worker in list(self.shard_map.workers):
+            if worker.status != "down" or worker.url is None:
+                continue
+            if self._breakers[worker.slot].should_probe():
+                probed.append(worker.slot)
+                self._probe(worker.slot)
+        return probed
+
+    def _maybe_probe_async(self) -> None:
+        """Launch background half-open probes for eligible down workers."""
+        for worker in list(self.shard_map.workers):
+            if worker.status != "down" or worker.url is None:
+                continue
+            if self._breakers[worker.slot].should_probe():
+                threading.Thread(
+                    target=self._probe, args=(worker.slot,),
+                    name=f"half-open-probe-{worker.slot}", daemon=True,
+                ).start()
 
     # -- scatter-gather ------------------------------------------------------------
 
-    def _call_group(self, slot: int, parts: list[int], call) -> Any:
-        """One worker call with failure -> demotion bookkeeping."""
+    def _timed_call(
+        self, slot: int, send_parts, call, deadline: Optional[Deadline]
+    ) -> Any:
+        """One worker call with breaker / latency / deadline bookkeeping.
+
+        Success feeds the hedge-delay latency window and closes the
+        slot's breaker; a transport failure records against the breaker
+        (demoting the worker when it opens). A worker-side 504 means the
+        propagated budget expired in flight — surfaced as
+        :class:`DeadlineExceeded`, never as a liveness failure.
+        """
+        if deadline is not None:
+            deadline.check(f"call to worker {slot}")
+        deadline_ms = deadline.remaining_ms() if deadline is not None else None
+        start = time.monotonic()
+        try:
+            payload = call(self._client(slot), send_parts, deadline_ms)
+        except ServeError as exc:
+            if exc.status == 504:
+                raise DeadlineExceeded(
+                    f"worker {slot} rejected expired work"
+                ) from exc
+            raise  # the worker answered; not a liveness failure
+        except (OSError, ClusterUnavailable):
+            self._demote(slot)
+            raise
+        self._latency.record(time.monotonic() - start)
+        self._breakers[slot].record_success()
+        return payload
+
+    def _hedge_delay(self) -> float:
+        """How long to let the primary run before firing the hedge."""
+        cfg = self.resilience
+        delay = self._latency.quantile(cfg.hedge_quantile)
+        return min(max(delay, cfg.hedge_delay_min), cfg.hedge_delay_max)
+
+    def _hedged_call(
+        self,
+        slot: int,
+        parts: list[int],
+        send_parts,
+        call,
+        deadline: Optional[Deadline],
+    ) -> tuple[int, Any]:
+        """One group call, hedged to a replica when the primary is slow.
+
+        The hedge candidate is a live replica hosting *all* of the
+        group's partitions (same parts + same query = bit-identical
+        payload, so racing the two is free of correctness risk). The
+        primary runs first; if no answer lands within the tracked hedge
+        delay, the duplicate fires and the first success wins — losers
+        are abandoned to their daemon threads, with their breaker /
+        latency bookkeeping still applied by :meth:`_timed_call`.
+        Returns ``(answering slot, payload)``.
+        """
+        hedge_slot = None
+        cfg = self.resilience
+        if cfg.hedge and self.shard_map.replication > 1:
+            hedge_slot = self.shard_map.live_common_owner(parts, exclude=(slot,))
+        if hedge_slot is None:
+            return slot, self._timed_call(slot, send_parts, call, deadline)
+
+        cond = threading.Condition()
+        outcomes: list[tuple[int, Any, Optional[BaseException]]] = []
+
+        def run(target: int) -> None:
+            try:
+                payload = self._timed_call(target, send_parts, call, deadline)
+                outcome = (target, payload, None)
+            except BaseException as exc:  # delivered through `outcomes`
+                outcome = (target, None, exc)
+            with cond:
+                outcomes.append(outcome)
+                cond.notify_all()
+
+        threading.Thread(
+            target=run, args=(slot,), name=f"scatter-{slot}", daemon=True
+        ).start()
+        with cond:
+            cond.wait_for(lambda: outcomes, timeout=self._hedge_delay())
+            arrived = bool(outcomes)
+        if arrived:
+            target, payload, error = outcomes[0]
+            if error is None:
+                return target, payload
+            # the primary failed *fast* — let the ordinary failover
+            # re-route machinery handle it instead of burning a hedge
+            raise error
+        with self._stats_lock:
+            self._hedges_fired += 1
+        threading.Thread(
+            target=run, args=(hedge_slot,), name=f"hedge-{hedge_slot}",
+            daemon=True,
+        ).start()
+        seen = 0
+        failures: list[tuple[int, BaseException]] = []
+        while True:
+            with cond:
+                timeout = deadline.remaining() if deadline is not None else None
+                if not cond.wait_for(lambda: len(outcomes) > seen, timeout=timeout):
+                    raise DeadlineExceeded(
+                        "deadline exceeded waiting for hedged answers"
+                    )
+                target, payload, error = outcomes[seen]
+                seen += 1
+            if error is None:
+                if target == hedge_slot:
+                    with self._stats_lock:
+                        self._hedges_won += 1
+                return target, payload
+            failures.append((target, error))
+            if len(failures) == 2:
+                # both branches failed: surface the primary's error so
+                # the re-route path charges the right slot
+                for failed_slot, failed_error in failures:
+                    if failed_slot == slot:
+                        raise failed_error
+                raise failures[0][1]  # pragma: no cover - defensive
+
+    def _call_group(
+        self,
+        slot: int,
+        parts: list[int],
+        call,
+        deadline: Optional[Deadline] = None,
+    ) -> tuple[int, Any]:
+        """One (possibly hedged) group call with failover bookkeeping.
+
+        Returns ``(answering slot, payload)`` — the answering slot may
+        be the hedge replica, and the generation stamp must name *it*.
+        """
         worker = self.shard_map.worker(slot)
         # a worker answering its *entire* assignment needs no partition
         # restriction — the unrestricted path keeps the worker's
         # micro-batcher eligible to fuse concurrent scatters
         restricted = sorted(parts) != sorted(worker.parts)
+        send_parts = parts if restricted else None
         try:
-            payload = call(self._client(slot), parts if restricted else None)
-        except ServeError:
-            raise  # the worker answered; not a liveness failure
+            answered, payload = self._hedged_call(
+                slot, parts, send_parts, call, deadline
+            )
+        except (DeadlineExceeded, ServeError):
+            raise
         except (OSError, ClusterUnavailable) as exc:
-            self.shard_map.mark_down(slot)
+            # _timed_call already recorded the breaker failure/demotion
+            with self._stats_lock:
+                self._slot_failovers[slot] += 1
             raise _WorkerDown(slot, parts) from exc
         generation = payload.get("generation")
         if isinstance(generation, int):
-            self._generations[slot] = generation
-        return payload
+            self._generations[answered] = generation
+        return answered, payload
 
     def _scatter(
-        self, parts: Optional[Sequence[int]], call
+        self,
+        parts: Optional[Sequence[int]],
+        call,
+        deadline: Optional[Deadline] = None,
     ) -> list[tuple[int, Any]]:
         """Fan one request out over the routed workers, failing over.
 
-        ``call(client, parts_or_none)`` runs per group on a thread pool.
-        Groups that fail with a transport error are re-routed to live
-        replicas and retried until they succeed or some partition has no
-        live owner left. Returns ``(slot, payload)`` pairs so callers
-        can stamp each answer with the exact generation it executed at.
+        ``call(client, parts_or_none, deadline_ms)`` runs per group on a
+        thread pool. Groups that fail with a transport error are
+        re-routed to live replicas and retried until they succeed or
+        some partition has no live owner left; slots that failed are
+        excluded from the re-route even when their breaker kept them
+        ``up``. Returns ``(slot, payload)`` pairs so callers can stamp
+        each answer with the exact generation it executed at.
         """
+        self._maybe_probe_async()
         plan = self.shard_map.route(parts)
         payloads: list[tuple[int, Any]] = []
+        excluded: set[int] = set()
         for _attempt in range(self.shard_map.n_workers + 1):
+            if deadline is not None:
+                deadline.check("scatter wave")
             groups = sorted(plan.items())
             if len(groups) == 1:
-                outcomes = [self._try_group(groups[0], call)]
+                outcomes = [self._try_group(groups[0], call, deadline)]
             else:
                 with ThreadPoolExecutor(max_workers=len(groups)) as pool:
                     outcomes = list(
-                        pool.map(lambda g: self._try_group(g, call), groups)
+                        pool.map(
+                            lambda g: self._try_group(g, call, deadline), groups
+                        )
                     )
             failed_parts: list[int] = []
             for outcome in outcomes:
                 if isinstance(outcome, _WorkerDown):
                     failed_parts.extend(outcome.parts)
+                    excluded.add(outcome.slot)
                 else:
                     payloads.append(outcome)
             if not failed_parts:
                 return payloads
             with self._stats_lock:
                 self._failovers += 1
-            # re-route only the failed partitions; mark_down already
-            # removed the dead worker from candidacy
-            plan = self.shard_map.route(failed_parts)
+            # re-route only the failed partitions, never back to a slot
+            # that failed this request
+            plan = self.shard_map.route(failed_parts, exclude=excluded)
         raise ClusterUnavailable("scatter retries exhausted")  # pragma: no cover
 
-    def _try_group(self, group: tuple[int, list[int]], call):
+    def _try_group(
+        self,
+        group: tuple[int, list[int]],
+        call,
+        deadline: Optional[Deadline] = None,
+    ):
         slot, parts = group
         try:
-            return slot, self._call_group(slot, parts, call)
+            return self._call_group(slot, parts, call, deadline)
         except _WorkerDown as exc:
             return exc
 
     # -- serving -------------------------------------------------------------------
+
+    def _effective_deadline(
+        self, deadline: Optional[Deadline]
+    ) -> Optional[Deadline]:
+        if deadline is not None:
+            return deadline
+        default_ms = self.resilience.default_deadline_ms
+        return Deadline.from_ms(default_ms) if default_ms is not None else None
+
+    def _count_deadline_violation(self) -> None:
+        with self._stats_lock:
+            self._deadline_violations += 1
 
     def search(
         self,
         vectors: np.ndarray,
         tau: float,
         joinability: float | int,
+        deadline: Optional[Deadline] = None,
     ) -> tuple[Any, list[int]]:
         """Scatter one threshold search; returns ``(merged result, generations)``.
 
@@ -446,17 +701,28 @@ class ClusterCoordinator:
         (each partition is answered exactly once; worker hits carry
         global column IDs; the merge re-sorts by ID exactly as the
         sharded engine does).
+
+        ``deadline`` is this request's remaining latency budget; the
+        remaining time is re-measured and propagated to every worker
+        call, and :class:`DeadlineExceeded` is raised (and counted) the
+        moment the budget cannot be met.
         """
         with self._stats_lock:
             self._requests_served += 1
         vectors = self._validated_vectors(vectors).tolist()
+        deadline = self._effective_deadline(deadline)
 
-        def call(client: ServeClient, parts):
+        def call(client: ServeClient, parts, deadline_ms):
             return client.search(
-                vectors=vectors, tau=tau, joinability=joinability, parts=parts
+                vectors=vectors, tau=tau, joinability=joinability, parts=parts,
+                deadline_ms=deadline_ms,
             )
 
-        outcomes = self._scatter(None, call)
+        try:
+            outcomes = self._scatter(None, call, deadline)
+        except DeadlineExceeded:
+            self._count_deadline_violation()
+            raise
         # the response names the generations its answers actually
         # executed at — taken from the payloads themselves, so a
         # concurrent mutation finishing after the gather cannot inflate
@@ -493,7 +759,11 @@ class ClusterCoordinator:
         return generations
 
     def topk(
-        self, vectors: np.ndarray, tau: float, k: int
+        self,
+        vectors: np.ndarray,
+        tau: float,
+        k: int,
+        deadline: Optional[Deadline] = None,
     ) -> tuple[TopKResult, list[int]]:
         """Wave-parallel exact top-k across the cluster.
 
@@ -501,12 +771,16 @@ class ClusterCoordinator:
         receives the running global k-th-best count as its ``theta``
         floor. The floor is strict, so the merged ranking — count
         descending, column ID ascending — equals single-node top-k.
+        ``deadline`` bounds the whole request: the remaining budget is
+        re-checked before every wave and propagated into each worker
+        call, so a late wave fails fast instead of running anyway.
         """
         if k < 1:
             raise ValueError("k must be at least 1")
         with self._stats_lock:
             self._requests_served += 1
         vectors = self._validated_vectors(vectors).tolist()
+        deadline = self._effective_deadline(deadline)
         plan = self.shard_map.route(None)
         groups = sorted(plan.items())
         best: list[tuple[int, int, float]] = []
@@ -517,14 +791,19 @@ class ClusterCoordinator:
             wave = dict(groups[at : at + self.wave_width])
             floor = theta
 
-            def call(client: ServeClient, parts, _floor=floor):
+            def call(client: ServeClient, parts, deadline_ms, _floor=floor):
                 return client.topk(
-                    vectors=vectors, tau=tau, k=k, parts=parts, theta=_floor
+                    vectors=vectors, tau=tau, k=k, parts=parts, theta=_floor,
+                    deadline_ms=deadline_ms,
                 )
 
-            outcomes = self._scatter(
-                [p for parts in wave.values() for p in parts], call
-            )
+            try:
+                outcomes = self._scatter(
+                    [p for parts in wave.values() for p in parts], call, deadline
+                )
+            except DeadlineExceeded:
+                self._count_deadline_violation()
+                raise
             stamped.extend(outcomes)
             for _slot, payload in outcomes:
                 tau_out = float(payload["tau"])
@@ -676,7 +955,7 @@ class ClusterCoordinator:
         applied: list[tuple[int, Optional[int]]] = []
         for slot, reply in outcomes:
             if reply is None:
-                self.shard_map.mark_down(slot)
+                self._demote(slot, force=True)
                 continue
             generation = reply.get("generation")
             if isinstance(generation, int):
@@ -703,10 +982,23 @@ class ClusterCoordinator:
 
     def describe(self) -> dict[str, Any]:
         """Cluster state for ``/stats`` and ``/cluster`` (JSON-safe)."""
+        cfg = self.resilience
         with self._stats_lock:
             requests = self._requests_served
             failovers = self._failovers
+            resilience = {
+                "hedge": cfg.hedge,
+                "hedge_delay": self._hedge_delay(),
+                "hedges_fired": self._hedges_fired,
+                "hedges_won": self._hedges_won,
+                "deadline_violations": self._deadline_violations,
+                "default_deadline_ms": cfg.default_deadline_ms,
+                "breaker_failure_threshold": cfg.breaker_failure_threshold,
+                "breakers": [b.state for b in self._breakers],
+                "worker_failovers": list(self._slot_failovers),
+            }
         return {
+            "resilience": resilience,
             "n_workers": self.shard_map.n_workers,
             "replication": self.shard_map.replication,
             "metric": self.metric.name,
@@ -723,8 +1015,16 @@ class ClusterCoordinator:
             "columns": self.columns,
         }
 
-    def metrics_text(self) -> str:
-        """Prometheus-style exposition for the coordinator's ``/metrics``."""
+    def metrics_text(self, extra: Optional[dict] = None) -> str:
+        """Prometheus-style exposition for the coordinator's ``/metrics``.
+
+        Besides the aggregate gauges this names every worker slot:
+        up/down status, per-slot failover counts, and breaker state,
+        using label syntax (``pexeso_serve_cluster_worker_up{slot="0"}``)
+        so a scrape sees *which* worker flapped, not just that one did.
+        ``extra`` appends caller-supplied gauges (the cluster server's
+        admission counters).
+        """
         statuses = self.shard_map.statuses()
         with self._stats_lock:
             gauges = {
@@ -735,8 +1035,28 @@ class ClusterCoordinator:
                 "cluster_columns": self.n_columns,
                 "cluster_serviceable": int(self.shard_map.is_serviceable()),
                 "cluster_mutation_log": len(self._mutation_log),
+                "cluster_hedges_fired": self._hedges_fired,
+                "cluster_hedges_won": self._hedges_won,
+                "cluster_deadline_violations": self._deadline_violations,
             }
+            slot_failovers = list(self._slot_failovers)
         lines = [f"pexeso_serve_{k} {v}" for k, v in gauges.items()]
+        for slot, status in enumerate(statuses):
+            up = int(status == "up")
+            breaker_open = int(self._breakers[slot].state != BREAKER_CLOSED)
+            lines.append(
+                f'pexeso_serve_cluster_worker_up{{slot="{slot}"}} {up}'
+            )
+            lines.append(
+                f'pexeso_serve_cluster_worker_failovers{{slot="{slot}"}} '
+                f"{slot_failovers[slot]}"
+            )
+            lines.append(
+                f'pexeso_serve_cluster_breaker_open{{slot="{slot}"}} '
+                f"{breaker_open}"
+            )
+        if extra:
+            lines.extend(f"pexeso_serve_{k} {v}" for k, v in extra.items())
         return "\n".join(lines) + "\n"
 
     def wait_serviceable(self, timeout: float = 30.0, poll: float = 0.05) -> bool:

@@ -55,7 +55,16 @@ class LocalCluster:
             ``max_batch``, ``cache_size``, ``exact_counts``,
             ``max_workers``) onto ``cluster-worker`` CLI flags.
         coordinator_kwargs: extra :class:`ClusterCoordinator` arguments
-            (``wave_width``, ``retries``, ``timeout``).
+            (``wave_width``, ``retries``, ``timeout``, ``resilience``,
+            ``fault_injector``).
+        worker_fault_injectors: per-worker
+            :class:`~repro.serve.faults.FaultInjector` s, indexed by
+            spawn order (``None`` entries skip a worker). Thread mode
+            only — chaos tests script one worker slow or flaky while
+            its replica stays healthy.
+        server_kwargs: extra :func:`make_cluster_server` arguments for
+            the coordinator's front door (``max_concurrent``,
+            ``fault_injector``).
     """
 
     def __init__(
@@ -67,15 +76,21 @@ class LocalCluster:
         worker_kwargs: Optional[dict[str, Any]] = None,
         coordinator_kwargs: Optional[dict[str, Any]] = None,
         startup_timeout: float = 60.0,
+        worker_fault_injectors: Optional[list[Any]] = None,
+        server_kwargs: Optional[dict[str, Any]] = None,
     ):
         if mode not in ("thread", "process"):
             raise ValueError(f"unknown mode {mode!r} (thread | process)")
+        if worker_fault_injectors and mode != "thread":
+            raise ValueError("worker_fault_injectors requires thread mode")
         self.lake_dir = Path(lake_dir)
         self.n_workers = int(n_workers)
         self.replication = int(replication)
         self.mode = mode
         self.worker_kwargs = dict(worker_kwargs or {})
         self.coordinator_kwargs = dict(coordinator_kwargs or {})
+        self.worker_fault_injectors = list(worker_fault_injectors or [])
+        self.server_kwargs = dict(server_kwargs or {})
         self.startup_timeout = float(startup_timeout)
 
         self.coordinator: Optional[ClusterCoordinator] = None
@@ -111,7 +126,9 @@ class LocalCluster:
             replication=self.replication,
             **self.coordinator_kwargs,
         )
-        self.coordinator_server = make_cluster_server(self.coordinator, port=0)
+        self.coordinator_server = make_cluster_server(
+            self.coordinator, port=0, **self.server_kwargs
+        )
         self._coordinator_thread = threading.Thread(
             target=self.coordinator_server.serve_forever,
             name="cluster-coordinator",
@@ -126,8 +143,17 @@ class LocalCluster:
 
     def _spawn_worker(self) -> None:
         if self.mode == "thread":
+            index = len(self._workers)
+            injector = (
+                self.worker_fault_injectors[index]
+                if index < len(self.worker_fault_injectors)
+                else None
+            )
             self._workers.append(
-                start_worker(self.lake_dir, self.url, **self.worker_kwargs)
+                start_worker(
+                    self.lake_dir, self.url,
+                    fault_injector=injector, **self.worker_kwargs,
+                )
             )
             return
         src_dir = str(Path(repro.__file__).resolve().parents[1])

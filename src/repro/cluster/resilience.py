@@ -1,0 +1,249 @@
+"""Resilience primitives for the serving path: deadlines, hedging, breakers.
+
+Everything here is correctness-free by construction: the engine is
+exact and deterministic, so a hedged duplicate of a shard call can only
+return the *same* answer faster, a deadline can only turn a late answer
+into an explicit 504, and a circuit breaker only changes *which* live
+replica answers. That is what makes tail-latency engineering cheap in
+this repo — every mechanism below is oracle-checked by the chaos lane
+of the differential oracle without any approximation budget.
+
+* :class:`Deadline` — a per-request latency budget. The coordinator
+  propagates the *remaining* budget (milliseconds) to workers in the
+  ``X-Repro-Deadline-Ms`` header; a worker rejects already-expired work
+  with a 504 before touching the index, and the coordinator checks the
+  budget before every scatter wave. Remaining time (not an absolute
+  wall-clock instant) crosses the wire, so clock skew between processes
+  cannot corrupt the budget.
+* :class:`LatencyTracker` — a bounded window of recent call latencies;
+  its p95 sets the hedge delay, the classic "defer the duplicate until
+  the primary is slower than expected" rule.
+* :class:`CircuitBreaker` — per-worker ``closed -> open -> half-open``
+  with exponential probe backoff. It replaces one-way demotion: a
+  worker that failed is probed again after a cooldown (replayed any
+  missed mutations, then re-promoted), and a worker that keeps failing
+  backs its probes off instead of being hammered.
+* :class:`ResilienceConfig` — the knobs, in one place.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.serve.client import DEADLINE_HEADER  # noqa: F401  (re-export)
+
+
+class DeadlineExceeded(RuntimeError):
+    """The request's latency budget ran out (HTTP 504 at the edge)."""
+
+
+class Deadline:
+    """A monotonic-clock latency budget for one request."""
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, budget_seconds: float):
+        self.expires_at = time.monotonic() + float(budget_seconds)
+
+    @classmethod
+    def from_ms(cls, budget_ms: float) -> "Deadline":
+        return cls(float(budget_ms) / 1000.0)
+
+    def remaining(self) -> float:
+        """Seconds left (negative when expired)."""
+        return self.expires_at - time.monotonic()
+
+    def remaining_ms(self) -> float:
+        return self.remaining() * 1000.0
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`DeadlineExceeded` when the budget is gone."""
+        if self.expired():
+            raise DeadlineExceeded(
+                f"deadline exceeded before {what} "
+                f"({-self.remaining_ms():.1f}ms over budget)"
+            )
+
+
+class LatencyTracker:
+    """A bounded sliding window of call latencies with quantile reads.
+
+    Thread-safe. ``default`` is returned until the first sample lands,
+    so hedging has a sane delay during warmup.
+    """
+
+    def __init__(self, window: int = 512, default: float = 0.05):
+        self._samples: deque[float] = deque(maxlen=int(window))
+        self._lock = threading.Lock()
+        self.default = float(default)
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(float(seconds))
+            self.count += 1
+
+    def quantile(self, q: float = 0.95) -> float:
+        """The q-quantile of the current window (nearest-rank)."""
+        with self._lock:
+            if not self._samples:
+                return self.default
+            ranked = sorted(self._samples)
+        rank = min(len(ranked) - 1, max(0, int(q * len(ranked))))
+        return ranked[rank]
+
+
+#: circuit-breaker states
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-worker failure gate with half-open probing and probe backoff.
+
+    State machine (all transitions counted in :attr:`transitions`):
+
+    * ``closed`` — healthy. ``record_failure`` increments a counter;
+      at ``failure_threshold`` the breaker opens.
+    * ``open`` — the worker is demoted. After the cooldown (doubling on
+      every consecutive open, capped) :meth:`should_probe` grants
+      exactly one probe and moves to ``half-open``.
+    * ``half-open`` — one probe is out. Success closes the breaker
+      (failure count and backoff reset); failure re-opens it with a
+      longer cooldown. A probe that never reports back stops blocking
+      after one cooldown (the grant times out and can be re-issued).
+
+    ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 1,
+        cooldown: float = 1.0,
+        max_cooldown: float = 30.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown = float(cooldown)
+        self.max_cooldown = float(max_cooldown)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._failures = 0
+        self._consecutive_opens = 0
+        self._state_since = self._clock()
+        self.transitions = {"opened": 0, "half_open": 0, "closed": 0}
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def current_cooldown(self) -> float:
+        with self._lock:
+            return self._current_cooldown()
+
+    def _current_cooldown(self) -> float:
+        backoff = self.cooldown * (2 ** max(0, self._consecutive_opens - 1))
+        return min(backoff, self.max_cooldown)
+
+    def _open(self) -> None:
+        self._state = BREAKER_OPEN
+        self._consecutive_opens += 1
+        self._state_since = self._clock()
+        self.transitions["opened"] += 1
+
+    def record_failure(self) -> str:
+        """One failed call (or failed probe); returns the new state."""
+        with self._lock:
+            self._failures += 1
+            if self._state == BREAKER_HALF_OPEN:
+                self._open()  # the probe failed: back off harder
+            elif (
+                self._state == BREAKER_CLOSED
+                and self._failures >= self.failure_threshold
+            ):
+                self._open()
+            return self._state
+
+    def trip(self) -> None:
+        """Force the breaker open (e.g. a replica that diverged)."""
+        with self._lock:
+            self._failures = max(self._failures, self.failure_threshold)
+            if self._state != BREAKER_OPEN:
+                self._open()
+
+    def record_success(self) -> None:
+        """One successful call or probe: close and reset the backoff."""
+        with self._lock:
+            if self._state != BREAKER_CLOSED:
+                self.transitions["closed"] += 1
+            self._state = BREAKER_CLOSED
+            self._failures = 0
+            self._consecutive_opens = 0
+            self._state_since = self._clock()
+
+    def should_probe(self) -> bool:
+        """Whether a half-open probe may be issued right now.
+
+        Grants at most one probe per cooldown window (the grant itself
+        transitions ``open -> half-open``); the prober must report back
+        through :meth:`record_success` / :meth:`record_failure`.
+        """
+        with self._lock:
+            if self._state == BREAKER_CLOSED:
+                return False
+            elapsed = self._clock() - self._state_since
+            if elapsed < self._current_cooldown():
+                return False
+            if self._state == BREAKER_OPEN:
+                self.transitions["half_open"] += 1
+            # half-open past its cooldown: the previous grant is
+            # presumed lost; re-arm the window and grant again
+            self._state = BREAKER_HALF_OPEN
+            self._state_since = self._clock()
+            return True
+
+
+@dataclass
+class ResilienceConfig:
+    """Knobs for the coordinator's resilience layer.
+
+    Attributes:
+        hedge: fan a slow shard call out to a live replica hosting the
+            same partitions after the hedge delay; first exact answer
+            wins. Needs ``replication >= 2`` to ever fire.
+        hedge_quantile: latency quantile that sets the hedge delay
+            (0.95 = classic "hedge after p95").
+        hedge_delay_min / hedge_delay_max: clamp on the computed delay.
+        hedge_default_delay: delay used before any latency samples.
+        breaker_failure_threshold: transport failures before a worker
+            is demoted. 1 reproduces the pre-breaker behaviour (one
+            surviving transport failure demotes); higher values keep a
+            flaky worker in rotation, with failed partitions re-routed
+            per request.
+        breaker_cooldown / breaker_max_cooldown: half-open probe
+            backoff window (doubles per consecutive open, capped).
+        default_deadline_ms: budget applied to requests that do not
+            carry one (``None`` = unlimited).
+    """
+
+    hedge: bool = True
+    hedge_quantile: float = 0.95
+    hedge_delay_min: float = 0.01
+    hedge_delay_max: float = 5.0
+    hedge_default_delay: float = 0.05
+    breaker_failure_threshold: int = 1
+    breaker_cooldown: float = 1.0
+    breaker_max_cooldown: float = 30.0
+    default_deadline_ms: Optional[float] = None

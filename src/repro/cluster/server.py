@@ -29,28 +29,51 @@ before that verdict is reached.
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
-from typing import Any
+from typing import Any, Optional
 
 from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.resilience import Deadline, DeadlineExceeded
 from repro.cluster.shard_map import ClusterUnavailable
+from repro.serve.client import DEADLINE_HEADER
+from repro.serve.faults import apply_server_faults
 from repro.serve.schema import search_payload, topk_payload
-from repro.serve.server import GracefulHTTPServer, JsonRequestHandler
+from repro.serve.server import (
+    AdmissionController,
+    GracefulHTTPServer,
+    JsonRequestHandler,
+)
 
 
 class ClusterHTTPServer(GracefulHTTPServer):
-    """The coordinator process: routing state plus the JSON API."""
+    """The coordinator process: routing state plus the JSON API.
+
+    ``max_concurrent`` bounds concurrently-executing search/top-k
+    requests (excess arrivals are shed 429 + Retry-After); lifecycle
+    and mutation endpoints are never shed — refusing a worker's
+    ``ready`` report or a write-through during overload would turn
+    congestion into unavailability. ``fault_injector`` scripts faults
+    against the coordinator's *own* front door (its worker clients get
+    the coordinator's injector, passed separately).
+    """
 
     def __init__(
         self,
         address: tuple[str, int],
         coordinator: ClusterCoordinator,
         quiet: bool = True,
+        max_concurrent: Optional[int] = None,
+        fault_injector=None,
     ):
         self.coordinator = coordinator
         self.quiet = quiet
         self.embedder = None
         self.preprocess = True
+        self.admission = AdmissionController(max_concurrent)
+        self.fault_injector = fault_injector
+        self._counter_lock = threading.Lock()
+        self.deadline_rejects = 0
         catalog = coordinator.catalog
         if catalog and "embedder" in catalog:
             from repro.embedding.hashing import HashingNGramEmbedder
@@ -61,6 +84,16 @@ class ClusterHTTPServer(GracefulHTTPServer):
             )
             self.preprocess = catalog.get("preprocess", True)
         super().__init__(address, ClusterHandler)
+
+    def count_deadline_reject(self) -> None:
+        with self._counter_lock:
+            self.deadline_rejects += 1
+
+    def resilience_metrics(self) -> dict[str, float]:
+        metrics = self.admission.snapshot()
+        with self._counter_lock:
+            metrics["deadline_rejects"] = float(self.deadline_rejects)
+        return metrics
 
 
 class ClusterHandler(JsonRequestHandler):
@@ -88,7 +121,11 @@ class ClusterHandler(JsonRequestHandler):
             elif self.path in ("/cluster", "/stats"):
                 self._send_json(coordinator.describe())
             elif self.path == "/metrics":
-                self._send_text(coordinator.metrics_text())
+                self._send_text(
+                    coordinator.metrics_text(
+                        extra=self.server.resilience_metrics()
+                    )
+                )
             else:
                 parts = self.path.strip("/").split("/")
                 if len(parts) == 2 and parts[0] == "columns":
@@ -106,12 +143,48 @@ class ClusterHandler(JsonRequestHandler):
             self._send_error_json(str(exc), 500)
 
     def do_POST(self) -> None:  # noqa: N802
+        # Only the expensive read path is sheddable: refusing a worker's
+        # lifecycle report or a mutation during overload would turn
+        # congestion into unavailability (a worker stuck down, a replica
+        # diverging), so those bypass admission. Drain and the fault
+        # plane gate every POST.
+        server = self.server
+        if getattr(server, "draining", False):
+            self._discard_body()
+            self._send_error_json(
+                "server is draining", 503,
+                retry_after=getattr(server, "drain_retry_after", 1.0),
+            )
+            return
+        if apply_server_faults(self):
+            return
+        token = False
+        if self.path in ("/search", "/topk"):
+            admission = server.admission
+            if not admission.try_acquire():
+                self._discard_body()
+                self._send_error_json(
+                    "server over capacity; request shed", 429,
+                    retry_after=admission.retry_after,
+                )
+                return
+            token = admission
+        try:
+            self._do_post_body()
+        finally:
+            self._end_request(token)
+
+    def _do_post_body(self) -> None:
         try:
             body = self._read_body()
             parts = self.path.strip("/").split("/")
             if self.path == "/search":
+                if self._deadline_expired():
+                    return
                 self._handle_search(body)
             elif self.path == "/topk":
+                if self._deadline_expired():
+                    return
                 self._handle_topk(body)
             elif self.path == "/columns":
                 self._handle_add_column(body)
@@ -132,6 +205,8 @@ class ClusterHandler(JsonRequestHandler):
                 self._send_json(reply)
             else:
                 self._send_error_json(f"unknown path {self.path}", 404)
+        except DeadlineExceeded as exc:
+            self._send_error_json(str(exc), 504)
         except ClusterUnavailable as exc:
             self._send_error_json(str(exc), 503)
         except (ValueError, KeyError, TypeError) as exc:
@@ -140,6 +215,14 @@ class ClusterHandler(JsonRequestHandler):
             self._send_error_json(str(exc), 500)
 
     def do_DELETE(self) -> None:  # noqa: N802
+        if getattr(self.server, "draining", False):
+            self._send_error_json(
+                "server is draining", 503,
+                retry_after=getattr(self.server, "drain_retry_after", 1.0),
+            )
+            return
+        if apply_server_faults(self):
+            return
         try:
             parts = self.path.strip("/").split("/")
             if len(parts) == 2 and parts[0] == "columns":
@@ -164,12 +247,27 @@ class ClusterHandler(JsonRequestHandler):
 
     # -- endpoint bodies -----------------------------------------------------------
 
+    def _request_deadline(self, body: dict):
+        """This request's latency budget, from the header or the body.
+
+        The header carries the remaining milliseconds a propagating
+        caller measured at send time; ``"deadline_ms"`` in the body is
+        the end-client form. ``None`` when the request carries neither
+        (the coordinator then applies its configured default, if any).
+        """
+        raw = self.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            raw = body.get("deadline_ms")
+        if raw is None:
+            return None
+        return Deadline.from_ms(float(raw))
+
     def _handle_search(self, body: dict) -> None:
         query = self._query_vectors(body)
         tau = self._resolve_tau(body, query)
         joinability = body.get("joinability", 0.6)
         result, generations = self.server.coordinator.search(
-            query, tau, joinability
+            query, tau, joinability, deadline=self._request_deadline(body)
         )
         self._send_json(
             search_payload(
@@ -183,7 +281,9 @@ class ClusterHandler(JsonRequestHandler):
         query = self._query_vectors(body)
         tau = self._resolve_tau(body, query)
         k = int(body.get("k", 10))
-        result, generations = self.server.coordinator.topk(query, tau, k)
+        result, generations = self.server.coordinator.topk(
+            query, tau, k, deadline=self._request_deadline(body)
+        )
         self._send_json(
             topk_payload(
                 result,
@@ -215,6 +315,8 @@ def make_cluster_server(
     host: str = "127.0.0.1",
     port: int = 0,
     quiet: bool = True,
+    max_concurrent: Optional[int] = None,
+    fault_injector=None,
     **coordinator_kwargs: Any,
 ) -> ClusterHTTPServer:
     """Build a ready-to-run coordinator server.
@@ -223,7 +325,8 @@ def make_cluster_server(
     partitioned lake directory (plus the coordinator's constructor
     arguments — ``n_workers`` is required in that case). Run it exactly
     like a serving node: ``serve_forever()`` on a thread, ``close()``
-    to drain and stop.
+    to drain and stop. ``max_concurrent`` / ``fault_injector`` configure
+    the *server's* admission gate and front-door fault plane.
     """
     if isinstance(lake_dir_or_coordinator, ClusterCoordinator):
         coordinator = lake_dir_or_coordinator
@@ -231,4 +334,7 @@ def make_cluster_server(
         coordinator = ClusterCoordinator(
             Path(lake_dir_or_coordinator), **coordinator_kwargs
         )
-    return ClusterHTTPServer((host, port), coordinator, quiet=quiet)
+    return ClusterHTTPServer(
+        (host, port), coordinator, quiet=quiet,
+        max_concurrent=max_concurrent, fault_injector=fault_injector,
+    )

@@ -207,7 +207,9 @@ class ShardMap:
     # -- routing -------------------------------------------------------------------
 
     def route(
-        self, parts: Optional[Sequence[int]] = None
+        self,
+        parts: Optional[Sequence[int]] = None,
+        exclude: Sequence[int] = (),
     ) -> dict[int, list[int]]:
         """Plan one scatter: ``{worker slot: partitions it answers}``.
 
@@ -215,12 +217,22 @@ class ShardMap:
         primary when it is up, else the first live replica) so the
         per-worker results are disjoint and merge exactly.
 
+        ``exclude`` removes slots from consideration for this plan only
+        — the coordinator's per-request failover when a still-``up``
+        worker just failed a call (e.g. a breaker with a threshold above
+        one absorbing a transient fault without demoting the worker).
+
         Raises:
             ClusterUnavailable: when some partition has no live owner.
         """
         wanted = self.parts if parts is None else [int(p) for p in parts]
+        excluded = set(exclude)
         with self._lock:
-            up = {w.slot for w in self.workers if w.status == "up"}
+            up = {
+                w.slot
+                for w in self.workers
+                if w.status == "up" and w.slot not in excluded
+            }
             plan: dict[int, list[int]] = {}
             for part in wanted:
                 slots = self.owners.get(part)
@@ -230,10 +242,40 @@ class ShardMap:
                 if chosen is None:
                     raise ClusterUnavailable(
                         f"partition {part} has no live worker "
-                        f"(owners {slots} all down)"
+                        f"(owners {slots} all down or excluded)"
                     )
                 plan.setdefault(chosen, []).append(part)
             return plan
+
+    def live_common_owner(
+        self, parts: Sequence[int], exclude: Sequence[int] = ()
+    ) -> Optional[int]:
+        """A live slot (not in ``exclude``) hosting *all* of ``parts``.
+
+        This is the hedged-read candidate: a replica that can answer the
+        exact same partition group as the slow primary, so the hedge
+        returns a bit-identical payload. ``None`` when no single replica
+        covers the whole group (hedging is skipped, never split).
+        """
+        wanted = [int(p) for p in parts]
+        if not wanted:
+            return None
+        excluded = set(exclude)
+        with self._lock:
+            up = {
+                w.slot
+                for w in self.workers
+                if w.status == "up" and w.slot not in excluded
+            }
+            candidates = up
+            for part in wanted:
+                owners = self.owners.get(part)
+                if owners is None:
+                    return None
+                candidates = candidates & set(owners)
+                if not candidates:
+                    return None
+            return min(candidates)
 
     # -- persistence ---------------------------------------------------------------
 

@@ -40,6 +40,8 @@ def start_worker(
     advertise_host: Optional[str] = None,
     retries: int = 2,
     timeout: float = 60.0,
+    fault_injector=None,
+    max_concurrent: Optional[int] = None,
     **service_kwargs: Any,
 ) -> tuple[ServeHTTPServer, int, threading.Thread]:
     """Join a cluster; returns ``(running server, slot, serving thread)``.
@@ -57,6 +59,11 @@ def start_worker(
         coordinator_url: the coordinator's base URL.
         advertise_host: hostname workers are reachable at from the
             coordinator, when it differs from the bind ``host``.
+        fault_injector: optional
+            :class:`~repro.serve.faults.FaultInjector` scripting faults
+            on this worker's request handling (scripted slow-worker and
+            chaos profiles).
+        max_concurrent: admission capacity for this worker's server.
         service_kwargs: :class:`~repro.serve.service.QueryService`
             configuration (``window_ms``, ``cache_size``,
             ``exact_counts``, ``max_workers`` ...).
@@ -69,7 +76,10 @@ def start_worker(
     # calls instead of reading every shard's arrays into the heap.
     backend = load_partitioned(Path(lake_dir), parts=assignment["parts"], mmap=True)
     service = QueryService(backend, **service_kwargs)
-    server = make_server(service, host=host, port=port)
+    server = make_server(
+        service, host=host, port=port,
+        fault_injector=fault_injector, max_concurrent=max_concurrent,
+    )
     thread = threading.Thread(
         target=server.serve_forever, name=f"cluster-worker-{slot}", daemon=True
     )

@@ -43,7 +43,7 @@ from __future__ import annotations
 import json
 import shutil
 from pathlib import Path
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -220,6 +220,26 @@ def save_index(
     return directory
 
 
+def _np_load(path: Path, mmap_mode: Optional[str]) -> np.ndarray:
+    """``np.load`` hardened against a CPython 3.11 threading bug.
+
+    numpy parses ``.npy`` headers with ``ast.literal_eval``, whose
+    ``compile()`` call can spuriously raise ``SystemError: AST
+    constructor recursion depth mismatch`` when the C recursion
+    counter is perturbed by concurrent thread churn (cpython#105540).
+    The failure is transient — the same load succeeds immediately on
+    retry — and this repo loads shards from worker threads constantly,
+    so retry a couple of times before giving up.
+    """
+    for attempt in range(3):
+        try:
+            return np.load(path, mmap_mode=mmap_mode)
+        except SystemError:
+            if attempt == 2:
+                raise
+    raise AssertionError("unreachable")
+
+
 def _load_v3_arrays(
     directory: Path, manifest: dict, mmap: bool
 ) -> dict[str, np.ndarray]:
@@ -230,7 +250,7 @@ def _load_v3_arrays(
         )
     mode = "r" if mmap else None
     return {
-        name: np.load(arrays_dir / f"{name}.npy", mmap_mode=mode)
+        name: _np_load(arrays_dir / f"{name}.npy", mode)
         for name, _ in _V3_ARRAYS
     }
 

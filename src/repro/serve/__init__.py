@@ -13,13 +13,24 @@ time; this package turns it into a long-lived concurrent query service:
   ``ThreadingHTTPServer`` JSON API over a service (``/search``,
   ``/topk``, ``/columns``, ``/stats``, ``/healthz``, ``/metrics``);
 * :class:`~repro.serve.client.ServeClient` — a urllib-based client
-  speaking the same schema the CLI's ``search --json`` emits.
+  speaking the same schema the CLI's ``search --json`` emits;
+* :class:`~repro.serve.faults.FaultInjector` — a seeded, scriptable
+  fault plane (latency spikes, drops, black-holes, injected errors)
+  hooked into both the client transport and the server's request
+  handling, for reproducible chaos tests and tail-latency benchmarks.
 """
 
 from repro.serve.cache import ResultCache
 from repro.serve.coalescer import MicroBatcher
-from repro.serve.client import ServeClient
+from repro.serve.client import DEADLINE_HEADER, ServeClient, ServeError
+from repro.serve.faults import (
+    FaultInjector,
+    FaultRule,
+    InjectedBlackhole,
+    InjectedDrop,
+)
 from repro.serve.server import (
+    AdmissionController,
     GracefulHTTPServer,
     ServeHTTPServer,
     install_signal_handlers,
@@ -28,12 +39,19 @@ from repro.serve.server import (
 from repro.serve.service import QueryService, RWLock, ServeResponse
 
 __all__ = [
+    "AdmissionController",
+    "DEADLINE_HEADER",
+    "FaultInjector",
+    "FaultRule",
     "GracefulHTTPServer",
+    "InjectedBlackhole",
+    "InjectedDrop",
     "MicroBatcher",
     "QueryService",
     "RWLock",
     "ResultCache",
     "ServeClient",
+    "ServeError",
     "ServeHTTPServer",
     "ServeResponse",
     "install_signal_handlers",

@@ -8,6 +8,7 @@ index and a remote service without reparsing anything.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -15,14 +16,26 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
+#: header carrying a request's *remaining* deadline budget, in
+#: milliseconds. Remaining time (not an absolute instant) crosses the
+#: wire so clock skew between coordinator and worker cannot corrupt it.
+DEADLINE_HEADER = "X-Repro-Deadline-Ms"
+
 
 class ServeError(RuntimeError):
-    """An HTTP-level error from the serving API."""
+    """An HTTP-level error from the serving API.
 
-    def __init__(self, status: int, message: str):
+    ``retry_after`` carries the server's ``Retry-After`` header (seconds,
+    or ``None``) so shed requests (429/503) can be re-queued politely.
+    """
+
+    def __init__(
+        self, status: int, message: str, retry_after: Optional[float] = None
+    ):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.retry_after = retry_after
 
 
 class ServeClient:
@@ -38,7 +51,19 @@ class ServeClient:
             server answered. The cluster coordinator leans on this for
             transient worker hiccups, keeping real failures (refused
             connections after the budget) as the failover signal.
-        retry_backoff: base sleep between attempts (doubled each retry).
+        retry_backoff: base sleep ceiling between attempts (the ceiling
+            doubles each retry).
+        retry_jitter: when true (the default), each retry sleeps a
+            *uniform* draw from ``[0, retry_backoff * 2**attempt]``
+            (full jitter) instead of the deterministic ceiling, so
+            concurrent callers retrying the same hiccup don't
+            resynchronize into a retry storm.
+        retry_rng: RNG used for jitter; pass a seeded
+            ``random.Random`` for reproducible schedules in tests.
+        fault_injector: optional
+            :class:`~repro.serve.faults.FaultInjector` whose schedule
+            runs just before each HTTP send (scripted client-side
+            delays, drops, and black-holes).
     """
 
     def __init__(
@@ -47,6 +72,9 @@ class ServeClient:
         timeout: float = 30.0,
         retries: int = 0,
         retry_backoff: float = 0.05,
+        retry_jitter: bool = True,
+        retry_rng: Optional[random.Random] = None,
+        fault_injector=None,
     ):
         if retries < 0:
             raise ValueError("retries must be non-negative")
@@ -54,8 +82,18 @@ class ServeClient:
         self.timeout = timeout
         self.retries = int(retries)
         self.retry_backoff = float(retry_backoff)
+        self.retry_jitter = bool(retry_jitter)
+        self._retry_rng = retry_rng if retry_rng is not None else random.Random()
+        self.faults = fault_injector
 
     # -- plumbing ------------------------------------------------------------------
+
+    def _backoff_sleep(self, attempt: int) -> None:
+        ceiling = self.retry_backoff * (2 ** attempt)
+        if self.retry_jitter:
+            time.sleep(self._retry_rng.uniform(0.0, ceiling))
+        else:
+            time.sleep(ceiling)
 
     def _request(
         self,
@@ -64,6 +102,7 @@ class ServeClient:
         body: Optional[dict] = None,
         raw: bool = False,
         idempotent: bool = True,
+        deadline_ms: Optional[float] = None,
     ):
         """One HTTP exchange, transport-retried only when ``idempotent``.
 
@@ -72,19 +111,29 @@ class ServeClient:
         be re-sent — searches, reads, replica write-throughs carrying an
         explicit column ID, tombstone deletes. A non-idempotent request
         (an add that *allocates* an ID) fails straight to the caller.
+
+        ``deadline_ms`` attaches the remaining latency budget as the
+        ``X-Repro-Deadline-Ms`` header and caps the socket timeout to
+        it, so a call never outlives the budget it carries.
         """
         data = None
         headers = {}
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        timeout = self.timeout
+        if deadline_ms is not None:
+            headers[DEADLINE_HEADER] = f"{float(deadline_ms):.3f}"
+            timeout = min(timeout, max(float(deadline_ms) / 1000.0, 0.001))
         attempts = (self.retries + 1) if idempotent else 1
         for attempt in range(attempts):
             request = urllib.request.Request(
                 self.base_url + path, data=data, headers=headers, method=method
             )
             try:
-                with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                if self.faults is not None:
+                    self.faults.before_send(self.base_url, method, path)
+                with urllib.request.urlopen(request, timeout=timeout) as reply:
                     payload = reply.read()
                 break
             except urllib.error.HTTPError as exc:
@@ -93,11 +142,16 @@ class ServeClient:
                     detail = json.loads(detail).get("error", detail)
                 except json.JSONDecodeError:
                     pass
-                raise ServeError(exc.code, detail) from exc
+                retry_after = exc.headers.get("Retry-After") if exc.headers else None
+                try:
+                    retry_after = float(retry_after) if retry_after else None
+                except ValueError:
+                    retry_after = None
+                raise ServeError(exc.code, detail, retry_after=retry_after) from exc
             except (urllib.error.URLError, ConnectionError, TimeoutError):
                 if attempt == attempts - 1:
                     raise
-                time.sleep(self.retry_backoff * (2 ** attempt))
+                self._backoff_sleep(attempt)
         if raw:
             return payload.decode("utf-8")
         return json.loads(payload)
@@ -131,18 +185,21 @@ class ServeClient:
         tau_fraction: Optional[float] = None,
         joinability: float | int = 0.6,
         parts: Optional[Sequence[int]] = None,
+        deadline_ms: Optional[float] = None,
     ) -> dict[str, Any]:
         """Threshold search; returns the shared search payload.
 
         ``parts`` restricts a partitioned server to a partition subset
-        (the cluster coordinator's scatter routing).
+        (the cluster coordinator's scatter routing). ``deadline_ms``
+        sends the remaining latency budget; an expired budget is
+        answered 504 by the server before any work runs.
         """
         body = self._query_body(values, vectors)
         body.update(self._tau_body(tau, tau_fraction))
         body["joinability"] = joinability
         if parts is not None:
             body["parts"] = [int(p) for p in parts]
-        return self._request("POST", "/search", body)
+        return self._request("POST", "/search", body, deadline_ms=deadline_ms)
 
     def topk(
         self,
@@ -153,12 +210,13 @@ class ServeClient:
         k: int = 10,
         parts: Optional[Sequence[int]] = None,
         theta: int = 0,
+        deadline_ms: Optional[float] = None,
     ) -> dict[str, Any]:
         """Exact top-k; returns the shared topk payload.
 
         ``parts`` / ``theta`` are the cluster scatter parameters (answer
         these partitions only, pruning against an external k-th-best
-        floor).
+        floor). ``deadline_ms`` sends the remaining latency budget.
         """
         body = self._query_body(values, vectors)
         body.update(self._tau_body(tau, tau_fraction))
@@ -167,7 +225,7 @@ class ServeClient:
             body["parts"] = [int(p) for p in parts]
         if theta:
             body["theta"] = int(theta)
-        return self._request("POST", "/topk", body)
+        return self._request("POST", "/topk", body, deadline_ms=deadline_ms)
 
     def add_column(
         self,

@@ -1,0 +1,257 @@
+"""Deterministic fault injection for the serving and cluster transports.
+
+Chaos testing is only useful when a failure can be *scripted*: the same
+seed and schedule must produce the same latency spike, the same dropped
+connection, the same injected 500 — otherwise a tail-latency benchmark
+is noise and a failover test is flaky. :class:`FaultInjector` is that
+plane: a list of :class:`FaultRule` s, each matching requests by method
+/ path / target and selecting firings by deterministic ordinal
+predicates (``nth`` / ``first`` / ``every``) or by a *seeded* coin flip
+(``probability``), evaluated under one lock so the decision sequence is
+a pure function of the seed and the arrival order.
+
+Hook points (both optional, both default off):
+
+* **client transport** — :class:`~repro.serve.client.ServeClient`
+  accepts ``fault_injector=``; matching rules fire just before the HTTP
+  request is sent. ``delay`` sleeps, ``drop`` raises
+  ``ConnectionResetError`` (a transport failure the caller's retry /
+  failover machinery sees), ``blackhole`` sleeps then raises
+  ``TimeoutError`` — the coordinator->worker hop under test.
+* **server handling** — :class:`~repro.serve.server.ServeHTTPServer`
+  (and the cluster server) accept ``fault_injector=``; matching rules
+  fire before the request executes. ``delay`` makes this worker slow
+  (the hedged-read scenario), ``error`` answers an HTTP error without
+  touching the service, ``drop`` / ``blackhole`` kill the connection
+  without a reply.
+
+Every firing is appended to :attr:`FaultInjector.events`, so tests can
+assert exactly which faults a run consumed.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+#: fault kinds, in the order a rule's action is interpreted
+FAULT_KINDS = ("delay", "drop", "blackhole", "error")
+
+
+@dataclass
+class FaultRule:
+    """One scripted fault: a matcher plus an action.
+
+    Matching (all given fields must match; omitted fields match all):
+
+    * ``method`` — exact HTTP method (``"POST"``).
+    * ``path`` — substring of the request path (``"/search"``).
+    * ``target`` — substring of the target (client side: the base URL
+      the request goes to, so a worker's URL scopes a rule to that
+      worker; server side: the serving URL of the faulted server).
+
+    Selection, applied to this rule's own 0-based count of *matching*
+    requests (deterministic given arrival order):
+
+    * ``nth`` — fire on exactly these match ordinals;
+    * ``first`` — fire on the first N matches;
+    * ``every`` — fire when ``count % every == 0``;
+    * ``probability`` — fire on a seeded coin flip (the injector's RNG);
+    * none of the above — fire on every match.
+
+    ``times`` additionally caps the total number of firings (the rule
+    goes inert afterwards). Action parameters: ``delay`` (seconds slept
+    by ``delay`` / ``blackhole``), ``status`` (HTTP code sent by
+    ``error``).
+    """
+
+    kind: str
+    method: Optional[str] = None
+    path: Optional[str] = None
+    target: Optional[str] = None
+    nth: Optional[frozenset] = None
+    first: Optional[int] = None
+    every: Optional[int] = None
+    probability: Optional[float] = None
+    times: Optional[int] = None
+    delay: float = 0.0
+    status: int = 500
+    # bookkeeping (owned by the injector, under its lock)
+    matches: int = 0
+    fired: int = 0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} ({FAULT_KINDS})")
+        if self.nth is not None and not isinstance(self.nth, frozenset):
+            self.nth = frozenset(int(n) for n in self.nth)
+
+    def _matches_request(self, target: str, method: str, path: str) -> bool:
+        if self.method is not None and self.method != method:
+            return False
+        if self.path is not None and self.path not in path:
+            return False
+        if self.target is not None and self.target not in target:
+            return False
+        return True
+
+    def _selected(self, ordinal: int, rng: random.Random) -> bool:
+        if self.times is not None and self.fired >= self.times:
+            return False
+        if self.nth is not None:
+            return ordinal in self.nth
+        if self.first is not None:
+            return ordinal < self.first
+        if self.every is not None:
+            return ordinal % self.every == 0
+        if self.probability is not None:
+            return rng.random() < self.probability
+        return True
+
+
+@dataclass
+class FaultEvent:
+    """One fault firing, as recorded in :attr:`FaultInjector.events`."""
+
+    kind: str
+    target: str
+    method: str
+    path: str
+    delay: float = 0.0
+    status: int = 500
+    at: float = field(default_factory=time.monotonic)
+
+
+class InjectedDrop(ConnectionResetError):
+    """A scripted connection drop (client side)."""
+
+
+class InjectedBlackhole(TimeoutError):
+    """A scripted black-hole: the request never got an answer."""
+
+
+class FaultInjector:
+    """A seeded, scriptable fault plane shared by clients and servers.
+
+    Thread-safe: rule counters and the RNG are advanced under one lock,
+    so concurrent requests consume a single deterministic decision
+    stream. One injector instance is one fault domain — give each
+    worker (or each client) its own to scope a schedule to it, or share
+    one and scope rules with ``target=``.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self.rules: list[FaultRule] = []
+        self.events: list[FaultEvent] = []
+        self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
+
+    # -- scripting -----------------------------------------------------------------
+
+    def script(self, kind: str, **kwargs) -> FaultRule:
+        """Append one :class:`FaultRule`; returns it (for later removal)."""
+        rule = FaultRule(kind=kind, **kwargs)
+        with self._lock:
+            self.rules.append(rule)
+        return rule
+
+    def unscript(self, rule: FaultRule) -> None:
+        with self._lock:
+            if rule in self.rules:
+                self.rules.remove(rule)
+
+    def clear(self) -> None:
+        """Drop every rule (the event log and RNG state are kept)."""
+        with self._lock:
+            self.rules.clear()
+
+    def fired(self, kind: Optional[str] = None) -> int:
+        """How many faults have fired (optionally of one kind)."""
+        with self._lock:
+            return sum(
+                1 for e in self.events if kind is None or e.kind == kind
+            )
+
+    # -- interception --------------------------------------------------------------
+
+    def intercept(self, target: str, method: str, path: str) -> list[FaultEvent]:
+        """Match one request against the schedule; returns fired events.
+
+        Counting and coin flips happen here, under the lock; the caller
+        then *applies* the returned events (sleeps / raises / replies)
+        outside it, so a long injected delay never serializes other
+        requests through the injector.
+        """
+        fired: list[FaultEvent] = []
+        with self._lock:
+            for rule in self.rules:
+                if not rule._matches_request(target, method, path):
+                    continue
+                ordinal = rule.matches
+                rule.matches += 1
+                if not rule._selected(ordinal, self._rng):
+                    continue
+                rule.fired += 1
+                event = FaultEvent(
+                    kind=rule.kind, target=target, method=method, path=path,
+                    delay=rule.delay, status=rule.status,
+                )
+                self.events.append(event)
+                fired.append(event)
+        return fired
+
+    def before_send(self, target: str, method: str, path: str) -> None:
+        """Client-transport hook: sleep and/or raise per the schedule.
+
+        ``error`` rules are server-side (they need an HTTP reply channel)
+        and are treated as drops here.
+        """
+        for event in self.intercept(target, method, path):
+            if event.kind == "delay":
+                time.sleep(event.delay)
+            elif event.kind == "blackhole":
+                time.sleep(event.delay)
+                raise InjectedBlackhole(
+                    f"injected black-hole on {method} {path}"
+                )
+            else:  # drop / error
+                raise InjectedDrop(
+                    f"injected connection drop on {method} {path}"
+                )
+
+
+def apply_server_faults(handler) -> bool:
+    """Server-side hook: run the owning server's schedule for one request.
+
+    Called by the JSON handlers before dispatching; returns ``True``
+    when the request was consumed by a fault (an error was answered, or
+    the connection was dropped without a reply) and must not execute.
+    ``delay`` events sleep here — on the handler thread — which is what
+    makes a scripted slow worker indistinguishable from a real one to
+    the coordinator's latency tracker and hedging logic.
+    """
+    injector = getattr(handler.server, "fault_injector", None)
+    if injector is None:
+        return False
+    target = getattr(handler.server, "url", "")
+    for event in injector.intercept(target, handler.command, handler.path):
+        if event.kind == "delay":
+            time.sleep(event.delay)
+        elif event.kind == "error":
+            handler._discard_body()
+            handler._send_error_json("injected fault", event.status)
+            return True
+        else:  # drop / blackhole: no reply, dead socket
+            if event.kind == "blackhole":
+                time.sleep(event.delay)
+            handler.close_connection = True
+            try:
+                handler.connection.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            return True
+    return False

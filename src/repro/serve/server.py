@@ -38,8 +38,54 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
+from repro.serve.client import DEADLINE_HEADER
+from repro.serve.faults import apply_server_faults
 from repro.serve.schema import search_payload, stats_metrics_text, topk_payload
 from repro.serve.service import QueryService
+
+
+class AdmissionController:
+    """A bounded admission gate with load-shedding counters.
+
+    At most ``capacity`` requests execute concurrently; arrivals beyond
+    that are *shed* — answered ``429`` with a ``Retry-After`` hint —
+    instead of queueing behind a growing backlog until everything times
+    out. ``capacity=None`` admits everything (counters still work).
+    """
+
+    def __init__(self, capacity: Optional[int], retry_after: float = 0.5):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be at least 1 (or None)")
+        self.capacity = int(capacity) if capacity is not None else None
+        self.retry_after = float(retry_after)
+        self._lock = threading.Lock()
+        self.inflight = 0
+        self.admitted = 0
+        self.shed = 0
+
+    def try_acquire(self) -> bool:
+        with self._lock:
+            if self.capacity is not None and self.inflight >= self.capacity:
+                self.shed += 1
+                return False
+            self.inflight += 1
+            self.admitted += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            self.inflight -= 1
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "admission_capacity": float(
+                    self.capacity if self.capacity is not None else -1
+                ),
+                "admission_inflight": float(self.inflight),
+                "admission_admitted": float(self.admitted),
+                "admission_shed": float(self.shed),
+            }
 
 
 class GracefulHTTPServer(ThreadingHTTPServer):
@@ -56,12 +102,22 @@ class GracefulHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
+    # socketserver's default listen backlog is 5; a synchronized burst
+    # of clients overflows it and the kernel resets the excess
+    # connections before any handler runs — admission control must be
+    # the thing that sheds load, not the accept queue.
+    request_queue_size = 128
+
+    #: Retry-After (seconds) sent with the fast 503 during a drain.
+    drain_retry_after = 1.0
+
     def __init__(self, *args, **kwargs):
         self._inflight = 0
         self._inflight_cond = threading.Condition()
         self._served = False
         self._close_lock = threading.Lock()
         self._closed = False
+        self.draining = False
         super().__init__(*args, **kwargs)
 
     @property
@@ -104,13 +160,18 @@ class GracefulHTTPServer(ThreadingHTTPServer):
         thread already initiated the close): later calls wait for the
         first to finish, then return.
         """
+        # Flag first, outside the lock: requests that reach dispatch
+        # from here on get a fast 503 + Retry-After instead of
+        # executing against a closing service, which is what lets the
+        # drain below actually converge under load.
+        self.draining = True
         with self._close_lock:
             if self._closed:
                 return
-            # shutdown() blocks until serve_forever() exits its loop —
-            # only meaningful (and safe) when the loop was entered.
-            if self._served:
-                self.shutdown()
+            # Drain *before* stopping the accept loop: connections that
+            # arrive mid-drain still get accepted and answered with the
+            # fast 503 above, instead of rotting in the listen backlog
+            # until server_close() resets them.
             deadline = time.monotonic() + max(0.0, drain_seconds)
             with self._inflight_cond:
                 while self._inflight:
@@ -118,6 +179,10 @@ class GracefulHTTPServer(ThreadingHTTPServer):
                     if remaining <= 0:
                         break
                     self._inflight_cond.wait(timeout=remaining)
+            # shutdown() blocks until serve_forever() exits its loop —
+            # only meaningful (and safe) when the loop was entered.
+            if self._served:
+                self.shutdown()
             self.server_close()
             self._closed = True
 
@@ -156,6 +221,13 @@ class ServeHTTPServer(GracefulHTTPServer):
         preprocess: apply full-form preprocessing to ``"values"`` inputs
             (must match how the lake was indexed).
         quiet: suppress per-request access logging.
+        max_concurrent: admission-control capacity — at most this many
+            POST/DELETE requests execute at once; excess arrivals are
+            shed with ``429`` + ``Retry-After``. ``None`` = unlimited.
+        fault_injector: optional
+            :class:`~repro.serve.faults.FaultInjector` whose schedule
+            runs against incoming requests (scripted slow-worker
+            delays, injected errors, dropped connections).
     """
 
     def __init__(
@@ -166,6 +238,8 @@ class ServeHTTPServer(GracefulHTTPServer):
         columns: Optional[Sequence[dict]] = None,
         preprocess: bool = True,
         quiet: bool = True,
+        max_concurrent: Optional[int] = None,
+        fault_injector=None,
     ):
         self.service = service
         self.embedder = embedder
@@ -173,7 +247,22 @@ class ServeHTTPServer(GracefulHTTPServer):
         self._columns_lock = threading.Lock()
         self.preprocess = preprocess
         self.quiet = quiet
+        self.admission = AdmissionController(max_concurrent)
+        self.fault_injector = fault_injector
+        self._counter_lock = threading.Lock()
+        self.deadline_rejects = 0
         super().__init__(address, ServeHandler)
+
+    def count_deadline_reject(self) -> None:
+        with self._counter_lock:
+            self.deadline_rejects += 1
+
+    def resilience_metrics(self) -> dict[str, float]:
+        """Admission / deadline gauges for the ``/metrics`` exposition."""
+        metrics = self.admission.snapshot()
+        with self._counter_lock:
+            metrics["deadline_rejects"] = float(self.deadline_rejects)
+        return metrics
 
 
 class JsonRequestHandler(BaseHTTPRequestHandler):
@@ -208,8 +297,97 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, message: str, status: int) -> None:
-        self._send_json({"error": message}, status=status)
+    def _send_error_json(
+        self, message: str, status: int, retry_after: Optional[float] = None
+    ) -> None:
+        body = json.dumps({"error": message}).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{retry_after:g}")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _discard_body(self) -> None:
+        """Consume an unread request body before an early error reply.
+
+        Rejecting a POST before reading its body leaves the bytes queued
+        in the socket; closing the connection then makes the kernel send
+        RST, which can destroy the buffered error response before the
+        client reads it — a shed request must see its 429, not a
+        connection reset.
+        """
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            return
+        if length > 0:
+            try:
+                self.rfile.read(length)
+            except OSError:  # pragma: no cover - client already gone
+                pass
+
+    # -- resilience gate -----------------------------------------------------------
+
+    def _begin_request(self):
+        """Drain / fault / admission gate, run before a mutating verb.
+
+        Returns ``None`` when the request was consumed (a 503/429 or an
+        injected fault already answered, or the connection was dropped)
+        — the verb must return immediately. Otherwise returns a token
+        for :meth:`_end_request` (the admission slot to release, or
+        ``False`` when no slot was taken).
+        """
+        server = self.server
+        if getattr(server, "draining", False):
+            self._discard_body()
+            self._send_error_json(
+                "server is draining", 503,
+                retry_after=getattr(server, "drain_retry_after", 1.0),
+            )
+            return None
+        if apply_server_faults(self):
+            return None
+        admission = getattr(server, "admission", None)
+        if admission is None:
+            return False
+        if not admission.try_acquire():
+            self._discard_body()
+            self._send_error_json(
+                "server over capacity; request shed", 429,
+                retry_after=admission.retry_after,
+            )
+            return None
+        return admission
+
+    @staticmethod
+    def _end_request(token) -> None:
+        if token:
+            token.release()
+
+    def _deadline_expired(self) -> bool:
+        """Reject work whose propagated budget is already spent.
+
+        Reads the ``X-Repro-Deadline-Ms`` header (remaining budget in
+        milliseconds at send time); a non-positive value means the
+        caller's deadline passed and the answer could never be used, so
+        the server refuses with 504 before touching the index.
+        """
+        raw = self.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return False
+        try:
+            remaining_ms = float(raw)
+        except ValueError:
+            return False
+        if remaining_ms > 0:
+            return False
+        counter = getattr(self.server, "count_deadline_reject", None)
+        if counter is not None:
+            counter()
+        self._send_error_json("deadline expired", 504)
+        return True
 
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -300,6 +478,7 @@ class ServeHandler(JsonRequestHandler):
                         shard_lru_hits=lru["lru_hits"],
                         shard_lru_misses=lru["lru_misses"],
                     )
+                extra.update(self.server.resilience_metrics())
                 self._send_text(stats_metrics_text(stats, extra))
             else:
                 self._send_error_json(f"unknown path {self.path}", 404)
@@ -307,12 +486,17 @@ class ServeHandler(JsonRequestHandler):
             self._send_error_json(str(exc), 500)
 
     def do_POST(self) -> None:  # noqa: N802
+        token = self._begin_request()
+        if token is None:
+            return
         try:
             body = self._read_body()
             if self.path == "/search":
-                self._handle_search(body)
+                if not self._deadline_expired():
+                    self._handle_search(body)
             elif self.path == "/topk":
-                self._handle_topk(body)
+                if not self._deadline_expired():
+                    self._handle_topk(body)
             elif self.path == "/columns":
                 self._handle_add_column(body)
             else:
@@ -321,8 +505,19 @@ class ServeHandler(JsonRequestHandler):
             self._send_error_json(str(exc), 400)
         except Exception as exc:  # pragma: no cover - defensive
             self._send_error_json(str(exc), 500)
+        finally:
+            self._end_request(token)
 
     def do_DELETE(self) -> None:  # noqa: N802
+        token = self._begin_request()
+        if token is None:
+            return
+        try:
+            self._do_delete_body()
+        finally:
+            self._end_request(token)
+
+    def _do_delete_body(self) -> None:
         try:
             parts = self.path.strip("/").split("/")
             if len(parts) == 2 and parts[0] == "columns":
@@ -414,6 +609,8 @@ def make_server(
     columns: Optional[Sequence[dict]] = None,
     preprocess: Optional[bool] = None,
     quiet: bool = True,
+    max_concurrent: Optional[int] = None,
+    fault_injector=None,
     **service_kwargs: Any,
 ) -> ServeHTTPServer:
     """Build a ready-to-run server from a service or a saved index directory.
@@ -456,4 +653,6 @@ def make_server(
         columns=columns,
         preprocess=True if preprocess is None else bool(preprocess),
         quiet=quiet,
+        max_concurrent=max_concurrent,
+        fault_injector=fault_injector,
     )

@@ -235,6 +235,158 @@ def test_cluster_matches_oracle(seed, tmp_path):
 
 
 @pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_cluster_matches_oracle(seed, tmp_path):
+    """The chaos lane: the cluster stays *exact* under scripted faults.
+
+    Each seed replays its scenario through a replicated 2-worker cluster
+    while a deterministic fault schedule abuses both hops: worker 0's
+    server randomly delays, drops and 500s search traffic, and the
+    coordinator->worker transport randomly drops and black-holes calls.
+    A request is allowed to *fail* (HTTP 5xx at the front door — faults
+    are faults), but every answer that arrives must be bit-identical to
+    the exhaustive oracle: hedged duplicates, replica failover, retries
+    and half-open re-promotion may change *which* worker answers, never
+    *what* it answers. Fault rules are scoped to ``/search`` / ``/topk``
+    only, so the mutation write-through and recovery replay stay clean.
+    """
+    from repro.cluster import LocalCluster
+    from repro.cluster.resilience import ResilienceConfig
+    from repro.core.persistence import save_partitioned
+    from repro.serve.client import ServeError
+    from repro.serve.faults import FaultInjector
+
+    columns, queries, metric, tau, joinability, n_partitions = make_scenario(seed)
+    lake = PartitionedPexeso(
+        metric=metric, n_pivots=2, levels=3, n_partitions=n_partitions,
+    ).fit(columns)
+    lake_dir = tmp_path / "lake"
+    save_partitioned(lake, lake_dir)
+
+    worker_faults = FaultInjector(seed=seed)
+    worker_faults.script("delay", path="/search", probability=0.25, delay=0.03)
+    worker_faults.script("error", path="/search", probability=0.15, status=500)
+    worker_faults.script("drop", path="/topk", probability=0.2)
+    coord_faults = FaultInjector(seed=seed + 100)
+    coord_faults.script("drop", path="/search", probability=0.15)
+    coord_faults.script("blackhole", path="/topk", probability=0.1, delay=0.02)
+
+    allowed_failures = {500, 502, 503, 504}
+
+    def chaos_search(client, repository, live_ids):
+        answered = 0
+        for round_ in range(3):
+            for qi, query in enumerate(queries):
+                want = naive_search(
+                    repository, query, tau, joinability, metric=metric
+                )
+                want_rows = [
+                    (cid, count, jn) for cid, count, jn in hit_rows(want)
+                    if cid in live_ids
+                ]
+                deadline_ms = 30_000.0 if (round_ + qi) % 2 else None
+                try:
+                    reply = client.search(
+                        vectors=query, tau=tau, joinability=joinability,
+                        deadline_ms=deadline_ms,
+                    )
+                except ServeError as exc:
+                    assert exc.status in allowed_failures, (
+                        f"unexpected status {exc.status} (seed {seed})"
+                    )
+                    continue
+                answered += 1
+                got = [
+                    (h["column_id"], h["match_count"], h["joinability"])
+                    for h in reply["hits"]
+                ]
+                assert got == want_rows, (
+                    f"chaos answer != naive (seed {seed})"
+                )
+        return answered
+
+    def chaos_topk(client, repository, live_ids):
+        query = queries[0]
+        ranked = [
+            row for row in
+            naive_topk(repository, query, tau, len(repository), metric=metric)
+            if row[0] in live_ids
+        ]
+        for k in (1, 3):
+            try:
+                reply = client.topk(vectors=query, tau=tau, k=k)
+            except ServeError as exc:
+                assert exc.status in allowed_failures
+                continue
+            got = [(h["column_id"], h["match_count"]) for h in reply["hits"]]
+            assert got == [(c, n) for c, n, _ in ranked[:k]], (
+                f"chaos top-{k} != naive (seed {seed})"
+            )
+
+    with LocalCluster(
+        lake_dir, n_workers=2, replication=2, mode="thread",
+        worker_kwargs=dict(exact_counts=True, window_ms=None, cache_size=0),
+        worker_fault_injectors=[worker_faults, None],
+        coordinator_kwargs=dict(
+            retries=1,
+            fault_injector=coord_faults,
+            resilience=ResilienceConfig(
+                hedge_default_delay=0.02, breaker_cooldown=0.05
+            ),
+        ),
+    ) as cluster:
+        client = cluster.client
+        live_ids = set(range(len(columns)))
+        chaos_search(client, columns, live_ids)
+        chaos_topk(client, columns, live_ids)
+
+        # routed mutations run clean (fault rules don't match /columns);
+        # replicas demoted by chaos catch up through the mutation log.
+        # Probe first: chaos may have demoted *both* replicas of some
+        # partition, and a write needs at least one live owner.
+        client.health_check()
+        rng = np.random.default_rng(2000 + seed)
+        new_column = normalize_rows(
+            rng.normal(size=(int(rng.integers(2, 10)), queries[0].shape[1]))
+        )
+        added = client.add_column(vectors=new_column)
+        victim = int(rng.integers(0, len(columns)))
+        client.delete_column(victim)
+        repository = columns + [new_column]
+        live_ids = (live_ids | {added["column_id"]}) - {victim}
+
+        chaos_search(client, repository, live_ids)
+        chaos_topk(client, repository, live_ids)
+        # the schedule actually exercised the cluster
+        assert any(rule.matches for rule in worker_faults.rules)
+        assert any(rule.matches for rule in coord_faults.rules)
+
+        # -- recovery: faults off, probe, then strict full parity -------------
+        worker_faults.clear()
+        coord_faults.clear()
+        probed = client.health_check()
+        assert probed["serviceable"] is True
+        assert probed["workers"] == ["up", "up"], (
+            f"chaos demotions must heal once faults stop (seed {seed})"
+        )
+        for query in queries:
+            want = naive_search(
+                repository, query, tau, joinability, metric=metric
+            )
+            want_rows = [
+                (cid, count, jn) for cid, count, jn in hit_rows(want)
+                if cid in live_ids
+            ]
+            reply = client.search(
+                vectors=query, tau=tau, joinability=joinability
+            )
+            got = [
+                (h["column_id"], h["match_count"], h["joinability"])
+                for h in reply["hits"]
+            ]
+            assert got == want_rows, f"post-chaos search != naive (seed {seed})"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
 def test_persistence_formats_and_backends_agree(seed, tmp_path):
     """The storage/kernel lane: every on-disk format and kernel backend
     replays the same seeds bit-identically.
