@@ -140,6 +140,17 @@ def deep_like(seed: int = 3, scale: float = 1.0) -> BenchDataset:
     )
 
 
+def make_query_batch(dataset, n_queries: int, query_rows: int = 20):
+    """Embed ``n_queries`` generated query tables over the dataset's domains."""
+    queries = []
+    for i in range(n_queries):
+        table, _ = dataset.gen.generate_query_table(
+            n_rows=query_rows, domain=i % 5, name=f"batch_query_{i}"
+        )
+        queries.append(dataset.gen.embedder.embed_column(table.column("key").values))
+    return queries
+
+
 def timed(fn: Callable[[], object], repeats: int = 1) -> tuple[float, object]:
     """Run ``fn`` ``repeats`` times; return (mean seconds, last result)."""
     took = []

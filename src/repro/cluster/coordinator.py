@@ -692,6 +692,7 @@ class ClusterCoordinator:
         tau: float,
         joinability: float | int,
         deadline: Optional[Deadline] = None,
+        ef_search: Optional[int] = None,
     ) -> tuple[Any, list[int]]:
         """Scatter one threshold search; returns ``(merged result, generations)``.
 
@@ -706,6 +707,13 @@ class ClusterCoordinator:
         remaining time is re-measured and propagated to every worker
         call, and :class:`DeadlineExceeded` is raised (and counted) the
         moment the budget cannot be met.
+
+        ``ef_search`` opts every worker into the ANN candidate tier at
+        that beam width (``None`` = exact). The knob is scattered
+        unchanged; the gather-side merge stays exact over whatever
+        candidates the workers verified, and because graph construction
+        is deterministic, replicas of the same partition nominate the
+        same candidates — hedged reads stay bit-identical.
         """
         with self._stats_lock:
             self._requests_served += 1
@@ -715,7 +723,7 @@ class ClusterCoordinator:
         def call(client: ServeClient, parts, deadline_ms):
             return client.search(
                 vectors=vectors, tau=tau, joinability=joinability, parts=parts,
-                deadline_ms=deadline_ms,
+                ef_search=ef_search, deadline_ms=deadline_ms,
             )
 
         try:

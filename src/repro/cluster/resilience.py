@@ -28,6 +28,7 @@ of the differential oracle without any approximation budget.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
@@ -91,12 +92,18 @@ class LatencyTracker:
             self.count += 1
 
     def quantile(self, q: float = 0.95) -> float:
-        """The q-quantile of the current window (nearest-rank)."""
+        """The q-quantile of the current window (nearest-rank).
+
+        Nearest-rank picks the ``ceil(q * n)``-th smallest sample
+        (1-based); ``int(q * n)`` would be off by one whenever ``q * n``
+        lands on an integer — e.g. p95 of 20 samples must be the 19th
+        smallest, not the 20th (the max).
+        """
         with self._lock:
             if not self._samples:
                 return self.default
             ranked = sorted(self._samples)
-        rank = min(len(ranked) - 1, max(0, int(q * len(ranked))))
+        rank = min(len(ranked) - 1, max(0, math.ceil(q * len(ranked)) - 1))
         return ranked[rank]
 
 

@@ -266,14 +266,17 @@ class ClusterHandler(JsonRequestHandler):
         query = self._query_vectors(body)
         tau = self._resolve_tau(body, query)
         joinability = body.get("joinability", 0.6)
+        ef_search = self._parse_ef_search(body)
         result, generations = self.server.coordinator.search(
-            query, tau, joinability, deadline=self._request_deadline(body)
+            query, tau, joinability, deadline=self._request_deadline(body),
+            ef_search=ef_search,
         )
         self._send_json(
             search_payload(
                 result,
                 columns=self.server.coordinator.columns,
                 generation=generations,
+                ef_search=ef_search,
             )
         )
 

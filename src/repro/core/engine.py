@@ -138,6 +138,7 @@ class BatchSearch:
         queries: Sequence[np.ndarray],
         tau: Union[float, Sequence[float]],
         joinability: Union[float, int, Sequence[Union[float, int]]],
+        allowed_columns: Optional[Sequence[Optional[np.ndarray]]] = None,
     ) -> BatchResult:
         """Search every query column and return per-query results.
 
@@ -148,6 +149,10 @@ class BatchSearch:
                 query (queries sharing a τ share one blocking pass).
             joinability: T as a fraction of |Q_i| in ``(0, 1]`` or an
                 absolute count; scalar or one per query.
+            allowed_columns: optional per-query ANN candidate
+                restriction (see :mod:`repro.core.ann`): one array of
+                allowed column IDs per query, or ``None`` entries /
+                ``None`` overall for unrestricted exact search.
 
         Returns:
             A :class:`BatchResult`; ``results`` aligns with ``queries``.
@@ -163,6 +168,8 @@ class BatchSearch:
         arrays = [self._validated(q, position) for position, q in enumerate(queries)]
         taus = self._per_query(tau, n, "tau")
         joins = self._per_query(joinability, n, "joinability")
+        if allowed_columns is not None and len(allowed_columns) != n:
+            raise ValueError("allowed_columns must have one entry per query")
         for t in taus:
             if t < 0:
                 raise ValueError("tau must be non-negative")
@@ -187,14 +194,16 @@ class BatchSearch:
         results: list[Optional[SearchResult]] = [None] * n
         if len(group_items) == 1 or self.max_workers == 1:
             outputs = [
-                self._search_group(arrays, indices, t, joins)
+                self._search_group(arrays, indices, t, joins, allowed_columns)
                 for t, indices in group_items
             ]
         else:
             with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
                 outputs = list(
                     pool.map(
-                        lambda item: self._search_group(arrays, item[1], item[0], joins),
+                        lambda item: self._search_group(
+                            arrays, item[1], item[0], joins, allowed_columns
+                        ),
                         group_items,
                     )
                 )
@@ -240,6 +249,7 @@ class BatchSearch:
         indices: list[int],
         tau: float,
         joins: list,
+        allowed_columns: Optional[Sequence[Optional[np.ndarray]]] = None,
     ) -> tuple[list[SearchResult], SearchStats]:
         """One shared pivot-map + HG_Q + blocking pass + batched verify."""
         index = self.index
@@ -298,6 +308,11 @@ class BatchSearch:
             early_accept=flags.early_accept,
             exact_counts=self.exact_counts,
             row_block_size=self.row_block_size,
+            allowed_columns=(
+                [allowed_columns[i] for i in indices]
+                if allowed_columns is not None
+                else None
+            ),
         )
 
         results = []

@@ -74,6 +74,12 @@ class PexesoIndex:
         self.column_rows: dict[int, np.ndarray] = {}
         self._next_column_id = 0
         self._n_rows = 0
+        # Opt-in ANN candidate tier (repro.core.ann): a column graph, or
+        # None. `_ann_invalidated` separates "never built" (a lazy build
+        # is allowed) from "dropped by a mutation" (fall back to exact
+        # until build_ann_graph() is called again).
+        self.ann_graph = None
+        self._ann_invalidated = False
 
     # -- construction ------------------------------------------------------------
 
@@ -163,6 +169,8 @@ class PexesoIndex:
         }
         self._next_column_id = len(arrays)
         self._n_rows = int(bounds[-1])
+        self.ann_graph = None
+        self._ann_invalidated = False
         self.stats.n_vectors = self._n_rows
         self.stats.n_columns = len(self.column_rows)
         self.stats.n_leaf_cells = self.inverted.n_cells
@@ -198,6 +206,7 @@ class PexesoIndex:
         self._mapped_blocks.append(mapped)
         self._vectors = None
         self._mapped = None
+        self._drop_ann_graph()
         self.column_rows[column_id] = np.arange(
             first_row, first_row + vectors.shape[0], dtype=np.intp
         )
@@ -219,9 +228,41 @@ class PexesoIndex:
             raise KeyError(f"unknown column id {column_id}")
         self.inverted.delete_column(column_id)
         del self.column_rows[column_id]
+        self._drop_ann_graph()
         self.stats.n_columns = len(self.column_rows)
         self.stats.n_leaf_cells = self.inverted.n_cells
         self.stats.n_postings = self.inverted.n_postings
+
+    # -- approximate candidate tier ----------------------------------------------
+
+    def _drop_ann_graph(self) -> None:
+        """Mutations drop the column graph so stale nominations never surface.
+
+        ANN-knobbed requests then run the exact pipeline (recall 1.0)
+        until :meth:`build_ann_graph` is called again.
+        """
+        self.ann_graph = None
+        self._ann_invalidated = True
+
+    def build_ann_graph(self, m: Optional[int] = None):
+        """(Re)build the opt-in ANN column graph (see :mod:`repro.core.ann`)."""
+        from repro.core.ann import DEFAULT_GRAPH_DEGREE, ColumnGraph
+
+        self.ann_graph = ColumnGraph.build(
+            self, m=m if m is not None else DEFAULT_GRAPH_DEGREE
+        )
+        self._ann_invalidated = False
+        return self.ann_graph
+
+    def ensure_ann_graph(self):
+        """The column graph, building it lazily on first ANN use.
+
+        Returns ``None`` when the index was mutated since the last build
+        — the documented exact fallback — or holds no columns.
+        """
+        if self.ann_graph is None and not self._ann_invalidated and self.column_rows:
+            self.build_ann_graph()
+        return self.ann_graph
 
     # -- vector stores -----------------------------------------------------------
 

@@ -46,6 +46,7 @@ from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.ann import candidate_lists
 from repro.core.engine import BatchResult, BatchSearch, merge_shard_batches
 from repro.core.index import PexesoIndex
 from repro.core.metric import Metric, metric_round_trips
@@ -478,6 +479,7 @@ class PartitionedPexeso:
         exact_counts: bool = False,
         max_workers: Optional[int] = None,
         parts: Optional[Sequence[int]] = None,
+        ef_search: Optional[int] = None,
     ) -> BatchResult:
         """Answer many query columns over every shard in one pass.
 
@@ -503,6 +505,10 @@ class PartitionedPexeso:
                 the constructor's ``max_workers``.
             parts: restrict this call to a subset of the (hosted)
                 partitions; ``None`` searches them all.
+            ef_search: opt-in ANN candidate beam width (see
+                :mod:`repro.core.ann`); each shard nominates candidates
+                from its own column graph and verifies them exactly.
+                ``None`` (default) runs the exact pipeline.
 
         Returns:
             A :class:`~repro.core.engine.BatchResult` aligned with
@@ -519,7 +525,10 @@ class PartitionedPexeso:
         def run_shard(part: int) -> BatchResult:
             index, load_seconds = self._get_index(part)
             engine = BatchSearch(index, flags=flags, exact_counts=exact_counts)
-            batch = engine.search_many(queries, tau, joinability)
+            batch = engine.search_many(
+                queries, tau, joinability,
+                allowed_columns=candidate_lists(index, queries, ef_search),
+            )
             batch.stats.shard_load_seconds += load_seconds
             return batch
 
@@ -541,6 +550,7 @@ class PartitionedPexeso:
         exact_counts: bool = False,
         max_workers: Optional[int] = None,
         parts: Optional[Sequence[int]] = None,
+        ef_search: Optional[int] = None,
     ) -> SearchResult:
         """Single-query convenience wrapper around :meth:`search_many`.
 
@@ -555,6 +565,7 @@ class PartitionedPexeso:
             exact_counts=exact_counts,
             max_workers=max_workers,
             parts=parts,
+            ef_search=ef_search,
         )
         result = batch.results[0]
         return SearchResult(
@@ -999,20 +1010,31 @@ class LakeSearcher:
         exact_counts: bool = False,
         max_workers: Optional[int] = None,
         parts: Optional[Sequence[int]] = None,
+        ef_search: Optional[int] = None,
     ) -> SearchResult:
-        """Threshold search for one query column (global column IDs)."""
+        """Threshold search for one query column (global column IDs).
+
+        ``ef_search`` opts into the ANN candidate tier (see
+        :mod:`repro.core.ann`): candidates nominated by the column graph
+        still pass the exact verifier, so every hit is a true hit —
+        only recall is approximate. ``None`` (default) stays exact.
+        """
         flags = flags if flags is not None else self.flags
         workers = max_workers if max_workers is not None else self.max_workers
         if isinstance(self.backend, PexesoIndex):
             self._reject_parts(parts)
+            allowed = candidate_lists(self.backend, [query_vectors], ef_search)
             return pexeso_search(
                 self.backend, query_vectors, tau, joinability,
                 flags=flags, exact_counts=exact_counts,
+                allowed_columns=(
+                    frozenset(allowed[0].tolist()) if allowed is not None else None
+                ),
             )
         return self.backend.search(
             query_vectors, tau, joinability,
             flags=flags, exact_counts=exact_counts, max_workers=workers,
-            parts=parts,
+            parts=parts, ef_search=ef_search,
         )
 
     def search_many(
@@ -1024,8 +1046,13 @@ class LakeSearcher:
         exact_counts: bool = False,
         max_workers: Optional[int] = None,
         parts: Optional[Sequence[int]] = None,
+        ef_search: Optional[int] = None,
     ) -> BatchResult:
-        """Batch threshold search (global column IDs)."""
+        """Batch threshold search (global column IDs).
+
+        ``ef_search`` applies the ANN candidate tier to every query in
+        the batch (``None`` = exact; see :meth:`search`).
+        """
         flags = flags if flags is not None else self.flags
         workers = max_workers if max_workers is not None else self.max_workers
         if isinstance(self.backend, PexesoIndex):
@@ -1035,11 +1062,14 @@ class LakeSearcher:
                 max_workers=workers,
                 record_batch_sizes=self.record_batch_sizes,
             )
-            return engine.search_many(queries, tau, joinability)
+            return engine.search_many(
+                queries, tau, joinability,
+                allowed_columns=candidate_lists(self.backend, queries, ef_search),
+            )
         batch = self.backend.search_many(
             queries, tau, joinability,
             flags=flags, exact_counts=exact_counts, max_workers=workers,
-            parts=parts,
+            parts=parts, ef_search=ef_search,
         )
         if self.record_batch_sizes and len(queries):
             batch.stats.coalesced_batch_sizes.append(len(queries))

@@ -91,6 +91,17 @@ _V3_ARRAYS = (
     ("column_counts", np.int64),
 )
 
+#: optional v3 arrays persisting the ANN column graph (repro.core.ann).
+#: Written only when the index carries a graph and declared by an "ann"
+#: manifest field, so pre-ANN v3 directories keep loading unchanged.
+_V3_ANN_ARRAYS = (
+    ("ann_node_columns", np.int64),
+    ("ann_centroids", np.float64),
+    ("ann_box_min", np.float64),
+    ("ann_box_max", np.float64),
+    ("ann_neighbors", np.int64),
+)
+
 
 def _index_payload(index: PexesoIndex) -> tuple[dict[str, np.ndarray], dict]:
     """The arrays + manifest fields shared by every save format."""
@@ -211,6 +222,21 @@ def save_index(
         atomic_write_array(
             epoch_path / f"{name}.npy", arrays[name].astype(dtype, copy=False)
         )
+    graph = getattr(index, "ann_graph", None)
+    if graph is not None:
+        ann_arrays = {
+            "ann_node_columns": graph.node_columns,
+            "ann_centroids": graph.centroids,
+            "ann_box_min": graph.box_min,
+            "ann_box_max": graph.box_max,
+            "ann_neighbors": graph.neighbors,
+        }
+        for name, dtype in _V3_ANN_ARRAYS:
+            atomic_write_array(
+                epoch_path / f"{name}.npy",
+                ann_arrays[name].astype(dtype, copy=False),
+            )
+        manifest["ann"] = {"entry": int(graph.entry)}
     manifest["arrays_dir"] = arrays_dir
     atomic_write_text(manifest_path, json.dumps(manifest, indent=2))
     _sweep_stale_epochs(directory, keep=arrays_dir)
@@ -249,10 +275,16 @@ def _load_v3_arrays(
             f"v3 index manifest names missing arrays dir {arrays_dir}"
         )
     mode = "r" if mmap else None
-    return {
+    arrays = {
         name: _np_load(arrays_dir / f"{name}.npy", mode)
         for name, _ in _V3_ARRAYS
     }
+    # The ANN column graph rides along only when the manifest declares it
+    # (same epoch directory, so the crash-atomicity story is unchanged).
+    if manifest.get("ann"):
+        for name, _ in _V3_ANN_ARRAYS:
+            arrays[name] = _np_load(arrays_dir / f"{name}.npy", mode)
+    return arrays
 
 
 def load_index(directory: str | Path, mmap: bool = True) -> PexesoIndex:
@@ -351,6 +383,18 @@ def load_index(directory: str | Path, mmap: bool = True) -> PexesoIndex:
     index.stats.n_columns = len(index.column_rows)
     index.stats.n_leaf_cells = inverted.n_cells
     index.stats.n_postings = inverted.n_postings
+    ann_meta = manifest.get("ann")
+    if ann_meta and "ann_node_columns" in arrays:
+        from repro.core.ann import ColumnGraph
+
+        index.ann_graph = ColumnGraph(
+            arrays["ann_node_columns"],
+            arrays["ann_centroids"],
+            arrays["ann_box_min"],
+            arrays["ann_box_max"],
+            arrays["ann_neighbors"],
+            int(ann_meta["entry"]),
+        )
     return index
 
 

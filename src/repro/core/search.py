@@ -98,6 +98,7 @@ def pexeso_search(
     flags: Optional[AblationFlags] = None,
     exact_counts: bool = False,
     stats: Optional[SearchStats] = None,
+    allowed_columns: Optional[frozenset] = None,
 ) -> SearchResult:
     """Find every indexed column joinable to the query column (Alg. 3).
 
@@ -114,6 +115,10 @@ def pexeso_search(
         exact_counts: disable early termination so reported match counts
             are exact (slower; used by tests and the effectiveness study).
         stats: optional counter object to accumulate into.
+        allowed_columns: optional ANN candidate restriction (see
+            :mod:`repro.core.ann`) — only these columns are verified and
+            eligible as hits; their results are bit-identical to the
+            unrestricted search.
 
     Returns:
         A :class:`SearchResult` with hits sorted by column ID.
@@ -175,6 +180,7 @@ def pexeso_search(
         use_lemma7=flags.lemma7,
         early_accept=flags.early_accept,
         exact_counts=exact_counts,
+        allowed_columns=allowed_columns,
     )
 
     n_q = query_vectors.shape[0]

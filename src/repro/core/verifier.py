@@ -78,6 +78,7 @@ def verify(
     use_lemma7: bool = True,
     early_accept: bool = True,
     exact_counts: bool = False,
+    allowed_columns: Optional[frozenset] = None,
 ) -> VerifyResult:
     """Run Algorithm 2 over the blocking output.
 
@@ -96,6 +97,12 @@ def verify(
         exact_counts: disable both early-termination rules so the returned
             match counts are exact joinability numerators (used by tests
             and by callers that need exact ``jn`` values).
+        allowed_columns: optional ANN candidate restriction — columns
+            outside the set are dropped before any bookkeeping, as if the
+            blocking output never mentioned them. Verification of the
+            allowed columns is untouched (per-column state is
+            independent), so restricted results are bit-identical to the
+            unrestricted run filtered to the allowed set.
     """
     stats = stats if stats is not None else SearchStats()
     started = time.perf_counter()
@@ -121,6 +128,8 @@ def verify(
         match_cells = block_result.match_pairs.get(q)
         if match_cells:
             for col in inverted_index.columns_in_cells(match_cells):
+                if allowed_columns is not None and col not in allowed_columns:
+                    continue
                 if col in matched_cols:
                     continue
                 matched_cols.add(col)
@@ -146,6 +155,8 @@ def verify(
         active_cols: list[int] = []
         row_blocks: list[list[int]] = []
         for col, rows in inverted_index.columns_in_cells(cand_cells).items():
+            if allowed_columns is not None and col not in allowed_columns:
+                continue
             if col in matched_cols:
                 continue
             if col in dead:
@@ -231,6 +242,7 @@ def verify_row_blocks(
     early_accept: bool = True,
     exact_counts: bool = False,
     row_block_size: int = 64,
+    allowed_columns: Optional[Sequence[Optional[np.ndarray]]] = None,
 ) -> list[VerifyResult]:
     """Vectorised Algorithm 2 over the stacked rows of a *batch* of queries.
 
@@ -276,6 +288,13 @@ def verify_row_blocks(
         per_query_stats: optional per-query counter objects (parallel to
             ``query_sizes``); each receives only its query's share.
         row_block_size: rows per processing block.
+        allowed_columns: optional per-query ANN candidate restriction —
+            one array of allowed column IDs per query (or ``None`` for
+            "all columns" on that query). A query's episodes touching a
+            column outside its set are dropped before skip accounting,
+            evaluation and state updates, exactly as if blocking had
+            never surfaced them; allowed columns verify bit-identically
+            to the unrestricted run.
 
     Returns:
         One :class:`VerifyResult` per query, in query order.
@@ -337,6 +356,19 @@ def verify_row_blocks(
     for key, (cols, flat, lens) in resolve_cache.items():
         resolve_cache[key] = (np.searchsorted(touched, cols), flat, lens)
     resolve = resolve_cache.__getitem__
+
+    # Per-(query, touched column) admission mask for the ANN candidate
+    # restriction; None means every episode is admitted.
+    allowed_flat: Optional[np.ndarray] = None
+    if allowed_columns is not None:
+        if len(allowed_columns) != n_queries:
+            raise ValueError("allowed_columns must have one entry per query")
+        allowed_flat = np.ones(n_queries * max(1, int(touched.size)), dtype=bool)
+        for q_idx, allowed in enumerate(allowed_columns):
+            if allowed is None:
+                continue
+            mask = np.isin(touched, np.asarray(allowed, dtype=np.int64))
+            allowed_flat[q_idx * touched.size : (q_idx + 1) * touched.size] = mask
 
     C = max(1, int(touched.size))
     counts = np.zeros(n_queries * C, dtype=np.int64)
@@ -405,6 +437,11 @@ def verify_row_blocks(
             combo = key_a * n_rows_total + qrow_a
             dup = np.isin(combo[cand_idx], combo[kind_a])
             removed[cand_idx[dup]] = True
+        # Episodes outside a query's ANN candidate set are dropped before
+        # skip accounting and evaluation — the sequential path never saw
+        # them either, so no counter or state may move.
+        if allowed_flat is not None:
+            removed |= ~allowed_flat[key_a]
 
         # -- block-start skips: columns already dead (Lemma 7) or already
         # accepted are exactly what the sequential loop would skip.

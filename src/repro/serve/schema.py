@@ -55,8 +55,14 @@ def search_payload(
     columns: Optional[Sequence[dict]] = None,
     generation: Optional[Generation] = None,
     cached: Optional[bool] = None,
+    ef_search: Optional[int] = None,
 ) -> dict[str, Any]:
-    """The shared ``/search`` response for one threshold-search result."""
+    """The shared ``/search`` response for one threshold-search result.
+
+    ``ef_search`` echoes the request's ANN beam-width knob when the
+    approximate candidate tier was engaged, so callers can tell an exact
+    answer from an exact-given-recalled-candidates one.
+    """
     payload: dict[str, Any] = {
         "tau": float(result.tau),
         "t_count": int(result.t_count),
@@ -76,6 +82,8 @@ def search_payload(
         payload["generation"] = _generation_value(generation)
     if cached is not None:
         payload["cached"] = bool(cached)
+    if ef_search is not None:
+        payload["ef_search"] = int(ef_search)
     return payload
 
 

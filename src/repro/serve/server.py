@@ -38,6 +38,7 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
+from repro.core.ann import normalized_ef_search
 from repro.serve.client import DEADLINE_HEADER
 from repro.serve.faults import apply_server_faults
 from repro.serve.schema import search_payload, stats_metrics_text, topk_payload
@@ -434,6 +435,16 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
             raise ValueError('"parts" must be a JSON array of partition ids')
         return [int(p) for p in parts]
 
+    @staticmethod
+    def _parse_ef_search(body: dict) -> Optional[int]:
+        """The optional ANN beam-width knob (``None`` = exact, the default)."""
+        ef_search = body.get("ef_search")
+        if ef_search is None:
+            return None
+        if isinstance(ef_search, bool) or not isinstance(ef_search, int):
+            raise ValueError('"ef_search" must be a positive JSON integer')
+        return normalized_ef_search(ef_search)
+
 
 class ServeHandler(JsonRequestHandler):
     """Request handler translating HTTP to service calls."""
@@ -544,8 +555,10 @@ class ServeHandler(JsonRequestHandler):
         query = self._query_vectors(body)
         tau = self._resolve_tau(body, query)
         joinability = body.get("joinability", 0.6)
+        ef_search = self._parse_ef_search(body)
         response = self.server.service.search(
-            query, tau, joinability, parts=self._parse_parts(body)
+            query, tau, joinability, parts=self._parse_parts(body),
+            ef_search=ef_search,
         )
         self._send_json(
             search_payload(
@@ -553,6 +566,7 @@ class ServeHandler(JsonRequestHandler):
                 columns=self.server.columns,
                 generation=response.generation,
                 cached=response.cached,
+                ef_search=ef_search,
             )
         )
 

@@ -34,6 +34,7 @@ from typing import Any, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.ann import normalized_ef_search
 from repro.core.index import PexesoIndex
 from repro.core.out_of_core import LakeSearcher, PartitionedPexeso
 from repro.core.search import AblationFlags, SearchResult
@@ -237,7 +238,16 @@ class QueryService:
     ) -> Optional[tuple[int, ...]]:
         if parts is None:
             return None
-        return tuple(sorted({int(p) for p in parts}))
+        normalized = tuple(sorted({int(p) for p in parts}))
+        if not normalized:
+            # An explicitly empty subset would dispatch over zero shards
+            # and come back as a plausible-looking "no matches" — refuse
+            # loudly instead (the HTTP servers map this to a 400).
+            raise ValueError(
+                "parts must name at least one partition (or be omitted "
+                "to search the whole lake)"
+            )
+        return normalized
 
     def search(
         self,
@@ -245,6 +255,7 @@ class QueryService:
         tau: float,
         joinability: Union[float, int],
         parts: Optional[Sequence[int]] = None,
+        ef_search: Optional[int] = None,
     ) -> ServeResponse:
         """Serve one threshold search (coalesced and cached).
 
@@ -253,18 +264,24 @@ class QueryService:
         result only while its generation is still current.
 
         ``parts`` restricts the search to a partition subset (cluster
-        scatter routing). A restricted request dispatches directly —
-        the micro-batcher fuses only whole-lake requests, because one
-        engine pass answers one partition set.
+        scatter routing). ``ef_search`` opts into the ANN candidate tier
+        (see :mod:`repro.core.ann`): hits are still exact, only recall
+        is approximate, and the knob joins the cache key so exact and
+        approximate answers never alias. Restricted and ANN-knobbed
+        requests dispatch directly — the micro-batcher fuses only
+        whole-lake exact requests, because one engine pass answers one
+        (partition set, quality) configuration.
         """
         query = self._validated_query(query)
         parts = self._normalized_parts(parts)
+        ef_search = normalized_ef_search(ef_search)
         # joinability semantics depend on its Python type (int = absolute
         # count, float = fraction; 1 != 1.0 here although they hash the
         # same), so the type goes into the key alongside the value.
         key = query_cache_key(
             "search", query, float(tau),
             type(joinability).__name__, joinability, self.exact_counts, parts,
+            ef_search,
         )
         entry = self.cache.get(key, self._generation)
         if entry is not None:
@@ -273,11 +290,11 @@ class QueryService:
                 result=entry.value, generation=entry.generation, cached=True
             )
         self._count_cache(hit=False)
-        if self._batcher is not None and parts is None:
+        if self._batcher is not None and parts is None and ef_search is None:
             result, generation = self._batcher.submit(query, tau, joinability)
         else:
             result, generation = self._search_direct(
-                query, tau, joinability, parts
+                query, tau, joinability, parts, ef_search
             )
         self.cache.put(key, result, generation)
         return ServeResponse(result=result, generation=generation, cached=False)
@@ -445,7 +462,8 @@ class QueryService:
             )
 
     def _search_direct(
-        self, query: np.ndarray, tau: float, joinability, parts=None
+        self, query: np.ndarray, tau: float, joinability, parts=None,
+        ef_search=None,
     ) -> tuple[SearchResult, int]:
         """Per-request dispatch (coalescing disabled): one-query batch."""
         with self._rw.read():
@@ -453,6 +471,7 @@ class QueryService:
             batch = self.searcher.search_many(
                 [query], [tau], [joinability],
                 flags=self.flags, exact_counts=self.exact_counts, parts=parts,
+                ef_search=ef_search,
             )
         self._merge_stats(batch.stats)
         return batch.results[0], generation
@@ -478,10 +497,13 @@ class QueryService:
             # backend or a mistyped joinability, unverifiable up front)
             # must not fail its batch mates: re-dispatch each request
             # alone so errors stay local.
+            # Exception, not BaseException: KeyboardInterrupt/SystemExit
+            # must propagate and kill the dispatch, not be stored as one
+            # request's error.
             for request in requests:
                 try:
                     request.payload = self._search_direct(*request.args)
-                except BaseException as exc:
+                except Exception as exc:
                     request.error = exc
             return
         if not self.searcher.record_batch_sizes:

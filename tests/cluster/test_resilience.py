@@ -83,13 +83,24 @@ class TestLatencyTracker:
         tracker = LatencyTracker(window=100)
         for ms in range(1, 101):
             tracker.record(ms / 1000.0)
-        assert tracker.quantile(0.95) == pytest.approx(0.096)
-        assert tracker.quantile(0.5) == pytest.approx(0.051)
+        # nearest-rank: the ceil(q*n)-th smallest sample (1-based)
+        assert tracker.quantile(0.95) == pytest.approx(0.095)
+        assert tracker.quantile(0.5) == pytest.approx(0.050)
         # the window slides: 100 huge samples push the old ones out
         for _ in range(100):
             tracker.record(5.0)
         assert tracker.quantile(0.5) == 5.0
         assert tracker.count == 200
+
+    def test_nearest_rank_exact_multiple_off_by_one(self):
+        # Regression: int(q*n) picked the 20th smallest (the max) for
+        # p95 of 20 samples; nearest-rank is the ceil(0.95*20) = 19th.
+        tracker = LatencyTracker(window=20)
+        for v in range(1, 21):
+            tracker.record(float(v))
+        assert tracker.quantile(0.95) == 19.0
+        assert tracker.quantile(1.0) == 20.0
+        assert tracker.quantile(0.05) == 1.0
 
 
 class FakeClock:

@@ -387,6 +387,78 @@ def test_chaos_cluster_matches_oracle(seed, tmp_path):
 
 
 @pytest.mark.parametrize("seed", SEEDS)
+def test_ann_lane_matches_oracle(seed):
+    """The ANN lane: the approximate tier never invents a hit.
+
+    Every seed's scenario replays through the opt-in ANN candidate tier
+    at several beam widths. The contract under test:
+
+    * **zero false positives** — an ANN hit is always an exact hit with
+      a bit-identical match count and joinability, at *every* beam
+      width (candidates still pass the unchanged exact verifier);
+    * **default knob recall** — at ``DEFAULT_EF_SEARCH`` the measured
+      recall against the exact engine is >= 0.9 on every seed;
+    * **knob -> max degenerates to exact** — ``ef_search`` at the
+      column count returns the exact answer bit for bit, on both the
+      single-index and the partitioned backend.
+    """
+    from repro.core.ann import DEFAULT_EF_SEARCH, measure_recall
+    from repro.core.out_of_core import LakeSearcher
+
+    columns, queries, metric, tau, joinability, n_partitions = make_scenario(seed)
+    index = PexesoIndex.build(columns, metric=metric, n_pivots=2, levels=3)
+    searcher = LakeSearcher(index)
+
+    recalls = []
+    for query in queries:
+        exact_rows = hit_rows(searcher.search(query, tau, joinability))
+        exact_set = set(exact_rows)
+        exact_ids = [row[0] for row in exact_rows]
+        for ef in (1, 2, max(1, len(columns) // 2), DEFAULT_EF_SEARCH):
+            got_rows = hit_rows(
+                searcher.search(query, tau, joinability, ef_search=ef)
+            )
+            assert set(got_rows) <= exact_set, (
+                f"ANN false positive at ef={ef} (seed {seed})"
+            )
+            recalls.append(
+                (ef, measure_recall(exact_ids, [row[0] for row in got_rows]))
+            )
+        full = searcher.search(
+            query, tau, joinability, ef_search=len(columns)
+        )
+        assert hit_rows(full) == exact_rows, (
+            f"ef=n_columns must be bit-for-bit exact (seed {seed})"
+        )
+
+    default_recalls = [r for ef, r in recalls if ef == DEFAULT_EF_SEARCH]
+    assert min(default_recalls) >= 0.9, (
+        f"default-knob recall dropped below 0.9 (seed {seed}): {recalls}"
+    )
+
+    # -- partitioned backend: the same contract through the shard engine ----
+    lake = PartitionedPexeso(
+        metric=metric, n_pivots=2, levels=3, n_partitions=n_partitions,
+        max_workers=2,
+    ).fit(columns)
+    psearcher = LakeSearcher(lake)
+    exact_batch = psearcher.search_many(queries, tau, joinability)
+    ann_batch = psearcher.search_many(queries, tau, joinability, ef_search=2)
+    full_batch = psearcher.search_many(
+        queries, tau, joinability, ef_search=len(columns)
+    )
+    for want, got_ann, got_full in zip(
+        exact_batch.results, ann_batch.results, full_batch.results
+    ):
+        assert set(hit_rows(got_ann)) <= set(hit_rows(want)), (
+            f"partitioned ANN false positive (seed {seed})"
+        )
+        assert hit_rows(got_full) == hit_rows(want), (
+            f"partitioned ef=n_columns != exact (seed {seed})"
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
 def test_persistence_formats_and_backends_agree(seed, tmp_path):
     """The storage/kernel lane: every on-disk format and kernel backend
     replays the same seeds bit-identically.

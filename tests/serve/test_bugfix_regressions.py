@@ -1,0 +1,129 @@
+"""Regression tests for the PR 8 serving/resilience bugfix sweep.
+
+Three latent bugs, one test class each:
+
+* empty partition subsets (``parts=[]``) used to normalize to ``()``
+  and come back as a plausible-looking "no matches" — the service now
+  raises ``ValueError`` and the HTTP server answers 400;
+* the micro-batcher's per-request error-isolation fallback caught
+  ``BaseException``, so a ``KeyboardInterrupt`` during re-dispatch was
+  stored as one request's error instead of killing the dispatch;
+* (``LatencyTracker.quantile``'s nearest-rank off-by-one is pinned in
+  ``tests/cluster/test_resilience.py`` next to the tracker's other
+  tests.)
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.index import PexesoIndex
+from repro.core.metric import normalize_rows
+from repro.core.out_of_core import PartitionedPexeso
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.coalescer import PendingRequest
+from repro.serve.server import make_server
+from repro.serve.service import QueryService
+
+
+@pytest.fixture(scope="module")
+def columns():
+    rng = np.random.default_rng(31)
+    return [
+        normalize_rows(rng.normal(size=(int(rng.integers(5, 12)), 6)))
+        for _ in range(12)
+    ]
+
+
+@pytest.fixture()
+def partitioned_service(columns):
+    lake = PartitionedPexeso(n_pivots=2, levels=2, n_partitions=3).fit(columns)
+    return QueryService(lake, window_ms=0, cache_size=0)
+
+
+class TestEmptyPartsRejected:
+    def test_service_raises_value_error(self, partitioned_service, columns):
+        with pytest.raises(ValueError, match="at least one partition"):
+            partitioned_service.search(columns[0][:4], 0.5, 0.3, parts=[])
+
+    def test_topk_raises_too(self, partitioned_service, columns):
+        with pytest.raises(ValueError, match="at least one partition"):
+            partitioned_service.topk(columns[0][:4], 0.5, 2, parts=[])
+
+    def test_non_empty_parts_still_work(self, partitioned_service, columns):
+        response = partitioned_service.search(
+            columns[0][:4], 0.5, 0.3, parts=[0, 1, 2]
+        )
+        assert response.result is not None
+
+    def test_http_answers_400(self, columns):
+        lake = PartitionedPexeso(n_pivots=2, levels=2, n_partitions=3).fit(columns)
+        service = QueryService(lake, window_ms=0, cache_size=0)
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServeClient(server.url)
+            with pytest.raises(ServeError) as excinfo:
+                client.search(
+                    vectors=columns[0][:4], tau=0.5, joinability=0.3, parts=[]
+                )
+            assert excinfo.value.status == 400
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestBatcherErrorIsolation:
+    def make_service(self, columns):
+        index = PexesoIndex.build(columns, n_pivots=2, levels=2)
+        return QueryService(index, window_ms=5.0, cache_size=0)
+
+    def test_keyboard_interrupt_escapes_the_fallback(self, columns):
+        """A control-flow exception during per-request re-dispatch must
+        propagate, not be swallowed into ``request.error``."""
+        service = self.make_service(columns)
+        calls = {"n": 0}
+        real_search_many = service.searcher.search_many
+
+        def flaky_search_many(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ValueError("batch-level failure, triggers re-dispatch")
+            raise KeyboardInterrupt()
+
+        service.searcher.search_many = flaky_search_many
+        try:
+            request = PendingRequest((columns[0][:4], 0.5, 0.3))
+            with pytest.raises(KeyboardInterrupt):
+                service._execute_batch([request])
+            assert request.error is None
+        finally:
+            service.searcher.search_many = real_search_many
+
+    def test_plain_errors_stay_per_request(self, columns):
+        """The isolation the fallback exists for: an ``Exception`` during
+        re-dispatch lands on the failing request only."""
+        service = self.make_service(columns)
+        calls = {"n": 0}
+        real_search_many = service.searcher.search_many
+
+        def flaky_search_many(queries, *args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ValueError("batch-level failure")
+            if calls["n"] == 2:
+                raise ValueError("this request alone is broken")
+            return real_search_many(queries, *args, **kwargs)
+
+        service.searcher.search_many = flaky_search_many
+        try:
+            bad = PendingRequest((columns[0][:4], 0.5, 0.3))
+            good = PendingRequest((columns[1][:4], 0.5, 0.3))
+            service._execute_batch([bad, good])
+            assert isinstance(bad.error, ValueError)
+            assert good.error is None
+            assert good.payload is not None
+        finally:
+            service.searcher.search_many = real_search_many
