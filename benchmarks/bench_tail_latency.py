@@ -111,6 +111,8 @@ def run_bursty_trace(
     """
     per_client = n_requests // n_clients
     latencies = [0.0] * (per_client * n_clients)
+    stage_totals: dict[str, float] = {}
+    stage_lock = threading.Lock()
     errors: list[BaseException] = []
     gate = threading.Barrier(n_clients)
 
@@ -126,6 +128,10 @@ def run_bursty_trace(
                     vectors=queries[qi], tau=tau, joinability=joinability
                 )
                 latencies[i] = time.perf_counter() - started
+                with stage_lock:
+                    for stage, seconds in reply.get("timings", {}).items():
+                        stage_totals[stage] = \
+                            stage_totals.get(stage, 0.0) + seconds
                 got = [
                     (h["column_id"], h["match_count"], h["joinability"])
                     for h in reply["hits"]
@@ -148,7 +154,7 @@ def run_bursty_trace(
         t.join(timeout=300.0)
     if errors:
         raise errors[0]
-    return latencies
+    return latencies, dict(sorted(stage_totals.items()))
 
 
 def run_tail_comparison(
@@ -220,7 +226,7 @@ def run_tail_comparison(
             ClusterClient(cluster.url).search(
                 vectors=queries[0], tau=tau, joinability=joinability
             )
-            latencies = run_bursty_trace(
+            latencies, stage_totals = run_bursty_trace(
                 cluster.url, queries, expected, n_requests, n_clients,
                 tau, joinability,
             )
@@ -233,6 +239,9 @@ def run_tail_comparison(
                 "hedges_fired": coordinator._hedges_fired,
                 "hedges_won": coordinator._hedges_won,
                 "faults_fired": injector.fired("delay"),
+                # coordinator-side wall per stage, summed over requests
+                # (from each reply's `timings` breakdown)
+                "stage_seconds": stage_totals,
             }
     p99_off = out["hedging_off"]["p99"]
     p99_on = out["hedging_on"]["p99"]
@@ -360,6 +369,8 @@ def report(tail: dict, overload: dict) -> None:
             "p99_on": tail["hedging_on"]["p99"],
             "hedges_fired": tail["hedging_on"]["hedges_fired"],
             "hedges_won": tail["hedging_on"]["hedges_won"],
+            "stage_seconds_off": tail["hedging_off"]["stage_seconds"],
+            "stage_seconds_on": tail["hedging_on"]["stage_seconds"],
             "overload_offered": overload["offered"],
             "overload_served": overload["served"],
             "overload_shed": overload["shed"],

@@ -1,0 +1,108 @@
+"""Tracing quickstart: one traced query through a live 2-worker cluster.
+
+Spins up a coordinator plus 2 workers in-process, runs a traced
+``/search``, and walks the observability surface end to end:
+
+* the ``X-Repro-Trace`` header carries the trace across every hop, so
+  ``GET /debug/traces`` returns ONE tree — coordinator root, scatter,
+  per-slot worker calls, and the workers' own service spans;
+* every ``/search`` reply carries a per-stage ``timings`` breakdown;
+* ``GET /metrics`` renders the unified Prometheus registry (counters,
+  gauges, and stage/latency summaries).
+
+Artifacts land in ``benchmarks/results/`` (``obs_trace_sample.json``,
+``obs_metrics_sample.txt``) so CI can upload a real trace and a real
+scrape from every run. Runs in a few seconds::
+
+    python examples/tracing_quickstart.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.cluster import LocalCluster
+from repro.core.out_of_core import PartitionedPexeso
+from repro.core.persistence import load_partitioned, save_partitioned
+from repro.core.thresholds import distance_threshold
+from repro.lake.datagen import DataLakeGenerator
+from repro.obs.trace import Tracer, set_default_tracer
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+
+def print_tree(node, depth=0):
+    millis = node["duration_seconds"] * 1000.0
+    notes = ", ".join(
+        f"{k}={v}" for k, v in sorted(node["annotations"].items())
+        if k in ("slot", "answered_by", "hedge_fired", "failover",
+                 "n_queries", "stages")
+    )
+    print(f"  {'  ' * depth}{node['name']:<22} {millis:8.2f} ms"
+          f"{'  [' + notes + ']' if notes else ''}")
+    for child in node["children"]:
+        print_tree(child, depth + 1)
+
+
+def main() -> None:
+    # 1. Offline: a small partitioned lake on disk.
+    gen = DataLakeGenerator(seed=3, n_entities=80, dim=16)
+    lake = gen.generate_lake(n_tables=30, rows_range=(8, 18))
+    saved = Path(tempfile.mkdtemp()) / "lake"
+    save_partitioned(
+        PartitionedPexeso(n_pivots=3, levels=3, n_partitions=4).fit(
+            lake.vector_columns()
+        ),
+        saved,
+    )
+    tau = distance_threshold(0.06, load_partitioned(saved).metric, 16)
+
+    # 2. A fresh process-default tracer with a slow-query log: every
+    #    server built below records into it (sample_rate=1.0 traces all).
+    tracer = Tracer(sample_rate=1.0, slow_query_seconds=0.5)
+    set_default_tracer(tracer)
+
+    # 3. Online: coordinator + 2 workers, then one traced query.
+    with LocalCluster(saved, n_workers=2, replication=2) as cluster:
+        query_table, _ = gen.generate_query_table(n_rows=12, domain=0)
+        query = gen.embedder.embed_column(query_table.column("key").values)
+        reply = cluster.client.search(vectors=query, tau=tau,
+                                      joinability=0.25)
+        print(f"search: {len(reply['hits'])} joinable columns")
+        print("timings (coordinator stages, seconds):")
+        for stage, seconds in sorted(reply["timings"].items()):
+            print(f"  {stage:<10} {seconds:.4f}")
+
+        # 4. One trace tree for the whole scatter/gather.
+        debug = cluster.client.debug_traces()
+        (tree,) = debug["traces"]
+        print(f"\ntrace {tree['trace_id']}: {tree['n_spans']} spans")
+        for root in tree["roots"]:
+            print_tree(root)
+
+        # 5. The Prometheus scrape every dashboard would poll.
+        metrics = cluster.client.metrics()
+        shown = [
+            line for line in metrics.splitlines()
+            if line.startswith((
+                "pexeso_serve_cluster_requests",
+                "pexeso_serve_cluster_workers_up",
+                "pexeso_serve_cluster_slot_latency_seconds",
+            ))
+        ]
+        print("\nselected /metrics lines:")
+        for line in shown:
+            print(f"  {line}")
+
+    # 6. Artifacts for CI upload: the raw trace + the raw scrape.
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    trace_path = RESULTS_DIR / "obs_trace_sample.json"
+    trace_path.write_text(json.dumps(debug, indent=2, sort_keys=True))
+    metrics_path = RESULTS_DIR / "obs_metrics_sample.txt"
+    metrics_path.write_text(metrics)
+    print(f"\nwrote {trace_path}")
+    print(f"wrote {metrics_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -350,9 +351,28 @@ def cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _configure_tracing(args: argparse.Namespace) -> None:
+    """Apply the shared --trace-sample / --slow-query-ms knobs to the
+    process-wide tracer every server created below records into."""
+    from repro.obs.trace import default_tracer
+
+    default_tracer().configure(
+        sample_rate=args.trace_sample,
+        slow_query_seconds=(
+            args.slow_query_ms / 1000.0
+            if args.slow_query_ms is not None else None
+        ),
+        # a per-process ID prefix keeps span IDs from independently
+        # numbered tracers (client vs server, worker vs worker) from
+        # colliding when they meet in one trace tree
+        prefix=f"{os.getpid():x}-",
+    )
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.server import install_signal_handlers, make_server
 
+    _configure_tracing(args)
     window_ms = None if args.window_ms < 0 else args.window_ms
     try:
         server = make_server(
@@ -395,6 +415,7 @@ def cmd_cluster_coordinator(args: argparse.Namespace) -> int:
     from repro.cluster.server import make_cluster_server
     from repro.serve.server import install_signal_handlers
 
+    _configure_tracing(args)
     try:
         server = make_cluster_server(
             args.index_dir,
@@ -432,6 +453,7 @@ def cmd_cluster_worker(args: argparse.Namespace) -> int:
     from repro.cluster.worker import start_worker
     from repro.serve.server import install_signal_handlers
 
+    _configure_tracing(args)
     window_ms = None if args.window_ms < 0 else args.window_ms
     try:
         server, slot, thread = start_worker(
@@ -555,6 +577,16 @@ def build_parser() -> argparse.ArgumentParser:
                                "embedding catalog)")
     p_search.set_defaults(func=cmd_search)
 
+    def add_tracing_flags(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--trace-sample", type=float, default=1.0, metavar="RATE",
+            help="fraction of root traces recorded at /debug/traces "
+                 "(0 disables tracing, 1 records every request)")
+        parser.add_argument(
+            "--slow-query-ms", type=float, default=None, metavar="MS",
+            help="log a structured slow-query JSON line for requests "
+                 "at/above this duration (default: off)")
+
     p_serve = sub.add_parser(
         "serve", help="serve a saved index over HTTP (resident query service)"
     )
@@ -578,6 +610,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "Retry-After (default: unlimited)")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every request")
+    add_tracing_flags(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
     p_coord = sub.add_parser(
@@ -599,6 +632,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "(shed with 429 beyond it; default unlimited)")
     p_coord.add_argument("--verbose", action="store_true",
                          help="log every request")
+    add_tracing_flags(p_coord)
     p_coord.set_defaults(func=cmd_cluster_coordinator)
 
     p_worker = sub.add_parser(
@@ -626,6 +660,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "termination)")
     p_worker.add_argument("--workers", type=int, default=None,
                           help="shard fan-out width inside this worker")
+    add_tracing_flags(p_worker)
     p_worker.set_defaults(func=cmd_cluster_worker)
 
     p_stats = sub.add_parser("stats", help="profile a CSV data lake")

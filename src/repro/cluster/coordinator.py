@@ -49,8 +49,10 @@ from repro.core.metric import get_metric
 from repro.core.stats import SearchStats
 from repro.core.thresholds import distance_threshold
 from repro.core.topk import TopKResult
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_SPAN, Tracer, default_tracer
 from repro.serve.client import ServeClient, ServeError
-from repro.serve.schema import search_result_from_payload
+from repro.serve.schema import METRIC_HELP, search_result_from_payload
 from repro.cluster.resilience import (
     BREAKER_CLOSED,
     CircuitBreaker,
@@ -93,6 +95,8 @@ class ClusterCoordinator:
             :class:`~repro.serve.faults.FaultInjector` applied to every
             worker client this coordinator creates (scope rules to one
             worker with ``target=<its url>``).
+        tracer: the :class:`~repro.obs.trace.Tracer` scatter spans are
+            recorded into (defaults to the process-wide tracer).
     """
 
     def __init__(
@@ -105,6 +109,7 @@ class ClusterCoordinator:
         timeout: float = 60.0,
         resilience: Optional[ResilienceConfig] = None,
         fault_injector=None,
+        tracer: Optional[Tracer] = None,
     ):
         self.lake_dir = Path(lake_dir)
         manifest_path = self.lake_dir / "partitioned.json"
@@ -207,7 +212,14 @@ class ClusterCoordinator:
             for _ in range(self.shard_map.n_workers)
         ]
         self._latency = LatencyTracker(default=cfg.hedge_default_delay)
+        #: per-slot latency windows, feeding the slot-labelled summaries
+        #: on /metrics (the shared tracker above keeps the hedge delay)
+        self._slot_latency = [
+            LatencyTracker(default=cfg.hedge_default_delay)
+            for _ in range(self.shard_map.n_workers)
+        ]
         self.fault_injector = fault_injector
+        self.tracer = tracer if tracer is not None else default_tracer()
         # telemetry
         self._requests_served = 0
         self._failovers = 0
@@ -459,32 +471,42 @@ class ClusterCoordinator:
     # -- scatter-gather ------------------------------------------------------------
 
     def _timed_call(
-        self, slot: int, send_parts, call, deadline: Optional[Deadline]
+        self, slot: int, send_parts, call, deadline: Optional[Deadline],
+        trace=NULL_SPAN,
     ) -> Any:
         """One worker call with breaker / latency / deadline bookkeeping.
 
-        Success feeds the hedge-delay latency window and closes the
-        slot's breaker; a transport failure records against the breaker
-        (demoting the worker when it opens). A worker-side 504 means the
-        propagated budget expired in flight — surfaced as
-        :class:`DeadlineExceeded`, never as a liveness failure.
+        Success feeds the hedge-delay latency window (shared and
+        per-slot) and closes the slot's breaker; a transport failure
+        records against the breaker (demoting the worker when it opens).
+        A worker-side 504 means the propagated budget expired in flight
+        — surfaced as :class:`DeadlineExceeded`, never as a liveness
+        failure. ``trace`` parents a per-attempt ``worker.call`` span
+        whose context travels to the worker on the wire.
         """
         if deadline is not None:
             deadline.check(f"call to worker {slot}")
         deadline_ms = deadline.remaining_ms() if deadline is not None else None
-        start = time.monotonic()
-        try:
-            payload = call(self._client(slot), send_parts, deadline_ms)
-        except ServeError as exc:
-            if exc.status == 504:
-                raise DeadlineExceeded(
-                    f"worker {slot} rejected expired work"
-                ) from exc
-            raise  # the worker answered; not a liveness failure
-        except (OSError, ClusterUnavailable):
-            self._demote(slot)
-            raise
-        self._latency.record(time.monotonic() - start)
+        with self.tracer.span("worker.call", parent=trace) as span:
+            span.annotate(
+                slot=slot, breaker=self._breakers[slot].state,
+                deadline_remaining_ms=deadline_ms,
+            )
+            start = time.monotonic()
+            try:
+                payload = call(self._client(slot), send_parts, deadline_ms, span)
+            except ServeError as exc:
+                if exc.status == 504:
+                    raise DeadlineExceeded(
+                        f"worker {slot} rejected expired work"
+                    ) from exc
+                raise  # the worker answered; not a liveness failure
+            except (OSError, ClusterUnavailable):
+                self._demote(slot)
+                raise
+            elapsed = time.monotonic() - start
+        self._latency.record(elapsed)
+        self._slot_latency[slot].record(elapsed)
         self._breakers[slot].record_success()
         return payload
 
@@ -501,6 +523,7 @@ class ClusterCoordinator:
         send_parts,
         call,
         deadline: Optional[Deadline],
+        trace=NULL_SPAN,
     ) -> tuple[int, Any]:
         """One group call, hedged to a replica when the primary is slow.
 
@@ -518,14 +541,18 @@ class ClusterCoordinator:
         if cfg.hedge and self.shard_map.replication > 1:
             hedge_slot = self.shard_map.live_common_owner(parts, exclude=(slot,))
         if hedge_slot is None:
-            return slot, self._timed_call(slot, send_parts, call, deadline)
+            return slot, self._timed_call(
+                slot, send_parts, call, deadline, trace=trace
+            )
 
         cond = threading.Condition()
         outcomes: list[tuple[int, Any, Optional[BaseException]]] = []
 
         def run(target: int) -> None:
             try:
-                payload = self._timed_call(target, send_parts, call, deadline)
+                payload = self._timed_call(
+                    target, send_parts, call, deadline, trace=trace
+                )
                 outcome = (target, payload, None)
             except BaseException as exc:  # delivered through `outcomes`
                 outcome = (target, None, exc)
@@ -548,6 +575,7 @@ class ClusterCoordinator:
             raise error
         with self._stats_lock:
             self._hedges_fired += 1
+        trace.annotate(hedge_fired=True, hedge_slot=hedge_slot)
         threading.Thread(
             target=run, args=(hedge_slot,), name=f"hedge-{hedge_slot}",
             daemon=True,
@@ -567,6 +595,7 @@ class ClusterCoordinator:
                 if target == hedge_slot:
                     with self._stats_lock:
                         self._hedges_won += 1
+                    trace.annotate(hedge_won=True)
                 return target, payload
             failures.append((target, error))
             if len(failures) == 2:
@@ -583,6 +612,7 @@ class ClusterCoordinator:
         parts: list[int],
         call,
         deadline: Optional[Deadline] = None,
+        trace=NULL_SPAN,
     ) -> tuple[int, Any]:
         """One (possibly hedged) group call with failover bookkeeping.
 
@@ -595,17 +625,24 @@ class ClusterCoordinator:
         # micro-batcher eligible to fuse concurrent scatters
         restricted = sorted(parts) != sorted(worker.parts)
         send_parts = parts if restricted else None
-        try:
-            answered, payload = self._hedged_call(
-                slot, parts, send_parts, call, deadline
+        with self.tracer.span("scatter.slot", parent=trace) as span:
+            span.annotate(
+                slot=slot, parts=list(parts), restricted=restricted,
+                breaker=self._breakers[slot].state,
             )
-        except (DeadlineExceeded, ServeError):
-            raise
-        except (OSError, ClusterUnavailable) as exc:
-            # _timed_call already recorded the breaker failure/demotion
-            with self._stats_lock:
-                self._slot_failovers[slot] += 1
-            raise _WorkerDown(slot, parts) from exc
+            try:
+                answered, payload = self._hedged_call(
+                    slot, parts, send_parts, call, deadline, trace=span
+                )
+            except (DeadlineExceeded, ServeError):
+                raise
+            except (OSError, ClusterUnavailable) as exc:
+                # _timed_call already recorded the breaker failure/demotion
+                with self._stats_lock:
+                    self._slot_failovers[slot] += 1
+                span.annotate(failover=True)
+                raise _WorkerDown(slot, parts) from exc
+            span.annotate(answered_by=answered)
         generation = payload.get("generation")
         if isinstance(generation, int):
             self._generations[answered] = generation
@@ -616,6 +653,7 @@ class ClusterCoordinator:
         parts: Optional[Sequence[int]],
         call,
         deadline: Optional[Deadline] = None,
+        trace=NULL_SPAN,
     ) -> list[tuple[int, Any]]:
         """Fan one request out over the routed workers, failing over.
 
@@ -636,12 +674,13 @@ class ClusterCoordinator:
                 deadline.check("scatter wave")
             groups = sorted(plan.items())
             if len(groups) == 1:
-                outcomes = [self._try_group(groups[0], call, deadline)]
+                outcomes = [self._try_group(groups[0], call, deadline, trace)]
             else:
                 with ThreadPoolExecutor(max_workers=len(groups)) as pool:
                     outcomes = list(
                         pool.map(
-                            lambda g: self._try_group(g, call, deadline), groups
+                            lambda g: self._try_group(g, call, deadline, trace),
+                            groups,
                         )
                     )
             failed_parts: list[int] = []
@@ -665,10 +704,11 @@ class ClusterCoordinator:
         group: tuple[int, list[int]],
         call,
         deadline: Optional[Deadline] = None,
+        trace=NULL_SPAN,
     ):
         slot, parts = group
         try:
-            return self._call_group(slot, parts, call, deadline)
+            return self._call_group(slot, parts, call, deadline, trace=trace)
         except _WorkerDown as exc:
             return exc
 
@@ -693,6 +733,7 @@ class ClusterCoordinator:
         joinability: float | int,
         deadline: Optional[Deadline] = None,
         ef_search: Optional[int] = None,
+        trace=None,
     ) -> tuple[Any, list[int]]:
         """Scatter one threshold search; returns ``(merged result, generations)``.
 
@@ -714,28 +755,37 @@ class ClusterCoordinator:
         candidates the workers verified, and because graph construction
         is deterministic, replicas of the same partition nominate the
         same candidates — hedged reads stay bit-identical.
+
+        ``trace`` parents the scatter/merge spans; per-slot child spans
+        carry the hedge/failover/breaker decisions and their contexts
+        travel to the workers.
         """
         with self._stats_lock:
             self._requests_served += 1
         vectors = self._validated_vectors(vectors).tolist()
         deadline = self._effective_deadline(deadline)
 
-        def call(client: ServeClient, parts, deadline_ms):
+        def call(client: ServeClient, parts, deadline_ms, trace=None):
             return client.search(
                 vectors=vectors, tau=tau, joinability=joinability, parts=parts,
-                ef_search=ef_search, deadline_ms=deadline_ms,
+                ef_search=ef_search, deadline_ms=deadline_ms, trace=trace,
             )
 
+        scatter_started = time.perf_counter()
         try:
-            outcomes = self._scatter(None, call, deadline)
+            with self.tracer.span("coordinator.scatter", parent=trace) as span:
+                outcomes = self._scatter(None, call, deadline, trace=span)
+                span.annotate(n_groups=len(outcomes))
         except DeadlineExceeded:
             self._count_deadline_violation()
             raise
+        scatter_seconds = time.perf_counter() - scatter_started
         # the response names the generations its answers actually
         # executed at — taken from the payloads themselves, so a
         # concurrent mutation finishing after the gather cannot inflate
         # the vector past the state that produced these hits
         generations = self._stamp(outcomes)
+        merge_started = time.perf_counter()
         batches = [
             BatchResult(
                 results=[search_result_from_payload(payload)],
@@ -749,8 +799,17 @@ class ClusterCoordinator:
         # would race with a concurrent add whose write-through landed
         # before the counter moved)
         identity = _IdentityMap()
-        merged = merge_shard_batches(batches, [identity] * len(batches))
-        return merged.results[0], generations
+        with self.tracer.span("coordinator.merge", parent=trace):
+            merged = merge_shard_batches(batches, [identity] * len(batches))
+        result = merged.results[0]
+        # the response's timings are coordinator wall time only: worker
+        # stages ran in parallel and their sum would exceed this
+        # request's duration (each worker's own breakdown is in its span)
+        result.stats.stage_seconds.add("scatter", scatter_seconds)
+        result.stats.stage_seconds.add(
+            "merge", time.perf_counter() - merge_started
+        )
+        return result, generations
 
     def _stamp(self, outcomes: Sequence[tuple[int, Any]]) -> list[int]:
         """A generation vector anchored to the given worker payloads.
@@ -772,6 +831,7 @@ class ClusterCoordinator:
         tau: float,
         k: int,
         deadline: Optional[Deadline] = None,
+        trace=None,
     ) -> tuple[TopKResult, list[int]]:
         """Wave-parallel exact top-k across the cluster.
 
@@ -795,20 +855,27 @@ class ClusterCoordinator:
         theta = 0
         tau_out = float(tau)
         stamped: list[tuple[int, Any]] = []
+        scatter_started = time.perf_counter()
         for at in range(0, len(groups), self.wave_width):
             wave = dict(groups[at : at + self.wave_width])
             floor = theta
 
-            def call(client: ServeClient, parts, deadline_ms, _floor=floor):
+            def call(client: ServeClient, parts, deadline_ms, trace=None,
+                     _floor=floor):
                 return client.topk(
                     vectors=vectors, tau=tau, k=k, parts=parts, theta=_floor,
-                    deadline_ms=deadline_ms,
+                    deadline_ms=deadline_ms, trace=trace,
                 )
 
             try:
-                outcomes = self._scatter(
-                    [p for parts in wave.values() for p in parts], call, deadline
-                )
+                with self.tracer.span(
+                    "coordinator.scatter", parent=trace
+                ) as span:
+                    span.annotate(wave=at // self.wave_width, theta=floor)
+                    outcomes = self._scatter(
+                        [p for parts in wave.values() for p in parts],
+                        call, deadline, trace=span,
+                    )
             except DeadlineExceeded:
                 self._count_deadline_violation()
                 raise
@@ -827,6 +894,9 @@ class ClusterCoordinator:
         result = TopKResult(
             hits=best, stats=SearchStats(), tau=tau_out,
             k=min(k, self.n_columns),
+        )
+        result.stats.stage_seconds.add(
+            "scatter", time.perf_counter() - scatter_started
         )
         return result, self._stamp(stamped)
 
@@ -1024,48 +1094,82 @@ class ClusterCoordinator:
         }
 
     def metrics_text(self, extra: Optional[dict] = None) -> str:
-        """Prometheus-style exposition for the coordinator's ``/metrics``.
+        """Prometheus exposition for the coordinator's ``/metrics``.
 
-        Besides the aggregate gauges this names every worker slot:
-        up/down status, per-slot failover counts, and breaker state,
-        using label syntax (``pexeso_serve_cluster_worker_up{slot="0"}``)
-        so a scrape sees *which* worker flapped, not just that one did.
-        ``extra`` appends caller-supplied gauges (the cluster server's
-        admission counters).
+        Built on :class:`~repro.obs.metrics.MetricsRegistry` (the metric
+        names predate the registry and stay byte-identical; the registry
+        adds ``# HELP`` / ``# TYPE`` headers and label escaping). Besides
+        the aggregate counters this names every worker slot: up/down
+        status, per-slot failover counts, breaker state, and a per-slot
+        call-latency summary (p50/p95/p99 + ``_sum``/``_count``), so a
+        scrape sees *which* worker flapped or slowed, not just that one
+        did. ``extra`` appends caller-supplied values (the cluster
+        server's admission counters).
         """
         statuses = self.shard_map.statuses()
         with self._stats_lock:
+            counters = {
+                "cluster_requests":
+                    (self._requests_served, "Search/top-k requests served."),
+                "cluster_failovers":
+                    (self._failovers, "Scatter waves that re-routed work."),
+                "cluster_hedges_fired":
+                    (self._hedges_fired, "Hedged duplicate calls fired."),
+                "cluster_hedges_won":
+                    (self._hedges_won, "Hedged calls answered by the replica."),
+                "cluster_deadline_violations":
+                    (self._deadline_violations,
+                     "Requests that blew their latency budget."),
+            }
             gauges = {
-                "cluster_requests": self._requests_served,
-                "cluster_failovers": self._failovers,
-                "cluster_workers_up": statuses.count("up"),
-                "cluster_workers_down": statuses.count("down"),
-                "cluster_columns": self.n_columns,
-                "cluster_serviceable": int(self.shard_map.is_serviceable()),
-                "cluster_mutation_log": len(self._mutation_log),
-                "cluster_hedges_fired": self._hedges_fired,
-                "cluster_hedges_won": self._hedges_won,
-                "cluster_deadline_violations": self._deadline_violations,
+                "cluster_workers_up":
+                    (statuses.count("up"), "Worker slots currently up."),
+                "cluster_workers_down":
+                    (statuses.count("down"), "Worker slots currently down."),
+                "cluster_columns":
+                    (self.n_columns, "Live columns cluster-wide."),
+                "cluster_serviceable":
+                    (int(self.shard_map.is_serviceable()),
+                     "Whether every partition has a live owner."),
+                "cluster_mutation_log":
+                    (len(self._mutation_log), "Mutation-log length."),
             }
             slot_failovers = list(self._slot_failovers)
-        lines = [f"pexeso_serve_{k} {v}" for k, v in gauges.items()]
+        registry = MetricsRegistry(prefix="pexeso_serve_")
+        for name, (value, help_text) in counters.items():
+            registry.counter(name, help_text, value)
+        for name, (value, help_text) in gauges.items():
+            registry.gauge(name, help_text, value)
         for slot, status in enumerate(statuses):
-            up = int(status == "up")
-            breaker_open = int(self._breakers[slot].state != BREAKER_CLOSED)
-            lines.append(
-                f'pexeso_serve_cluster_worker_up{{slot="{slot}"}} {up}'
+            labels = {"slot": slot}
+            registry.gauge(
+                "cluster_worker_up", "Whether this worker slot is up.",
+                int(status == "up"), labels=labels,
             )
-            lines.append(
-                f'pexeso_serve_cluster_worker_failovers{{slot="{slot}"}} '
-                f"{slot_failovers[slot]}"
+            registry.counter(
+                "cluster_worker_failovers",
+                "Failovers charged to this worker slot.",
+                slot_failovers[slot], labels=labels,
             )
-            lines.append(
-                f'pexeso_serve_cluster_breaker_open{{slot="{slot}"}} '
-                f"{breaker_open}"
+            registry.gauge(
+                "cluster_breaker_open",
+                "Whether this slot's circuit breaker is open/half-open.",
+                int(self._breakers[slot].state != BREAKER_CLOSED),
+                labels=labels,
             )
-        if extra:
-            lines.extend(f"pexeso_serve_{k} {v}" for k, v in extra.items())
-        return "\n".join(lines) + "\n"
+            tracker = self._slot_latency[slot]
+            if tracker.count:
+                registry.summary(
+                    "cluster_slot_latency_seconds",
+                    "Per-slot worker call latency (bounded window).",
+                    source=tracker, labels=labels,
+                )
+        for name, value in (extra or {}).items():
+            if name in ("admission_shed", "deadline_rejects"):
+                registry.counter(name, METRIC_HELP.get(name, name), value)
+            else:
+                registry.gauge(name, METRIC_HELP.get(name, name), value)
+        return registry.render()
 
     def wait_serviceable(self, timeout: float = 30.0, poll: float = 0.05) -> bool:
         """Block until every partition has a live worker (or timeout)."""

@@ -85,11 +85,15 @@ class LatencyTracker:
         self._lock = threading.Lock()
         self.default = float(default)
         self.count = 0
+        #: exact lifetime sum of recorded seconds (the ``_sum`` series
+        #: of a metrics summary — the window alone under-reports it)
+        self.total = 0.0
 
     def record(self, seconds: float) -> None:
         with self._lock:
             self._samples.append(float(seconds))
             self.count += 1
+            self.total += float(seconds)
 
     def quantile(self, q: float = 0.95) -> float:
         """The q-quantile of the current window (nearest-rank).

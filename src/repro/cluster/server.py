@@ -19,7 +19,8 @@ path                method  body / response
 /cluster            GET     shard map, worker statuses, routing telemetry
 /stats              GET     alias of /cluster
 /healthz            GET     ``{"ok": <serviceable>, "generation": [...]}``
-/metrics            GET     Prometheus text (cluster gauges)
+/metrics            GET     Prometheus text (cluster counters + slot labels)
+/debug/traces       GET     recent trace trees + slow-query log (JSON)
 ==================  ======  ==============================================
 
 ``503`` signals an unserviceable cluster (some partition has no live
@@ -36,6 +37,7 @@ from typing import Any, Optional
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.resilience import Deadline, DeadlineExceeded
 from repro.cluster.shard_map import ClusterUnavailable
+from repro.obs.trace import Tracer, default_tracer
 from repro.serve.client import DEADLINE_HEADER
 from repro.serve.faults import apply_server_faults
 from repro.serve.schema import search_payload, topk_payload
@@ -65,6 +67,7 @@ class ClusterHTTPServer(GracefulHTTPServer):
         quiet: bool = True,
         max_concurrent: Optional[int] = None,
         fault_injector=None,
+        tracer: Optional[Tracer] = None,
     ):
         self.coordinator = coordinator
         self.quiet = quiet
@@ -72,6 +75,7 @@ class ClusterHTTPServer(GracefulHTTPServer):
         self.preprocess = True
         self.admission = AdmissionController(max_concurrent)
         self.fault_injector = fault_injector
+        self.tracer = tracer if tracer is not None else coordinator.tracer
         self._counter_lock = threading.Lock()
         self.deadline_rejects = 0
         catalog = coordinator.catalog
@@ -126,6 +130,12 @@ class ClusterHandler(JsonRequestHandler):
                         extra=self.server.resilience_metrics()
                     )
                 )
+            elif self.path == "/debug/traces":
+                tracer = self.server.tracer
+                self._send_json({
+                    "traces": tracer.traces(),
+                    "slow_queries": tracer.slow_queries(),
+                })
             else:
                 parts = self.path.strip("/").split("/")
                 if len(parts) == 2 and parts[0] == "columns":
@@ -267,10 +277,14 @@ class ClusterHandler(JsonRequestHandler):
         tau = self._resolve_tau(body, query)
         joinability = body.get("joinability", 0.6)
         ef_search = self._parse_ef_search(body)
-        result, generations = self.server.coordinator.search(
-            query, tau, joinability, deadline=self._request_deadline(body),
-            ef_search=ef_search,
-        )
+        with self.server.tracer.trace(
+            "coordinator.search", parent=self._trace_context()
+        ) as span:
+            span.annotate(n_queries=int(query.shape[0]), tau=float(tau))
+            result, generations = self.server.coordinator.search(
+                query, tau, joinability, deadline=self._request_deadline(body),
+                ef_search=ef_search, trace=span,
+            )
         self._send_json(
             search_payload(
                 result,
@@ -284,9 +298,14 @@ class ClusterHandler(JsonRequestHandler):
         query = self._query_vectors(body)
         tau = self._resolve_tau(body, query)
         k = int(body.get("k", 10))
-        result, generations = self.server.coordinator.topk(
-            query, tau, k, deadline=self._request_deadline(body)
-        )
+        with self.server.tracer.trace(
+            "coordinator.topk", parent=self._trace_context()
+        ) as span:
+            span.annotate(n_queries=int(query.shape[0]), k=k)
+            result, generations = self.server.coordinator.topk(
+                query, tau, k, deadline=self._request_deadline(body),
+                trace=span,
+            )
         self._send_json(
             topk_payload(
                 result,
@@ -320,6 +339,7 @@ def make_cluster_server(
     quiet: bool = True,
     max_concurrent: Optional[int] = None,
     fault_injector=None,
+    tracer: Optional[Tracer] = None,
     **coordinator_kwargs: Any,
 ) -> ClusterHTTPServer:
     """Build a ready-to-run coordinator server.
@@ -334,10 +354,13 @@ def make_cluster_server(
     if isinstance(lake_dir_or_coordinator, ClusterCoordinator):
         coordinator = lake_dir_or_coordinator
     else:
+        if tracer is not None:
+            coordinator_kwargs.setdefault("tracer", tracer)
         coordinator = ClusterCoordinator(
             Path(lake_dir_or_coordinator), **coordinator_kwargs
         )
     return ClusterHTTPServer(
         (host, port), coordinator, quiet=quiet,
         max_concurrent=max_concurrent, fault_injector=fault_injector,
+        tracer=tracer,
     )

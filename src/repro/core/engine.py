@@ -260,6 +260,7 @@ class BatchSearch:
         t_counts = [joinability_count(joins[i], size) for i, size in zip(indices, sizes)]
         query_of_row = np.repeat(np.arange(len(columns), dtype=np.intp), sizes)
 
+        stage_started = time.perf_counter()
         stacked = columns[0] if len(columns) == 1 else np.concatenate(columns, axis=0)
         mapped = index.pivot_space.map_vectors(stacked)
         group_stats.pivot_mapping_distances += mapped.size
@@ -269,6 +270,10 @@ class BatchSearch:
             extent=index.pivot_space.extent,
             store_members=True,
         )
+        group_stats.stage_seconds.add(
+            "pivot_map", time.perf_counter() - stage_started
+        )
+        stage_started = time.perf_counter()
         block_result = block(
             hg_q,
             index.grid,
@@ -278,6 +283,9 @@ class BatchSearch:
             use_lemma34=flags.lemma34,
             use_lemma56=flags.lemma56,
             use_quick_browsing=flags.quick_browsing,
+        )
+        group_stats.stage_seconds.add(
+            "blocking", time.perf_counter() - stage_started
         )
 
         per_stats = [SearchStats() for _ in columns]

@@ -530,6 +530,7 @@ class PartitionedPexeso:
                 allowed_columns=candidate_lists(index, queries, ef_search),
             )
             batch.stats.shard_load_seconds += load_seconds
+            batch.stats.stage_seconds.add("shard_load", load_seconds)
             return batch
 
         if workers == 1 or len(shards) == 1:
@@ -537,7 +538,11 @@ class PartitionedPexeso:
         else:
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 batches = list(pool.map(run_shard, [part for part, _ in shards]))
+        merge_started = time.perf_counter()
         merged = merge_shard_batches(batches, [globals_ for _, globals_ in shards])
+        merged.stats.stage_seconds.add(
+            "merge", time.perf_counter() - merge_started
+        )
         merged.wall_seconds = time.perf_counter() - started
         return merged
 
@@ -627,6 +632,7 @@ class PartitionedPexeso:
             index, load_seconds = self._get_index(part)
             local = pexeso_topk(index, query, tau, k, theta=theta)
             local.stats.shard_load_seconds += load_seconds
+            local.stats.stage_seconds.add("shard_load", load_seconds)
             return local, globals_
 
         for at in range(0, len(shards), workers):

@@ -10,6 +10,52 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import BoundedHistogram
+
+
+class StageTimings(dict):
+    """Per-stage wall-time breakdown of one search (``stage -> seconds``).
+
+    A plain ``dict[str, float]`` (JSON-safe as-is for the ``timings``
+    field of ``/search`` responses) that additionally supports ``+`` so
+    the generic field-wise :meth:`SearchStats.merge` accumulates it:
+    merging sums per stage.
+
+    Canonical stage names, chosen disjoint so a sequential request's
+    stages sum to at most its wall time: ``pivot_map`` (query pivot
+    mapping + HG_Q build), ``blocking`` (grid descent), ``lemma_filter``
+    (Lemma 1/2 mask evaluation inside verification), ``verify``
+    (verification minus the lemma masks), ``merge`` (cross-shard /
+    cross-worker result merge), ``shard_load`` (spilled-partition
+    loads), ``queue_wait`` (micro-batcher latency before dispatch),
+    ``scatter`` (coordinator-side worker fan-out). Parallel fan-outs
+    (shards, τ-groups, workers) accumulate CPU-style — like
+    ``verification_seconds`` always has — so only sequential layers
+    compare stage sums against wall clocks.
+    """
+
+    def add(self, stage: str, seconds: float) -> None:
+        self[stage] = self.get(stage, 0.0) + float(seconds)
+
+    def total(self) -> float:
+        return float(sum(self.values()))
+
+    def copy(self) -> "StageTimings":
+        return StageTimings(self)
+
+    def __add__(self, other) -> "StageTimings":
+        if not isinstance(other, dict):
+            return NotImplemented
+        merged = StageTimings(self)
+        for stage, seconds in other.items():
+            merged.add(stage, seconds)
+        return merged
+
+    def __radd__(self, other) -> "StageTimings":
+        if not isinstance(other, dict):
+            return NotImplemented
+        return StageTimings(other) + self
+
 
 @dataclass
 class SearchStats:
@@ -54,10 +100,17 @@ class SearchStats:
         cache_misses: requests that had to run a real search (a stale
             cache entry from an earlier index generation also counts as
             a miss).
-        coalesced_batch_sizes: one entry per fused engine dispatch — the
-            number of requests the serving layer's micro-batcher merged
-            into that :meth:`~repro.core.engine.BatchSearch.search_many`
-            call. Merging two stats objects concatenates the lists.
+        coalesced_batch_sizes: a
+            :class:`~repro.obs.metrics.BoundedHistogram` recording one
+            sample per fused engine dispatch — the number of requests
+            the serving layer's micro-batcher merged into that
+            :meth:`~repro.core.engine.BatchSearch.search_many` call.
+            The retained sample window is bounded (a resident server
+            used to grow a plain list forever) while lifetime
+            count/total stay exact; merging two stats objects merges
+            the histograms. A plain list still coerces on construction.
+        stage_seconds: per-stage wall-time breakdown (see
+            :class:`StageTimings`); merging sums per stage.
     """
 
     distance_computations: int = 0
@@ -80,20 +133,35 @@ class SearchStats:
     shard_load_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
-    coalesced_batch_sizes: list[int] = field(default_factory=list)
+    coalesced_batch_sizes: BoundedHistogram = field(
+        default_factory=BoundedHistogram
+    )
+    stage_seconds: StageTimings = field(default_factory=StageTimings)
+
+    def __post_init__(self) -> None:
+        # accept plain containers at the call sites that construct stats
+        # with literals (tests, callers predating the histogram swap)
+        if not isinstance(self.coalesced_batch_sizes, BoundedHistogram):
+            self.coalesced_batch_sizes = BoundedHistogram(
+                self.coalesced_batch_sizes
+            )
+        if not isinstance(self.stage_seconds, StageTimings):
+            self.stage_seconds = StageTimings(self.stage_seconds)
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate counters from ``other`` (used by partitioned search).
 
-        Numeric fields add; ``coalesced_batch_sizes`` concatenates.
+        Numeric fields add; ``coalesced_batch_sizes`` merges histograms;
+        ``stage_seconds`` sums per stage.
         """
         for name in self.__dataclass_fields__:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
     @property
     def coalesced_requests(self) -> int:
-        """Total requests answered through fused micro-batches."""
-        return sum(self.coalesced_batch_sizes)
+        """Total requests answered through fused micro-batches (exact
+        lifetime total, unaffected by the bounded sample window)."""
+        return int(self.coalesced_batch_sizes.total)
 
     @property
     def total_seconds(self) -> float:

@@ -301,6 +301,7 @@ def verify_row_blocks(
     """
     stats = stats if stats is not None else SearchStats()
     started = time.perf_counter()
+    lemma_seconds = 0.0  # time inside the Lemma 1/2 mask kernels
     if row_block_size < 1:
         raise ValueError("row_block_size must be >= 1")
     n_queries = len(query_sizes)
@@ -473,13 +474,17 @@ def verify_row_blocks(
             q_map = query_mapped[pair_qrow]
             pair_hit = np.zeros(pair_t.size, dtype=bool)
             if use_lemma2:
+                lemma_started = time.perf_counter()
                 pair_hit = lemma2_match_mask(t_map, q_map, tau)
+                lemma_seconds += time.perf_counter() - lemma_started
                 np.add.at(acc["lemma2_matched"], q_of_pair[pair_hit], 1)
                 np.logical_or.at(ep_done, pair_ep[pair_hit], True)
             undecided = ~pair_hit & ~ep_done[pair_ep]
             if use_lemma1 and undecided.any():
                 u = np.nonzero(undecided)[0]
+                lemma_started = time.perf_counter()
                 pruned = lemma1_filter_mask(t_map[u], q_map[u], tau)
+                lemma_seconds += time.perf_counter() - lemma_started
                 np.add.at(acc["lemma1_filtered"], q_of_pair[u[pruned]], 1)
                 undecided[u[pruned]] = False
             if undecided.any():
@@ -577,7 +582,12 @@ def verify_row_blocks(
         verdict.joinable = {int(touched[c]) for c in np.nonzero(joinable[seg])[0]}
         results.append(verdict)
 
-    stats.verification_seconds += time.perf_counter() - started
+    elapsed = time.perf_counter() - started
+    stats.verification_seconds += elapsed
+    # disjoint stage split: lemma-mask kernels vs. the rest of verify,
+    # so per-stage timings sum to (at most) the wall clock
+    stats.stage_seconds.add("lemma_filter", lemma_seconds)
+    stats.stage_seconds.add("verify", max(0.0, elapsed - lemma_seconds))
     for name, arr in acc.items():
         setattr(stats, name, getattr(stats, name) + int(arr.sum()))
     if per_query_stats is not None:

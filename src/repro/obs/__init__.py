@@ -1,0 +1,38 @@
+"""Observability: tracing, metrics registry, per-stage profiling.
+
+The subsystem every serving/cluster layer reports into:
+
+* :mod:`repro.obs.trace` — Dapper-style spans with deterministic IDs,
+  HTTP propagation via the ``X-Repro-Trace`` header, a bounded ring
+  buffer behind ``GET /debug/traces`` and a structured slow-query log.
+* :mod:`repro.obs.metrics` — a thread-safe registry of counters, gauges
+  and summaries rendered as conformant Prometheus text exposition
+  (``# HELP`` / ``# TYPE``, escaped label values), plus
+  :class:`~repro.obs.metrics.BoundedHistogram`, the bounded sample
+  window with exact lifetime totals used by
+  :class:`~repro.core.stats.SearchStats`.
+"""
+
+from repro.obs.metrics import BoundedHistogram, MetricsRegistry, escape_label_value
+from repro.obs.trace import (
+    TRACE_HEADER,
+    NullSpan,
+    Span,
+    TraceContext,
+    Tracer,
+    default_tracer,
+    set_default_tracer,
+)
+
+__all__ = [
+    "BoundedHistogram",
+    "MetricsRegistry",
+    "escape_label_value",
+    "TRACE_HEADER",
+    "NullSpan",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "default_tracer",
+    "set_default_tracer",
+]

@@ -1,0 +1,461 @@
+"""Dapper-style tracing: spans, HTTP propagation, slow-query log.
+
+One traced ``/search`` through a cluster yields a single trace tree:
+the coordinator opens a root span, every scatter call opens a per-slot
+child annotated with the resilience decisions (hedge fired/won,
+failover, breaker state, deadline remaining), and the worker side links
+its service/engine spans to the coordinator's via the ``X-Repro-Trace``
+header — the trace context travels next to ``X-Repro-Deadline-Ms``.
+
+Design points:
+
+* **Deterministic IDs** — trace and span IDs come from a locked
+  process-local counter, not a RNG, so tests (and replayed traces) are
+  stable. IDs carry the tracer's ``prefix`` so two processes' spans
+  stay distinguishable when their buffers are merged.
+* **Sampling** — ``sample_rate`` is applied deterministically at the
+  root (every k-th trace pattern, not a coin flip); the decision rides
+  the header as the third field, so workers record exactly the traces
+  the coordinator sampled. Unsampled spans still carry IDs (the header
+  must still propagate) but never land in the buffer — their overhead
+  is a couple of attribute writes.
+* **Bounded buffers** — finished spans land in a ring buffer (exposed
+  at ``GET /debug/traces``); local roots that exceed
+  ``slow_query_seconds`` additionally emit one structured JSON line and
+  land in the slow-query ring.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import logging
+import threading
+import time
+from collections import deque
+from typing import Callable, Optional, Union
+
+#: trace propagation header: ``<trace_id>:<span_id>:<sampled:0|1>``
+#: (colon-separated — generated IDs carry the tracer prefix, which may
+#: itself contain dashes, so ``-`` would be ambiguous to split on)
+TRACE_HEADER = "X-Repro-Trace"
+
+logger = logging.getLogger("repro.obs.slow_query")
+
+
+class TraceContext:
+    """The wire form of a span: what crosses process boundaries."""
+
+    __slots__ = ("trace_id", "span_id", "sampled")
+
+    def __init__(self, trace_id: str, span_id: str, sampled: bool = True):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.sampled = bool(sampled)
+
+    def to_header(self) -> str:
+        return f"{self.trace_id}:{self.span_id}:{1 if self.sampled else 0}"
+
+    @classmethod
+    def from_header(cls, value: Optional[str]) -> Optional["TraceContext"]:
+        """Parse a propagated header; ``None`` on absent/malformed input
+        (a bad trace header must never fail the request carrying it)."""
+        if not value:
+            return None
+        parts = value.strip().split(":")
+        if len(parts) != 3 or not parts[0] or not parts[1]:
+            return None
+        if parts[2] not in ("0", "1"):
+            return None
+        return cls(parts[0], parts[1], sampled=parts[2] == "1")
+
+    def __repr__(self) -> str:
+        return f"TraceContext({self.to_header()!r})"
+
+
+class NullSpan:
+    """The inert span: accepts the full :class:`Span` API, records nothing.
+
+    Returned for child spans with no parent so internal layers can
+    instrument unconditionally without ever starting accidental roots.
+    """
+
+    __slots__ = ()
+
+    sampled = False
+    trace_id = None
+    span_id = None
+    duration: Optional[float] = None
+
+    def annotate(self, **fields) -> "NullSpan":
+        return self
+
+    def child(self, name: str) -> "NullSpan":
+        return self
+
+    def context(self) -> Optional[TraceContext]:
+        return None
+
+    def finish(self) -> None:
+        return None
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: the shared inert instance (stateless, so one is enough)
+NULL_SPAN = NullSpan()
+
+
+class Span:
+    """One timed operation inside a trace.
+
+    Use as a context manager (``with tracer.trace("search") as span:``)
+    or finish explicitly. ``annotate`` attaches structured fields — the
+    scatter path records hedge/failover/breaker decisions this way.
+    """
+
+    __slots__ = (
+        "tracer", "name", "trace_id", "span_id", "parent_id", "sampled",
+        "annotations", "started_at", "_started", "duration", "remote_parent",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        sampled: bool,
+        remote_parent: bool = False,
+    ):
+        self.tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.sampled = sampled
+        self.remote_parent = remote_parent
+        self.annotations: dict = {}
+        self.started_at = time.time()
+        self._started = time.perf_counter()
+        self.duration: Optional[float] = None
+
+    def annotate(self, **fields) -> "Span":
+        """Attach structured fields; returns self for chaining."""
+        self.annotations.update(fields)
+        return self
+
+    def child(self, name: str) -> Union["Span", NullSpan]:
+        """Open a child span under this one."""
+        return self.tracer.span(name, parent=self)
+
+    def context(self) -> TraceContext:
+        """The propagation context for outbound calls under this span."""
+        return TraceContext(self.trace_id, self.span_id, sampled=self.sampled)
+
+    def finish(self) -> None:
+        if self.duration is not None:  # already finished
+            return
+        self.duration = time.perf_counter() - self._started
+        if self.sampled:
+            self.tracer._record(self)
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "remote_parent": self.remote_parent,
+            "name": self.name,
+            "started_at": self.started_at,
+            "duration_seconds": self.duration,
+            "annotations": dict(self.annotations),
+        }
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.annotations.setdefault("error", exc_type.__name__)
+        self.finish()
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, id={self.span_id}, "
+            f"parent={self.parent_id})"
+        )
+
+
+class Tracer:
+    """Span factory, ring buffer and slow-query log for one process.
+
+    Args:
+        sample_rate: fraction of *root* traces recorded, in ``[0, 1]``.
+            Applied deterministically (an accumulator, not a RNG): 1.0
+            records everything, 0.0 nothing, 0.5 every other trace.
+            Propagated contexts carry their own decision and bypass the
+            knob — the sampler runs once, at the edge.
+        max_spans: ring-buffer capacity of finished spans.
+        slow_query_seconds: local-root spans at/above this duration emit
+            one JSON line to ``slow_query_sink`` and join the slow-query
+            ring; ``None`` disables the log.
+        slow_query_sink: callable taking the JSON line (defaults to the
+            ``repro.obs.slow_query`` logger at INFO).
+        prefix: prepended to generated IDs, keeping spans from different
+            processes distinguishable in merged views.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 1.0,
+        max_spans: int = 2048,
+        slow_query_seconds: Optional[float] = None,
+        slow_query_sink: Optional[Callable[[str], None]] = None,
+        prefix: str = "",
+        max_slow_queries: int = 256,
+    ):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in [0, 1]")
+        self.sample_rate = float(sample_rate)
+        self.slow_query_seconds = slow_query_seconds
+        self.slow_query_sink = slow_query_sink
+        self.prefix = prefix
+        self._lock = threading.Lock()
+        self._trace_seq = itertools.count(1)
+        self._span_seq = itertools.count(1)
+        self._span_issued = 0
+        self._sample_acc = 0.0
+        self._spans: deque = deque(maxlen=int(max_spans))
+        self._slow: deque = deque(maxlen=int(max_slow_queries))
+
+    # -- configuration -------------------------------------------------------------
+
+    def configure(
+        self,
+        sample_rate: Optional[float] = None,
+        slow_query_seconds: Optional[float] = None,
+        prefix: Optional[str] = None,
+    ) -> "Tracer":
+        """Adjust knobs in place (the CLI flags land here)."""
+        if sample_rate is not None:
+            if not 0.0 <= sample_rate <= 1.0:
+                raise ValueError("sample_rate must be in [0, 1]")
+            self.sample_rate = float(sample_rate)
+        if slow_query_seconds is not None:
+            self.slow_query_seconds = float(slow_query_seconds)
+        if prefix is not None:
+            self.prefix = prefix
+        return self
+
+    # -- span creation -------------------------------------------------------------
+
+    def _next_trace_id(self) -> str:
+        return f"{self.prefix}t{next(self._trace_seq):08d}"
+
+    def _next_span_id(self) -> str:
+        n = next(self._span_seq)
+        if n > self._span_issued:
+            self._span_issued = n
+        return f"{self.prefix}s{n:08d}"
+
+    def _issued_span_id(self, span_id: str) -> bool:
+        """True if this tracer generated ``span_id`` itself.
+
+        A remote context carrying a self-issued parent is a *loopback*:
+        the request crossed the wire back into the same process (a
+        thread-mode cluster), so the parent span is genuinely local and
+        the continuation should nest under it instead of starting a new
+        local root. Cross-process tracers are told apart by their ID
+        prefix (the CLI derives one per process).
+        """
+        tag = f"{self.prefix}s"
+        if not span_id.startswith(tag):
+            return False
+        suffix = span_id[len(tag):]
+        if len(suffix) != 8 or not suffix.isdigit():
+            return False
+        return 0 < int(suffix) <= self._span_issued
+
+    def _sample_decision(self) -> bool:
+        """Deterministic rate limiter: records ceil(rate * n) of n roots."""
+        with self._lock:
+            self._sample_acc += self.sample_rate
+            if self._sample_acc >= 1.0 - 1e-9:
+                self._sample_acc -= 1.0
+                return True
+            return False
+
+    def trace(
+        self,
+        name: str,
+        parent: Union[TraceContext, Span, None] = None,
+    ) -> Span:
+        """Open a root (or remote-continued) span.
+
+        With ``parent=None`` a new trace starts and the sampling
+        decision is made here. With a :class:`TraceContext` (parsed
+        from an inbound header) the span joins the remote trace and
+        inherits its sampling decision. With a local :class:`Span`,
+        behaves like :meth:`span`.
+        """
+        if isinstance(parent, Span):
+            return self.span(name, parent=parent)  # type: ignore[return-value]
+        if isinstance(parent, TraceContext):
+            return Span(
+                self, name, parent.trace_id, self._next_span_id(),
+                parent_id=parent.span_id, sampled=parent.sampled,
+                remote_parent=not self._issued_span_id(parent.span_id),
+            )
+        return Span(
+            self, name, self._next_trace_id(), self._next_span_id(),
+            parent_id=None, sampled=self._sample_decision(),
+        )
+
+    def span(
+        self,
+        name: str,
+        parent: Union[Span, NullSpan, TraceContext, None],
+    ) -> Union[Span, NullSpan]:
+        """Open a child span; with no parent, returns the inert
+        :data:`NULL_SPAN` (children never start traces by accident)."""
+        if parent is None or isinstance(parent, NullSpan):
+            return NULL_SPAN
+        if isinstance(parent, TraceContext):
+            return self.trace(name, parent=parent)
+        return Span(
+            self, name, parent.trace_id, self._next_span_id(),
+            parent_id=parent.span_id, sampled=parent.sampled,
+        )
+
+    # -- recording -----------------------------------------------------------------
+
+    def _record(self, span: Span) -> None:
+        record = span.to_dict()
+        with self._lock:
+            self._spans.append(record)
+        threshold = self.slow_query_seconds
+        is_local_root = span.parent_id is None or span.remote_parent
+        if (
+            threshold is not None
+            and is_local_root
+            and span.duration is not None
+            and span.duration >= threshold
+        ):
+            self._slow_query(record)
+
+    def _slow_query(self, record: dict) -> None:
+        entry = {
+            "event": "slow_query",
+            "ts": record["started_at"],
+            "trace_id": record["trace_id"],
+            "span_id": record["span_id"],
+            "name": record["name"],
+            "duration_seconds": record["duration_seconds"],
+            "threshold_seconds": self.slow_query_seconds,
+            "annotations": record["annotations"],
+        }
+        with self._lock:
+            self._slow.append(entry)
+        line = json.dumps(entry, sort_keys=True, default=str)
+        sink = self.slow_query_sink
+        if sink is not None:
+            sink(line)
+        else:
+            logger.info("%s", line)
+
+    # -- reading -------------------------------------------------------------------
+
+    def spans(self) -> list:
+        """Finished sampled spans, oldest first (bounded)."""
+        with self._lock:
+            return list(self._spans)
+
+    def slow_queries(self) -> list:
+        """Recent slow-query records, oldest first (bounded)."""
+        with self._lock:
+            return list(self._slow)
+
+    def traces(self) -> list:
+        """Finished spans grouped into trees, one entry per trace.
+
+        Roots are spans whose parent is absent from this buffer (true
+        roots *and* remote-parented spans — a worker's buffer shows its
+        service spans as roots of the coordinator's trace). Children
+        sort by start time.
+        """
+        spans = self.spans()
+        by_trace: dict[str, list] = {}
+        for record in spans:
+            by_trace.setdefault(record["trace_id"], []).append(record)
+        out = []
+        for trace_id, records in by_trace.items():
+            known = {r["span_id"] for r in records}
+            children: dict[Optional[str], list] = {}
+            for r in records:
+                # a remote-parented span is always a local root: its
+                # parent lives in another process whose span IDs may
+                # collide with this buffer's (each tracer numbers its
+                # own spans), so membership in `known` proves nothing
+                local_parent = (
+                    r["parent_id"] if r["parent_id"] in known
+                    and not r.get("remote_parent") else None
+                )
+                children.setdefault(local_parent, []).append(r)
+
+            def build(record: dict) -> dict:
+                node = dict(record)
+                kids = children.get(record["span_id"], [])
+                kids.sort(key=lambda r: r["started_at"])
+                node["children"] = [build(k) for k in kids]
+                return node
+
+            roots = sorted(
+                children.get(None, []), key=lambda r: r["started_at"]
+            )
+            out.append({
+                "trace_id": trace_id,
+                "n_spans": len(records),
+                "roots": [build(r) for r in roots],
+            })
+        return out
+
+    def reset(self) -> None:
+        """Drop buffered spans/slow queries (tests, not production)."""
+        with self._lock:
+            self._spans.clear()
+            self._slow.clear()
+
+
+# -- the process-wide default tracer ------------------------------------------------
+
+_default_tracer = Tracer()
+_default_lock = threading.Lock()
+
+
+def default_tracer() -> Tracer:
+    """The process-wide tracer servers fall back to when none is given.
+
+    In thread-mode :class:`~repro.cluster.local.LocalCluster` runs the
+    coordinator and every worker share this instance, so one traced
+    query lands as a single tree in a single buffer.
+    """
+    return _default_tracer
+
+
+def set_default_tracer(tracer: Tracer) -> Tracer:
+    """Replace the process-wide default; returns the *previous* tracer
+    so callers can restore it (tests, scoped instrumentation)."""
+    global _default_tracer
+    with _default_lock:
+        previous = _default_tracer
+        _default_tracer = tracer
+    return previous

@@ -16,6 +16,8 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.trace import TRACE_HEADER  # noqa: F401  (re-exported)
+
 #: header carrying a request's *remaining* deadline budget, in
 #: milliseconds. Remaining time (not an absolute instant) crosses the
 #: wire so clock skew between coordinator and worker cannot corrupt it.
@@ -103,6 +105,7 @@ class ServeClient:
         raw: bool = False,
         idempotent: bool = True,
         deadline_ms: Optional[float] = None,
+        trace=None,
     ):
         """One HTTP exchange, transport-retried only when ``idempotent``.
 
@@ -114,7 +117,10 @@ class ServeClient:
 
         ``deadline_ms`` attaches the remaining latency budget as the
         ``X-Repro-Deadline-Ms`` header and caps the socket timeout to
-        it, so a call never outlives the budget it carries.
+        it, so a call never outlives the budget it carries. ``trace``
+        (a :class:`~repro.obs.trace.Span` or ``TraceContext``) attaches
+        the ``X-Repro-Trace`` header so the server joins the caller's
+        trace.
         """
         data = None
         headers = {}
@@ -125,6 +131,9 @@ class ServeClient:
         if deadline_ms is not None:
             headers[DEADLINE_HEADER] = f"{float(deadline_ms):.3f}"
             timeout = min(timeout, max(float(deadline_ms) / 1000.0, 0.001))
+        trace_header = self._trace_header_value(trace)
+        if trace_header is not None:
+            headers[TRACE_HEADER] = trace_header
         attempts = (self.retries + 1) if idempotent else 1
         for attempt in range(attempts):
             request = urllib.request.Request(
@@ -157,6 +166,19 @@ class ServeClient:
         return json.loads(payload)
 
     @staticmethod
+    def _trace_header_value(trace) -> Optional[str]:
+        """The ``X-Repro-Trace`` value for a Span / TraceContext (or None)."""
+        if trace is None:
+            return None
+        context = getattr(trace, "context", None)
+        if callable(context):  # a Span (or NullSpan, whose context is None)
+            trace = context()
+            if trace is None:
+                return None
+        to_header = getattr(trace, "to_header", None)
+        return to_header() if callable(to_header) else None
+
+    @staticmethod
     def _query_body(
         values: Optional[Sequence[str]],
         vectors: Optional[np.ndarray],
@@ -187,6 +209,7 @@ class ServeClient:
         parts: Optional[Sequence[int]] = None,
         ef_search: Optional[int] = None,
         deadline_ms: Optional[float] = None,
+        trace=None,
     ) -> dict[str, Any]:
         """Threshold search; returns the shared search payload.
 
@@ -196,6 +219,7 @@ class ServeClient:
         the field is only sent when set, so old servers keep working).
         ``deadline_ms`` sends the remaining latency budget; an expired
         budget is answered 504 by the server before any work runs.
+        ``trace`` propagates the caller's trace context to the server.
         """
         body = self._query_body(values, vectors)
         body.update(self._tau_body(tau, tau_fraction))
@@ -204,7 +228,9 @@ class ServeClient:
             body["parts"] = [int(p) for p in parts]
         if ef_search is not None:
             body["ef_search"] = int(ef_search)
-        return self._request("POST", "/search", body, deadline_ms=deadline_ms)
+        return self._request(
+            "POST", "/search", body, deadline_ms=deadline_ms, trace=trace
+        )
 
     def topk(
         self,
@@ -216,12 +242,14 @@ class ServeClient:
         parts: Optional[Sequence[int]] = None,
         theta: int = 0,
         deadline_ms: Optional[float] = None,
+        trace=None,
     ) -> dict[str, Any]:
         """Exact top-k; returns the shared topk payload.
 
         ``parts`` / ``theta`` are the cluster scatter parameters (answer
         these partitions only, pruning against an external k-th-best
-        floor). ``deadline_ms`` sends the remaining latency budget.
+        floor). ``deadline_ms`` sends the remaining latency budget;
+        ``trace`` propagates the caller's trace context.
         """
         body = self._query_body(values, vectors)
         body.update(self._tau_body(tau, tau_fraction))
@@ -230,7 +258,9 @@ class ServeClient:
             body["parts"] = [int(p) for p in parts]
         if theta:
             body["theta"] = int(theta)
-        return self._request("POST", "/topk", body, deadline_ms=deadline_ms)
+        return self._request(
+            "POST", "/topk", body, deadline_ms=deadline_ms, trace=trace
+        )
 
     def add_column(
         self,
@@ -275,3 +305,7 @@ class ServeClient:
     def metrics(self) -> str:
         """The raw ``/metrics`` text exposition."""
         return self._request("GET", "/metrics", raw=True)
+
+    def debug_traces(self) -> dict[str, Any]:
+        """Recent trace trees + slow-query log from ``/debug/traces``."""
+        return self._request("GET", "/debug/traces")

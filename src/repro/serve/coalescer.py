@@ -26,7 +26,7 @@ from typing import Any, Callable, Optional, Sequence
 class PendingRequest:
     """One queued single-query request awaiting a fused dispatch."""
 
-    __slots__ = ("args", "event", "payload", "error", "promoted")
+    __slots__ = ("args", "event", "payload", "error", "promoted", "enqueued_at")
 
     def __init__(self, args: tuple):
         self.args = args
@@ -36,6 +36,9 @@ class PendingRequest:
         #: set (under the batcher lock) when an exiting leader hands this
         #: queued request the leadership instead of a result
         self.promoted = False
+        #: queue-wait clock start — the executor reads it to attribute
+        #: time spent waiting for the fused dispatch (``queue_wait``)
+        self.enqueued_at = time.perf_counter()
 
 
 class MicroBatcher:

@@ -31,6 +31,7 @@ from typing import Any, Optional, Sequence, Union
 from repro.core.search import JoinableColumn, SearchResult
 from repro.core.stats import SearchStats
 from repro.core.topk import TopKResult
+from repro.obs.metrics import MetricsRegistry
 
 #: a single node stamps one generation integer; a cluster response rolls
 #: every worker's generation into a vector indexed by worker slot
@@ -56,13 +57,19 @@ def search_payload(
     generation: Optional[Generation] = None,
     cached: Optional[bool] = None,
     ef_search: Optional[int] = None,
+    timings: Optional[dict] = None,
 ) -> dict[str, Any]:
     """The shared ``/search`` response for one threshold-search result.
 
     ``ef_search`` echoes the request's ANN beam-width knob when the
     approximate candidate tier was engaged, so callers can tell an exact
-    answer from an exact-given-recalled-candidates one.
+    answer from an exact-given-recalled-candidates one. ``timings``
+    attaches the per-stage wall-time breakdown (``stage -> seconds``,
+    see :class:`~repro.core.stats.StageTimings`); it defaults to the
+    result's own ``stats.stage_seconds`` and is omitted when empty.
     """
+    if timings is None:
+        timings = dict(result.stats.stage_seconds)
     payload: dict[str, Any] = {
         "tau": float(result.tau),
         "t_count": int(result.t_count),
@@ -84,6 +91,10 @@ def search_payload(
         payload["cached"] = bool(cached)
     if ef_search is not None:
         payload["ef_search"] = int(ef_search)
+    if timings:
+        payload["timings"] = {
+            stage: float(seconds) for stage, seconds in timings.items()
+        }
     return payload
 
 
@@ -92,8 +103,11 @@ def topk_payload(
     columns: Optional[Sequence[dict]] = None,
     generation: Optional[Generation] = None,
     cached: Optional[bool] = None,
+    timings: Optional[dict] = None,
 ) -> dict[str, Any]:
     """The shared ``/topk`` response (hits in rank order)."""
+    if timings is None:
+        timings = dict(result.stats.stage_seconds)
     payload: dict[str, Any] = {
         "tau": float(result.tau),
         "k": int(result.k),
@@ -111,6 +125,10 @@ def topk_payload(
         payload["generation"] = _generation_value(generation)
     if cached is not None:
         payload["cached"] = bool(cached)
+    if timings:
+        payload["timings"] = {
+            stage: float(seconds) for stage, seconds in timings.items()
+        }
     return payload
 
 
@@ -156,17 +174,50 @@ def topk_result_from_payload(payload: dict) -> TopKResult:
     )
 
 
-def stats_metrics_text(stats: SearchStats, extra: Optional[dict] = None) -> str:
-    """Prometheus-style exposition of the serving counters.
+#: one-line help strings for the serving metric names (names predate the
+#: registry — dashboards and tests parse them literally, so they stay)
+METRIC_HELP = {
+    "cache_hits": "Requests answered from the generation-stamped result cache.",
+    "cache_misses": "Requests that ran a real search.",
+    "coalesced_batches": "Fused micro-batch dispatches (lifetime).",
+    "coalesced_requests": "Requests answered through fused dispatches (lifetime).",
+    "distance_computations": "Exact metric distance evaluations during verification.",
+    "candidate_pairs": "(query vector, leaf cell) candidate pairs from blocking.",
+    "matching_pairs": "(query vector, leaf cell) pairs proven by Lemma 5/6.",
+    "shard_load_seconds": "Seconds spent loading spilled partitions from disk.",
+    "generation": "Current index generation (bumped by every mutation).",
+    "columns": "Columns currently indexed.",
+    "cache_size": "Result-cache entries currently resident.",
+    "resident_shards": "Partitions resident in memory.",
+    "spilled_shards": "Partitions spilled to disk.",
+    "shard_lru_size": "Shards held by the LRU.",
+    "shard_lru_capacity": "LRU shard capacity.",
+    "shard_lru_hits": "LRU hits.",
+    "shard_lru_misses": "LRU misses (loads from disk).",
+    "admission_capacity": "Admission-controller concurrency capacity.",
+    "admission_inflight": "Requests currently admitted and in flight.",
+    "admission_shed": "Requests shed with 429 by admission control.",
+    "deadline_rejects": "Requests rejected because their budget expired.",
+    "stage_seconds": "Per-stage search wall time (one sample per dispatch).",
+    "batch_size": "Requests fused per micro-batch dispatch.",
+}
 
-    Every line is ``pexeso_serve_<name> <value>``; list-valued counters
-    are summarised (count + sum), and ``extra`` adds service-level
-    gauges (generation, column count, cache occupancy …) — an ``extra``
-    entry sharing a base counter's name *overrides* it (the service uses
-    this to report exact lifetime coalescing totals once old samples
-    fold out of its bounded window).
+
+def base_metrics_registry(
+    stats: SearchStats, extra: Optional[dict] = None
+) -> "MetricsRegistry":
+    """The serving counters as a typed registry (``pexeso_serve_`` prefix).
+
+    The single exposition backing every ``/metrics`` endpoint: the base
+    search/cache counters from ``stats`` plus ``extra`` service-level
+    values — an ``extra`` entry sharing a base counter's name
+    *overrides* it (the service reports exact lifetime coalescing
+    totals this way). Values keep their Python type so ints render bare
+    and floats render with a decimal point, exactly as the pre-registry
+    exposition did. Callers add their own families (summaries, labelled
+    gauges) to the returned registry before rendering.
     """
-    gauges = {
+    values = {
         "cache_hits": stats.cache_hits,
         "cache_misses": stats.cache_misses,
         "coalesced_batches": len(stats.coalesced_batch_sizes),
@@ -176,6 +227,18 @@ def stats_metrics_text(stats: SearchStats, extra: Optional[dict] = None) -> str:
         "matching_pairs": stats.matching_pairs,
         "shard_load_seconds": stats.shard_load_seconds,
     }
-    gauges.update(extra or {})
-    lines = [f"pexeso_serve_{name} {value}" for name, value in gauges.items()]
-    return "\n".join(lines) + "\n"
+    values.update(extra or {})
+    registry = MetricsRegistry(prefix="pexeso_serve_")
+    counters = {
+        "cache_hits", "cache_misses", "coalesced_batches",
+        "coalesced_requests", "distance_computations", "candidate_pairs",
+        "matching_pairs", "admission_shed", "deadline_rejects",
+        "shard_lru_hits", "shard_lru_misses",
+    }
+    for name, value in values.items():
+        help_text = METRIC_HELP.get(name, name)
+        if name in counters:
+            registry.counter(name, help_text, value)
+        else:
+            registry.gauge(name, help_text, value)
+    return registry

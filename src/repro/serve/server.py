@@ -18,7 +18,8 @@ path       method  body / response
 /columns/N DELETE  -> ``{"deleted", "generation"}`` (live delete)
 /stats     GET     service state (cache, coalescing, backend)
 /healthz   GET     ``{"ok": true, "generation": G}``
-/metrics   GET     Prometheus-style text exposition
+/metrics   GET     Prometheus text exposition (registry-rendered)
+/debug/traces GET  recent trace trees + slow-query log (JSON)
 =========  ======  ===================================================
 
 ``"values"`` (raw strings) requires the server to hold an embedder —
@@ -39,9 +40,10 @@ from typing import Any, Optional, Sequence
 import numpy as np
 
 from repro.core.ann import normalized_ef_search
+from repro.obs.trace import TRACE_HEADER, TraceContext, Tracer, default_tracer
 from repro.serve.client import DEADLINE_HEADER
 from repro.serve.faults import apply_server_faults
-from repro.serve.schema import search_payload, stats_metrics_text, topk_payload
+from repro.serve.schema import base_metrics_registry, search_payload, topk_payload
 from repro.serve.service import QueryService
 
 
@@ -229,6 +231,9 @@ class ServeHTTPServer(GracefulHTTPServer):
             :class:`~repro.serve.faults.FaultInjector` whose schedule
             runs against incoming requests (scripted slow-worker
             delays, injected errors, dropped connections).
+        tracer: the :class:`~repro.obs.trace.Tracer` recording request
+            spans (continued from the ``X-Repro-Trace`` header when a
+            caller sends one); defaults to the process-wide tracer.
     """
 
     def __init__(
@@ -241,6 +246,7 @@ class ServeHTTPServer(GracefulHTTPServer):
         quiet: bool = True,
         max_concurrent: Optional[int] = None,
         fault_injector=None,
+        tracer: Optional[Tracer] = None,
     ):
         self.service = service
         self.embedder = embedder
@@ -250,6 +256,7 @@ class ServeHTTPServer(GracefulHTTPServer):
         self.quiet = quiet
         self.admission = AdmissionController(max_concurrent)
         self.fault_injector = fault_injector
+        self.tracer = tracer if tracer is not None else default_tracer()
         self._counter_lock = threading.Lock()
         self.deadline_rejects = 0
         super().__init__(address, ServeHandler)
@@ -390,6 +397,10 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
         self._send_error_json("deadline expired", 504)
         return True
 
+    def _trace_context(self) -> Optional[TraceContext]:
+        """The caller's trace context from ``X-Repro-Trace`` (or None)."""
+        return TraceContext.from_header(self.headers.get(TRACE_HEADER))
+
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
         if length == 0:
@@ -490,7 +501,26 @@ class ServeHandler(JsonRequestHandler):
                         shard_lru_misses=lru["lru_misses"],
                     )
                 extra.update(self.server.resilience_metrics())
-                self._send_text(stats_metrics_text(stats, extra))
+                registry = base_metrics_registry(stats, extra)
+                registry.summary(
+                    "batch_size",
+                    "Requests fused per micro-batch dispatch.",
+                    source=stats.coalesced_batch_sizes,
+                )
+                for stage, hist in sorted(service.stage_histograms().items()):
+                    registry.summary(
+                        "stage_seconds",
+                        "Per-stage search wall time (one sample per dispatch).",
+                        source=hist,
+                        labels={"stage": stage},
+                    )
+                self._send_text(registry.render())
+            elif self.path == "/debug/traces":
+                tracer = self.server.tracer
+                self._send_json({
+                    "traces": tracer.traces(),
+                    "slow_queries": tracer.slow_queries(),
+                })
             else:
                 self._send_error_json(f"unknown path {self.path}", 404)
         except Exception as exc:  # pragma: no cover - defensive
@@ -556,10 +586,14 @@ class ServeHandler(JsonRequestHandler):
         tau = self._resolve_tau(body, query)
         joinability = body.get("joinability", 0.6)
         ef_search = self._parse_ef_search(body)
-        response = self.server.service.search(
-            query, tau, joinability, parts=self._parse_parts(body),
-            ef_search=ef_search,
-        )
+        with self.server.tracer.trace(
+            "serve.search", parent=self._trace_context()
+        ) as span:
+            span.annotate(n_queries=int(query.shape[0]), tau=float(tau))
+            response = self.server.service.search(
+                query, tau, joinability, parts=self._parse_parts(body),
+                ef_search=ef_search, trace=span,
+            )
         self._send_json(
             search_payload(
                 response.result,
@@ -574,10 +608,15 @@ class ServeHandler(JsonRequestHandler):
         query = self._query_vectors(body)
         tau = self._resolve_tau(body, query)
         k = int(body.get("k", 10))
-        response = self.server.service.topk(
-            query, tau, k,
-            parts=self._parse_parts(body), theta=int(body.get("theta", 0)),
-        )
+        with self.server.tracer.trace(
+            "serve.topk", parent=self._trace_context()
+        ) as span:
+            span.annotate(n_queries=int(query.shape[0]), k=k)
+            response = self.server.service.topk(
+                query, tau, k,
+                parts=self._parse_parts(body), theta=int(body.get("theta", 0)),
+                trace=span,
+            )
         self._send_json(
             topk_payload(
                 response.result,
@@ -625,6 +664,7 @@ def make_server(
     quiet: bool = True,
     max_concurrent: Optional[int] = None,
     fault_injector=None,
+    tracer: Optional[Tracer] = None,
     **service_kwargs: Any,
 ) -> ServeHTTPServer:
     """Build a ready-to-run server from a service or a saved index directory.
@@ -639,6 +679,10 @@ def make_server(
     Call ``serve_forever()`` on the result (or hand it to a thread) and
     ``shutdown()`` / ``server_close()`` to stop.
     """
+    if tracer is not None:
+        # a service built here should record into the same tracer the
+        # server continues remote contexts on
+        service_kwargs.setdefault("tracer", tracer)
     if isinstance(service_or_dir, QueryService):
         service = service_or_dir
     elif isinstance(service_or_dir, (str, Path)):
@@ -669,4 +713,5 @@ def make_server(
         quiet=quiet,
         max_concurrent=max_concurrent,
         fault_injector=fault_injector,
+        tracer=tracer,
     )

@@ -27,6 +27,7 @@ produced — and layers the online concerns on top:
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -38,9 +39,11 @@ from repro.core.ann import normalized_ef_search
 from repro.core.index import PexesoIndex
 from repro.core.out_of_core import LakeSearcher, PartitionedPexeso
 from repro.core.search import AblationFlags, SearchResult
-from repro.core.stats import SearchStats
+from repro.core.stats import SearchStats, StageTimings
 from repro.core.thresholds import distance_threshold
 from repro.core.topk import TopKResult
+from repro.obs.metrics import BoundedHistogram
+from repro.obs.trace import Tracer, default_tracer
 from repro.serve.cache import ResultCache, query_cache_key
 from repro.serve.coalescer import MicroBatcher, PendingRequest
 
@@ -139,6 +142,8 @@ class QueryService:
             against an exhaustive oracle).
         flags: ablation switches applied to every served search.
         max_workers: worker-pool width passed through to the searcher.
+        tracer: the :class:`~repro.obs.trace.Tracer` service spans are
+            recorded into; defaults to the process-wide tracer.
     """
 
     def __init__(
@@ -150,6 +155,7 @@ class QueryService:
         exact_counts: bool = False,
         flags: Optional[AblationFlags] = None,
         max_workers: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if window_ms is not None and window_ms < 0:
             raise ValueError("window_ms must be non-negative (or None)")
@@ -172,16 +178,16 @@ class QueryService:
                 window_seconds=window_ms / 1000.0,
                 max_batch=max_batch,
             )
+        self.tracer = tracer if tracer is not None else default_tracer()
         self.stats = SearchStats()
         self._stats_lock = threading.Lock()
         self._requests_served = 0
-        # coalesced_batch_sizes is bounded to the most recent samples; a
-        # resident server would otherwise grow it one int per fused
-        # dispatch forever. Totals stay exact through these counters.
-        self._coalesced_batches_dropped = 0
-        self._coalesced_requests_dropped = 0
+        # per-stage wall-time distributions, one sample per dispatch —
+        # the server's /metrics renders these as summaries
+        self._stage_histograms: dict[str, BoundedHistogram] = {}
 
-    #: retained fused-batch-size samples (older ones fold into totals)
+    #: retained fused-batch-size samples (lifetime totals stay exact —
+    #: the histogram's count/total fields are unbounded)
     MAX_COALESCED_SAMPLES = 4096
 
     # -- construction helpers ------------------------------------------------------
@@ -256,6 +262,7 @@ class QueryService:
         joinability: Union[float, int],
         parts: Optional[Sequence[int]] = None,
         ef_search: Optional[int] = None,
+        trace=None,
     ) -> ServeResponse:
         """Serve one threshold search (coalesced and cached).
 
@@ -271,33 +278,47 @@ class QueryService:
         requests dispatch directly — the micro-batcher fuses only
         whole-lake exact requests, because one engine pass answers one
         (partition set, quality) configuration.
+
+        ``trace`` is an optional parent :class:`~repro.obs.trace.Span`
+        (or :class:`~repro.obs.trace.TraceContext`): when given, the
+        request records a ``service.search`` child span annotated with
+        the cache outcome and the per-stage timing breakdown.
         """
         query = self._validated_query(query)
         parts = self._normalized_parts(parts)
         ef_search = normalized_ef_search(ef_search)
-        # joinability semantics depend on its Python type (int = absolute
-        # count, float = fraction; 1 != 1.0 here although they hash the
-        # same), so the type goes into the key alongside the value.
-        key = query_cache_key(
-            "search", query, float(tau),
-            type(joinability).__name__, joinability, self.exact_counts, parts,
-            ef_search,
-        )
-        entry = self.cache.get(key, self._generation)
-        if entry is not None:
-            self._count_cache(hit=True)
+        with self.tracer.span("service.search", parent=trace) as span:
+            # joinability semantics depend on its Python type (int =
+            # absolute count, float = fraction; 1 != 1.0 here although
+            # they hash the same), so the type goes into the key
+            # alongside the value.
+            key = query_cache_key(
+                "search", query, float(tau),
+                type(joinability).__name__, joinability, self.exact_counts,
+                parts, ef_search,
+            )
+            entry = self.cache.get(key, self._generation)
+            if entry is not None:
+                self._count_cache(hit=True)
+                span.annotate(cached=True, generation=entry.generation)
+                return ServeResponse(
+                    result=entry.value, generation=entry.generation, cached=True
+                )
+            self._count_cache(hit=False)
+            if self._batcher is not None and parts is None and ef_search is None:
+                result, generation = self._batcher.submit(query, tau, joinability)
+            else:
+                result, generation = self._search_direct(
+                    query, tau, joinability, parts, ef_search
+                )
+            self.cache.put(key, result, generation)
+            span.annotate(
+                cached=False, generation=generation,
+                stages=dict(result.stats.stage_seconds),
+            )
             return ServeResponse(
-                result=entry.value, generation=entry.generation, cached=True
+                result=result, generation=generation, cached=False
             )
-        self._count_cache(hit=False)
-        if self._batcher is not None and parts is None and ef_search is None:
-            result, generation = self._batcher.submit(query, tau, joinability)
-        else:
-            result, generation = self._search_direct(
-                query, tau, joinability, parts, ef_search
-            )
-        self.cache.put(key, result, generation)
-        return ServeResponse(result=result, generation=generation, cached=False)
 
     def topk(
         self,
@@ -306,30 +327,42 @@ class QueryService:
         k: int,
         parts: Optional[Sequence[int]] = None,
         theta: int = 0,
+        trace=None,
     ) -> ServeResponse:
         """Serve one exact top-k request (cached, not coalesced).
 
         ``parts`` / ``theta`` are the cluster scatter parameters: answer
         only these partitions, pruning against an externally proven
-        k-th-best floor (strict, so results are unchanged).
+        k-th-best floor (strict, so results are unchanged). ``trace``
+        is the optional parent span, as in :meth:`search`.
         """
         query = self._validated_query(query)
         parts = self._normalized_parts(parts)
         theta = int(theta)
-        key = query_cache_key("topk", query, float(tau), int(k), parts, theta)
-        entry = self.cache.get(key, self._generation)
-        if entry is not None:
-            self._count_cache(hit=True)
-            return ServeResponse(
-                result=entry.value, generation=entry.generation, cached=True
+        with self.tracer.span("service.topk", parent=trace) as span:
+            key = query_cache_key("topk", query, float(tau), int(k), parts, theta)
+            entry = self.cache.get(key, self._generation)
+            if entry is not None:
+                self._count_cache(hit=True)
+                span.annotate(cached=True, generation=entry.generation)
+                return ServeResponse(
+                    result=entry.value, generation=entry.generation, cached=True
+                )
+            self._count_cache(hit=False)
+            with self._rw.read():
+                generation = self._generation
+                result = self.searcher.topk(
+                    query, tau, k, parts=parts, theta=theta
+                )
+            self._merge_stats(result.stats)
+            self.cache.put(key, result, generation)
+            span.annotate(
+                cached=False, generation=generation,
+                stages=dict(result.stats.stage_seconds),
             )
-        self._count_cache(hit=False)
-        with self._rw.read():
-            generation = self._generation
-            result = self.searcher.topk(query, tau, k, parts=parts, theta=theta)
-        self._merge_stats(result.stats)
-        self.cache.put(key, result, generation)
-        return ServeResponse(result=result, generation=generation, cached=False)
+            return ServeResponse(
+                result=result, generation=generation, cached=False
+            )
 
     # -- live maintenance ----------------------------------------------------------
 
@@ -444,22 +477,29 @@ class QueryService:
     def _merge_stats(self, stats: SearchStats) -> None:
         with self._stats_lock:
             self.stats.merge(stats)
-            sizes = self.stats.coalesced_batch_sizes
-            overflow = len(sizes) - self.MAX_COALESCED_SAMPLES
-            if overflow > 0:
-                self._coalesced_batches_dropped += overflow
-                self._coalesced_requests_dropped += sum(sizes[:overflow])
-                del sizes[:overflow]
+            # the merge replaces the histogram (field-wise +); re-apply
+            # the service's retained-window bound (totals stay exact)
+            self.stats.coalesced_batch_sizes.set_maxlen(
+                self.MAX_COALESCED_SAMPLES
+            )
+            for stage, seconds in stats.stage_seconds.items():
+                histogram = self._stage_histograms.get(stage)
+                if histogram is None:
+                    histogram = self._stage_histograms[stage] = BoundedHistogram()
+                histogram.add(seconds)
 
     def coalescing_totals(self) -> tuple[int, int]:
         """Exact lifetime ``(fused batches, coalesced requests)`` totals
-        (retained samples plus everything folded out of the window)."""
+        (the histogram's unbounded counters, not the sample window)."""
         with self._stats_lock:
             sizes = self.stats.coalesced_batch_sizes
-            return (
-                self._coalesced_batches_dropped + len(sizes),
-                self._coalesced_requests_dropped + sum(sizes),
-            )
+            return sizes.count, int(sizes.total)
+
+    def stage_histograms(self) -> dict[str, BoundedHistogram]:
+        """Per-stage wall-time distributions (one sample per dispatch),
+        keyed by stage name — the ``/metrics`` summary source."""
+        with self._stats_lock:
+            return dict(self._stage_histograms)
 
     def _search_direct(
         self, query: np.ndarray, tau: float, joinability, parts=None,
@@ -474,7 +514,13 @@ class QueryService:
                 ef_search=ef_search,
             )
         self._merge_stats(batch.stats)
-        return batch.results[0], generation
+        result = batch.results[0]
+        # the dispatch-level breakdown is the request's breakdown (one
+        # request, one dispatch); a fresh merged copy avoids aliasing
+        result.stats.stage_seconds = (
+            result.stats.stage_seconds + batch.stats.stage_seconds
+        )
+        return result, generation
 
     def _execute_batch(self, requests: Sequence[PendingRequest]) -> None:
         """Fused dispatch for one coalesced batch (runs on the leader).
@@ -482,6 +528,7 @@ class QueryService:
         The whole batch executes under one read-lock hold, so every
         request in it is answered by the same index generation.
         """
+        dispatch_started = time.perf_counter()
         queries = [r.args[0] for r in requests]
         taus = [r.args[1] for r in requests]
         joins = [r.args[2] for r in requests]
@@ -512,4 +559,13 @@ class QueryService:
             batch.stats.coalesced_batch_sizes.append(len(requests))
         self._merge_stats(batch.stats)
         for request, result in zip(requests, batch.results):
+            # a fused request's breakdown: the whole batch's stage costs
+            # (it waited through them) plus its own time on the queue
+            result.stats.stage_seconds = (
+                result.stats.stage_seconds + batch.stats.stage_seconds
+            )
+            result.stats.stage_seconds.add(
+                "queue_wait",
+                max(0.0, dispatch_started - request.enqueued_at),
+            )
             request.payload = (result, generation)

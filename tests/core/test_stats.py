@@ -1,6 +1,7 @@
 """Tests for the instrumentation containers."""
 
 from repro.core.stats import CounterBox, IndexStats, SearchStats
+from repro.obs.metrics import BoundedHistogram
 
 
 class TestSearchStats:
@@ -22,15 +23,22 @@ class TestSearchStats:
         assert a.total_seconds == 0.75
 
     def test_merge_covers_all_declared_fields(self):
+        def one_for(value):
+            # a non-identity value of every field's type, so a merge
+            # that skips or zeroes a field fails the assert below
+            if isinstance(value, dict):
+                return {"x": 1.0}
+            if isinstance(value, (list, BoundedHistogram)):
+                return [1]
+            return 1
+
         a = SearchStats()
         b = SearchStats()
         for name in SearchStats.__dataclass_fields__:
-            one = [1] if isinstance(getattr(b, name), list) else 1
-            setattr(b, name, one)
+            setattr(b, name, one_for(getattr(b, name)))
         a.merge(b)
         for name in SearchStats.__dataclass_fields__:
-            want = [1] if isinstance(getattr(b, name), list) else 1
-            assert getattr(a, name) == want, name
+            assert getattr(a, name) == one_for(getattr(b, name)), name
 
     def test_serving_counters_merge(self):
         a = SearchStats(cache_hits=2, cache_misses=1,

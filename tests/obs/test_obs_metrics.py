@@ -1,0 +1,159 @@
+"""Unit tests for the metrics registry and the bounded histogram."""
+
+import math
+import threading
+
+import pytest
+
+from repro.cluster.resilience import LatencyTracker
+from repro.obs.metrics import (
+    BoundedHistogram,
+    MetricsRegistry,
+    escape_label_value,
+)
+
+
+class TestBoundedHistogram:
+    def test_lifetime_totals_survive_window_eviction(self):
+        hist = BoundedHistogram(maxlen=4)
+        for v in range(10):
+            hist.add(v)
+        assert len(hist) == 4          # window bounded
+        assert hist.count == 10        # lifetime exact
+        assert hist.total == sum(range(10))
+        assert hist.max_value == 9
+        assert list(hist) == [6, 7, 8, 9]
+
+    def test_append_alias_and_list_equality(self):
+        hist = BoundedHistogram()
+        hist.append(3)
+        hist.append(5)
+        assert hist == [3, 5]
+        assert hist != [3]
+        assert sum(hist) == 8
+        assert max(hist) == 5
+
+    def test_nearest_rank_quantile_matches_latency_tracker(self):
+        samples = [float(v) for v in range(1, 21)]
+        hist = BoundedHistogram(samples)
+        tracker = LatencyTracker(window=64)
+        for v in samples:
+            tracker.record(v)
+        for q in (0.5, 0.95, 0.99):
+            assert hist.quantile(q) == tracker.quantile(q)
+        # p95 of 20 samples is the 19th smallest, never the max
+        assert hist.quantile(0.95) == 19.0
+
+    def test_empty_quantile_returns_default(self):
+        assert BoundedHistogram().quantile(0.5, default=0.25) == 0.25
+
+    def test_merge_adds_totals_and_concatenates_windows(self):
+        a = BoundedHistogram([1, 2], maxlen=8)
+        b = BoundedHistogram([3], maxlen=8)
+        merged = a + b
+        assert merged == [1, 2, 3]
+        assert merged.count == 3
+        assert merged.total == 6
+        # list operands keep the SearchStats field-wise merge working
+        assert (a + [7]).count == 3
+        assert ([7] + a) == [7, 1, 2]
+
+    def test_set_maxlen_rebounds_window_keeps_totals(self):
+        hist = BoundedHistogram(range(10), maxlen=100)
+        hist.set_maxlen(3)
+        assert list(hist) == [7, 8, 9]
+        assert hist.count == 10
+        assert hist.total == sum(range(10))
+
+    def test_rejects_bad_maxlen(self):
+        with pytest.raises(ValueError):
+            BoundedHistogram(maxlen=0)
+        with pytest.raises(ValueError):
+            BoundedHistogram().set_maxlen(0)
+
+
+class TestEscaping:
+    def test_label_value_escapes(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_plain_values_pass_through(self):
+        assert escape_label_value("slot-0") == "slot-0"
+        assert escape_label_value(3) == "3"
+
+
+class TestMetricsRegistry:
+    def test_counter_and_gauge_render_with_headers(self):
+        reg = MetricsRegistry(prefix="x_")
+        reg.counter("hits", "Hits.", 3)
+        reg.gauge("capacity", "Capacity.", 1.0)
+        text = reg.render()
+        assert "# HELP x_hits Hits.\n# TYPE x_hits counter\nx_hits 3\n" in text
+        # value formatting keeps the Python type: ints bare, floats with
+        # the decimal point (dashboards parse these literally)
+        assert "x_capacity 1.0" in text
+        assert text.endswith("\n")
+
+    def test_labelled_samples_share_one_family(self):
+        reg = MetricsRegistry()
+        reg.gauge("up", "Up.", 1, labels={"slot": 0})
+        reg.gauge("up", "Up.", 0, labels={"slot": 1})
+        text = reg.render()
+        assert text.count("# TYPE up gauge") == 1
+        assert 'up{slot="0"} 1' in text
+        assert 'up{slot="1"} 0' in text
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("n", "N.", 1)
+        with pytest.raises(ValueError):
+            reg.gauge("n", "N.", 1)
+
+    def test_summary_from_histogram_source(self):
+        hist = BoundedHistogram([float(v) for v in range(1, 21)])
+        reg = MetricsRegistry()
+        reg.summary("lat", "Latency.", source=hist, labels={"stage": "verify"})
+        text = reg.render()
+        assert '# TYPE lat summary' in text
+        assert 'lat{stage="verify",quantile="0.5"}' in text
+        assert 'lat{stage="verify",quantile="0.95"} 19.0' in text
+        assert 'lat_sum{stage="verify"} 210.0' in text
+        assert 'lat_count{stage="verify"} 20' in text
+
+    def test_summary_from_latency_tracker_source(self):
+        tracker = LatencyTracker()
+        tracker.record(0.25)
+        tracker.record(0.75)
+        reg = MetricsRegistry()
+        reg.summary("call", "Call latency.", source=tracker)
+        text = reg.render()
+        assert "call_count 2" in text
+        assert "call_sum 1.0" in text
+
+    def test_help_line_escapes_newlines(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", "line one\nline two", 1)
+        assert "# HELP g line one\\nline two" in reg.render()
+
+    def test_thread_safety_under_concurrent_samples(self):
+        reg = MetricsRegistry()
+        errors = []
+
+        def work(slot):
+            try:
+                for i in range(200):
+                    reg.counter("c", "C.", i, labels={"slot": slot})
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(s,)) for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert reg.render().count("# TYPE c counter") == 1
+
+    def test_histogram_mean_is_lifetime(self):
+        hist = BoundedHistogram(maxlen=2)
+        hist.extend([1.0, 2.0, 3.0])
+        assert math.isclose(hist.mean(), 2.0)

@@ -1,0 +1,228 @@
+"""Unit tests for spans, propagation, sampling and the slow-query log."""
+
+import json
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    NullSpan,
+    TraceContext,
+    Tracer,
+)
+
+
+class TestTraceContext:
+    def test_header_round_trip(self):
+        ctx = TraceContext("t00000001", "s00000002", sampled=True)
+        parsed = TraceContext.from_header(ctx.to_header())
+        assert parsed.trace_id == "t00000001"
+        assert parsed.span_id == "s00000002"
+        assert parsed.sampled is True
+
+    def test_unsampled_round_trip(self):
+        ctx = TraceContext("t1", "s1", sampled=False)
+        assert ctx.to_header().endswith(":0")
+        assert TraceContext.from_header(ctx.to_header()).sampled is False
+
+    def test_prefixed_ids_with_dashes_survive(self):
+        # tracer prefixes may contain dashes — the colon separator keeps
+        # such IDs unambiguous on the wire
+        ctx = TraceContext("w-1-t00000009", "w-1-s00000004", sampled=True)
+        parsed = TraceContext.from_header(ctx.to_header())
+        assert parsed.trace_id == "w-1-t00000009"
+        assert parsed.span_id == "w-1-s00000004"
+
+    def test_malformed_headers_parse_to_none(self):
+        for bad in (None, "", "junk", "a:b", "a:b:2", "::1", "a::1", "a:b:1:c"):
+            assert TraceContext.from_header(bad) is None
+
+
+class TestSpans:
+    def test_root_trace_records_and_nests(self):
+        tracer = Tracer()
+        with tracer.trace("root") as root:
+            with root.child("inner") as inner:
+                inner.annotate(rows=3)
+        spans = tracer.spans()
+        assert [s["name"] for s in spans] == ["inner", "root"]
+        assert spans[0]["parent_id"] == root.span_id
+        assert spans[0]["annotations"] == {"rows": 3}
+        assert spans[1]["parent_id"] is None
+        assert all(s["duration_seconds"] >= 0 for s in spans)
+
+    def test_child_without_parent_is_null_span(self):
+        tracer = Tracer()
+        span = tracer.span("orphan", parent=None)
+        assert span is NULL_SPAN
+        assert isinstance(span.child("x"), NullSpan)
+        with span as s:
+            s.annotate(ignored=True)
+        assert tracer.spans() == []
+        assert not span  # falsy, so callers can gate on it
+
+    def test_remote_continuation_inherits_trace_and_sampling(self):
+        coordinator = Tracer(prefix="c-")
+        worker = Tracer(prefix="w-")
+        with coordinator.trace("coordinator.search") as root:
+            header = root.context().to_header()
+        ctx = TraceContext.from_header(header)
+        with worker.trace("service.search", parent=ctx) as remote:
+            pass
+        (record,) = worker.spans()
+        assert record["trace_id"] == root.trace_id
+        assert record["parent_id"] == root.span_id
+        assert remote.remote_parent is True
+
+    def test_unsampled_context_propagates_without_recording(self):
+        tracer = Tracer(sample_rate=0.0)
+        span = tracer.trace("root")
+        assert span.sampled is False
+        assert span.context().to_header().endswith(":0")
+        child = span.child("inner")
+        child.finish()
+        span.finish()
+        assert tracer.spans() == []
+
+    def test_deterministic_sampling_records_every_other_trace(self):
+        tracer = Tracer(sample_rate=0.5)
+        decisions = [tracer.trace(f"r{i}").sampled for i in range(10)]
+        assert sum(decisions) == 5
+        # the accumulator fires on every second root, deterministically
+        assert decisions == [False, True] * 5
+
+    def test_rate_one_samples_everything_rate_zero_nothing(self):
+        assert all(Tracer(sample_rate=1.0).trace("r").sampled
+                   for _ in range(5))
+        assert not any(Tracer(sample_rate=0.0).trace("r").sampled
+                       for _ in range(5))
+
+    def test_exception_annotates_error(self):
+        tracer = Tracer()
+        try:
+            with tracer.trace("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        (record,) = tracer.spans()
+        assert record["annotations"]["error"] == "RuntimeError"
+
+    def test_ring_buffer_is_bounded(self):
+        tracer = Tracer(max_spans=4)
+        for i in range(10):
+            tracer.trace(f"r{i}").finish()
+        assert len(tracer.spans()) == 4
+        assert tracer.spans()[0]["name"] == "r6"
+
+
+class TestTraceTrees:
+    def test_traces_groups_spans_into_trees(self):
+        tracer = Tracer()
+        with tracer.trace("root") as root:
+            with root.child("a") as a:
+                with a.child("a1"):
+                    pass
+            with root.child("b"):
+                pass
+        (tree,) = tracer.traces()
+        assert tree["trace_id"] == root.trace_id
+        assert tree["n_spans"] == 4
+        (top,) = tree["roots"]
+        assert top["name"] == "root"
+        assert [c["name"] for c in top["children"]] == ["a", "b"]
+        assert [c["name"] for c in top["children"][0]["children"]] == ["a1"]
+
+    def test_remote_parented_span_becomes_local_root(self):
+        worker = Tracer()
+        ctx = TraceContext("t-far", "s-far", sampled=True)
+        with worker.trace("service.search", parent=ctx):
+            pass
+        (tree,) = worker.traces()
+        assert tree["roots"][0]["name"] == "service.search"
+
+    def test_loopback_context_from_own_span_nests_locally(self):
+        # a thread-mode cluster serialises a context over HTTP and hands
+        # it back to the *same* tracer — the parent really is local, so
+        # the continuation must nest under it, not split off a new root
+        tracer = Tracer()
+        with tracer.trace("outer") as outer:
+            with outer.child("inner"):
+                pass
+        inner_id = tracer.spans()[0]["span_id"]
+        with tracer.trace(
+            "continued",
+            parent=TraceContext(outer.trace_id, inner_id, sampled=True),
+        ):
+            pass
+        (tree,) = tracer.traces()
+        (root,) = tree["roots"]
+        assert root["name"] == "outer"
+        (inner,) = root["children"]
+        assert [c["name"] for c in inner["children"]] == ["continued"]
+        assert inner["children"][0]["remote_parent"] is False
+
+    def test_foreign_span_id_is_never_mistaken_for_loopback(self):
+        # two processes number spans independently, so a remote parent's
+        # ID can *look* locally shaped — it only counts as loopback if
+        # this tracer actually issued it (regression: an HTTP client and
+        # server, both unprefixed, produced a tree with no roots at all)
+        tracer = Tracer()
+        tracer.trace("local").finish()
+        with tracer.trace(
+            "continued",
+            parent=TraceContext("t-far", "s00000099", sampled=True),
+        ):
+            pass
+        trees = {t["trace_id"]: t for t in tracer.traces()}
+        (continued,) = trees["t-far"]["roots"]
+        assert continued["name"] == "continued"
+        assert continued["remote_parent"] is True
+
+    def test_prefixed_tracer_rejects_unprefixed_collision(self):
+        # the CLI gives each process a distinct prefix; an inbound ID
+        # numbered like a local span but missing the prefix stays remote
+        server = Tracer(prefix="a1-")
+        server.trace("local").finish()
+        with server.trace(
+            "serve.search",
+            parent=TraceContext("t-client", "s00000001", sampled=True),
+        ):
+            pass
+        trees = {t["trace_id"]: t for t in server.traces()}
+        (root,) = trees["t-client"]["roots"]
+        assert root["name"] == "serve.search"
+        assert root["remote_parent"] is True
+
+
+class TestSlowQueryLog:
+    def test_slow_local_roots_emit_structured_json(self):
+        lines = []
+        tracer = Tracer(slow_query_seconds=0.0, slow_query_sink=lines.append)
+        with tracer.trace("serve.search") as span:
+            span.annotate(n_queries=2)
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["event"] == "slow_query"
+        assert entry["name"] == "serve.search"
+        assert entry["trace_id"] == span.trace_id
+        assert entry["threshold_seconds"] == 0.0
+        assert entry["annotations"] == {"n_queries": 2}
+        assert tracer.slow_queries() == [entry]
+
+    def test_children_never_hit_the_slow_log(self):
+        lines = []
+        tracer = Tracer(slow_query_seconds=0.0, slow_query_sink=lines.append)
+        with tracer.trace("root") as root:
+            with root.child("inner"):
+                pass
+        assert [json.loads(line)["name"] for line in lines] == ["root"]
+
+    def test_threshold_filters_fast_queries(self):
+        lines = []
+        tracer = Tracer(slow_query_seconds=60.0, slow_query_sink=lines.append)
+        tracer.trace("fast").finish()
+        assert lines == []
+
+    def test_configure_adjusts_knobs(self):
+        tracer = Tracer()
+        tracer.configure(sample_rate=0.0, slow_query_seconds=1.5)
+        assert tracer.sample_rate == 0.0
+        assert tracer.slow_query_seconds == 1.5

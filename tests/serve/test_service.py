@@ -112,7 +112,7 @@ class TestServing:
         assert isinstance(stats.cache_hits, int)
         assert isinstance(stats.cache_misses, int)
         assert all(isinstance(n, int) for n in stats.coalesced_batch_sizes)
-        assert stats.coalesced_batch_sizes.count(1) == 1  # one real dispatch
+        assert list(stats.coalesced_batch_sizes).count(1) == 1  # one real dispatch
 
     def test_cache_distinguishes_joinability_int_vs_float(self, service, query):
         """joinability=1 (absolute count) and 1.0 (100% fraction) hash the

@@ -56,3 +56,28 @@ def test_serving_comparison_runs_at_ci_size(bench_module):
     assert out["serial_seconds"] > 0 and out["coalesced_seconds"] > 0
     assert out["mean_batch"] >= 1
     assert out["speedup"] > 0 and out["cache_speedup"] > 0
+    # the per-stage breakdown rides into the BENCH json artifact
+    assert "verify" in out["stage_seconds"]
+    assert all(v >= 0 for v in out["stage_seconds"].values())
+
+
+def test_sampled_out_tracing_overhead_under_five_percent(bench_module):
+    from common import make_dataset
+
+    dataset = make_dataset(
+        "trace-overhead",
+        n_tables=16,
+        rows_range=(6, 14),
+        dim=12,
+        n_entities=40,
+        n_queries=1,
+        query_rows=8,
+        seed=7,
+    )
+    out = bench_module.run_tracing_overhead(
+        dataset, n_requests=24, n_pivots=2, levels=2, repeats=5
+    )
+    assert out["plain_seconds"] > 0 and out["traced_out_seconds"] > 0
+    assert out["overhead_pct"] < 5.0, (
+        f"sampled-out tracing cost {out['overhead_pct']:.2f}% at smoke size"
+    )

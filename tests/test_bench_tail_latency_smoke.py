@@ -53,6 +53,9 @@ def test_tail_comparison_runs_at_ci_size(bench_module, dataset, tmp_path):
         stats = out[arm]
         assert 0 < stats["p50"] <= stats["p95"] <= stats["p99"] <= stats["max"]
         assert stats["faults_fired"] >= 0
+        # coordinator stage breakdown rides along into the BENCH json
+        assert stats["stage_seconds"].keys() == {"merge", "scatter"}
+        assert all(v >= 0 for v in stats["stage_seconds"].values())
     assert out["hedging_off"]["hedges_fired"] == 0
     assert "p99_improvement" in out
 

@@ -208,7 +208,10 @@ class TestJsonOutput:
             ]) == 0
         cli_payload = json.loads(buffer.getvalue())
         # server adds serving provenance on top of the shared schema
-        assert set(reply) == set(cli_payload) | {"generation", "cached"}
+        # (timings always appear there — queue_wait at minimum)
+        assert set(reply) == set(cli_payload) | {
+            "generation", "cached", "timings"
+        }
         assert reply["hits"] == cli_payload["hits"]
 
 
